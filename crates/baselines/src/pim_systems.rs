@@ -1,0 +1,249 @@
+//! Analytical models of the PIM/PNM baselines of §7.3: Samsung CXL-PNM,
+//! AttAcc and NeuPIM, plus the Table 1 industrial-prototype spec sheet.
+
+use cent_model::ModelConfig;
+use cent_types::{ByteSize, Dollars, Power};
+
+/// One row of Table 1 (hardware system comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct HwSpec {
+    /// System name.
+    pub name: &'static str,
+    /// Memory organisation description.
+    pub mem_units: &'static str,
+    /// External bandwidth, TB/s.
+    pub external_bw_tbs: f64,
+    /// Internal bandwidth, TB/s (None for GPUs).
+    pub internal_bw_tbs: Option<f64>,
+    /// Capacity, GB.
+    pub capacity_gb: f64,
+    /// Compute throughput, TFLOPS (TOPS for UPMEM).
+    pub tflops: f64,
+    /// Operational intensity balance point, Ops/Byte.
+    pub ops_per_byte: f64,
+    /// Memory density vs conventional parts (1.0 for GPUs).
+    pub mem_density: &'static str,
+}
+
+/// Table 1 of the paper.
+pub fn table1() -> Vec<HwSpec> {
+    vec![
+        HwSpec {
+            name: "UPMEM",
+            mem_units: "8 DIMMs",
+            external_bw_tbs: 0.15,
+            internal_bw_tbs: Some(1.0),
+            capacity_gb: 64.0,
+            tflops: 0.5,
+            ops_per_byte: 0.5,
+            mem_density: "25%-50%",
+        },
+        HwSpec {
+            name: "AiM",
+            mem_units: "32 channels",
+            external_bw_tbs: 1.0,
+            internal_bw_tbs: Some(16.0),
+            capacity_gb: 16.0,
+            tflops: 16.0,
+            ops_per_byte: 1.0,
+            mem_density: "75%",
+        },
+        HwSpec {
+            name: "FIMDRAM",
+            mem_units: "5 stacks",
+            external_bw_tbs: 1.5,
+            internal_bw_tbs: Some(12.3),
+            capacity_gb: 30.0,
+            tflops: 6.2,
+            ops_per_byte: 0.5,
+            mem_density: "75%",
+        },
+        HwSpec {
+            name: "A100",
+            mem_units: "5 stacks",
+            external_bw_tbs: 2.0,
+            internal_bw_tbs: None,
+            capacity_gb: 80.0,
+            tflops: 312.0,
+            ops_per_byte: 156.0,
+            mem_density: "-",
+        },
+    ]
+}
+
+/// A bandwidth/compute/capacity-parameterised inference node, used for the
+/// CXL-PNM, AttAcc and NeuPIM comparisons (Figures 17-18). Throughput is
+/// roofline-composed exactly like the GPU model, but with the device's own
+/// bandwidth hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct PimNode {
+    /// Name for reporting.
+    pub name: &'static str,
+    /// Effective compute, FLOP/s.
+    pub flops: f64,
+    /// Bandwidth usable by FC layers, bytes/s.
+    pub fc_bw: f64,
+    /// Bandwidth usable by attention, bytes/s.
+    pub attn_bw: f64,
+    /// Memory capacity.
+    pub capacity: ByteSize,
+    /// Average power.
+    pub power: Power,
+    /// Hardware cost.
+    pub cost: Dollars,
+}
+
+impl PimNode {
+    /// Samsung CXL-PNM: one device = 8.2 TFLOPS, 1.1 TB/s LPDDR5X, 512 GB
+    /// (Figure 17b).
+    pub fn cxl_pnm(devices: usize) -> PimNode {
+        let d = devices as f64;
+        PimNode {
+            name: "CXL-PNM",
+            flops: 8.2e12 * d,
+            fc_bw: 1.1e12 * 0.75 * d,
+            attn_bw: 1.1e12 * 0.75 * d,
+            capacity: ByteSize::gib(512 * devices as u64),
+            power: Power::watts(92.0) * d,
+            cost: Dollars::new(7_100.0) * d,
+        }
+    }
+
+    /// CENT as a [`PimNode`] for apples-to-apples Figure 17/18 composition
+    /// (16 TFLOPS PIM + internal 16 TB/s per device, §6).
+    pub fn cent(devices: usize) -> PimNode {
+        let d = devices as f64;
+        PimNode {
+            name: "CENT",
+            flops: (16.0e12 + 3.0e12) * d,
+            // Row-cycle efficiency of lockstep streaming (~64/110).
+            fc_bw: 16.0e12 * 0.58 * d,
+            attn_bw: 16.0e12 * 0.58 * d,
+            capacity: ByteSize::gib(16 * devices as u64),
+            power: Power::watts(32.4) * d,
+            cost: Dollars::new(14_873.0 / 32.0) * d,
+        }
+    }
+
+    /// AttAcc: 8×A100(HBM3) + 8 HBM-PIM devices; prefill/FC on GPUs,
+    /// attention in PIM (Figure 16c).
+    pub fn attacc() -> PimNode {
+        PimNode {
+            name: "AttAcc",
+            flops: 8.0 * 390.0e12 * 0.5,
+            fc_bw: 8.0 * 3.35e12 * 0.65,
+            attn_bw: 8.0 * 13.6e12 * 0.6,
+            capacity: ByteSize::gib(8 * 80 + 8 * 80),
+            power: Power::watts(8.0 * 300.0 + 8.0 * 116.0),
+            // 8 GPUs + 8 HBM-PIM (10× HBM price) + host; TCO 3.5× CENT (§7.3).
+            cost: Dollars::new(8.0 * 10_000.0 + 8.0 * 4_800.0 + 2_128.0),
+        }
+    }
+
+    /// NeuPIM: 8×A100 + 8 NeuPIM devices (TPUv4-like NPU + dual-row-buffer
+    /// PIM), Figure 16d.
+    pub fn neupim() -> PimNode {
+        PimNode {
+            name: "NeuPIM",
+            flops: 8.0 * 275.0e12 * 0.55,
+            fc_bw: 8.0 * 2.4e12 * 0.65,
+            attn_bw: 8.0 * 9.6e12 * 0.6,
+            capacity: ByteSize::gib(8 * 80 + 8 * 64),
+            power: Power::watts(8.0 * 300.0 + 8.0 * 95.0),
+            cost: Dollars::new(8.0 * 10_000.0 + 8.0 * 3_400.0 + 2_128.0),
+        }
+    }
+
+    /// Largest batch that fits `cfg` at `context`.
+    pub fn max_batch(&self, cfg: &ModelConfig, context: usize) -> usize {
+        let capacity = self.capacity.as_bytes() as f64 * 0.92;
+        let weights = (cfg.total_params() * 2) as f64;
+        if weights >= capacity {
+            return 0;
+        }
+        ((capacity - weights) / cfg.kv_bytes_per_query(context).as_bytes() as f64).floor()
+            as usize
+    }
+
+    /// Decode throughput at `batch`, `context` (roofline over the split
+    /// FC/attention bandwidth hierarchy).
+    pub fn decode_tokens_per_s(&self, cfg: &ModelConfig, batch: usize, context: usize) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        let weights = (cfg.total_params() * 2) as f64;
+        let kv = cfg.kv_bytes_per_query(context / 2).as_bytes() as f64;
+        let t_fc = weights / self.fc_bw;
+        let t_attn = kv * batch as f64 / self.attn_bw;
+        let flops = cfg.decode_flops_per_token(context / 2) as f64 * batch as f64;
+        let t_compute = flops / self.flops;
+        batch as f64 / (t_fc + t_attn).max(t_compute)
+    }
+
+    /// Tokens per dollar over a 3-year ownership window.
+    pub fn tokens_per_dollar(&self, tokens_per_s: f64) -> f64 {
+        let hours = 3.0 * 365.0 * 24.0;
+        let energy = self.power.as_watts() / 1000.0 * crate::KWH_PRICE_LOCAL * hours;
+        let total = self.cost.amount() + energy;
+        tokens_per_s * 3600.0 * hours / total
+    }
+}
+
+pub(crate) const KWH_PRICE_LOCAL: f64 = 0.139;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_four_systems() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        let aim = &t[1];
+        assert_eq!(aim.name, "AiM");
+        assert_eq!(aim.internal_bw_tbs, Some(16.0));
+        // GPUs have no internal-bandwidth advantage.
+        assert!(t[3].internal_bw_tbs.is_none());
+    }
+
+    #[test]
+    fn figure17_cent_beats_cxl_pnm_on_opt66b() {
+        let cfg = ModelConfig::opt_66b();
+        let ctx = 64 + 1024;
+        let pnm = PimNode::cxl_pnm(8);
+        let cent = PimNode::cent(24);
+        let pnm_batch = pnm.max_batch(&cfg, ctx).min(256);
+        let cent_batch = cent.max_batch(&cfg, ctx).min(256);
+        let pnm_tps = pnm.decode_tokens_per_s(&cfg, pnm_batch, ctx);
+        let cent_tps = cent.decode_tokens_per_s(&cfg, cent_batch, ctx);
+        // §7.3: 4.5× higher throughput at max supported batches.
+        let ratio = cent_tps / pnm_tps;
+        assert!(ratio > 2.0, "CENT/CXL-PNM ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn figure18_cent_wins_tokens_per_dollar() {
+        let cfg = ModelConfig::gpt3_175b();
+        let ctx = 2048 + 128;
+        let attacc = PimNode::attacc();
+        let cent = PimNode::cent(96); // power-neutral: 12 devices per GPU-PIM node
+        let ab = attacc.max_batch(&cfg, ctx);
+        let cb = cent.max_batch(&cfg, ctx);
+        let at = attacc.decode_tokens_per_s(&cfg, ab, ctx);
+        let ct = cent.decode_tokens_per_s(&cfg, cb, ctx);
+        let ratio = cent.tokens_per_dollar(ct) / attacc.tokens_per_dollar(at);
+        // Paper: 1.8-3.7× more tokens per dollar than AttAcc.
+        assert!(ratio > 1.3, "tokens/$ ratio {ratio:.2}");
+        // Raw throughput is comparable (0.5-1.1×).
+        let raw = ct / at;
+        assert!((0.3..2.0).contains(&raw), "raw ratio {raw:.2}");
+    }
+
+    #[test]
+    fn neupim_model_is_consistent() {
+        let n = PimNode::neupim();
+        assert!(n.power.as_watts() > 2_000.0);
+        let cfg = ModelConfig::gpt3_175b();
+        assert!(n.max_batch(&cfg, 2048) > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 1: Llama2-70B inference throughput and memory requirement on
+//! 4×A100 80GB versus batch size, for 4K/8K/16K/32K contexts.
+use cent_baselines::GpuSystem;
+use cent_bench::Report;
+use cent_model::ModelConfig;
+
+fn main() {
+    let sys = GpuSystem::a100x(4);
+    let mut report = Report::new(
+        "fig01",
+        "GPU throughput vs batch size and context",
+        "throughput plateaus ~600-800 tok/s at 4K; saturation batch falls from 128 (4K) to 8-16 (32K); memory crosses 320 GB",
+    );
+    for ctx in [4096usize, 8192, 16384, 32768] {
+        let cfg = ModelConfig::llama2_70b_long(ctx);
+        let mut tput = Vec::new();
+        let mut mem = Vec::new();
+        for exp in 2..=8 {
+            let batch = 1usize << exp;
+            let label = format!("ctx{}K b{batch}", ctx / 1024);
+            let feasible = batch.min(sys.max_batch(&cfg, ctx).max(1));
+            tput.push((label.clone(), sys.decode_tokens_per_s(&cfg, feasible, ctx)));
+            mem.push((label, cfg.memory_required(batch, ctx).as_gib()));
+        }
+        report.push_series(&format!("{}K throughput", ctx / 1024), "tokens/s", &tput);
+        report.push_series(&format!("{}K memory", ctx / 1024), "GiB", &mem);
+    }
+    report.emit();
+}

@@ -1,0 +1,30 @@
+//! Figure 2: (a) GPU query latency growth with batch; (b) compute
+//! utilization of Llama2-70B vs BERT vs ResNet-152.
+use cent_baselines::{encoder_utilization, GpuSystem};
+use cent_bench::Report;
+use cent_model::ModelConfig;
+
+fn main() {
+    let sys = GpuSystem::a100x(4);
+    let cfg = ModelConfig::llama2_70b();
+    let mut report = Report::new(
+        "fig02",
+        "GPU motivation: latency growth and low utilization",
+        "(a) latency rises with batch, violating SLA past ~batch 128; (b) Llama2-70B 21% vs BERT 43% vs ResNet-152 80%",
+    );
+    let latency: Vec<(String, f64)> = [8usize, 16, 32, 64, 128]
+        .iter()
+        .map(|&b| {
+            let t = sys.query_latency(&cfg, b, 4096, 512, 3584);
+            (format!("batch {b}"), t.as_secs() / 60.0)
+        })
+        .collect();
+    report.push_series("query latency", "minutes", &latency);
+    let util = vec![
+        ("Llama2-70B".to_string(), sys.decode_utilization(&cfg, 128, 4096) * 100.0),
+        ("BERT".to_string(), encoder_utilization("BERT") * 100.0),
+        ("ResNet-152".to_string(), encoder_utilization("ResNet-152") * 100.0),
+    ];
+    report.push_series("GPU compute utilization", "%", &util);
+    report.emit();
+}

@@ -1,0 +1,44 @@
+//! Figure 12: CXL controller NRE breakdown and per-unit cost vs volume.
+use cent_bench::Report;
+use cent_cost::{ControllerCost, NreBreakdown};
+
+fn main() {
+    let nre = NreBreakdown::default();
+    let mut report = Report::new(
+        "fig12",
+        "CXL controller cost breakdown",
+        "NRE ~$25M total; per-unit cost $11.9 at 3M volume, die+packaging < $4",
+    );
+    report.push_series(
+        "NRE breakdown",
+        "M$",
+        &[
+            ("System NRE".into(), nre.system_nre.amount() / 1e6),
+            ("Package design".into(), nre.package_design.amount() / 1e6),
+            ("IP licensing".into(), nre.ip_licensing.amount() / 1e6),
+            ("Frontend labor".into(), nre.frontend_labor.amount() / 1e6),
+            ("Backend CAD".into(), nre.backend_cad.amount() / 1e6),
+            ("Backend labor".into(), nre.backend_labor.amount() / 1e6),
+            ("Mask".into(), nre.mask.amount() / 1e6),
+            ("Total".into(), nre.total().amount() / 1e6),
+        ],
+    );
+    let volumes = [0.25e6, 0.5e6, 1.0e6, 2.0e6, 3.0e6, 4.0e6, 5.0e6];
+    let curve: Vec<(String, f64)> = volumes
+        .iter()
+        .map(|&v| (format!("{:.2}M units", v / 1e6), ControllerCost::at_volume(v).total().amount()))
+        .collect();
+    report.push_series("unit cost vs volume", "$", &curve);
+    let at3m = ControllerCost::at_volume(3.0e6);
+    report.push_series(
+        "cost components at 3M",
+        "$",
+        &[
+            ("die".into(), at3m.die.amount()),
+            ("packaging".into(), at3m.packaging.amount()),
+            ("NRE amortised".into(), at3m.nre.amount()),
+            ("total".into(), at3m.total().amount()),
+        ],
+    );
+    report.emit();
+}

@@ -1,0 +1,68 @@
+//! Figure 13: CENT speedup over the GPU baseline — (a) latency-critical
+//! batch-1 TP, (b) throughput-critical PP at max batches, (c) tokens/$.
+use cent_baselines::GpuSystem;
+use cent_bench::{geomean, Report};
+use cent_compiler::Strategy;
+use cent_cost::tokens_per_dollar;
+use cent_types::Dollars;
+use cent_model::ModelConfig;
+use cent_sim::evaluate;
+
+fn main() {
+    let ctx = 4096usize;
+    let cases: [(ModelConfig, usize, usize); 3] = [
+        (ModelConfig::llama2_7b(), 8, 1),
+        (ModelConfig::llama2_13b(), 20, 2),
+        (ModelConfig::llama2_70b(), 32, 4),
+    ];
+    let mut report = Report::new(
+        "fig13",
+        "CENT vs GPU: latency, throughput, tokens/$",
+        "geomean 4.6x latency (batch 1), 2.3x throughput (max batch), 5.2x tokens/$; 70B throughput gain smallest (GQA, 1.2x)",
+    );
+    let mut lat_speedups = Vec::new();
+    let mut tput_speedups = Vec::new();
+    let mut dollar_speedups = Vec::new();
+    let mut lat_rows = Vec::new();
+    let mut tput_rows = Vec::new();
+    let mut dollar_rows = Vec::new();
+    // TCO $/hour (Table 4 values recomputed in table4 binary).
+    let cent_cost = Dollars::new(0.73);
+    let gpu_cost = Dollars::new(1.76);
+    for (cfg, devices, gpus) in cases {
+        let gpu = GpuSystem::a100x(gpus);
+        // (a) latency-critical: batch 1, TP on CENT.
+        let cent_tp = evaluate(&cfg, devices, Strategy::TensorParallel, ctx)
+            .expect("tp evaluation");
+        let gpu_tok_latency =
+            1.0 / gpu.decode_tokens_per_s(&cfg, 1, ctx).max(1e-9);
+        let cent_tok_latency = cent_tp.token_latency.as_secs();
+        let lat_speedup = gpu_tok_latency / cent_tok_latency;
+        lat_rows.push((cfg.name.to_string(), lat_speedup));
+        lat_speedups.push(lat_speedup);
+        // (b) throughput-critical: GPU batch 128, CENT PP (batch = stages).
+        let cent_pp =
+            evaluate(&cfg, devices, Strategy::PipelineParallel, ctx).expect("pp evaluation");
+        let gpu_batch = 128.min(gpu.max_batch(&cfg, ctx).max(1));
+        let gpu_tput = gpu.decode_tokens_per_s(&cfg, gpu_batch, ctx);
+        let speedup = cent_pp.decode_tokens_per_s / gpu_tput;
+        tput_rows.push((cfg.name.to_string(), speedup));
+        tput_speedups.push(speedup);
+        // (c) tokens per dollar.
+        let cent_tpd = tokens_per_dollar(cent_pp.decode_tokens_per_s, cent_cost);
+        let gpu_tpd = tokens_per_dollar(gpu_tput, gpu_cost);
+        dollar_rows.push((cfg.name.to_string(), cent_tpd / gpu_tpd));
+        dollar_speedups.push(cent_tpd / gpu_tpd);
+        eprintln!(
+            "{}: CENT PP {:.0} tok/s (batch {}), GPU {:.0} tok/s (batch {gpu_batch})",
+            cfg.name, cent_pp.decode_tokens_per_s, cent_pp.mapping.batch, gpu_tput
+        );
+    }
+    lat_rows.push(("geomean".into(), geomean(&lat_speedups)));
+    tput_rows.push(("geomean".into(), geomean(&tput_speedups)));
+    dollar_rows.push(("geomean".into(), geomean(&dollar_speedups)));
+    report.push_series("(a) latency speedup, batch=1", "x", &lat_rows);
+    report.push_series("(b) end-to-end throughput speedup", "x", &tput_rows);
+    report.push_series("(c) tokens per dollar", "x", &dollar_rows);
+    report.emit();
+}

@@ -1,0 +1,31 @@
+//! Figure 17: CENT vs Samsung CXL-PNM on OPT-66B (prefill 64, decode 1024).
+use cent_baselines::PimNode;
+use cent_bench::Report;
+use cent_model::ModelConfig;
+
+fn main() {
+    let cfg = ModelConfig::opt_66b();
+    let ctx = 64 + 1024;
+    let mut report = Report::new(
+        "fig17",
+        "CENT vs CXL-PNM on OPT-66B",
+        "CENT (24 devices) reaches ~4.5x the throughput of CXL-PNM at max batches",
+    );
+    let mut rows = Vec::new();
+    for devices in [1usize, 8, 32] {
+        let node = PimNode::cxl_pnm(devices);
+        let batch = node.max_batch(&cfg, ctx).min(256);
+        rows.push((
+            format!("CXL-PNM x{devices} (b{batch})"),
+            node.decode_tokens_per_s(&cfg, batch, ctx) / 1000.0,
+        ));
+    }
+    let cent = PimNode::cent(24);
+    let batch = cent.max_batch(&cfg, ctx).min(256);
+    rows.push((
+        format!("CENT x24 (b{batch})"),
+        cent.decode_tokens_per_s(&cfg, batch, ctx) / 1000.0,
+    ));
+    report.push_series("decode throughput", "K tokens/s", &rows);
+    report.emit();
+}

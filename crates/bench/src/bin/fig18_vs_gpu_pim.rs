@@ -1,0 +1,51 @@
+//! Figure 18: CENT vs AttAcc and NeuPIM on GPT3-175B.
+use cent_baselines::{sharegpt_lengths, PimNode};
+use cent_bench::Report;
+use cent_model::ModelConfig;
+
+fn main() {
+    let cfg = ModelConfig::gpt3_175b();
+    let mut report = Report::new(
+        "fig18",
+        "CENT vs GPU-PIM heterogeneous systems (GPT3-175B)",
+        "1.8-3.7x (AttAcc) and 1.8-5.3x (NeuPIM) more tokens/$; raw throughput 0.5-1.1x / 0.7-2.1x",
+    );
+    // Power-neutral sizing: 12 CENT devices per GPU-PIM node (8 nodes).
+    let cent = PimNode::cent(96);
+    let attacc = PimNode::attacc();
+    let mut tpd = Vec::new();
+    let mut raw = Vec::new();
+    for (inp, out) in [(128usize, 128usize), (128, 2048), (2048, 128), (2048, 2048)] {
+        let ctx = inp + out;
+        let ab = attacc.max_batch(&cfg, ctx).max(1);
+        let cb = cent.max_batch(&cfg, ctx).max(1);
+        let at = attacc.decode_tokens_per_s(&cfg, ab, ctx);
+        let ct = cent.decode_tokens_per_s(&cfg, cb, ctx);
+        let label = format!("in{inp} out{out}");
+        tpd.push((label.clone(), cent.tokens_per_dollar(ct) / attacc.tokens_per_dollar(at)));
+        raw.push((label, ct / at));
+    }
+    report.push_series("(a) vs AttAcc tokens/$ ratio", "x", &tpd);
+    report.push_series("(a) vs AttAcc raw throughput ratio", "x", &raw);
+
+    // (b) NeuPIM with the ShareGPT-like distribution.
+    let neupim = PimNode::neupim();
+    let lengths = sharegpt_lengths(256, 2025);
+    let avg_ctx = (lengths.iter().map(|(i, o)| i + o).sum::<usize>() / lengths.len()).max(64);
+    let mut tpd_rows = Vec::new();
+    let mut raw_rows = Vec::new();
+    let cent_batch = cent.max_batch(&cfg, avg_ctx).min(96);
+    let ct = cent.decode_tokens_per_s(&cfg, cent_batch, avg_ctx);
+    for nb in [64usize, 96, 128, 256, 512] {
+        let batch = nb.min(neupim.max_batch(&cfg, avg_ctx).max(1));
+        let nt = neupim.decode_tokens_per_s(&cfg, batch, avg_ctx);
+        tpd_rows.push((
+            format!("NeuPIM b{nb}"),
+            cent.tokens_per_dollar(ct) / neupim.tokens_per_dollar(nt),
+        ));
+        raw_rows.push((format!("NeuPIM b{nb}"), ct / nt));
+    }
+    report.push_series("(b) vs NeuPIM tokens/$ ratio (ShareGPT-like)", "x", &tpd_rows);
+    report.push_series("(b) vs NeuPIM raw throughput ratio", "x", &raw_rows);
+    report.emit();
+}

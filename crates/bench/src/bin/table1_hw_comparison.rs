@@ -1,0 +1,37 @@
+//! Table 1: industrial PIM prototypes vs an A100.
+use cent_baselines::table1;
+use cent_bench::Report;
+
+fn main() {
+    let mut report = Report::new(
+        "table1",
+        "Hardware system comparison",
+        "AiM: 16 TB/s internal vs A100 2 TB/s external; PIM density 25-75%",
+    );
+    let rows = table1();
+    report.push_series(
+        "internal bandwidth",
+        "TB/s",
+        &rows
+            .iter()
+            .map(|r| (r.name.to_string(), r.internal_bw_tbs.unwrap_or(0.0)))
+            .collect::<Vec<_>>(),
+    );
+    report.push_series(
+        "compute",
+        "TFLOPS",
+        &rows.iter().map(|r| (r.name.to_string(), r.tflops)).collect::<Vec<_>>(),
+    );
+    report.push_series(
+        "ops per byte",
+        "Ops/B",
+        &rows.iter().map(|r| (r.name.to_string(), r.ops_per_byte)).collect::<Vec<_>>(),
+    );
+    for r in &rows {
+        println!(
+            "{:>9}: {:>10} | ext {:>5} TB/s | cap {:>5} GB | density {}",
+            r.name, r.mem_units, r.external_bw_tbs, r.capacity_gb, r.mem_density
+        );
+    }
+    report.emit();
+}

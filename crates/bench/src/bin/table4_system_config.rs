@@ -1,0 +1,42 @@
+//! Table 4: CENT vs GPU system configuration including 3-year TCO.
+use cent_bench::Report;
+use cent_cost::{rental, HardwareCosts, Tco};
+use cent_types::Power;
+
+fn main() {
+    let mut report = Report::new(
+        "table4",
+        "System configurations and TCO",
+        "CENT 512 GB / 512+96 TFLOPS / 512 TB/s internal; owned TCO 0.73 vs 1.76 $/h; rental 1.05 vs 5.45 $/h",
+    );
+    let hw = HardwareCosts::default();
+    // Average powers: 27 active CENT devices ≈32 W + 5 idle + host; GPU near TDP.
+    let cent_power = Power::watts(27.0 * 32.4 + 5.0 * 8.0 + 185.0);
+    let gpu_power = Power::watts(4.0 * 300.0 + 185.0);
+    let cent = Tco::owned(hw.cent_system(32, 3.0e6), cent_power);
+    let gpu = Tco::owned(hw.gpu_system(4), gpu_power);
+    report.push_series(
+        "compute throughput",
+        "TFLOPS",
+        &[("CENT PIM".into(), 512.0), ("CENT PNM".into(), 96.0), ("GPU".into(), 1248.0)],
+    );
+    report.push_series(
+        "peak bandwidth",
+        "TB/s",
+        &[("CENT internal".into(), 512.0), ("GPU external".into(), 8.0)],
+    );
+    report.push_series(
+        "3-year owned TCO",
+        "$/hour",
+        &[("CENT".into(), cent.per_hour().amount()), ("GPU".into(), gpu.per_hour().amount())],
+    );
+    report.push_series(
+        "3-year rental TCO",
+        "$/hour",
+        &[
+            ("CENT".into(), rental::HOST_CPU_PER_HOUR.amount() + cent.per_hour().amount()),
+            ("GPU".into(), rental::GPU_4XA100_PER_HOUR.amount()),
+        ],
+    );
+    report.emit();
+}

@@ -1,0 +1,27 @@
+//! Table 6: hardware cost bill of materials.
+use cent_bench::Report;
+use cent_cost::{ControllerCost, HardwareCosts};
+
+fn main() {
+    let hw = HardwareCosts::default();
+    let mut report = Report::new(
+        "table6",
+        "Hardware costs",
+        "GPU system $42,128; CENT system $14,873 (CPU + 512 GB GDDR6-PIM + 32 controllers + switch)",
+    );
+    let ctrl = ControllerCost::at_volume(3.0e6).total().amount();
+    report.push_series(
+        "bill of materials",
+        "$",
+        &[
+            ("Xeon Gold 6430".into(), hw.host_cpu.amount()),
+            ("4x A100 80GB".into(), hw.a100.amount() * 4.0),
+            ("512GB GDDR6-PIM".into(), hw.pim_memory_512gb.amount()),
+            ("32 CXL controllers".into(), ctrl * 32.0),
+            ("CXL switch".into(), hw.cxl_switch.amount()),
+            ("GPU system total".into(), hw.gpu_system(4).amount()),
+            ("CENT system total".into(), hw.cent_system(32, 3.0e6).amount()),
+        ],
+    );
+    report.emit();
+}

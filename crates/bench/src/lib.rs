@@ -1,0 +1,117 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the CENT paper (see DESIGN.md's experiment index).
+//!
+//! Each binary prints the paper-style rows to stdout and appends a JSON
+//! record under `results/` so EXPERIMENTS.md can cite the measured values.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Paper-vs-measured record for one experiment series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series name (e.g. "decode throughput, Llama2-70B").
+    pub name: String,
+    /// X labels (batch sizes, device counts, ...).
+    pub x: Vec<String>,
+    /// Measured values.
+    pub y: Vec<f64>,
+    /// Unit of `y`.
+    pub unit: String,
+}
+
+/// A complete experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id ("fig13", "table4", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for the same quantity (shape/level summary).
+    pub paper_reference: String,
+    /// Measured series.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, paper_reference: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_reference: paper_reference.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, name: &str, unit: &str, points: &[(String, f64)]) {
+        self.series.push(Series {
+            name: name.to_string(),
+            x: points.iter().map(|(x, _)| x.clone()).collect(),
+            y: points.iter().map(|(_, y)| *y).collect(),
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Prints the report to stdout in a paper-style table and writes
+    /// `results/<id>.json`.
+    pub fn emit(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        println!("   paper: {}", self.paper_reference);
+        for s in &self.series {
+            println!("   {} [{}]:", s.name, s.unit);
+            for (x, y) in s.x.iter().zip(&s.y) {
+                println!("     {x:>24}  {y:>14.4}");
+            }
+        }
+        println!();
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.id));
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = fs::write(path, json);
+        }
+    }
+}
+
+/// Where result JSON files land (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("results");
+    dir
+}
+
+/// Geometric mean helper used by the speedup figures.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_uniform_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_to_json() {
+        let mut r = Report::new("test", "Test", "n/a");
+        r.push_series("s", "unit", &[("a".into(), 1.0), ("b".into(), 2.0)]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"id\":\"test\""));
+    }
+}

@@ -1,0 +1,158 @@
+//! Weight image: materialises a block's parameters into bank writes.
+//!
+//! The CENT library "provides Python APIs to allocate memory space and load
+//! model parameters according to the model mapping strategy" (§5.6); this is
+//! the Rust equivalent. Two exact rewrites are folded in at load time:
+//!
+//! * RMSNorm gains are multiplied into the columns of the consuming
+//!   matrices (`Wq/Wk/Wv` get `norm1`, `W1/W3` get `norm2`), so the runtime
+//!   norm only applies the `1/rms` scalar;
+//! * the attention `1/sqrt(head_dim)` scale is folded into `Wq`, so scores
+//!   come out of the MAC trees pre-scaled.
+
+use std::collections::HashMap;
+
+use cent_types::{BankId, Beat, Bf16, ChannelId, ColAddr, RowAddr, ZERO_BEAT};
+
+use cent_model::{BlockWeights, FfnKind, PositionalKind};
+
+use crate::block::BlockPlacement;
+use crate::layout::GemvLayout;
+
+/// One beat destined for a DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankWrite {
+    /// Target channel.
+    pub channel: ChannelId,
+    /// Target bank.
+    pub bank: BankId,
+    /// Target row.
+    pub row: RowAddr,
+    /// Target 256-bit column.
+    pub col: ColAddr,
+    /// The data.
+    pub beat: Beat,
+}
+
+#[derive(Default)]
+struct ImageBuilder {
+    beats: HashMap<(ChannelId, BankId, RowAddr, ColAddr), Beat>,
+}
+
+impl ImageBuilder {
+    fn set(&mut self, ch: ChannelId, bank: BankId, row: RowAddr, col: ColAddr, lane: usize, v: f32) {
+        let beat = self.beats.entry((ch, bank, row, col)).or_insert(ZERO_BEAT);
+        beat[lane] = Bf16::from_f32(v);
+    }
+
+    fn fill_matrix(&mut self, layout: &GemvLayout, mut get: impl FnMut(usize, usize) -> f32) {
+        for r in 0..layout.m {
+            for e in 0..layout.n {
+                let v = get(r, e);
+                if v == 0.0 {
+                    continue;
+                }
+                let (ch, bank, row, col, lane) = layout.element_location(r, e);
+                self.set(ch, bank, row, col, lane, v);
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<BankWrite> {
+        let mut out: Vec<BankWrite> = self
+            .beats
+            .into_iter()
+            .map(|((channel, bank, row, col), beat)| BankWrite { channel, bank, row, col, beat })
+            .collect();
+        out.sort_by_key(|w| (w.channel, w.bank, w.row, w.col));
+        out
+    }
+}
+
+/// Builds the full weight image of one block: all matrices (with the folds
+/// described in the module docs) plus the rotary cos/sin tables.
+///
+/// Intended for functional runs of small models; timing-only simulations
+/// skip the image entirely.
+pub fn weight_image(p: &BlockPlacement, w: &BlockWeights) -> Vec<BankWrite> {
+    let cfg = &p.cfg;
+    let hd = cfg.head_dim();
+    let q_scale = 1.0 / (hd as f32).sqrt();
+    let mut img = ImageBuilder::default();
+
+    img.fill_matrix(&p.wq, |r, c| w.wq.row(r)[c] * w.norm1[c] * q_scale);
+    img.fill_matrix(&p.wk, |r, c| w.wk.row(r)[c] * w.norm1[c]);
+    img.fill_matrix(&p.wv, |r, c| w.wv.row(r)[c] * w.norm1[c]);
+    img.fill_matrix(&p.wo, |r, c| w.wo.row(r)[c]);
+    img.fill_matrix(&p.w1, |r, c| w.w1.row(r)[c] * w.norm2[c]);
+    img.fill_matrix(&p.w2, |r, c| w.w2.row(r)[c]);
+    if cfg.ffn == FfnKind::GatedSilu {
+        let w3_layout = p.w3.as_ref().expect("gated FFN has w3");
+        img.fill_matrix(w3_layout, |r, c| w.w3.row(r)[c] * w.norm2[c]);
+    }
+
+    // Rotary tables, replicated on every channel of the block: bank 1 holds
+    // [cos | sin], bank 5 holds [sin | cos] (the EW_MUL operand banks of
+    // groups 0 and 1).
+    if cfg.positional == PositionalKind::Rotary {
+        let pairs = hd / 2;
+        for pos in 0..cfg.max_context {
+            let (row, col) = p.rope_entry(pos);
+            for pair in 0..pairs {
+                let theta =
+                    (pos as f32) * f32::powf(10_000.0, -2.0 * (pair as f32) / (hd as f32));
+                let (sin, cos) = theta.sin_cos();
+                // Element index within the head run: cos half then sin half.
+                let write = |img: &mut ImageBuilder, bank: BankId, idx: usize, v: f32| {
+                    let beat_off = idx / 16;
+                    let lane = idx % 16;
+                    for &ch in &p.channels {
+                        img.set(ch, bank, row, ColAddr(col.0 + beat_off as u32), lane, v);
+                    }
+                };
+                write(&mut img, BankId(1), pair, cos);
+                write(&mut img, BankId(1), pairs + pair, sin);
+                write(&mut img, BankId(5), pair, sin);
+                write(&mut img, BankId(5), pairs + pair, cos);
+            }
+        }
+    }
+    img.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cent_model::ModelConfig;
+
+    #[test]
+    fn tiny_image_covers_all_matrices() {
+        let cfg = ModelConfig::tiny();
+        let p = BlockPlacement::plan(&cfg, vec![ChannelId(0)]).unwrap();
+        let w = BlockWeights::random(&cfg, 1);
+        let image = weight_image(&p, &w);
+        assert!(!image.is_empty());
+        // Every write must target an allocated region (below the scratch).
+        for wr in &image {
+            assert!(wr.row < p.ffn_row, "write at {:?} beyond weights", wr.row);
+        }
+        // Rope tables present in banks 1 and 5.
+        assert!(image.iter().any(|w| w.bank == BankId(1) && w.row >= p.rope_table));
+        assert!(image.iter().any(|w| w.bank == BankId(5) && w.row >= p.rope_table));
+    }
+
+    #[test]
+    fn rope_table_position_zero_is_identity_rotation() {
+        let cfg = ModelConfig::tiny();
+        let p = BlockPlacement::plan(&cfg, vec![ChannelId(0)]).unwrap();
+        let w = BlockWeights::random(&cfg, 2);
+        let image = weight_image(&p, &w);
+        let (row, col) = p.rope_entry(0);
+        // cos(0)=1 in the first half of bank 1's entry.
+        let first = image
+            .iter()
+            .find(|w| w.bank == BankId(1) && w.row == row && w.col == col)
+            .expect("rope entry exists");
+        assert_eq!(first.beat[0].to_f32(), 1.0);
+    }
+}

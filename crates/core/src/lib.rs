@@ -1,0 +1,26 @@
+//! CENT: a CXL-enabled, GPU-free system for LLM inference — core library.
+//!
+//! This crate is the user-facing facade of the CENT reproduction (ASPLOS'25,
+//! "PIM Is All You Need"). It ties the substrates together:
+//!
+//! * [`CentSystem`] — build devices on a CXL fabric, map a model
+//!   (PP/TP/hybrid/DP), load weights, and run functional decode steps;
+//! * [`verify_block`] — compare the CENT simulation against the f32
+//!   reference transformer block, the workspace's ground truth.
+//!
+//! Re-exports give downstream code one import surface for the common types.
+
+#![warn(missing_docs)]
+
+mod system;
+mod verify;
+
+pub use system::CentSystem;
+pub use verify::{verify_block, VerifyReport};
+
+pub use cent_compiler::{
+    compile_decode_step, BlockPhase, BlockPlacement, BlockStep, Strategy, SystemMapping,
+};
+pub use cent_device::{CxlDevice, DeviceConfig, LatencyBreakdown};
+pub use cent_model::{BlockWeights, KvCache, ModelConfig};
+pub use cent_types::{Bf16, CentError, CentResult, Time};

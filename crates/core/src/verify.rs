@@ -1,0 +1,133 @@
+//! Functional verification: CENT simulation vs the f32 reference.
+
+use cent_model::{reference_block, KvCache, ModelConfig};
+use cent_types::{CentError, CentResult};
+
+use crate::system::CentSystem;
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Tokens verified.
+    pub tokens: usize,
+    /// Worst absolute error across all outputs.
+    pub max_abs_error: f32,
+    /// Worst error relative to the output vector's max magnitude.
+    pub max_rel_error: f32,
+}
+
+/// Runs `tokens` decode steps of `block` on both the CENT simulation and the
+/// f32 reference (same weights, same inputs) and compares outputs.
+///
+/// The tolerance accounts for BF16 rounding at every MAC tree, LUT
+/// interpolation in the activation functions and the order-10 Taylor
+/// exponent — all architectural, not bugs.
+///
+/// # Errors
+///
+/// Returns [`CentError::VerificationFailed`] when outputs diverge beyond
+/// `rel_tol`, or any simulation error.
+pub fn verify_block(
+    system: &mut CentSystem,
+    block: usize,
+    tokens: usize,
+    rel_tol: f32,
+) -> CentResult<VerifyReport> {
+    let cfg: ModelConfig = system.config().clone();
+    let weights = system
+        .block_weights(block)
+        .ok_or_else(|| CentError::config("load weights before verifying"))?
+        .clone();
+    let mut cache = KvCache::new();
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for t in 0..tokens {
+        let x: Vec<f32> = (0..cfg.hidden)
+            .map(|i| 0.1 * ((i as f32 * 0.37 + t as f32 * 1.3).sin()))
+            .collect();
+        let expect = reference_block(&cfg, &weights, &x, &mut cache, t);
+        let got = system.decode_block_step(block, &x, t)?;
+        // BF16 noise is proportional to the vector's magnitude, so gate on a
+        // mixed tolerance: |err| ≤ rel_tol·|ref| + rel_tol·max|ref| (the
+        // absolute floor covers catastrophic cancellation on tiny outputs).
+        let scale = expect.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            let abs = (g - e).abs();
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(abs / scale.max(1e-6));
+            if abs > rel_tol * (e.abs() + scale) {
+                return Err(CentError::VerificationFailed(format!(
+                    "token {t} element {i}: cent {g} vs reference {e} (scale {scale})"
+                )));
+            }
+        }
+    }
+    Ok(VerifyReport { tokens, max_abs_error: max_abs, max_rel_error: max_rel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cent_compiler::Strategy;
+
+    #[test]
+    fn tiny_block_matches_reference_over_multiple_tokens() {
+        let cfg = ModelConfig::tiny();
+        let mut system =
+            CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).expect("build");
+        system.load_random_weights(42).expect("load");
+        let report = verify_block(&mut system, 0, 4, 0.05).expect("verify");
+        assert_eq!(report.tokens, 4);
+        // Observed BF16 noise is ~1% of the vector scale.
+        assert!(report.max_rel_error <= 0.05, "rel {}", report.max_rel_error);
+    }
+}
+
+#[cfg(test)]
+mod generality_tests {
+    use super::*;
+    use cent_compiler::Strategy;
+    use cent_model::{FfnKind, PositionalKind};
+
+    /// §7.5: CENT supports GeLU FFNs and absolute positional embeddings
+    /// (the OPT/GPT3 family) through the same compiler — verify the
+    /// GeLU/no-RoPE block functionally too.
+    #[test]
+    fn gelu_absolute_positional_block_matches_reference() {
+        let cfg = ModelConfig {
+            name: "Tiny-GPT",
+            ffn: FfnKind::Gelu,
+            positional: PositionalKind::Absolute,
+            ..ModelConfig::tiny()
+        };
+        let mut system =
+            CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).expect("build");
+        system.load_random_weights(11).expect("load");
+        let report = verify_block(&mut system, 0, 3, 0.05).expect("verify");
+        assert!(report.max_rel_error <= 0.05, "rel {}", report.max_rel_error);
+    }
+
+    /// Multi-head attention (kv_heads == heads) exercises the non-GQA path.
+    #[test]
+    fn mha_block_matches_reference() {
+        let cfg = ModelConfig { name: "Tiny-MHA", kv_heads: 4, ..ModelConfig::tiny() };
+        let mut system =
+            CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).expect("build");
+        system.load_random_weights(23).expect("load");
+        let report = verify_block(&mut system, 0, 3, 0.05).expect("verify");
+        assert!(report.max_rel_error <= 0.05, "rel {}", report.max_rel_error);
+    }
+
+    /// Deep contexts: decode past several attention segments so the
+    /// streamed-softmax segmentation (scores → exp → value accumulation)
+    /// crosses segment boundaries.
+    #[test]
+    fn long_context_decode_stays_accurate() {
+        let cfg = ModelConfig::tiny();
+        let mut system =
+            CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).expect("build");
+        system.load_random_weights(31).expect("load");
+        let report = verify_block(&mut system, 0, 40, 0.06).expect("verify");
+        assert_eq!(report.tokens, 40);
+    }
+}

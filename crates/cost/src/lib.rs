@@ -1,0 +1,269 @@
+//! Cost models: die/NRE economics (Figure 12), hardware cost (Table 6) and
+//! three-year TCO (Table 4), plus tokens-per-dollar.
+
+#![warn(missing_docs)]
+
+use cent_types::{Dollars, Power};
+
+/// Die-cost model for the CXL controller (§6, Figure 12).
+#[derive(Debug, Clone, Copy)]
+pub struct DieCostModel {
+    /// Die area in mm² (19.0 at 7 nm per §6).
+    pub area_mm2: f64,
+    /// Wafer diameter in mm.
+    pub wafer_diameter_mm: f64,
+    /// Wafer cost ($9,346 for 7 nm, [71]).
+    pub wafer_cost: Dollars,
+    /// Defect density per mm² (0.0015, [71]).
+    pub defect_density: f64,
+}
+
+impl Default for DieCostModel {
+    fn default() -> Self {
+        DieCostModel {
+            area_mm2: 19.0,
+            wafer_diameter_mm: 300.0,
+            wafer_cost: Dollars::new(9_346.0),
+            defect_density: 0.0015,
+        }
+    }
+}
+
+impl DieCostModel {
+    /// Gross dies per wafer (standard edge-corrected formula).
+    pub fn dies_per_wafer(&self) -> f64 {
+        let r = self.wafer_diameter_mm / 2.0;
+        let a = self.area_mm2;
+        core::f64::consts::PI * r * r / a
+            - core::f64::consts::PI * self.wafer_diameter_mm / (2.0 * a).sqrt()
+    }
+
+    /// Die yield (Poisson model).
+    pub fn yield_rate(&self) -> f64 {
+        (-self.defect_density * self.area_mm2).exp()
+    }
+
+    /// Cost of one good die.
+    pub fn die_cost(&self) -> Dollars {
+        self.wafer_cost / (self.dies_per_wafer() * self.yield_rate())
+    }
+}
+
+/// Non-recurring engineering breakdown for a 7 nm controller
+/// (Figure 12 left; component scale from [49, 71]).
+#[derive(Debug, Clone, Copy)]
+pub struct NreBreakdown {
+    /// Architecture/system engineering.
+    pub system_nre: Dollars,
+    /// Package design.
+    pub package_design: Dollars,
+    /// IP licensing (PCIe/CXL PHY, RISC-V, memory controllers).
+    pub ip_licensing: Dollars,
+    /// Front-end design labor.
+    pub frontend_labor: Dollars,
+    /// Back-end CAD tooling.
+    pub backend_cad: Dollars,
+    /// Back-end labor.
+    pub backend_labor: Dollars,
+    /// Mask set.
+    pub mask: Dollars,
+}
+
+impl Default for NreBreakdown {
+    fn default() -> Self {
+        NreBreakdown {
+            system_nre: Dollars::new(2.0e6),
+            package_design: Dollars::new(0.8e6),
+            ip_licensing: Dollars::new(7.5e6),
+            frontend_labor: Dollars::new(5.2e6),
+            backend_cad: Dollars::new(2.8e6),
+            backend_labor: Dollars::new(4.0e6),
+            mask: Dollars::new(3.0e6),
+        }
+    }
+}
+
+impl NreBreakdown {
+    /// Total NRE.
+    pub fn total(&self) -> Dollars {
+        self.system_nre
+            + self.package_design
+            + self.ip_licensing
+            + self.frontend_labor
+            + self.backend_cad
+            + self.backend_labor
+            + self.mask
+    }
+}
+
+/// Per-unit CXL controller cost at a production volume (Figure 12 right).
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerCost {
+    /// Good-die cost.
+    pub die: Dollars,
+    /// 2D packaging (29% of chip cost, [59]).
+    pub packaging: Dollars,
+    /// Amortised NRE.
+    pub nre: Dollars,
+}
+
+impl ControllerCost {
+    /// Evaluates the cost model at `volume` units.
+    pub fn at_volume(volume: f64) -> ControllerCost {
+        let die = DieCostModel::default().die_cost();
+        let packaging = die * 0.29;
+        let nre = NreBreakdown::default().total() / volume;
+        ControllerCost { die, packaging, nre }
+    }
+
+    /// Total per-unit cost.
+    pub fn total(&self) -> Dollars {
+        self.die + self.packaging + self.nre
+    }
+}
+
+/// Hardware bill of materials (Table 6).
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareCosts {
+    /// Host CPU (Xeon Gold 6430).
+    pub host_cpu: Dollars,
+    /// Per A100 80 GB GPU (conservative 50%-margin-deducted price).
+    pub a100: Dollars,
+    /// 512 GB GDDR6-PIM (10× standard DRAM spot).
+    pub pim_memory_512gb: Dollars,
+    /// 96-lane 48-port CXL switch.
+    pub cxl_switch: Dollars,
+}
+
+impl Default for HardwareCosts {
+    fn default() -> Self {
+        HardwareCosts {
+            host_cpu: Dollars::new(2_128.0),
+            a100: Dollars::new(10_000.0),
+            pim_memory_512gb: Dollars::new(11_873.0),
+            cxl_switch: Dollars::new(490.0),
+        }
+    }
+}
+
+impl HardwareCosts {
+    /// Total GPU-system capex (Table 6: $42,128 for 4×A100 + CPU).
+    pub fn gpu_system(&self, gpus: usize) -> Dollars {
+        self.host_cpu + self.a100 * gpus as f64
+    }
+
+    /// Total CENT-system capex (Table 6: $14,873 for 32 devices).
+    pub fn cent_system(&self, devices: usize, controller_volume: f64) -> Dollars {
+        let controllers = ControllerCost::at_volume(controller_volume).total() * devices as f64;
+        // PIM memory price scales with capacity relative to the 512 GB/32
+        // device reference point.
+        let memory = self.pim_memory_512gb * (devices as f64 / 32.0);
+        self.host_cpu + memory + controllers + self.cxl_switch
+    }
+}
+
+/// Electricity price (§6: $0.139/kWh).
+pub const KWH_PRICE: f64 = 0.139;
+
+/// Three-year total cost of ownership per hour.
+#[derive(Debug, Clone, Copy)]
+pub struct Tco {
+    /// Hardware amortisation per hour.
+    pub capex_per_hour: Dollars,
+    /// Energy cost per hour.
+    pub opex_per_hour: Dollars,
+}
+
+impl Tco {
+    /// Owned-hardware TCO over three years at `avg_power`.
+    pub fn owned(capex: Dollars, avg_power: Power) -> Tco {
+        let hours = 3.0 * 365.0 * 24.0;
+        Tco {
+            capex_per_hour: capex / hours,
+            opex_per_hour: Dollars::new(avg_power.as_watts() / 1000.0 * KWH_PRICE),
+        }
+    }
+
+    /// Total per hour.
+    pub fn per_hour(&self) -> Dollars {
+        self.capex_per_hour + self.opex_per_hour
+    }
+}
+
+/// Azure-style rental prices per hour (§6(b)).
+pub mod rental {
+    use cent_types::Dollars;
+
+    /// 4×A100 80 GB instance.
+    pub const GPU_4XA100_PER_HOUR: Dollars = Dollars::new(5.45);
+    /// Host-CPU-only instance driving CENT devices (the devices themselves
+    /// use the owned methodology, §6).
+    pub const HOST_CPU_PER_HOUR: Dollars = Dollars::new(0.32);
+}
+
+/// Tokens per dollar at a given throughput and hourly cost.
+pub fn tokens_per_dollar(tokens_per_s: f64, cost_per_hour: Dollars) -> f64 {
+    tokens_per_s * 3600.0 / cost_per_hour.amount()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_cost_matches_figure_12() {
+        let m = DieCostModel::default();
+        // ~3,500+ gross dies, ~97% yield, ≈ $2.7/die.
+        assert!(m.dies_per_wafer() > 3_000.0);
+        assert!(m.yield_rate() > 0.95);
+        let die = m.die_cost().amount();
+        assert!((2.0..4.0).contains(&die), "die ${die}");
+    }
+
+    #[test]
+    fn controller_cost_at_3m_volume_is_about_12_dollars() {
+        // Figure 12: "Volume: 3M, Cost: $11.9".
+        let c = ControllerCost::at_volume(3.0e6);
+        let total = c.total().amount();
+        assert!((10.0..14.0).contains(&total), "controller ${total}");
+    }
+
+    #[test]
+    fn nre_dominates_at_low_volume() {
+        let low = ControllerCost::at_volume(100_000.0);
+        assert!(low.nre.amount() > low.die.amount() * 10.0);
+        let high = ControllerCost::at_volume(5.0e6);
+        assert!(high.nre.amount() < high.die.amount() * 5.0);
+    }
+
+    #[test]
+    fn table6_hardware_costs() {
+        let hw = HardwareCosts::default();
+        assert_eq!(hw.gpu_system(4).amount(), 42_128.0);
+        let cent = hw.cent_system(32, 3.0e6).amount();
+        // Table 6: $14,873.
+        assert!((13_500.0..16_500.0).contains(&cent), "cent ${cent}");
+    }
+
+    #[test]
+    fn table4_owned_tco() {
+        let hw = HardwareCosts::default();
+        // CENT: 27 active devices at ~32 W + idle + host ≈ 1.1 kW.
+        let cent = Tco::owned(hw.cent_system(32, 3.0e6), Power::watts(1_100.0));
+        let cent_hr = cent.per_hour().amount();
+        assert!((0.6..0.9).contains(&cent_hr), "CENT ${cent_hr}/h (Table 4: 0.73)");
+        // GPU: 4×A100 near 300 W TDP + host.
+        let gpu = Tco::owned(hw.gpu_system(4), Power::watts(1_385.0));
+        let gpu_hr = gpu.per_hour().amount();
+        assert!((1.5..2.0).contains(&gpu_hr), "GPU ${gpu_hr}/h (Table 4: 1.76)");
+    }
+
+    #[test]
+    fn tokens_per_dollar_ratio() {
+        // Fig 13c flavour: CENT 2.3× throughput at 2.5× lower cost ≈ 5.2×.
+        let cent = tokens_per_dollar(2_300.0, Dollars::new(0.73));
+        let gpu = tokens_per_dollar(1_000.0, Dollars::new(1.76));
+        let ratio = cent / gpu;
+        assert!((4.0..7.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,25 @@
+//! CXL 3.0 fabric model for CENT: switch, ports, flits and the custom
+//! broadcast/multicast primitives.
+//!
+//! CENT interconnects up to 4096 CXL devices through a PBR switch on PCIe 6.0
+//! (x16 to the host, x4 per device) and extends the protocol with a broadcast
+//! primitive encoded in a reserved H-slot header code (§4.1 of the paper).
+//! This crate provides:
+//!
+//! * [`Flit`] — PBR flit pack/unpack incl. the broadcast device mask;
+//! * [`CxlFabric`] — a transaction-level timing model with per-link
+//!   contention, Req/DRS + RWD/NDR round trips and the multicast-switch
+//!   derating of §6 (half bandwidth, double latency);
+//! * [`CommunicationEngine`] — functional send/recv/broadcast/gather with
+//!   real Shared Buffer payloads, matching the blocking semantics of
+//!   `RECV_CXL` and the non-blocking `SEND_CXL`/`BCAST_CXL`.
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod flit;
+mod primitives;
+
+pub use fabric::{CxlFabric, FabricConfig, LinkStats, Transfer};
+pub use flit::{flits_for, Flit, FlitOpcode, NodeId, FLIT_BYTES, FLIT_PAYLOAD, HEADER_BYTES};
+pub use primitives::{CommunicationEngine, Message};

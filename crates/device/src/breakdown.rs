@@ -1,0 +1,108 @@
+//! Per-unit latency attribution, feeding Figure 14(c) of the paper.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+use cent_types::Time;
+
+/// How much of a trace's wall-clock a device spent waiting on each unit.
+///
+/// The sum of the components equals the device-visible execution time of the
+/// trace; "host" time (instruction dispatch, top-k sampling) is added by the
+/// system simulator on top.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Stalls waiting for PIM channels (dominant per the paper).
+    pub pim: Time,
+    /// Time in PNM accelerators and RISC-V cores.
+    pub pnm: Time,
+    /// Stalls waiting for CXL deliveries/acknowledgements.
+    pub cxl: Time,
+    /// Host-attributed time (dispatch, sampling) — filled by `cent-sim`.
+    pub host: Time,
+}
+
+impl LatencyBreakdown {
+    /// Zero breakdown.
+    pub const ZERO: LatencyBreakdown = LatencyBreakdown {
+        pim: Time::ZERO,
+        pnm: Time::ZERO,
+        cxl: Time::ZERO,
+        host: Time::ZERO,
+    };
+
+    /// Total across all components.
+    pub fn total(&self) -> Time {
+        self.pim + self.pnm + self.cxl + self.host
+    }
+
+    /// Fraction of the total attributed to PIM.
+    pub fn pim_fraction(&self) -> f64 {
+        let total = self.total().as_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        self.pim.as_ps() as f64 / total as f64
+    }
+
+    /// Scales every component (e.g. one block → whole model).
+    pub fn scaled(&self, factor: f64) -> LatencyBreakdown {
+        let s = |t: Time| Time::from_ps((t.as_ps() as f64 * factor).round() as u64);
+        LatencyBreakdown {
+            pim: s(self.pim),
+            pnm: s(self.pnm),
+            cxl: s(self.cxl),
+            host: s(self.host),
+        }
+    }
+}
+
+impl Add for LatencyBreakdown {
+    type Output = LatencyBreakdown;
+    fn add(self, rhs: LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            pim: self.pim + rhs.pim,
+            pnm: self.pnm + rhs.pnm,
+            cxl: self.cxl + rhs.cxl,
+            host: self.host + rhs.host,
+        }
+    }
+}
+
+impl AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: LatencyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for LatencyBreakdown {
+    fn sum<I: Iterator<Item = LatencyBreakdown>>(iter: I) -> LatencyBreakdown {
+        iter.fold(LatencyBreakdown::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = LatencyBreakdown {
+            pim: Time::from_us(90),
+            pnm: Time::from_us(5),
+            cxl: Time::from_us(4),
+            host: Time::from_us(1),
+        };
+        assert_eq!(b.total(), Time::from_us(100));
+        assert!((b.pim_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_and_sum() {
+        let b = LatencyBreakdown { pim: Time::from_us(10), ..LatencyBreakdown::ZERO };
+        let doubled = b.scaled(2.0);
+        assert_eq!(doubled.pim, Time::from_us(20));
+        let total: LatencyBreakdown = [b, b, b].into_iter().sum();
+        assert_eq!(total.pim, Time::from_us(30));
+    }
+}

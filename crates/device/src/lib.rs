@@ -1,0 +1,17 @@
+//! The CENT CXL device model: decoder, PIM controllers, PNM units and the
+//! device side of the CXL port.
+//!
+//! A [`CxlDevice`] executes CENT instruction traces (see `cent-isa`) over
+//! the substrates: 32 `cent-pim` channels, the `cent-pnm` Shared
+//! Buffer/accelerators/RISC-V cores, and a `cent-cxl` fabric for SEND/RECV/
+//! BCAST. Execution is simultaneously functional (BF16 data) and timed
+//! (DRAM command timing + PNM unit pipelines), and produces the per-unit
+//! [`LatencyBreakdown`] used for Figure 14(c) of the paper.
+
+#![warn(missing_docs)]
+
+mod breakdown;
+mod device;
+
+pub use breakdown::LatencyBreakdown;
+pub use device::{riscv_pc, CxlDevice, DeviceConfig};

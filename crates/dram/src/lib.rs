@@ -1,0 +1,42 @@
+//! Command-level GDDR6-PIM DRAM timing model for the CENT simulator.
+//!
+//! The paper evaluates CENT with a modified Ramulator2 modelling 32
+//! GDDR6-PIM channels per CXL device (§6). This crate is the equivalent
+//! substrate, built from scratch in Rust:
+//!
+//! * [`DramCommand`] — the command vocabulary, including the PIM all-bank
+//!   commands (`ACTab`, `MACab`, `EWMULab`, `PREab`);
+//! * [`PimChannelTiming`] — a per-channel timing state machine enforcing the
+//!   paper's Table 4 constraints (`tRCDRD`=18 ns, `tRAS`=27 ns, `tCL`=25 ns,
+//!   `tRCDWR`=14 ns, `tCCDS`=1 ns, `tRP`=16 ns);
+//! * [`ActivityCounters`] — per-command activity tallies feeding the
+//!   activity-based power model.
+//!
+//! # Examples
+//!
+//! Timing the canonical PIM GEMV inner loop (one row of MAC beats):
+//!
+//! ```
+//! use cent_dram::{DramCommand, PimChannelTiming};
+//! use cent_types::{ColAddr, RowAddr};
+//!
+//! # fn main() -> Result<(), cent_types::CentError> {
+//! let mut ch = PimChannelTiming::new();
+//! ch.issue(DramCommand::ActAb { row: RowAddr(0) })?;
+//! for col in 0..64 {
+//!     ch.issue(DramCommand::MacAb { col: ColAddr(col) })?;
+//! }
+//! ch.issue(DramCommand::PreAb)?;
+//! // 18 ns tRCD + 64 beats + tRTP/tRP tail.
+//! assert!(ch.busy_until().as_ns() > 82.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod channel;
+mod command;
+
+pub use channel::{time_trace, PimChannelTiming, TimingParams};
+pub use command::{ActivityCounters, DramCommand};

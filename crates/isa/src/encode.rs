@@ -1,0 +1,507 @@
+//! Binary encoding of CENT instructions.
+//!
+//! Instructions are packed into fixed 16-byte words — the granularity at
+//! which the host streams traces into each device's 2 MB instruction buffer
+//! (so one buffer holds 128 K instructions, comfortably a full transformer
+//! block per §4.2).
+
+use cent_types::{
+    AccRegId, BankId, CentError, CentResult, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr,
+    SbSlot,
+};
+
+use crate::inst::{Instruction, MacOperand};
+
+/// Size of one encoded instruction.
+pub const INST_BYTES: usize = 16;
+
+struct Writer {
+    buf: [u8; INST_BYTES],
+    pos: usize,
+}
+
+impl Writer {
+    fn new(opcode: u8) -> Self {
+        let mut w = Writer { buf: [0; INST_BYTES], pos: 0 };
+        w.u8(opcode);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    fn done(self) -> [u8; INST_BYTES] {
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8; INST_BYTES],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8; INST_BYTES]) -> (u8, Self) {
+        let opcode = buf[0];
+        (opcode, Reader { buf, pos: 1 })
+    }
+
+    fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().expect("2 bytes"));
+        self.pos += 2;
+        v
+    }
+
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        v
+    }
+}
+
+const OP_MAC_ABK: u8 = 0x01;
+const OP_EW_MUL: u8 = 0x02;
+const OP_AF: u8 = 0x03;
+const OP_EXP: u8 = 0x04;
+const OP_RED: u8 = 0x05;
+const OP_ACC: u8 = 0x06;
+const OP_RISCV: u8 = 0x07;
+const OP_SEND_CXL: u8 = 0x10;
+const OP_RECV_CXL: u8 = 0x11;
+const OP_BCAST_CXL: u8 = 0x12;
+const OP_WR_SBK: u8 = 0x20;
+const OP_RD_SBK: u8 = 0x21;
+const OP_WR_ABK: u8 = 0x22;
+const OP_COPY_BKGB: u8 = 0x23;
+const OP_COPY_GBBK: u8 = 0x24;
+const OP_WR_BIAS: u8 = 0x25;
+const OP_RD_MAC: u8 = 0x26;
+const OP_WR_GB: u8 = 0x27;
+
+/// Encodes one instruction into its 16-byte word.
+pub fn encode(inst: &Instruction) -> [u8; INST_BYTES] {
+    match *inst {
+        Instruction::MacAbk { chmask, opsize, row, col, reg, operand } => {
+            let mut w = Writer::new(OP_MAC_ABK);
+            w.u32(chmask.0);
+            w.u32(opsize);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.u8(reg.0);
+            match operand {
+                MacOperand::GlobalBuffer { slot } => {
+                    w.u8(0);
+                    w.u8(slot);
+                }
+                MacOperand::NeighbourBank => {
+                    w.u8(1);
+                    w.u8(0);
+                }
+            }
+            w.done()
+        }
+        Instruction::EwMul { chmask, opsize, row, col } => {
+            let mut w = Writer::new(OP_EW_MUL);
+            w.u32(chmask.0);
+            w.u32(opsize);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.done()
+        }
+        Instruction::Af { chmask, af_id, reg } => {
+            let mut w = Writer::new(OP_AF);
+            w.u32(chmask.0);
+            w.u8(af_id);
+            w.u8(reg.0);
+            w.done()
+        }
+        Instruction::Exp { opsize, rd, rs } => {
+            let mut w = Writer::new(OP_EXP);
+            w.u32(opsize);
+            w.u16(rd.0);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::Red { opsize, rd, rs } => {
+            let mut w = Writer::new(OP_RED);
+            w.u32(opsize);
+            w.u16(rd.0);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::Acc { opsize, rd, rs } => {
+            let mut w = Writer::new(OP_ACC);
+            w.u32(opsize);
+            w.u16(rd.0);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::Riscv { opsize, pc, rd, rs } => {
+            let mut w = Writer::new(OP_RISCV);
+            w.u32(opsize);
+            w.u32(pc);
+            w.u16(rd.0);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::SendCxl { dv, rs, rd, opsize } => {
+            let mut w = Writer::new(OP_SEND_CXL);
+            w.u16(dv.0);
+            w.u16(rs.0);
+            w.u16(rd.0);
+            w.u32(opsize);
+            w.done()
+        }
+        Instruction::RecvCxl { opsize } => {
+            let mut w = Writer::new(OP_RECV_CXL);
+            w.u32(opsize);
+            w.done()
+        }
+        Instruction::BcastCxl { dv_count, rs, rd, opsize } => {
+            let mut w = Writer::new(OP_BCAST_CXL);
+            w.u8(dv_count);
+            w.u16(rs.0);
+            w.u16(rd.0);
+            w.u32(opsize);
+            w.done()
+        }
+        Instruction::WrSbk { ch, opsize, bank, row, col, rs } => {
+            let mut w = Writer::new(OP_WR_SBK);
+            w.u8(ch.0 as u8);
+            w.u32(opsize);
+            w.u8(bank.0 as u8);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::RdSbk { ch, opsize, bank, row, col, rd } => {
+            let mut w = Writer::new(OP_RD_SBK);
+            w.u8(ch.0 as u8);
+            w.u32(opsize);
+            w.u8(bank.0 as u8);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.u16(rd.0);
+            w.done()
+        }
+        Instruction::WrAbk { ch, row, elem, rs } => {
+            let mut w = Writer::new(OP_WR_ABK);
+            w.u8(ch.0 as u8);
+            w.u16(row.0 as u16);
+            w.u32(elem);
+            w.u16(rs.0);
+            w.done()
+        }
+        Instruction::CopyBkGb { chmask, opsize, bank, row, col, gb_slot } => {
+            let mut w = Writer::new(OP_COPY_BKGB);
+            w.u32(chmask.0);
+            w.u32(opsize);
+            w.u8(bank.0 as u8);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.u8(gb_slot);
+            w.done()
+        }
+        Instruction::CopyGbBk { chmask, opsize, bank, row, col, gb_slot } => {
+            let mut w = Writer::new(OP_COPY_GBBK);
+            w.u32(chmask.0);
+            w.u32(opsize);
+            w.u8(bank.0 as u8);
+            w.u16(row.0 as u16);
+            w.u8(col.0 as u8);
+            w.u8(gb_slot);
+            w.done()
+        }
+        Instruction::WrBias { chmask, rs, reg } => {
+            let mut w = Writer::new(OP_WR_BIAS);
+            w.u32(chmask.0);
+            w.u16(rs.0);
+            w.u8(reg.0);
+            w.done()
+        }
+        Instruction::RdMac { chmask, rd, reg } => {
+            let mut w = Writer::new(OP_RD_MAC);
+            w.u32(chmask.0);
+            w.u16(rd.0);
+            w.u8(reg.0);
+            w.done()
+        }
+        Instruction::WrGb { chmask, opsize, gb_slot, rs } => {
+            let mut w = Writer::new(OP_WR_GB);
+            w.u32(chmask.0);
+            w.u32(opsize);
+            w.u8(gb_slot);
+            w.u16(rs.0);
+            w.done()
+        }
+    }
+}
+
+/// Decodes one 16-byte word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`CentError::InvalidInstruction`] on unknown opcodes.
+pub fn decode(word: &[u8; INST_BYTES]) -> CentResult<Instruction> {
+    let (opcode, mut r) = Reader::new(word);
+    Ok(match opcode {
+        OP_MAC_ABK => {
+            let chmask = ChannelMask(r.u32());
+            let opsize = r.u32();
+            let row = RowAddr(u32::from(r.u16()));
+            let col = ColAddr(u32::from(r.u8()));
+            let reg = AccRegId::new(r.u8());
+            let operand = if r.u8() == 0 {
+                MacOperand::GlobalBuffer { slot: r.u8() }
+            } else {
+                MacOperand::NeighbourBank
+            };
+            Instruction::MacAbk { chmask, opsize, row, col, reg, operand }
+        }
+        OP_EW_MUL => Instruction::EwMul {
+            chmask: ChannelMask(r.u32()),
+            opsize: r.u32(),
+            row: RowAddr(u32::from(r.u16())),
+            col: ColAddr(u32::from(r.u8())),
+        },
+        OP_AF => Instruction::Af {
+            chmask: ChannelMask(r.u32()),
+            af_id: r.u8(),
+            reg: AccRegId::new(r.u8()),
+        },
+        OP_EXP => Instruction::Exp { opsize: r.u32(), rd: SbSlot(r.u16()), rs: SbSlot(r.u16()) },
+        OP_RED => Instruction::Red { opsize: r.u32(), rd: SbSlot(r.u16()), rs: SbSlot(r.u16()) },
+        OP_ACC => Instruction::Acc { opsize: r.u32(), rd: SbSlot(r.u16()), rs: SbSlot(r.u16()) },
+        OP_RISCV => Instruction::Riscv {
+            opsize: r.u32(),
+            pc: r.u32(),
+            rd: SbSlot(r.u16()),
+            rs: SbSlot(r.u16()),
+        },
+        OP_SEND_CXL => Instruction::SendCxl {
+            dv: DeviceId(r.u16()),
+            rs: SbSlot(r.u16()),
+            rd: SbSlot(r.u16()),
+            opsize: r.u32(),
+        },
+        OP_RECV_CXL => Instruction::RecvCxl { opsize: r.u32() },
+        OP_BCAST_CXL => Instruction::BcastCxl {
+            dv_count: r.u8(),
+            rs: SbSlot(r.u16()),
+            rd: SbSlot(r.u16()),
+            opsize: r.u32(),
+        },
+        OP_WR_SBK => Instruction::WrSbk {
+            ch: ChannelId(u16::from(r.u8())),
+            opsize: r.u32(),
+            bank: BankId(u16::from(r.u8())),
+            row: RowAddr(u32::from(r.u16())),
+            col: ColAddr(u32::from(r.u8())),
+            rs: SbSlot(r.u16()),
+        },
+        OP_RD_SBK => Instruction::RdSbk {
+            ch: ChannelId(u16::from(r.u8())),
+            opsize: r.u32(),
+            bank: BankId(u16::from(r.u8())),
+            row: RowAddr(u32::from(r.u16())),
+            col: ColAddr(u32::from(r.u8())),
+            rd: SbSlot(r.u16()),
+        },
+        OP_WR_ABK => Instruction::WrAbk {
+            ch: ChannelId(u16::from(r.u8())),
+            row: RowAddr(u32::from(r.u16())),
+            elem: r.u32(),
+            rs: SbSlot(r.u16()),
+        },
+        OP_COPY_BKGB => Instruction::CopyBkGb {
+            chmask: ChannelMask(r.u32()),
+            opsize: r.u32(),
+            bank: BankId(u16::from(r.u8())),
+            row: RowAddr(u32::from(r.u16())),
+            col: ColAddr(u32::from(r.u8())),
+            gb_slot: r.u8(),
+        },
+        OP_COPY_GBBK => Instruction::CopyGbBk {
+            chmask: ChannelMask(r.u32()),
+            opsize: r.u32(),
+            bank: BankId(u16::from(r.u8())),
+            row: RowAddr(u32::from(r.u16())),
+            col: ColAddr(u32::from(r.u8())),
+            gb_slot: r.u8(),
+        },
+        OP_WR_BIAS => Instruction::WrBias {
+            chmask: ChannelMask(r.u32()),
+            rs: SbSlot(r.u16()),
+            reg: AccRegId::new(r.u8()),
+        },
+        OP_RD_MAC => Instruction::RdMac {
+            chmask: ChannelMask(r.u32()),
+            rd: SbSlot(r.u16()),
+            reg: AccRegId::new(r.u8()),
+        },
+        OP_WR_GB => Instruction::WrGb {
+            chmask: ChannelMask(r.u32()),
+            opsize: r.u32(),
+            gb_slot: r.u8(),
+            rs: SbSlot(r.u16()),
+        },
+        other => {
+            return Err(CentError::InvalidInstruction(format!("unknown opcode {other:#04x}")))
+        }
+    })
+}
+
+/// Encodes a whole trace into the byte stream the host writes into the
+/// device instruction buffer.
+pub fn encode_trace(trace: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(trace.len() * INST_BYTES);
+    for inst in trace {
+        out.extend_from_slice(&encode(inst));
+    }
+    out
+}
+
+/// Decodes an instruction-buffer byte stream back into a trace.
+///
+/// # Errors
+///
+/// Fails if the stream length is not a multiple of [`INST_BYTES`] or any
+/// word has an unknown opcode.
+pub fn decode_trace(bytes: &[u8]) -> CentResult<Vec<Instruction>> {
+    if !bytes.len().is_multiple_of(INST_BYTES) {
+        return Err(CentError::InvalidInstruction(format!(
+            "trace of {} bytes is not a multiple of {INST_BYTES}",
+            bytes.len()
+        )));
+    }
+    bytes
+        .chunks_exact(INST_BYTES)
+        .map(|chunk| decode(chunk.try_into().expect("exact chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplars() -> Vec<Instruction> {
+        vec![
+            Instruction::MacAbk {
+                chmask: ChannelMask(0xDEADBEEF),
+                opsize: 4096,
+                row: RowAddr(16383),
+                col: ColAddr(63),
+                reg: AccRegId::new(31),
+                operand: MacOperand::GlobalBuffer { slot: 63 },
+            },
+            Instruction::MacAbk {
+                chmask: ChannelMask(1),
+                opsize: 1,
+                row: RowAddr(0),
+                col: ColAddr(0),
+                reg: AccRegId::new(0),
+                operand: MacOperand::NeighbourBank,
+            },
+            Instruction::EwMul { chmask: ChannelMask(0xFF), opsize: 128, row: RowAddr(7), col: ColAddr(3) },
+            Instruction::Af { chmask: ChannelMask::ALL, af_id: 4, reg: AccRegId::new(2) },
+            Instruction::Exp { opsize: 256, rd: SbSlot(100), rs: SbSlot(200) },
+            Instruction::Red { opsize: 1, rd: SbSlot(0), rs: SbSlot(2047) },
+            Instruction::Acc { opsize: 64, rd: SbSlot(5), rs: SbSlot(6) },
+            Instruction::Riscv { opsize: 128, pc: 0x400, rd: SbSlot(1), rs: SbSlot(2) },
+            Instruction::SendCxl { dv: DeviceId(31), rs: SbSlot(0), rd: SbSlot(512), opsize: 512 },
+            Instruction::RecvCxl { opsize: 512 },
+            Instruction::BcastCxl { dv_count: 31, rs: SbSlot(0), rd: SbSlot(0), opsize: 512 },
+            Instruction::WrSbk {
+                ch: ChannelId(31),
+                opsize: 16,
+                bank: BankId(15),
+                row: RowAddr(9),
+                col: ColAddr(1),
+                rs: SbSlot(77),
+            },
+            Instruction::RdSbk {
+                ch: ChannelId(0),
+                opsize: 2,
+                bank: BankId(3),
+                row: RowAddr(44),
+                col: ColAddr(0),
+                rd: SbSlot(9),
+            },
+            Instruction::WrAbk { ch: ChannelId(5), row: RowAddr(2), elem: 1023, rs: SbSlot(3) },
+            Instruction::CopyBkGb {
+                chmask: ChannelMask(2),
+                opsize: 64,
+                bank: BankId(1),
+                row: RowAddr(5),
+                col: ColAddr(0),
+                gb_slot: 0,
+            },
+            Instruction::CopyGbBk {
+                chmask: ChannelMask(4),
+                opsize: 32,
+                bank: BankId(2),
+                row: RowAddr(6),
+                col: ColAddr(32),
+                gb_slot: 16,
+            },
+            Instruction::WrBias { chmask: ChannelMask(0xF0), rs: SbSlot(11), reg: AccRegId::new(7) },
+            Instruction::RdMac { chmask: ChannelMask(0x0F), rd: SbSlot(12), reg: AccRegId::new(8) },
+            Instruction::WrGb { chmask: ChannelMask(3), opsize: 64, gb_slot: 0, rs: SbSlot(40) },
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for inst in exemplars() {
+            let word = encode(&inst);
+            let back = decode(&word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst, "{inst}");
+        }
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let trace = exemplars();
+        let bytes = encode_trace(&trace);
+        assert_eq!(bytes.len(), trace.len() * INST_BYTES);
+        assert_eq!(decode_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut word = [0u8; INST_BYTES];
+        word[0] = 0xFF;
+        assert!(decode(&word).is_err());
+    }
+
+    #[test]
+    fn misaligned_trace_rejected() {
+        assert!(decode_trace(&[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn instruction_buffer_capacity() {
+        // 2 MB instruction buffer / 16 B = 128 K instructions.
+        let capacity = cent_types::consts::INSTRUCTION_BUFFER_BYTES.as_bytes() / INST_BYTES as u64;
+        assert_eq!(capacity, 131_072);
+    }
+}

@@ -1,0 +1,188 @@
+//! Micro-op expansion and trace analysis.
+//!
+//! The PIM decoder "generates OPsize micro-ops from a single instruction,
+//! targeting subsequent Shared Buffer slots and DRAM column addresses"
+//! (§4.3). [`micro_op_count`] exposes that expansion factor, and
+//! [`TraceStats`] aggregates the FLOP mix of a trace — the quantity behind
+//! the paper's claim that MACs are >99% of arithmetic operations (§2), which
+//! justifies the hierarchical PIM-PNM split.
+
+use std::collections::BTreeMap;
+
+use cent_types::consts::{BANKS_PER_CHANNEL, LANES_PER_BEAT};
+
+use crate::inst::Instruction;
+
+/// Number of micro-ops the decoder emits for `inst`.
+pub fn micro_op_count(inst: &Instruction) -> u64 {
+    let per_channel = u64::from(inst.opsize());
+    match inst {
+        // Channel-broadcast instructions issue one micro-op stream per
+        // selected channel.
+        Instruction::MacAbk { chmask, .. }
+        | Instruction::EwMul { chmask, .. }
+        | Instruction::CopyBkGb { chmask, .. }
+        | Instruction::CopyGbBk { chmask, .. }
+        | Instruction::WrGb { chmask, .. } => per_channel * u64::from(chmask.count()),
+        Instruction::Af { chmask, .. }
+        | Instruction::WrBias { chmask, .. }
+        | Instruction::RdMac { chmask, .. } => u64::from(chmask.count()),
+        _ => per_channel,
+    }
+}
+
+/// Floating-point operations implied by `inst` (multiply and add counted
+/// separately, matching how the paper quotes TFLOPS).
+pub fn flop_count(inst: &Instruction) -> u64 {
+    let lanes = LANES_PER_BEAT as u64;
+    match inst {
+        Instruction::MacAbk { chmask, opsize, .. } => {
+            // Each beat: 16 banks × 16 lanes × (mul + add).
+            u64::from(*opsize)
+                * u64::from(chmask.count())
+                * BANKS_PER_CHANNEL as u64
+                * lanes
+                * 2
+        }
+        Instruction::EwMul { chmask, opsize, .. } => {
+            // Each beat: 4 bank groups × 16 lanes × 1 multiply.
+            u64::from(*opsize) * u64::from(chmask.count()) * 4 * lanes
+        }
+        Instruction::Af { chmask, .. } => {
+            // Interpolation: one multiply + two adds per PU.
+            u64::from(chmask.count()) * BANKS_PER_CHANNEL as u64 * 3
+        }
+        Instruction::Exp { opsize, .. } => {
+            // Order-10 Taylor ≈ 10 muls + 10 adds per lane.
+            u64::from(*opsize) * lanes * 20
+        }
+        Instruction::Red { opsize, .. } => u64::from(*opsize) * (lanes - 1),
+        Instruction::Acc { opsize, .. } => u64::from(*opsize) * lanes,
+        // Scalar RISC-V work: opsize elements, a handful of FLOPs each.
+        Instruction::Riscv { opsize, .. } => u64::from(*opsize) * 4,
+        _ => 0,
+    }
+}
+
+/// Aggregate statistics of a CENT trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Instruction count per mnemonic.
+    pub by_mnemonic: BTreeMap<&'static str, u64>,
+    /// Total instructions.
+    pub instructions: u64,
+    /// Total micro-ops after expansion.
+    pub micro_ops: u64,
+    /// FLOPs performed by near-bank MAC trees.
+    pub mac_flops: u64,
+    /// FLOPs performed by all other units (EW_MUL, AF, PNM).
+    pub other_flops: u64,
+    /// Instructions dispatched to PIM controllers.
+    pub pim_instructions: u64,
+    /// Instructions dispatched to PNM units.
+    pub pnm_instructions: u64,
+    /// Instructions crossing the CXL fabric.
+    pub cxl_instructions: u64,
+}
+
+impl TraceStats {
+    /// Fraction of all arithmetic FLOPs performed by the MAC trees — the
+    /// paper's ">99%" justification for domain-specific near-bank PUs.
+    pub fn mac_flop_fraction(&self) -> f64 {
+        let total = self.mac_flops + self.other_flops;
+        if total == 0 {
+            return 0.0;
+        }
+        self.mac_flops as f64 / total as f64
+    }
+}
+
+/// Analyses a trace.
+pub fn analyze(trace: &[Instruction]) -> TraceStats {
+    let mut stats = TraceStats::default();
+    for inst in trace {
+        *stats.by_mnemonic.entry(inst.mnemonic()).or_default() += 1;
+        stats.instructions += 1;
+        stats.micro_ops += micro_op_count(inst);
+        let flops = flop_count(inst);
+        if matches!(inst, Instruction::MacAbk { .. }) {
+            stats.mac_flops += flops;
+        } else {
+            stats.other_flops += flops;
+        }
+        if inst.is_pim() {
+            stats.pim_instructions += 1;
+        } else if inst.is_cxl() {
+            stats.cxl_instructions += 1;
+        } else {
+            stats.pnm_instructions += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cent_types::{AccRegId, ChannelMask, ColAddr, RowAddr, SbSlot};
+
+    use crate::inst::MacOperand;
+
+    #[test]
+    fn expansion_multiplies_opsize_by_channels() {
+        let inst = Instruction::MacAbk {
+            chmask: ChannelMask::range(0, 8),
+            opsize: 64,
+            row: RowAddr(0),
+            col: ColAddr(0),
+            reg: AccRegId::new(0),
+            operand: MacOperand::GlobalBuffer { slot: 0 },
+        };
+        assert_eq!(micro_op_count(&inst), 64 * 8);
+    }
+
+    #[test]
+    fn mac_flops_dominate_a_realistic_block_mix() {
+        // Roughly the instruction mix of one attention + FFN block: large
+        // GEMV MAC streams, a softmax's worth of EXP/RED/ACC, a few AFs.
+        let mut trace = Vec::new();
+        for _ in 0..100 {
+            trace.push(Instruction::MacAbk {
+                chmask: ChannelMask::range(0, 10),
+                opsize: 4096,
+                row: RowAddr(0),
+                col: ColAddr(0),
+                reg: AccRegId::new(0),
+                operand: MacOperand::GlobalBuffer { slot: 0 },
+            });
+        }
+        trace.push(Instruction::Exp { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
+        trace.push(Instruction::Red { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
+        trace.push(Instruction::Acc { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
+        trace.push(Instruction::Af { chmask: ChannelMask::range(0, 10), af_id: 0, reg: AccRegId::new(0) });
+        let stats = analyze(&trace);
+        assert!(stats.mac_flop_fraction() > 0.99, "got {}", stats.mac_flop_fraction());
+    }
+
+    #[test]
+    fn unit_attribution() {
+        let trace = vec![
+            Instruction::RecvCxl { opsize: 1 },
+            Instruction::Exp { opsize: 1, rd: SbSlot(0), rs: SbSlot(1) },
+            Instruction::WrGb { chmask: ChannelMask(1), opsize: 1, gb_slot: 0, rs: SbSlot(0) },
+        ];
+        let stats = analyze(&trace);
+        assert_eq!(stats.cxl_instructions, 1);
+        assert_eq!(stats.pnm_instructions, 1);
+        assert_eq!(stats.pim_instructions, 1);
+        assert_eq!(stats.instructions, 3);
+        assert_eq!(stats.by_mnemonic["EXP"], 1);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let stats = analyze(&[]);
+        assert_eq!(stats.mac_flop_fraction(), 0.0);
+        assert_eq!(stats.micro_ops, 0);
+    }
+}

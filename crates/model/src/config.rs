@@ -1,0 +1,305 @@
+//! Decoder-only LLM architecture descriptions.
+//!
+//! The paper evaluates Llama2 7B/13B/70B (§6), OPT-66B (Fig 17) and
+//! GPT3-175B (Fig 18). The configs here carry exactly the quantities the
+//! mapping and simulators need: layer counts, projection shapes, GQA head
+//! layout, FFN style and context limits.
+
+use cent_types::ByteSize;
+
+/// Feed-forward network flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FfnKind {
+    /// Gated SiLU FFN (`w2( silu(w1·x) ⊙ w3·x )`) — Llama family.
+    GatedSilu,
+    /// Plain two-matrix FFN with GeLU — OPT/GPT3 family.
+    Gelu,
+}
+
+/// Positional-encoding flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionalKind {
+    /// Rotary position embedding applied to Q/K (Llama family).
+    Rotary,
+    /// Learned absolute embeddings added at the input (OPT/GPT3 family).
+    Absolute,
+}
+
+/// A decoder-only transformer architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Human-readable name ("Llama2-70B").
+    pub name: &'static str,
+    /// Number of transformer blocks (pipeline stages under PP).
+    pub layers: usize,
+    /// Embedding (hidden) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (< `heads` under grouped-query attention).
+    pub kv_heads: usize,
+    /// FFN intermediate dimension.
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum supported context length.
+    pub max_context: usize,
+    /// FFN flavour.
+    pub ffn: FfnKind,
+    /// Positional encoding flavour.
+    pub positional: PositionalKind,
+}
+
+impl ModelConfig {
+    /// Llama2-7B: 32 layers, 4096 hidden, MHA.
+    pub fn llama2_7b() -> Self {
+        ModelConfig {
+            name: "Llama2-7B",
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 32,
+            ffn_hidden: 11008,
+            vocab: 32000,
+            max_context: 4096,
+            ffn: FfnKind::GatedSilu,
+            positional: PositionalKind::Rotary,
+        }
+    }
+
+    /// Llama2-13B: 40 layers, 5120 hidden, MHA.
+    pub fn llama2_13b() -> Self {
+        ModelConfig {
+            name: "Llama2-13B",
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 40,
+            ffn_hidden: 13824,
+            vocab: 32000,
+            max_context: 4096,
+            ffn: FfnKind::GatedSilu,
+            positional: PositionalKind::Rotary,
+        }
+    }
+
+    /// Llama2-70B: 80 layers, 8192 hidden, GQA with 8 KV heads.
+    pub fn llama2_70b() -> Self {
+        ModelConfig {
+            name: "Llama2-70B",
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 28672,
+            vocab: 32000,
+            max_context: 4096,
+            ffn: FfnKind::GatedSilu,
+            positional: PositionalKind::Rotary,
+        }
+    }
+
+    /// Llama2-70B with extended context (the paper's Figure 14a runs 8K-32K
+    /// contexts using 16 Gb GDDR6 parts).
+    pub fn llama2_70b_long(max_context: usize) -> Self {
+        ModelConfig { max_context, ..Self::llama2_70b() }
+    }
+
+    /// OPT-66B (Figure 17 baseline comparison).
+    pub fn opt_66b() -> Self {
+        ModelConfig {
+            name: "OPT-66B",
+            layers: 64,
+            hidden: 9216,
+            heads: 72,
+            kv_heads: 72,
+            ffn_hidden: 36864,
+            vocab: 50272,
+            max_context: 2048,
+            ffn: FfnKind::Gelu,
+            positional: PositionalKind::Absolute,
+        }
+    }
+
+    /// GPT3-175B (Figure 18 baseline comparison).
+    pub fn gpt3_175b() -> Self {
+        ModelConfig {
+            name: "GPT3-175B",
+            layers: 96,
+            hidden: 12288,
+            heads: 96,
+            kv_heads: 96,
+            ffn_hidden: 49152,
+            vocab: 50257,
+            max_context: 2048,
+            ffn: FfnKind::Gelu,
+            positional: PositionalKind::Absolute,
+        }
+    }
+
+    /// A miniature config for functional tests: dimensions sized so every
+    /// tensor fits in a couple of Shared Buffer beats.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            name: "Tiny-Test",
+            layers: 2,
+            hidden: 64,
+            heads: 4,
+            kv_heads: 2,
+            ffn_hidden: 128,
+            vocab: 256,
+            max_context: 64,
+            ffn: FfnKind::GatedSilu,
+            positional: PositionalKind::Rotary,
+        }
+    }
+
+    /// Dimension of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Key/value projection width (`kv_heads · head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Parameters in one transformer block.
+    pub fn params_per_block(&self) -> u64 {
+        let h = self.hidden as u64;
+        let kv = self.kv_dim() as u64;
+        let f = self.ffn_hidden as u64;
+        // Q, K, V, O projections.
+        let attn = h * h + h * kv + h * kv + h * h;
+        // FFN matrices: gated has three, plain has two.
+        let ffn = match self.ffn {
+            FfnKind::GatedSilu => 3 * h * f,
+            FfnKind::Gelu => 2 * h * f,
+        };
+        // Two norm weight vectors.
+        attn + ffn + 2 * h
+    }
+
+    /// Total parameters including embeddings.
+    pub fn total_params(&self) -> u64 {
+        self.params_per_block() * self.layers as u64 + 2 * (self.vocab as u64 * self.hidden as u64)
+    }
+
+    /// Weight bytes per block at BF16.
+    pub fn block_weight_bytes(&self) -> ByteSize {
+        ByteSize::bytes(self.params_per_block() * 2)
+    }
+
+    /// KV-cache bytes per token per block at BF16 (K and V).
+    pub fn kv_bytes_per_token_per_block(&self) -> ByteSize {
+        ByteSize::bytes(2 * self.kv_dim() as u64 * 2)
+    }
+
+    /// KV-cache bytes for a full context of one query across all blocks.
+    pub fn kv_bytes_per_query(&self, context: usize) -> ByteSize {
+        ByteSize::bytes(
+            self.kv_bytes_per_token_per_block().as_bytes() * context as u64 * self.layers as u64,
+        )
+    }
+
+    /// Total memory for weights plus a batch's KV caches at `context`.
+    pub fn memory_required(&self, batch: usize, context: usize) -> ByteSize {
+        let weights = ByteSize::bytes(self.total_params() * 2);
+        let kv = ByteSize::bytes(self.kv_bytes_per_query(context).as_bytes() * batch as u64);
+        weights + kv
+    }
+
+    /// FLOPs to decode one token for one query at `context` length
+    /// (2 FLOPs per weight + attention score/output GEMVs).
+    pub fn decode_flops_per_token(&self, context: usize) -> u64 {
+        let weight_flops = 2 * self.params_per_block() * self.layers as u64;
+        // Scores: heads × ctx × head_dim MACs; output: same again.
+        let attn_flops =
+            2 * 2 * (self.heads as u64) * (context as u64) * (self.head_dim() as u64);
+        weight_flops + attn_flops * self.layers as u64
+    }
+
+    /// FLOPs to prefill a prompt of `n` tokens (GEMM form; same weight math
+    /// per token plus quadratic attention).
+    pub fn prefill_flops(&self, n: usize) -> u64 {
+        let per_token_weights = 2 * self.params_per_block() * self.layers as u64;
+        let attn = 2 * 2 * (self.heads as u64) * (self.head_dim() as u64) * (n as u64).pow(2) / 2;
+        per_token_weights * n as u64 + attn * self.layers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_parameter_counts_match_published_sizes() {
+        // Published sizes: 6.74B, 13.0B, 68.98B (±2% tolerance here).
+        let cases = [
+            (ModelConfig::llama2_7b(), 6.74e9),
+            (ModelConfig::llama2_13b(), 13.0e9),
+            (ModelConfig::llama2_70b(), 69.0e9),
+        ];
+        for (cfg, expect) in cases {
+            let got = cfg.total_params() as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.02,
+                "{}: {got:.3e} vs {expect:.3e}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_cache() {
+        let mha = ModelConfig::llama2_13b();
+        let gqa = ModelConfig::llama2_70b();
+        // 70B has 8 KV heads of 128 → 1024 kv_dim vs 13B's full 5120.
+        assert_eq!(gqa.kv_dim(), 1024);
+        assert_eq!(mha.kv_dim(), 5120);
+        // Per token per block: 2 × 1024 × 2B = 4 KiB for 70B.
+        assert_eq!(gqa.kv_bytes_per_token_per_block().as_bytes(), 4096);
+    }
+
+    #[test]
+    fn seventy_b_memory_at_4k_context() {
+        let cfg = ModelConfig::llama2_70b();
+        // Weights ≈ 138 GB; KV per query at 4K ≈ 1.31 GB.
+        let weights_gib = ByteSize::bytes(cfg.total_params() * 2).as_gib();
+        assert!(weights_gib > 125.0 && weights_gib < 135.0, "weights {weights_gib}");
+        let kv = cfg.kv_bytes_per_query(4096);
+        assert!((kv.as_gib() - 1.25).abs() < 0.05, "kv {}", kv.as_gib());
+        // Figure 1: batch 64 at 4K context overflows 320 GB of GPU memory.
+        assert!(cfg.memory_required(64, 4096) > ByteSize::gib(190));
+    }
+
+    #[test]
+    fn head_dim_is_128_for_llama2() {
+        assert_eq!(ModelConfig::llama2_7b().head_dim(), 128);
+        assert_eq!(ModelConfig::llama2_70b().head_dim(), 128);
+    }
+
+    #[test]
+    fn gpt3_is_175b() {
+        let cfg = ModelConfig::gpt3_175b();
+        let got = cfg.total_params() as f64;
+        assert!((got - 175e9).abs() / 175e9 < 0.02, "{got:.3e}");
+    }
+
+    #[test]
+    fn decode_flops_grow_with_context() {
+        let cfg = ModelConfig::llama2_7b();
+        assert!(cfg.decode_flops_per_token(4096) > cfg.decode_flops_per_token(128));
+        // Weight FLOPs dominate at short context: ~2 × params.
+        let flops = cfg.decode_flops_per_token(128) as f64;
+        assert!((flops / (2.0 * cfg.total_params() as f64) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let cfg = ModelConfig::tiny();
+        assert_eq!(cfg.head_dim(), 16);
+        assert_eq!(cfg.kv_dim(), 32);
+        assert!(cfg.params_per_block() < 100_000);
+    }
+}

@@ -1,0 +1,22 @@
+//! LLM model architectures, memory accounting and the f32 reference
+//! implementation used to verify CENT's functional simulation.
+//!
+//! * [`ModelConfig`] — Llama2 7B/13B/70B, OPT-66B, GPT3-175B and a tiny test
+//!   config, with parameter/KV-cache/FLOP accounting used throughout the
+//!   simulators and baselines;
+//! * [`reference_block`] — a straightforward f32 transformer block
+//!   (RMSNorm, RoPE, grouped-query attention with KV cache, gated-SiLU or
+//!   GeLU FFN) serving as functional ground truth;
+//! * [`BlockWeights`]/[`KvCache`] — deterministic random weights and cache
+//!   state for verification runs.
+
+#![warn(missing_docs)]
+
+mod config;
+mod reference;
+
+pub use config::{FfnKind, ModelConfig, PositionalKind};
+pub use reference::{
+    dot, gelu, reference_block, reference_block_sequence, rmsnorm, rope, silu, softmax,
+    BlockWeights, KvCache, Matrix,
+};

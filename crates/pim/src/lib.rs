@@ -1,0 +1,23 @@
+//! GDDR6-PIM channel model for CENT: near-bank PUs with MAC reduction trees.
+//!
+//! Implements Figure 7(a) of the paper: a GDDR6-PIM channel with
+//!
+//! * 16 banks × 32 MB, each with a near-bank PU;
+//! * a 16-lane BF16 MAC reduction tree per PU, fed by the local bank and
+//!   either the Global Buffer broadcast or the neighbouring bank;
+//! * 32 accumulation registers per PU;
+//! * activation functions via DRAM-resident lookup tables with linear
+//!   interpolation;
+//! * a 2 KB Global Buffer broadcasting 256-bit beats to all PUs.
+//!
+//! Every operation simultaneously computes real BF16 values (functional mode)
+//! and advances the `cent-dram` timing model, so correctness and latency come
+//! from one code path. See [`PimChannel`].
+
+#![warn(missing_docs)]
+
+mod af;
+mod channel;
+
+pub use af::{ActivationFunction, AfLut, LUT_RANGE, LUT_SEGMENTS};
+pub use channel::{Beat, MacSource, PimChannel, ZERO_BEAT};

@@ -1,0 +1,212 @@
+//! The PNM RISC-V cores and their memory map.
+//!
+//! Each of the eight BOOM-2wide cores has a 64 KB local buffer (program +
+//! scratch, initialised by the host through CXL writes) and sees the device
+//! Shared Buffer as byte-addressable memory in a dedicated 64 KB region
+//! (§4.2). Memory map used here:
+//!
+//! ```text
+//! 0x0000_0000 .. 0x0001_0000   core-local buffer (instructions + stack)
+//! 0x1000_0000 .. 0x1001_0000   Shared Buffer window (16-bit accesses)
+//! ```
+
+use cent_riscv::{assemble, BoomTimingModel, Bus, Cpu, Halt};
+use cent_types::{CentError, CentResult, Time};
+
+use crate::shared_buffer::SharedBuffer;
+
+/// Base address of the Shared Buffer window in the core's address space.
+pub const SB_WINDOW_BASE: u32 = 0x1000_0000;
+
+/// Size of the Shared Buffer window (64 KB).
+pub const SB_WINDOW_SIZE: u32 = 64 * 1024;
+
+/// Size of the core-local buffer (64 KB).
+pub const LOCAL_SIZE: u32 = 64 * 1024;
+
+/// Bus implementation connecting a core to its local buffer and the Shared
+/// Buffer window.
+struct PnmBus<'a> {
+    local: &'a mut [u8],
+    sb: &'a mut SharedBuffer,
+}
+
+impl Bus for PnmBus<'_> {
+    fn load8(&mut self, addr: u32) -> CentResult<u8> {
+        if addr < LOCAL_SIZE {
+            return Ok(self.local[addr as usize]);
+        }
+        if (SB_WINDOW_BASE..SB_WINDOW_BASE + SB_WINDOW_SIZE).contains(&addr) {
+            // Byte access into a halfword lane.
+            let off = addr - SB_WINDOW_BASE;
+            let half = self.sb.read_u16(off & !1)?;
+            return Ok(if off.is_multiple_of(2) { half as u8 } else { (half >> 8) as u8 });
+        }
+        Err(CentError::RiscvTrap(format!("load fault at {addr:#010x}")))
+    }
+
+    fn store8(&mut self, addr: u32, value: u8) -> CentResult<()> {
+        if addr < LOCAL_SIZE {
+            self.local[addr as usize] = value;
+            return Ok(());
+        }
+        if (SB_WINDOW_BASE..SB_WINDOW_BASE + SB_WINDOW_SIZE).contains(&addr) {
+            let off = addr - SB_WINDOW_BASE;
+            let mut half = self.sb.read_u16(off & !1)?;
+            if off.is_multiple_of(2) {
+                half = (half & 0xFF00) | u16::from(value);
+            } else {
+                half = (half & 0x00FF) | (u16::from(value) << 8);
+            }
+            return self.sb.write_u16(off & !1, half);
+        }
+        Err(CentError::RiscvTrap(format!("store fault at {addr:#010x}")))
+    }
+}
+
+/// Result of one RISC-V routine invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RiscvRun {
+    /// Modelled wall-clock time on the BOOM-2wide core.
+    pub latency: Time,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Value left in `a0` at the `ecall`.
+    pub a0: u32,
+}
+
+/// A PNM RISC-V core: CPU state plus its 64 KB local buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cent_pnm::{PnmCore, SharedBuffer};
+/// use cent_types::{Bf16, SbSlot, ZERO_BEAT};
+///
+/// # fn main() -> Result<(), cent_types::CentError> {
+/// let mut sb = SharedBuffer::new();
+/// let mut beat = ZERO_BEAT;
+/// beat[0] = Bf16::from_f32(16.0);
+/// sb.write(SbSlot(0), &beat)?;
+///
+/// // Compute 1/sqrt(x) of slot 0 lane 0, writing slot 1 lane 0.
+/// let mut core = PnmCore::new();
+/// let run = core.run(&mut sb, cent_pnm::programs::RSQRT, &[0, 32])?;
+/// assert!(run.latency.as_ns() > 0.0);
+/// assert_eq!(sb.read(SbSlot(1))?[0].to_f32(), 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PnmCore {
+    local: Vec<u8>,
+    timing: BoomTimingModel,
+}
+
+impl Default for PnmCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PnmCore {
+    /// Creates a core with an empty local buffer.
+    pub fn new() -> Self {
+        PnmCore { local: vec![0; LOCAL_SIZE as usize], timing: BoomTimingModel::default() }
+    }
+
+    /// Runs `source` (RISC-V assembly) to completion with `args` preloaded
+    /// into registers `a0..a5`. Shared Buffer *byte offsets* are the natural
+    /// argument currency; programs add [`SB_WINDOW_BASE`] themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns assembly errors, traps, or a trap-equivalent error if the
+    /// program exceeds its fuel (10M instructions).
+    pub fn run(
+        &mut self,
+        sb: &mut SharedBuffer,
+        source: &str,
+        args: &[u32],
+    ) -> CentResult<RiscvRun> {
+        let words = assemble(source)?;
+        if words.len() * 4 > LOCAL_SIZE as usize / 2 {
+            return Err(CentError::InvalidConfig(format!(
+                "program of {} words exceeds the 32 KB text budget",
+                words.len()
+            )));
+        }
+        let mut cpu = Cpu::new();
+        let mut bus = PnmBus { local: &mut self.local, sb };
+        cpu.load_program(&mut bus, 0, &words)?;
+        // Stack at the top of the local buffer.
+        cpu.set_x(2, LOCAL_SIZE - 16);
+        for (i, &arg) in args.iter().enumerate().take(6) {
+            cpu.set_x(10 + i, arg);
+        }
+        match cpu.run(&mut bus, 10_000_000)? {
+            Halt::Ecall | Halt::Ebreak => {}
+            Halt::OutOfFuel => {
+                return Err(CentError::RiscvTrap("program exceeded instruction budget".into()))
+            }
+        }
+        Ok(RiscvRun {
+            latency: self.timing.latency(cpu.stats()),
+            retired: cpu.stats().retired,
+            a0: cpu.x(10),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cent_types::{Bf16, SbSlot, ZERO_BEAT};
+
+    #[test]
+    fn core_reads_and_writes_shared_buffer() {
+        let mut sb = SharedBuffer::new();
+        let mut beat = ZERO_BEAT;
+        beat[0] = Bf16::from_f32(3.0);
+        sb.write(SbSlot(2), &beat).unwrap();
+
+        // Double lane 0 of slot 2 in place: load bf16, shift to f32, add, store.
+        let src = "li t0, 0x10000000
+                   lhu t1, 64(t0)        # slot 2 = byte 64
+                   slli t1, t1, 16
+                   fmv.w.x f0, t1
+                   fadd.s f1, f0, f0
+                   fmv.x.w t2, f1
+                   srli t2, t2, 16
+                   sh t2, 64(t0)
+                   ecall";
+        let mut core = PnmCore::new();
+        let run = core.run(&mut sb, src, &[]).unwrap();
+        assert!(run.retired > 5);
+        assert_eq!(sb.read(SbSlot(2)).unwrap()[0].to_f32(), 6.0);
+    }
+
+    #[test]
+    fn args_arrive_in_a_registers() {
+        let mut sb = SharedBuffer::new();
+        let mut core = PnmCore::new();
+        let run = core.run(&mut sb, "add a0, a0, a1\necall", &[40, 2]).unwrap();
+        assert_eq!(run.a0, 42);
+    }
+
+    #[test]
+    fn runaway_program_is_cut_off() {
+        let mut sb = SharedBuffer::new();
+        let mut core = PnmCore::new();
+        let err = core.run(&mut sb, "loop: j loop", &[]).unwrap_err();
+        assert!(err.to_string().contains("instruction budget"));
+    }
+
+    #[test]
+    fn faulting_access_traps() {
+        let mut sb = SharedBuffer::new();
+        let mut core = PnmCore::new();
+        let err = core.run(&mut sb, "li t0, 0x20000000\nlw a0, 0(t0)\necall", &[]).unwrap_err();
+        assert!(err.to_string().contains("load fault"));
+    }
+}

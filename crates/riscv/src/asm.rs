@@ -1,0 +1,544 @@
+//! A two-pass assembler for the RV32IMF subset used by the PNM programs.
+//!
+//! Supports labels, `#`/`;` comments, the register ABI names, and the
+//! pseudo-instructions `li`, `mv`, `nop`, `j`, `ret`, `call` and
+//! `fmv.s`. The output is a vector of little-endian instruction words that
+//! [`crate::Cpu::load_program`] can place into a core's 64 KB instruction
+//! buffer (matching how the host initialises the buffers through CXL writes,
+//! §4.2).
+
+use std::collections::HashMap;
+
+use cent_types::{CentError, CentResult};
+
+fn err(line_no: usize, msg: impl std::fmt::Display) -> CentError {
+    CentError::InvalidInstruction(format!("line {}: {msg}", line_no + 1))
+}
+
+/// Parses an integer or floating-point register name.
+fn parse_reg(token: &str, line_no: usize) -> CentResult<u8> {
+    let t = token.trim().trim_end_matches(',');
+    let named = |s: &str| -> Option<u8> {
+        Some(match s {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            "a0" => 10,
+            "a1" => 11,
+            "a2" => 12,
+            "a3" => 13,
+            "a4" => 14,
+            "a5" => 15,
+            "a6" => 16,
+            "a7" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "s8" => 24,
+            "s9" => 25,
+            "s10" => 26,
+            "s11" => 27,
+            "t3" => 28,
+            "t4" => 29,
+            "t5" => 30,
+            "t6" => 31,
+            _ => return None,
+        })
+    };
+    if let Some(r) = named(t) {
+        return Ok(r);
+    }
+    // fa0-fa7 / ft0-ft11 / fs0-fs11 float ABI names.
+    let fnamed = |s: &str| -> Option<u8> {
+        Some(match s {
+            "ft0" => 0,
+            "ft1" => 1,
+            "ft2" => 2,
+            "ft3" => 3,
+            "ft4" => 4,
+            "ft5" => 5,
+            "ft6" => 6,
+            "ft7" => 7,
+            "fs0" => 8,
+            "fs1" => 9,
+            "fa0" => 10,
+            "fa1" => 11,
+            "fa2" => 12,
+            "fa3" => 13,
+            "fa4" => 14,
+            "fa5" => 15,
+            "fa6" => 16,
+            "fa7" => 17,
+            "fs2" => 18,
+            "fs3" => 19,
+            "fs4" => 20,
+            "fs5" => 21,
+            "fs6" => 22,
+            "fs7" => 23,
+            "fs8" => 24,
+            "fs9" => 25,
+            "fs10" => 26,
+            "fs11" => 27,
+            "ft8" => 28,
+            "ft9" => 29,
+            "ft10" => 30,
+            "ft11" => 31,
+            _ => return None,
+        })
+    };
+    if let Some(r) = fnamed(t) {
+        return Ok(r);
+    }
+    if let Some(rest) = t.strip_prefix('x').or_else(|| t.strip_prefix('f')) {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    Err(err(line_no, format!("unknown register '{t}'")))
+}
+
+fn parse_imm(token: &str, line_no: usize) -> CentResult<i64> {
+    let t = token.trim().trim_end_matches(',');
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line_no, format!("bad immediate '{t}'")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `imm(reg)` memory operands.
+fn parse_mem(token: &str, line_no: usize) -> CentResult<(i64, u8)> {
+    let t = token.trim().trim_end_matches(',');
+    let open = t.find('(').ok_or_else(|| err(line_no, format!("expected imm(reg), got '{t}'")))?;
+    let close =
+        t.find(')').ok_or_else(|| err(line_no, format!("expected imm(reg), got '{t}'")))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line_no)? };
+    let reg = parse_reg(&t[open + 1..close], line_no)?;
+    Ok((imm, reg))
+}
+
+// Encoders for each instruction format.
+fn enc_r(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i64, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (((imm as u32) & 0xFFF) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+fn enc_u(imm: i64, rd: u8, opcode: u32) -> u32 {
+    ((imm as u32) & 0xFFFF_F000) | ((rd as u32) << 7) | opcode
+}
+
+fn enc_j(imm: i64, rd: u8, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+struct PendingInst<'a> {
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+    line_no: usize,
+    addr: u32,
+}
+
+/// Assembles RV32IMF source into instruction words.
+///
+/// # Errors
+///
+/// Returns [`CentError::InvalidInstruction`] with the offending line number
+/// for syntax errors, unknown mnemonics, undefined labels or out-of-range
+/// immediates.
+///
+/// # Examples
+///
+/// ```
+/// use cent_riscv::assemble;
+///
+/// let words = assemble("li a0, 1\necall").unwrap();
+/// assert_eq!(words.len(), 2);
+/// ```
+pub fn assemble(source: &str) -> CentResult<Vec<u32>> {
+    // Pass 1: strip comments, collect labels, expand pseudo sizes.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut insts: Vec<PendingInst> = Vec::new();
+    let mut addr: u32 = 0;
+
+    for (line_no, raw) in source.lines().enumerate() {
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Labels may share a line with an instruction: "loop: addi ..."
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label, addr).is_some() {
+                return Err(err(line_no, format!("duplicate label '{label}'")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty");
+        let operands: Vec<&str> =
+            rest[mnemonic.len()..].split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        // `li` with a large immediate expands to lui+addi; everything else is
+        // one word. Reserve conservatively so labels stay correct.
+        let words = match mnemonic {
+            "li" => {
+                let imm = parse_imm(operands.get(1).copied().unwrap_or("0"), line_no)?;
+                if (-2048..2048).contains(&imm) {
+                    1
+                } else {
+                    2
+                }
+            }
+            "call" => 1,
+            _ => 1,
+        };
+        insts.push(PendingInst { mnemonic, operands, line_no, addr });
+        addr += 4 * words;
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::with_capacity(insts.len());
+    for inst in &insts {
+        encode_inst(inst, &labels, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn resolve_target(
+    token: &str,
+    labels: &HashMap<&str, u32>,
+    pc: u32,
+    line_no: usize,
+) -> CentResult<i64> {
+    if let Some(&target) = labels.get(token.trim()) {
+        Ok(i64::from(target) - i64::from(pc))
+    } else {
+        parse_imm(token, line_no)
+    }
+}
+
+fn encode_inst(
+    inst: &PendingInst<'_>,
+    labels: &HashMap<&str, u32>,
+    out: &mut Vec<u32>,
+) -> CentResult<()> {
+    let n = inst.line_no;
+    let ops = &inst.operands;
+    let op = |i: usize| -> CentResult<&str> {
+        ops.get(i).copied().ok_or_else(|| err(n, "missing operand"))
+    };
+    let reg = |i: usize| -> CentResult<u8> { parse_reg(op(i)?, n) };
+    let imm = |i: usize| -> CentResult<i64> { parse_imm(op(i)?, n) };
+
+    macro_rules! rtype {
+        ($f7:expr, $f3:expr, $opc:expr) => {
+            out.push(enc_r($f7, reg(2)?, reg(1)?, $f3, reg(0)?, $opc))
+        };
+    }
+    macro_rules! itype {
+        ($f3:expr, $opc:expr) => {
+            out.push(enc_i(imm(2)?, reg(1)?, $f3, reg(0)?, $opc))
+        };
+    }
+
+    match inst.mnemonic {
+        "lui" => out.push(enc_u(imm(1)? << 12, reg(0)?, 0b0110111)),
+        "auipc" => out.push(enc_u(imm(1)? << 12, reg(0)?, 0b0010111)),
+        "jal" => {
+            let (rd, target) = if ops.len() == 1 { (1u8, 0) } else { (reg(0)?, 1) };
+            let offset = resolve_target(op(target)?, labels, inst.addr, n)?;
+            out.push(enc_j(offset, rd, 0b1101111));
+        }
+        "jalr" => out.push(enc_i(imm(2)?, reg(1)?, 0, reg(0)?, 0b1100111)),
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let f3 = match inst.mnemonic {
+                "beq" => 0b000,
+                "bne" => 0b001,
+                "blt" => 0b100,
+                "bge" => 0b101,
+                "bltu" => 0b110,
+                _ => 0b111,
+            };
+            let offset = resolve_target(op(2)?, labels, inst.addr, n)?;
+            out.push(enc_b(offset, reg(1)?, reg(0)?, f3, 0b1100011));
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            let f3 = match inst.mnemonic {
+                "lb" => 0b000,
+                "lh" => 0b001,
+                "lw" => 0b010,
+                "lbu" => 0b100,
+                _ => 0b101,
+            };
+            let (offset, base) = parse_mem(op(1)?, n)?;
+            out.push(enc_i(offset, base, f3, reg(0)?, 0b0000011));
+        }
+        "sb" | "sh" | "sw" => {
+            let f3 = match inst.mnemonic {
+                "sb" => 0b000,
+                "sh" => 0b001,
+                _ => 0b010,
+            };
+            let (offset, base) = parse_mem(op(1)?, n)?;
+            out.push(enc_s(offset, reg(0)?, base, f3, 0b0100011));
+        }
+        "addi" => itype!(0b000, 0b0010011),
+        "slti" => itype!(0b010, 0b0010011),
+        "sltiu" => itype!(0b011, 0b0010011),
+        "xori" => itype!(0b100, 0b0010011),
+        "ori" => itype!(0b110, 0b0010011),
+        "andi" => itype!(0b111, 0b0010011),
+        "slli" => out.push(enc_r(0, imm(2)? as u8, reg(1)?, 0b001, reg(0)?, 0b0010011)),
+        "srli" => out.push(enc_r(0, imm(2)? as u8, reg(1)?, 0b101, reg(0)?, 0b0010011)),
+        "srai" => out.push(enc_r(0b0100000, imm(2)? as u8, reg(1)?, 0b101, reg(0)?, 0b0010011)),
+        "add" => rtype!(0, 0b000, 0b0110011),
+        "sub" => rtype!(0b0100000, 0b000, 0b0110011),
+        "sll" => rtype!(0, 0b001, 0b0110011),
+        "slt" => rtype!(0, 0b010, 0b0110011),
+        "sltu" => rtype!(0, 0b011, 0b0110011),
+        "xor" => rtype!(0, 0b100, 0b0110011),
+        "srl" => rtype!(0, 0b101, 0b0110011),
+        "sra" => rtype!(0b0100000, 0b101, 0b0110011),
+        "or" => rtype!(0, 0b110, 0b0110011),
+        "and" => rtype!(0, 0b111, 0b0110011),
+        "mul" => rtype!(1, 0b000, 0b0110011),
+        "mulh" => rtype!(1, 0b001, 0b0110011),
+        "mulhsu" => rtype!(1, 0b010, 0b0110011),
+        "mulhu" => rtype!(1, 0b011, 0b0110011),
+        "div" => rtype!(1, 0b100, 0b0110011),
+        "divu" => rtype!(1, 0b101, 0b0110011),
+        "rem" => rtype!(1, 0b110, 0b0110011),
+        "remu" => rtype!(1, 0b111, 0b0110011),
+        "fence" => out.push(0b0001111),
+        "ecall" => out.push(0b1110011),
+        "ebreak" => out.push((1 << 20) | 0b1110011),
+        "flw" => {
+            let (offset, base) = parse_mem(op(1)?, n)?;
+            out.push(enc_i(offset, base, 0b010, reg(0)?, 0b0000111));
+        }
+        "fsw" => {
+            let (offset, base) = parse_mem(op(1)?, n)?;
+            out.push(enc_s(offset, reg(0)?, base, 0b010, 0b0100111));
+        }
+        "fadd.s" => rtype!(0b0000000, 0b000, 0b1010011),
+        "fsub.s" => rtype!(0b0000100, 0b000, 0b1010011),
+        "fmul.s" => rtype!(0b0001000, 0b000, 0b1010011),
+        "fdiv.s" => rtype!(0b0001100, 0b000, 0b1010011),
+        "fsqrt.s" => out.push(enc_r(0b0101100, 0, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "fsgnj.s" => rtype!(0b0010000, 0b000, 0b1010011),
+        "fsgnjn.s" => rtype!(0b0010000, 0b001, 0b1010011),
+        "fsgnjx.s" => rtype!(0b0010000, 0b010, 0b1010011),
+        "fmin.s" => rtype!(0b0010100, 0b000, 0b1010011),
+        "fmax.s" => rtype!(0b0010100, 0b001, 0b1010011),
+        "fcvt.w.s" => out.push(enc_r(0b1100000, 0, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "fcvt.wu.s" => out.push(enc_r(0b1100000, 1, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "fmv.x.w" => out.push(enc_r(0b1110000, 0, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "feq.s" => rtype!(0b1010000, 0b010, 0b1010011),
+        "flt.s" => rtype!(0b1010000, 0b001, 0b1010011),
+        "fle.s" => rtype!(0b1010000, 0b000, 0b1010011),
+        "fcvt.s.w" => out.push(enc_r(0b1101000, 0, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "fcvt.s.wu" => out.push(enc_r(0b1101000, 1, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "fmv.w.x" => out.push(enc_r(0b1111000, 0, reg(1)?, 0, reg(0)?, 0b1010011)),
+        // ---- pseudo-instructions ----
+        "nop" => out.push(enc_i(0, 0, 0, 0, 0b0010011)),
+        "mv" => out.push(enc_i(0, reg(1)?, 0, reg(0)?, 0b0010011)),
+        "fmv.s" => out.push(enc_r(0b0010000, reg(1)?, reg(1)?, 0, reg(0)?, 0b1010011)),
+        "li" => {
+            let rd = reg(0)?;
+            let value = imm(1)?;
+            if (-2048..2048).contains(&value) {
+                out.push(enc_i(value, 0, 0, rd, 0b0010011));
+            } else {
+                // lui + addi with carry correction for the sign-extended low part.
+                let value = value as i32;
+                let low = (value << 20) >> 20;
+                let high = value.wrapping_sub(low);
+                out.push(enc_u(i64::from(high), rd, 0b0110111));
+                out.push(enc_i(i64::from(low), rd, 0, rd, 0b0010011));
+            }
+        }
+        "j" => {
+            let offset = resolve_target(op(0)?, labels, inst.addr, n)?;
+            out.push(enc_j(offset, 0, 0b1101111));
+        }
+        "call" => {
+            let offset = resolve_target(op(0)?, labels, inst.addr, n)?;
+            out.push(enc_j(offset, 1, 0b1101111));
+        }
+        "ret" => out.push(enc_i(0, 1, 0, 0, 0b1100111)),
+        other => return Err(err(n, format!("unknown mnemonic '{other}'"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{decode, Inst};
+
+    #[test]
+    fn assembles_and_decodes_alu_ops() {
+        let words = assemble("add x1, x2, x3\nsub a0, a1, a2\nxor t0, t1, t2").unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Inst::Add { rd: 1, rs1: 2, rs2: 3 });
+        assert_eq!(decode(words[1]).unwrap(), Inst::Sub { rd: 10, rs1: 11, rs2: 12 });
+        assert_eq!(decode(words[2]).unwrap(), Inst::Xor { rd: 5, rs1: 6, rs2: 7 });
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let words = assemble("li a0, 100\nli a1, 0x12345").unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(decode(words[0]).unwrap(), Inst::Addi { rd: 10, rs1: 0, imm: 100 });
+        assert_eq!(decode(words[1]).unwrap(), Inst::Lui { rd: 11, imm: 0x12000 });
+        assert_eq!(decode(words[2]).unwrap(), Inst::Addi { rd: 11, rs1: 11, imm: 0x345 });
+    }
+
+    #[test]
+    fn li_with_high_low_carry() {
+        // 0x12FFF has a low part of -1 after sign extension (0xFFF), so the
+        // lui part must compensate: lui 0x13 then addi -1.
+        let words = assemble("li a0, 0x12FFF").unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Inst::Lui { rd: 10, imm: 0x13000 });
+        assert_eq!(decode(words[1]).unwrap(), Inst::Addi { rd: 10, rs1: 10, imm: -1 });
+    }
+
+    #[test]
+    fn labels_resolve_backwards_and_forwards() {
+        let words = assemble(
+            "start: addi x1, x1, 1
+             beq x1, x2, end
+             j start
+             end: ecall",
+        )
+        .unwrap();
+        assert_eq!(decode(words[1]).unwrap(), Inst::Beq { rs1: 1, rs2: 2, imm: 8 });
+        assert_eq!(decode(words[2]).unwrap(), Inst::Jal { rd: 0, imm: -8 });
+    }
+
+    #[test]
+    fn memory_operands() {
+        let words = assemble("lw a0, 8(sp)\nsw a0, -4(s0)\nflw f1, 0(a1)").unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Inst::Lw { rd: 10, rs1: 2, imm: 8 });
+        assert_eq!(decode(words[1]).unwrap(), Inst::Sw { rs1: 8, rs2: 10, imm: -4 });
+        assert_eq!(decode(words[2]).unwrap(), Inst::Flw { rd: 1, rs1: 11, imm: 0 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = assemble(
+            "# full line comment
+             addi x1, x0, 1   # trailing comment
+
+             ; alt comment style
+             ecall",
+        )
+        .unwrap();
+        assert_eq!(words.len(), 2);
+    }
+
+    #[test]
+    fn float_mnemonics_round_trip() {
+        let src = "fadd.s f1, f2, f3\nfsqrt.s f4, f5\nfcvt.s.w f6, a0\nfmv.x.w a1, f7";
+        let words = assemble(src).unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Inst::FaddS { rd: 1, rs1: 2, rs2: 3 });
+        assert_eq!(decode(words[1]).unwrap(), Inst::FsqrtS { rd: 4, rs1: 5 });
+        assert_eq!(decode(words[2]).unwrap(), Inst::FcvtSW { rd: 6, rs1: 10 });
+        assert_eq!(decode(words[3]).unwrap(), Inst::FmvXW { rd: 11, rs1: 7 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("addi x1, x0, 1\nbogus x1").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = assemble("addi x99, x0, 1").unwrap_err();
+        assert!(e.to_string().contains("unknown register"), "{e}");
+        let e = assemble("dup: nop\ndup: nop").unwrap_err();
+        assert!(e.to_string().contains("duplicate label"), "{e}");
+    }
+
+    #[test]
+    fn every_encoded_word_decodes() {
+        // A kitchen-sink program covering each format.
+        let src = "lui x1, 0x10
+                   auipc x2, 0
+                   jal ra, target
+                   target: jalr x0, ra, 0
+                   blt x1, x2, target
+                   lw a0, 0(x1)
+                   sw a0, 4(x1)
+                   srai x3, x3, 5
+                   mulhu x4, x5, x6
+                   fmin.s f0, f1, f2
+                   ebreak";
+        for w in assemble(src).unwrap() {
+            decode(w).unwrap();
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! RV32IMF instruction definitions and decoder.
+//!
+//! The PNM units of a CENT device embed eight BOOM-2wide RISC-V cores
+//! (§4.2). The cores execute "less common operations (such as square root and
+//! inversion)" on Shared Buffer data. We model them with the RV32I base ISA,
+//! the M extension (the cores address-compute over buffer slots) and the
+//! single-precision F extension (sqrt/div/reciprocal run on hardware FPUs in
+//! BOOM).
+
+use cent_types::{CentError, CentResult};
+
+/// A decoded RV32IMF instruction.
+///
+/// `rd`/`rs1`/`rs2` index the integer register file for integer ops and the
+/// floating-point register file for F-extension ops (disambiguated by the
+/// variant). Immediates are sign-extended at decode time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields mirror the RISC-V spec names
+pub enum Inst {
+    // ---- RV32I ----
+    Lui { rd: u8, imm: i32 },
+    Auipc { rd: u8, imm: i32 },
+    Jal { rd: u8, imm: i32 },
+    Jalr { rd: u8, rs1: u8, imm: i32 },
+    Beq { rs1: u8, rs2: u8, imm: i32 },
+    Bne { rs1: u8, rs2: u8, imm: i32 },
+    Blt { rs1: u8, rs2: u8, imm: i32 },
+    Bge { rs1: u8, rs2: u8, imm: i32 },
+    Bltu { rs1: u8, rs2: u8, imm: i32 },
+    Bgeu { rs1: u8, rs2: u8, imm: i32 },
+    Lb { rd: u8, rs1: u8, imm: i32 },
+    Lh { rd: u8, rs1: u8, imm: i32 },
+    Lw { rd: u8, rs1: u8, imm: i32 },
+    Lbu { rd: u8, rs1: u8, imm: i32 },
+    Lhu { rd: u8, rs1: u8, imm: i32 },
+    Sb { rs1: u8, rs2: u8, imm: i32 },
+    Sh { rs1: u8, rs2: u8, imm: i32 },
+    Sw { rs1: u8, rs2: u8, imm: i32 },
+    Addi { rd: u8, rs1: u8, imm: i32 },
+    Slti { rd: u8, rs1: u8, imm: i32 },
+    Sltiu { rd: u8, rs1: u8, imm: i32 },
+    Xori { rd: u8, rs1: u8, imm: i32 },
+    Ori { rd: u8, rs1: u8, imm: i32 },
+    Andi { rd: u8, rs1: u8, imm: i32 },
+    Slli { rd: u8, rs1: u8, shamt: u8 },
+    Srli { rd: u8, rs1: u8, shamt: u8 },
+    Srai { rd: u8, rs1: u8, shamt: u8 },
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    Sll { rd: u8, rs1: u8, rs2: u8 },
+    Slt { rd: u8, rs1: u8, rs2: u8 },
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    Srl { rd: u8, rs1: u8, rs2: u8 },
+    Sra { rd: u8, rs1: u8, rs2: u8 },
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    And { rd: u8, rs1: u8, rs2: u8 },
+    Fence,
+    Ecall,
+    Ebreak,
+    // ---- M ----
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    Mulh { rd: u8, rs1: u8, rs2: u8 },
+    Mulhsu { rd: u8, rs1: u8, rs2: u8 },
+    Mulhu { rd: u8, rs1: u8, rs2: u8 },
+    Div { rd: u8, rs1: u8, rs2: u8 },
+    Divu { rd: u8, rs1: u8, rs2: u8 },
+    Rem { rd: u8, rs1: u8, rs2: u8 },
+    Remu { rd: u8, rs1: u8, rs2: u8 },
+    // ---- F (single precision) ----
+    Flw { rd: u8, rs1: u8, imm: i32 },
+    Fsw { rs1: u8, rs2: u8, imm: i32 },
+    FaddS { rd: u8, rs1: u8, rs2: u8 },
+    FsubS { rd: u8, rs1: u8, rs2: u8 },
+    FmulS { rd: u8, rs1: u8, rs2: u8 },
+    FdivS { rd: u8, rs1: u8, rs2: u8 },
+    FsqrtS { rd: u8, rs1: u8 },
+    FsgnjS { rd: u8, rs1: u8, rs2: u8 },
+    FsgnjnS { rd: u8, rs1: u8, rs2: u8 },
+    FsgnjxS { rd: u8, rs1: u8, rs2: u8 },
+    FminS { rd: u8, rs1: u8, rs2: u8 },
+    FmaxS { rd: u8, rs1: u8, rs2: u8 },
+    FcvtWS { rd: u8, rs1: u8 },
+    FcvtWuS { rd: u8, rs1: u8 },
+    FmvXW { rd: u8, rs1: u8 },
+    FeqS { rd: u8, rs1: u8, rs2: u8 },
+    FltS { rd: u8, rs1: u8, rs2: u8 },
+    FleS { rd: u8, rs1: u8, rs2: u8 },
+    FcvtSW { rd: u8, rs1: u8 },
+    FcvtSWu { rd: u8, rs1: u8 },
+    FmvWX { rd: u8, rs1: u8 },
+}
+
+impl Inst {
+    /// Whether this instruction reads or writes data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            Inst::Lb { .. }
+                | Inst::Lh { .. }
+                | Inst::Lw { .. }
+                | Inst::Lbu { .. }
+                | Inst::Lhu { .. }
+                | Inst::Sb { .. }
+                | Inst::Sh { .. }
+                | Inst::Sw { .. }
+                | Inst::Flw { .. }
+                | Inst::Fsw { .. }
+        )
+    }
+
+    /// Whether this instruction may redirect the PC.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. }
+                | Inst::Jalr { .. }
+                | Inst::Beq { .. }
+                | Inst::Bne { .. }
+                | Inst::Blt { .. }
+                | Inst::Bge { .. }
+                | Inst::Bltu { .. }
+                | Inst::Bgeu { .. }
+        )
+    }
+}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sext(value: u32, width: u32) -> i32 {
+    let shift = 32 - width;
+    ((value << shift) as i32) >> shift
+}
+
+fn imm_i(w: u32) -> i32 {
+    sext(bits(w, 31, 20), 12)
+}
+
+fn imm_s(w: u32) -> i32 {
+    sext((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12)
+}
+
+fn imm_b(w: u32) -> i32 {
+    sext(
+        (bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) | (bits(w, 30, 25) << 5)
+            | (bits(w, 11, 8) << 1),
+        13,
+    )
+}
+
+fn imm_u(w: u32) -> i32 {
+    (w & 0xFFFF_F000) as i32
+}
+
+fn imm_j(w: u32) -> i32 {
+    sext(
+        (bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) | (bits(w, 20, 20) << 11)
+            | (bits(w, 30, 21) << 1),
+        21,
+    )
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`CentError::RiscvTrap`] for encodings outside the supported
+/// RV32IMF subset (the hardware would raise an illegal-instruction trap).
+pub fn decode(w: u32) -> CentResult<Inst> {
+    let opcode = bits(w, 6, 0);
+    let rd = bits(w, 11, 7) as u8;
+    let rs1 = bits(w, 19, 15) as u8;
+    let rs2 = bits(w, 24, 20) as u8;
+    let funct3 = bits(w, 14, 12);
+    let funct7 = bits(w, 31, 25);
+    let illegal = || CentError::RiscvTrap(format!("illegal instruction {w:#010x}"));
+
+    let inst = match opcode {
+        0b0110111 => Inst::Lui { rd, imm: imm_u(w) },
+        0b0010111 => Inst::Auipc { rd, imm: imm_u(w) },
+        0b1101111 => Inst::Jal { rd, imm: imm_j(w) },
+        0b1100111 if funct3 == 0 => Inst::Jalr { rd, rs1, imm: imm_i(w) },
+        0b1100011 => {
+            let imm = imm_b(w);
+            match funct3 {
+                0b000 => Inst::Beq { rs1, rs2, imm },
+                0b001 => Inst::Bne { rs1, rs2, imm },
+                0b100 => Inst::Blt { rs1, rs2, imm },
+                0b101 => Inst::Bge { rs1, rs2, imm },
+                0b110 => Inst::Bltu { rs1, rs2, imm },
+                0b111 => Inst::Bgeu { rs1, rs2, imm },
+                _ => return Err(illegal()),
+            }
+        }
+        0b0000011 => {
+            let imm = imm_i(w);
+            match funct3 {
+                0b000 => Inst::Lb { rd, rs1, imm },
+                0b001 => Inst::Lh { rd, rs1, imm },
+                0b010 => Inst::Lw { rd, rs1, imm },
+                0b100 => Inst::Lbu { rd, rs1, imm },
+                0b101 => Inst::Lhu { rd, rs1, imm },
+                _ => return Err(illegal()),
+            }
+        }
+        0b0100011 => {
+            let imm = imm_s(w);
+            match funct3 {
+                0b000 => Inst::Sb { rs1, rs2, imm },
+                0b001 => Inst::Sh { rs1, rs2, imm },
+                0b010 => Inst::Sw { rs1, rs2, imm },
+                _ => return Err(illegal()),
+            }
+        }
+        0b0010011 => {
+            let imm = imm_i(w);
+            let shamt = rs2;
+            match funct3 {
+                0b000 => Inst::Addi { rd, rs1, imm },
+                0b010 => Inst::Slti { rd, rs1, imm },
+                0b011 => Inst::Sltiu { rd, rs1, imm },
+                0b100 => Inst::Xori { rd, rs1, imm },
+                0b110 => Inst::Ori { rd, rs1, imm },
+                0b111 => Inst::Andi { rd, rs1, imm },
+                0b001 if funct7 == 0 => Inst::Slli { rd, rs1, shamt },
+                0b101 if funct7 == 0 => Inst::Srli { rd, rs1, shamt },
+                0b101 if funct7 == 0b0100000 => Inst::Srai { rd, rs1, shamt },
+                _ => return Err(illegal()),
+            }
+        }
+        0b0110011 => match (funct7, funct3) {
+            (0b0000000, 0b000) => Inst::Add { rd, rs1, rs2 },
+            (0b0100000, 0b000) => Inst::Sub { rd, rs1, rs2 },
+            (0b0000000, 0b001) => Inst::Sll { rd, rs1, rs2 },
+            (0b0000000, 0b010) => Inst::Slt { rd, rs1, rs2 },
+            (0b0000000, 0b011) => Inst::Sltu { rd, rs1, rs2 },
+            (0b0000000, 0b100) => Inst::Xor { rd, rs1, rs2 },
+            (0b0000000, 0b101) => Inst::Srl { rd, rs1, rs2 },
+            (0b0100000, 0b101) => Inst::Sra { rd, rs1, rs2 },
+            (0b0000000, 0b110) => Inst::Or { rd, rs1, rs2 },
+            (0b0000000, 0b111) => Inst::And { rd, rs1, rs2 },
+            (0b0000001, 0b000) => Inst::Mul { rd, rs1, rs2 },
+            (0b0000001, 0b001) => Inst::Mulh { rd, rs1, rs2 },
+            (0b0000001, 0b010) => Inst::Mulhsu { rd, rs1, rs2 },
+            (0b0000001, 0b011) => Inst::Mulhu { rd, rs1, rs2 },
+            (0b0000001, 0b100) => Inst::Div { rd, rs1, rs2 },
+            (0b0000001, 0b101) => Inst::Divu { rd, rs1, rs2 },
+            (0b0000001, 0b110) => Inst::Rem { rd, rs1, rs2 },
+            (0b0000001, 0b111) => Inst::Remu { rd, rs1, rs2 },
+            _ => return Err(illegal()),
+        },
+        0b0001111 => Inst::Fence,
+        0b1110011 => match bits(w, 31, 20) {
+            0 => Inst::Ecall,
+            1 => Inst::Ebreak,
+            _ => return Err(illegal()),
+        },
+        0b0000111 if funct3 == 0b010 => Inst::Flw { rd, rs1, imm: imm_i(w) },
+        0b0100111 if funct3 == 0b010 => Inst::Fsw { rs1, rs2, imm: imm_s(w) },
+        0b1010011 => match funct7 {
+            0b0000000 => Inst::FaddS { rd, rs1, rs2 },
+            0b0000100 => Inst::FsubS { rd, rs1, rs2 },
+            0b0001000 => Inst::FmulS { rd, rs1, rs2 },
+            0b0001100 => Inst::FdivS { rd, rs1, rs2 },
+            0b0101100 if rs2 == 0 => Inst::FsqrtS { rd, rs1 },
+            0b0010000 => match funct3 {
+                0b000 => Inst::FsgnjS { rd, rs1, rs2 },
+                0b001 => Inst::FsgnjnS { rd, rs1, rs2 },
+                0b010 => Inst::FsgnjxS { rd, rs1, rs2 },
+                _ => return Err(illegal()),
+            },
+            0b0010100 => match funct3 {
+                0b000 => Inst::FminS { rd, rs1, rs2 },
+                0b001 => Inst::FmaxS { rd, rs1, rs2 },
+                _ => return Err(illegal()),
+            },
+            0b1100000 => match rs2 {
+                0 => Inst::FcvtWS { rd, rs1 },
+                1 => Inst::FcvtWuS { rd, rs1 },
+                _ => return Err(illegal()),
+            },
+            0b1110000 if rs2 == 0 && funct3 == 0 => Inst::FmvXW { rd, rs1 },
+            0b1010000 => match funct3 {
+                0b010 => Inst::FeqS { rd, rs1, rs2 },
+                0b001 => Inst::FltS { rd, rs1, rs2 },
+                0b000 => Inst::FleS { rd, rs1, rs2 },
+                _ => return Err(illegal()),
+            },
+            0b1101000 => match rs2 {
+                0 => Inst::FcvtSW { rd, rs1 },
+                1 => Inst::FcvtSWu { rd, rs1 },
+                _ => return Err(illegal()),
+            },
+            0b1111000 if rs2 == 0 && funct3 == 0 => Inst::FmvWX { rd, rs1 },
+            _ => return Err(illegal()),
+        },
+        _ => return Err(illegal()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_addi() {
+        // addi x1, x2, 10  ->  imm=10 rs1=2 funct3=000 rd=1 opcode=0010011
+        let w = (10 << 20) | (2 << 15) | (1 << 7) | 0b0010011;
+        assert_eq!(decode(w).unwrap(), Inst::Addi { rd: 1, rs1: 2, imm: 10 });
+    }
+
+    #[test]
+    fn decode_negative_immediate() {
+        // addi x1, x0, -1
+        let w = (0xFFFu32 << 20) | (1 << 7) | 0b0010011;
+        assert_eq!(decode(w).unwrap(), Inst::Addi { rd: 1, rs1: 0, imm: -1 });
+    }
+
+    #[test]
+    fn decode_branch_immediate_reassembly() {
+        // beq x0, x0, -4 : B-imm of -4.
+        // imm[12]=1 imm[10:5]=111111 imm[4:1]=1110 imm[11]=1
+        let w = (1 << 31) | (0b111111 << 25) | (0b1110 << 8) | (1 << 7) | 0b1100011;
+        assert_eq!(decode(w).unwrap(), Inst::Beq { rs1: 0, rs2: 0, imm: -4 });
+    }
+
+    #[test]
+    fn decode_mul_div() {
+        let mul = (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0b0110011;
+        assert_eq!(decode(mul).unwrap(), Inst::Mul { rd: 1, rs1: 2, rs2: 3 });
+        let div = (1 << 25) | (0b100 << 12) | (3 << 20) | (2 << 15) | (1 << 7) | 0b0110011;
+        assert_eq!(decode(div).unwrap(), Inst::Div { rd: 1, rs1: 2, rs2: 3 });
+    }
+
+    #[test]
+    fn decode_fsqrt() {
+        let w = (0b0101100 << 25) | (2 << 15) | (1 << 7) | 0b1010011;
+        assert_eq!(decode(w).unwrap(), Inst::FsqrtS { rd: 1, rs1: 2 });
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0).is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Inst::Lw { rd: 1, rs1: 0, imm: 0 }.is_mem());
+        assert!(Inst::Jal { rd: 0, imm: 8 }.is_branch());
+        assert!(!Inst::Add { rd: 1, rs1: 2, rs2: 3 }.is_branch());
+    }
+}

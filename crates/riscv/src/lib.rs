@@ -1,0 +1,50 @@
+//! RV32IMF interpreter, assembler and BOOM timing model for CENT's PNM cores.
+//!
+//! Each CENT CXL device integrates eight BOOM-2wide RISC-V cores that execute
+//! "less common operations (such as square root and inversion)" over the
+//! device's Shared Buffer (§4.2 of the paper). This crate is the substrate
+//! standing in for those cores:
+//!
+//! * [`Cpu`] — a functional RV32IMF core over a pluggable [`Bus`];
+//! * [`assemble`] — a two-pass assembler so PNM routines can be written as
+//!   readable assembly in `cent-pnm`;
+//! * [`BoomTimingModel`] — a deterministic instruction-class cost model for
+//!   the 2-wide core at the 2 GHz PNM clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use cent_riscv::{assemble, BoomTimingModel, Cpu, Halt, Ram};
+//!
+//! # fn main() -> Result<(), cent_types::CentError> {
+//! let program = assemble(
+//!     "li t0, 0x40800000    # 4.0f
+//!      fmv.w.x f0, t0
+//!      fsqrt.s f1, f0
+//!      fmv.x.w a0, f1
+//!      ecall",
+//! )?;
+//! let mut ram = Ram::new(4096);
+//! let mut cpu = Cpu::new();
+//! cpu.load_program(&mut ram, 0, &program)?;
+//! assert_eq!(cpu.run(&mut ram, 100)?, Halt::Ecall);
+//! assert_eq!(f32::from_bits(cpu.x(10)), 2.0);
+//!
+//! // And how long would the BOOM-2wide core take?
+//! let t = BoomTimingModel::default().latency(cpu.stats());
+//! assert!(t.as_ns() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod cpu;
+mod inst;
+mod timing;
+
+pub use asm::assemble;
+pub use cpu::{Bus, Cpu, ExecStats, Halt, Ram};
+pub use inst::{decode, Inst};
+pub use timing::BoomTimingModel;

@@ -1,0 +1,112 @@
+//! Timing approximation for the BOOM-2wide cores.
+//!
+//! The paper does not simulate the cores cycle-accurately either — they are
+//! small contributors to the latency budget (Figure 14c shows PNM as a thin
+//! slice). We use a deterministic per-instruction-class cost model for a
+//! 2-wide out-of-order core at the 2 GHz PNM clock:
+//!
+//! * base throughput 2 instructions/cycle (cost 0.5 cycles each);
+//! * loads/stores limited by the single Shared Buffer port (1 cycle);
+//! * taken branches cost a front-end redirect (3 cycles, amortised view of
+//!   BOOM's mispredict penalty times a typical taken-branch mispredict rate);
+//! * integer multiply 3 cycles, divide 12 cycles (unpipelined);
+//! * FP add/mul/convert 1 cycle effective, FP divide/sqrt 10 cycles.
+
+use cent_types::{consts, Time};
+
+use crate::cpu::ExecStats;
+
+/// Per-class cycle costs for the BOOM-2wide model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoomTimingModel {
+    /// Cycles per plain ALU instruction (2-wide issue → 0.5).
+    pub alu: f64,
+    /// Cycles per load/store.
+    pub mem: f64,
+    /// Extra cycles per taken branch.
+    pub taken_branch: f64,
+    /// Cycles per integer multiply.
+    pub mul: f64,
+    /// Cycles per integer divide.
+    pub div: f64,
+    /// Cycles per short FP op.
+    pub fp: f64,
+    /// Cycles per FP divide or square root.
+    pub fp_div_sqrt: f64,
+    /// Core clock frequency in Hz.
+    pub clock_hz: f64,
+}
+
+impl Default for BoomTimingModel {
+    fn default() -> Self {
+        BoomTimingModel {
+            alu: 0.5,
+            mem: 1.0,
+            taken_branch: 3.0,
+            mul: 3.0,
+            div: 12.0,
+            fp: 1.0,
+            fp_div_sqrt: 10.0,
+            clock_hz: consts::PNM_CLOCK_HZ,
+        }
+    }
+}
+
+impl BoomTimingModel {
+    /// Estimated cycles to retire the given instruction mix.
+    pub fn cycles(&self, stats: &ExecStats) -> f64 {
+        let special =
+            stats.mem_ops + stats.muls + stats.divs + stats.fp_ops + stats.fp_div_sqrt;
+        let plain = stats.retired.saturating_sub(special) as f64;
+        plain * self.alu
+            + stats.mem_ops as f64 * self.mem
+            + stats.taken_branches as f64 * self.taken_branch
+            + stats.muls as f64 * self.mul
+            + stats.divs as f64 * self.div
+            + stats.fp_ops as f64 * self.fp
+            + stats.fp_div_sqrt as f64 * self.fp_div_sqrt
+    }
+
+    /// Estimated wall-clock time to retire the given instruction mix.
+    pub fn latency(&self, stats: &ExecStats) -> Time {
+        Time::from_secs_f64(self.cycles(stats) / self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_code_runs_at_two_wide() {
+        let stats = ExecStats { retired: 100, ..Default::default() };
+        let model = BoomTimingModel::default();
+        assert_eq!(model.cycles(&stats), 50.0);
+        // 50 cycles at 2 GHz = 25 ns.
+        assert_eq!(model.latency(&stats).as_ns(), 25.0);
+    }
+
+    #[test]
+    fn long_latency_ops_dominate() {
+        let stats = ExecStats { retired: 10, divs: 10, ..Default::default() };
+        let model = BoomTimingModel::default();
+        assert_eq!(model.cycles(&stats), 120.0);
+    }
+
+    #[test]
+    fn mixed_workload() {
+        let stats = ExecStats {
+            retired: 20,
+            mem_ops: 4,
+            taken_branches: 2,
+            muls: 1,
+            divs: 0,
+            fp_ops: 3,
+            fp_div_sqrt: 1,
+            ..Default::default()
+        };
+        let model = BoomTimingModel::default();
+        // plain = 20 - (4+1+3+1) = 11 → 5.5 + mem 4 + branch 6 + mul 3 + fp 3 + fds 10
+        assert!((model.cycles(&stats) - 31.5).abs() < 1e-12);
+    }
+}

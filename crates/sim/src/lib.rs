@@ -1,0 +1,20 @@
+//! CENT system performance simulator.
+//!
+//! Follows the paper's methodology (§6): one transformer-block trace is
+//! simulated cycle-by-cycle on the GDDR6-PIM/PNM timing models, then
+//! composed across blocks, pipeline stages, tensor shards and data-parallel
+//! replicas with the CXL fabric model supplying communication costs.
+//!
+//! * [`simulate_block_step`]/[`simulate_block_avg`] — per-block timing with
+//!   phase attribution and activity counters;
+//! * [`evaluate`] — throughput/latency/breakdown of a full deployment;
+//! * [`qos_sweep`] — the PP↔TP spectrum of Figure 14(b);
+//! * [`scalability_sweep`] — the device-count scaling of Figure 19.
+
+#![warn(missing_docs)]
+
+mod block_sim;
+mod perf;
+
+pub use block_sim::{simulate_block_avg, simulate_block_step, simulate_placed_block_step, BlockTiming};
+pub use perf::{evaluate, qos_sweep, scalability_sweep, CentPerformance, QosPoint, ScalePoint};

@@ -1,0 +1,79 @@
+//! Error types shared across the CENT workspace.
+
+use core::fmt;
+
+/// Errors produced by the CENT simulator crates.
+///
+/// Every public fallible function in the workspace returns `Result<T, CentError>`
+/// (aliased as [`CentResult`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CentError {
+    /// A configuration value was inconsistent or out of range.
+    InvalidConfig(String),
+    /// An address (bank/row/column/slot) fell outside the addressable range.
+    AddressOutOfRange(String),
+    /// A memory allocation request could not be satisfied.
+    OutOfMemory(String),
+    /// An instruction could not be decoded or was malformed.
+    InvalidInstruction(String),
+    /// The simulated machine reached an illegal state (e.g. protocol violation).
+    ProtocolViolation(String),
+    /// A model could not be mapped onto the requested hardware configuration.
+    MappingFailed(String),
+    /// A RISC-V program trapped (illegal instruction, misaligned access, ...).
+    RiscvTrap(String),
+    /// Functional verification found a mismatch against the reference.
+    VerificationFailed(String),
+}
+
+impl CentError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        CentError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for mapping errors.
+    pub fn mapping(msg: impl Into<String>) -> Self {
+        CentError::MappingFailed(msg.into())
+    }
+}
+
+impl fmt::Display for CentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CentError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CentError::AddressOutOfRange(m) => write!(f, "address out of range: {m}"),
+            CentError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            CentError::InvalidInstruction(m) => write!(f, "invalid instruction: {m}"),
+            CentError::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
+            CentError::MappingFailed(m) => write!(f, "model mapping failed: {m}"),
+            CentError::RiscvTrap(m) => write!(f, "risc-v trap: {m}"),
+            CentError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CentError {}
+
+/// Result alias used across the workspace.
+pub type CentResult<T> = Result<T, CentError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CentError::config("devices must be > 0");
+        assert_eq!(e.to_string(), "invalid configuration: devices must be > 0");
+        let e = CentError::RiscvTrap("illegal instruction at pc=0x10".into());
+        assert!(e.to_string().starts_with("risc-v trap"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CentError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Foundation types for the CENT simulator workspace.
+//!
+//! CENT ("PIM Is All You Need: A CXL-Enabled GPU-Free System for Large
+//! Language Model Inference", ASPLOS 2025) is a GPU-free LLM inference system
+//! built from CXL memory-expansion devices with near-bank processing units.
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Bf16`] — the brain-float format the near-bank MAC trees operate on;
+//! * typed identifiers for the hardware hierarchy ([`DeviceId`],
+//!   [`ChannelId`], [`BankId`], [`RowAddr`], [`ColAddr`], [`SbSlot`], ...);
+//! * physical units ([`Time`], [`ByteSize`], [`Bandwidth`], [`Energy`],
+//!   [`Power`], [`Dollars`]);
+//! * the paper's architecture constants ([`consts`]);
+//! * the shared error type ([`CentError`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cent_types::{consts, Bf16, ByteSize};
+//!
+//! // One CXL device holds 16 GiB of GDDR6-PIM across 32 channels.
+//! assert_eq!(consts::DEVICE_CAPACITY, ByteSize::gib(16));
+//!
+//! let x = Bf16::from_f32(0.5) + Bf16::from_f32(0.25);
+//! assert_eq!(x.to_f32(), 0.75);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bf16;
+pub mod consts;
+mod error;
+mod ids;
+mod units;
+
+pub use bf16::{Beat, Bf16, BF16_RELATIVE_ERROR, ZERO_BEAT};
+pub use error::{CentError, CentResult};
+pub use ids::{
+    AccRegId, BankGroupId, BankId, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot,
+};
+pub use units::{Bandwidth, ByteSize, Dollars, Energy, Power, Time};

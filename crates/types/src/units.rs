@@ -1,0 +1,661 @@
+//! Physical units used throughout the simulator.
+//!
+//! Time is tracked in **picoseconds** as integers so the 0.5 ns granularity
+//! of GDDR6 command clocks (`tCK`) never accumulates floating-point error;
+//! convenience constructors accept nanoseconds. Energy, power, bandwidth and
+//! money use `f64` newtypes.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(0);
+
+    /// Constructs from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Constructs from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Constructs from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Constructs from fractional nanoseconds (rounded to the nearest ps).
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Time {
+        Time((ns * 1_000.0).round() as u64)
+    }
+
+    /// Constructs from fractional seconds (rounded to the nearest ps).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        Time((s * 1e12).round() as u64)
+    }
+
+    /// Picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds, as a float.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Microseconds, as a float.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Milliseconds, as a float.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Seconds, as a float.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Largest of two times (used when merging dependency chains).
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction (durations never go negative).
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies a duration by an integer count.
+    #[inline]
+    pub const fn times(self, n: u64) -> Time {
+        Time(self.0 * n)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        Time(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns())
+        }
+    }
+}
+
+/// A byte count. Displays in human units; stores exact bytes.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Constructs from bytes.
+    #[inline]
+    pub const fn bytes(n: u64) -> ByteSize {
+        ByteSize(n)
+    }
+
+    /// Constructs from binary kilobytes.
+    #[inline]
+    pub const fn kib(n: u64) -> ByteSize {
+        ByteSize(n * 1024)
+    }
+
+    /// Constructs from binary megabytes.
+    #[inline]
+    pub const fn mib(n: u64) -> ByteSize {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// Constructs from binary gigabytes.
+    #[inline]
+    pub const fn gib(n: u64) -> ByteSize {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    /// Exact byte count.
+    #[inline]
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Gigabytes (binary), as a float.
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Megabytes (binary), as a float.
+    #[inline]
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Time to move this many bytes at `bw`.
+    #[inline]
+    pub fn transfer_time(self, bw: Bandwidth) -> Time {
+        Time::from_secs_f64(self.0 as f64 / bw.as_bytes_per_sec())
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * KIB;
+        const GIB: u64 = 1024 * MIB;
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Data-movement bandwidth in bytes per second.
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    /// Constructs from GB/s (decimal, as in interconnect datasheets).
+    #[inline]
+    pub const fn gb_per_sec(gb: f64) -> Bandwidth {
+        Bandwidth(gb * 1e9)
+    }
+
+    /// Constructs from TB/s.
+    #[inline]
+    pub const fn tb_per_sec(tb: f64) -> Bandwidth {
+        Bandwidth(tb * 1e12)
+    }
+
+    /// Bytes per second.
+    #[inline]
+    pub const fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// GB/s as a float.
+    #[inline]
+    pub fn as_gb_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Scales the bandwidth (e.g. derating for protocol overhead).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth(self.0 * factor)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e12 {
+            write!(f, "{:.2}TB/s", self.0 / 1e12)
+        } else {
+            write!(f, "{:.2}GB/s", self.0 / 1e9)
+        }
+    }
+}
+
+/// Energy in joules.
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Energy(pub f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Constructs from joules.
+    #[inline]
+    pub const fn joules(j: f64) -> Energy {
+        Energy(j)
+    }
+
+    /// Constructs from picojoules.
+    #[inline]
+    pub const fn pj(pj: f64) -> Energy {
+        Energy(pj * 1e-12)
+    }
+
+    /// Constructs from nanojoules.
+    #[inline]
+    pub const fn nj(nj: f64) -> Energy {
+        Energy(nj * 1e-9)
+    }
+
+    /// Joules.
+    #[inline]
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Picojoules.
+    #[inline]
+    pub fn as_pj(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Average power when spent over `t`.
+    #[inline]
+    pub fn over(self, t: Time) -> Power {
+        Power(self.0 / t.as_secs())
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Debug for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0 {
+            write!(f, "{:.3}J", self.0)
+        } else if self.0.abs() >= 1e-3 {
+            write!(f, "{:.3}mJ", self.0 * 1e3)
+        } else if self.0.abs() >= 1e-6 {
+            write!(f, "{:.3}uJ", self.0 * 1e6)
+        } else {
+            write!(f, "{:.3}nJ", self.0 * 1e9)
+        }
+    }
+}
+
+/// Power in watts.
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Power(pub f64);
+
+impl Power {
+    /// Zero watts.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Constructs from watts.
+    #[inline]
+    pub const fn watts(w: f64) -> Power {
+        Power(w)
+    }
+
+    /// Constructs from milliwatts.
+    #[inline]
+    pub const fn mw(mw: f64) -> Power {
+        Power(mw * 1e-3)
+    }
+
+    /// Watts.
+    #[inline]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Energy consumed over duration `t` at this power.
+    #[inline]
+    pub fn for_duration(self, t: Time) -> Energy {
+        Energy(self.0 * t.as_secs())
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    #[inline]
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    #[inline]
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        Power(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Debug for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0 {
+            write!(f, "{:.2}W", self.0)
+        } else {
+            write!(f, "{:.2}mW", self.0 * 1e3)
+        }
+    }
+}
+
+/// US dollars (TCO modelling).
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Dollars(pub f64);
+
+impl Dollars {
+    /// Zero dollars.
+    pub const ZERO: Dollars = Dollars(0.0);
+
+    /// Constructs from a dollar amount.
+    #[inline]
+    pub const fn new(amount: f64) -> Dollars {
+        Dollars(amount)
+    }
+
+    /// The raw amount.
+    #[inline]
+    pub const fn amount(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn add(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dollars {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dollars) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn sub(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn mul(self, rhs: f64) -> Dollars {
+        Dollars(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn div(self, rhs: f64) -> Dollars {
+        Dollars(self.0 / rhs)
+    }
+}
+
+impl Sum for Dollars {
+    fn sum<I: Iterator<Item = Dollars>>(iter: I) -> Dollars {
+        Dollars(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Dollars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Dollars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(Time::from_ns(5).as_ps(), 5_000);
+        assert_eq!(Time::from_us(2).as_ns(), 2_000.0);
+        assert_eq!(Time::from_ns_f64(0.5).as_ps(), 500);
+        assert_eq!(Time::from_secs_f64(1e-9).as_ps(), 1_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(3);
+        assert_eq!((a + b).as_ns(), 13.0);
+        assert_eq!((a - b).as_ns(), 7.0);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.times(4).as_ns(), 12.0);
+        let total: Time = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 16.0);
+    }
+
+    #[test]
+    fn time_display_scales() {
+        assert_eq!(Time::from_ns(5).to_string(), "5.000ns");
+        assert_eq!(Time::from_us(5).to_string(), "5.000us");
+        assert_eq!(Time::from_us(5_000).to_string(), "5.000ms");
+        assert_eq!(Time::from_secs_f64(2.0).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn byte_size_conversions() {
+        assert_eq!(ByteSize::kib(2).as_bytes(), 2048);
+        assert_eq!(ByteSize::mib(32).as_bytes(), 32 * 1024 * 1024);
+        assert_eq!(ByteSize::gib(16).as_gib(), 16.0);
+        assert_eq!((ByteSize::mib(1) * 3).as_mib(), 3.0);
+        assert_eq!(ByteSize::gib(1).to_string(), "1.00GiB");
+    }
+
+    #[test]
+    fn transfer_time_uses_bandwidth() {
+        // 32 GB at 32 GB/s takes 1 second.
+        let t = ByteSize::bytes(32_000_000_000).transfer_time(Bandwidth::gb_per_sec(32.0));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_power_duality() {
+        let p = Power::watts(10.0);
+        let e = p.for_duration(Time::from_secs_f64(2.0));
+        assert!((e.as_joules() - 20.0).abs() < 1e-12);
+        let back = e.over(Time::from_secs_f64(2.0));
+        assert!((back.as_watts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_units() {
+        assert!((Energy::pj(3.97).as_joules() - 3.97e-12).abs() < 1e-24);
+        assert_eq!(Energy::pj(1.0).as_pj().round(), 1.0);
+        assert_eq!(Power::mw(250.0).as_watts(), 0.25);
+    }
+
+    #[test]
+    fn dollars_arithmetic() {
+        let hw = Dollars::new(14_873.0);
+        let per_hour = hw / (3.0 * 365.0 * 24.0);
+        assert!(per_hour.amount() > 0.5 && per_hour.amount() < 0.6);
+        assert_eq!((Dollars::new(1.0) + Dollars::new(2.0)).amount(), 3.0);
+        assert_eq!(Dollars::new(2.5).to_string(), "$2.50");
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(Bandwidth::gb_per_sec(32.0).to_string(), "32.00GB/s");
+        assert_eq!(Bandwidth::tb_per_sec(16.0).to_string(), "16.00TB/s");
+        assert_eq!(Bandwidth::gb_per_sec(100.0).scale(0.5).as_gb_per_sec(), 50.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Chatbot serving: the throughput-critical deployment of §5.1/§7.1 —
+//! Llama2-7B pipeline-parallel across 8 CXL devices, with the paper's
+//! 512-in/3584-out query mix.
+//!
+//! Run with: `cargo run --release --example chatbot_serving`
+use cent_compiler::Strategy;
+use cent_model::ModelConfig;
+use cent_sim::evaluate;
+
+fn main() -> Result<(), cent_types::CentError> {
+    let cfg = ModelConfig::llama2_7b();
+    let devices = 8;
+    println!("serving {} on {devices} CENT devices (pipeline parallel)...", cfg.name);
+    let perf = evaluate(&cfg, devices, Strategy::PipelineParallel, 4096)?;
+    println!("pipeline stages (= batch): {}", perf.mapping.batch);
+    println!("channels per block:        {}", perf.mapping.channels_per_block);
+    println!("block step time:           {}", perf.block.total);
+    println!("decode throughput:         {:.0} tokens/s", perf.decode_tokens_per_s);
+    println!("prefill throughput:        {:.0} tokens/s", perf.prefill_tokens_per_s);
+    println!("token latency per query:   {}", perf.token_latency);
+    let q = perf.query_latency(512, 3584);
+    println!("query latency (512+3584):  {:.2} min", q.as_secs() / 60.0);
+    println!("queries per minute:        {:.2}", perf.queries_per_minute(512, 3584));
+    let b = perf.breakdown;
+    println!(
+        "per-token breakdown: PIM {:.1}% | PNM {:.1}% | CXL {:.1}% | host {:.1}%",
+        100.0 * b.pim.as_secs() / b.total().as_secs(),
+        100.0 * b.pnm.as_secs() / b.total().as_secs(),
+        100.0 * b.cxl.as_secs() / b.total().as_secs(),
+        100.0 * b.host.as_secs() / b.total().as_secs(),
+    );
+    Ok(())
+}

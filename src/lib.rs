@@ -1,0 +1,1 @@
+pub use cent as core_api;

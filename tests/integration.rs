@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: traces compiled by `cent-compiler`
+//! executing on `cent-device` over the `cent-cxl` fabric, verified against
+//! `cent-model`'s reference.
+use cent::{verify_block, CentSystem, ModelConfig, Strategy};
+use cent_model::{reference_block, KvCache};
+
+fn input(cfg: &ModelConfig, t: usize) -> Vec<f32> {
+    (0..cfg.hidden).map(|i| 0.1 * ((i as f32 * 0.37 + t as f32 * 1.3).sin())).collect()
+}
+
+#[test]
+fn full_tiny_model_decode_matches_reference_across_blocks() {
+    let cfg = ModelConfig::tiny();
+    let mut system = CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).unwrap();
+    system.load_random_weights(7).unwrap();
+
+    // Reference: both blocks chained with their own KV caches.
+    let w: Vec<_> = (0..cfg.layers).map(|b| system.block_weights(b).unwrap().clone()).collect();
+    let mut caches: Vec<KvCache> = (0..cfg.layers).map(|_| KvCache::new()).collect();
+
+    for t in 0..3 {
+        let x = input(&cfg, t);
+        let mut expect = x.clone();
+        for b in 0..cfg.layers {
+            expect = reference_block(&cfg, &w[b], &expect, &mut caches[b], t);
+        }
+        let got = system.decode_token(&x, t).unwrap();
+        let scale = expect.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() <= 0.06 * (e.abs() + scale),
+                "token {t} elem {i}: {g} vs {e} (scale {scale})"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_block_verifies_independently() {
+    let cfg = ModelConfig::tiny();
+    let mut system = CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).unwrap();
+    system.load_random_weights(99).unwrap();
+    for block in 0..cfg.layers {
+        let report = verify_block(&mut system, block, 2, 0.05).unwrap();
+        assert_eq!(report.tokens, 2, "block {block}");
+    }
+}
+
+#[test]
+fn timing_only_system_reports_elapsed_time() {
+    let cfg = ModelConfig::tiny();
+    let mut system = CentSystem::timing_only(&cfg, 1, Strategy::PipelineParallel).unwrap();
+    system.load_random_weights(1).unwrap();
+    let x = input(&cfg, 0);
+    let _ = system.decode_token(&x, 0).unwrap();
+    assert!(system.elapsed() > cent::Time::ZERO);
+    let b = system.breakdown();
+    assert!(b.total() > cent::Time::ZERO);
+}
+
+#[test]
+fn mapping_and_placement_are_consistent() {
+    let cfg = ModelConfig::llama2_7b();
+    let system = CentSystem::timing_only(&cfg, 8, Strategy::PipelineParallel).unwrap();
+    let mapping = system.mapping();
+    assert_eq!(mapping.blocks_per_device, 4);
+    assert_eq!(mapping.channels_per_block, 8);
+    // Every block has a placement on its assigned device's channels.
+    for b in 0..cfg.layers {
+        let p = system.placement(b).unwrap();
+        assert_eq!(p.channels.len(), 8);
+    }
+}
+
+#[test]
+fn trace_statistics_confirm_mac_dominance() {
+    // §2's justification for the hierarchical PIM-PNM design, on a real
+    // compiled block trace.
+    use cent_compiler::{compile_decode_step, BlockPlacement};
+    use cent_isa::analyze;
+    let cfg = ModelConfig::llama2_7b();
+    let channels: Vec<_> = (0..8).map(cent_types::ChannelId).collect();
+    let p = BlockPlacement::plan(&cfg, channels).unwrap();
+    let step = compile_decode_step(&p, 1024).unwrap();
+    let stats = analyze(&step.trace);
+    assert!(
+        stats.mac_flop_fraction() > 0.99,
+        "MAC fraction {}",
+        stats.mac_flop_fraction()
+    );
+    // The trace fits the 2 MB instruction buffer.
+    assert!(step.trace.len() * cent_isa::INST_BYTES <= 2 * 1024 * 1024);
+}
+
+#[test]
+fn prefill_then_decode_matches_reference_continuation() {
+    // §5.5: prefill fills the KV caches token by token; a decode right after
+    // must see exactly the state the reference sees.
+    let cfg = ModelConfig::tiny();
+    let mut system = CentSystem::functional(&cfg, 1, Strategy::PipelineParallel).unwrap();
+    system.load_random_weights(55).unwrap();
+    let w: Vec<_> = (0..cfg.layers).map(|b| system.block_weights(b).unwrap().clone()).collect();
+
+    let prompt: Vec<Vec<f32>> = (0..4).map(|t| input(&cfg, t)).collect();
+    let cent_last = system.prefill(&prompt).unwrap();
+
+    let mut caches: Vec<KvCache> = (0..cfg.layers).map(|_| KvCache::new()).collect();
+    let mut expect_last = Vec::new();
+    for (t, x) in prompt.iter().enumerate() {
+        let mut v = x.clone();
+        for b in 0..cfg.layers {
+            v = reference_block(&cfg, &w[b], &v, &mut caches[b], t);
+        }
+        expect_last = v;
+    }
+    let scale = expect_last.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+    for (g, e) in cent_last.iter().zip(&expect_last) {
+        assert!((g - e).abs() <= 0.06 * (e.abs() + scale), "prefill tail: {g} vs {e}");
+    }
+
+    // One decode step continuing from the prefilled caches.
+    let x = input(&cfg, 4);
+    let got = system.decode_token(&x, 4).unwrap();
+    let mut expect = x.clone();
+    for b in 0..cfg.layers {
+        expect = reference_block(&cfg, &w[b], &expect, &mut caches[b], 4);
+    }
+    let scale = expect.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+    for (g, e) in got.iter().zip(&expect) {
+        assert!((g - e).abs() <= 0.06 * (e.abs() + scale), "decode after prefill: {g} vs {e}");
+    }
+}
+
+#[test]
+fn hybrid_mapping_builds_and_runs() {
+    let cfg = ModelConfig::tiny();
+    let mut system =
+        CentSystem::functional(&cfg, 2, Strategy::Hybrid { tp: 2 }).unwrap();
+    system.load_random_weights(3).unwrap();
+    let out = system.decode_token(&input(&cfg, 0), 0).unwrap();
+    assert_eq!(out.len(), cfg.hidden);
+    assert_eq!(system.mapping().tp_degree, 2);
+}
