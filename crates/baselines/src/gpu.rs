@@ -120,8 +120,7 @@ impl GpuSystem {
         }
         let bw = self.spec.mem_bw * self.gpus as f64 * self.eff.mem_efficiency;
         let weight_bytes = (cfg.total_params() * 2) as f64;
-        let kv_bytes_per_query =
-            cfg.kv_bytes_per_query(context / 2).as_bytes() as f64; // average growth
+        let kv_bytes_per_query = cfg.kv_bytes_per_query(context / 2).as_bytes() as f64; // average growth
         let bytes_per_step = weight_bytes + kv_bytes_per_query * batch as f64;
         // Compute ceiling (GEMM efficiency improves with batch).
         let flops_per_step = cfg.decode_flops_per_token(context / 2) as f64 * batch as f64;

@@ -18,11 +18,10 @@ mod gpu;
 mod pim_systems;
 
 pub use gpu::{throttle_trace, GpuSpec, GpuSystem, ServingEfficiency, ThrottlePoint};
-pub use pim_systems::{table1, HwSpec, PimNode};
 pub(crate) use pim_systems::KWH_PRICE_LOCAL;
+pub use pim_systems::{table1, HwSpec, PimNode};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cent_types::Rng64;
 
 /// GPU compute utilization of high-operational-intensity models
 /// (Figure 2b: BERT ≈ 43%, ResNet-152 ≈ 80%; Llama2-70B ≈ 21%).
@@ -38,12 +37,9 @@ pub fn encoder_utilization(model: &str) -> f64 {
 /// the published dataset statistics (mean input ≈ 160, mean output ≈ 210,
 /// heavy tail), seeded for reproducibility.
 pub fn sharegpt_lengths(n: usize, seed: u64) -> Vec<(usize, usize)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed(seed);
     let mut sample = |mu: f64, sigma: f64, cap: usize| -> usize {
-        // Box-Muller for a normal, exponentiated to a log-normal.
-        let u1: f64 = rng.gen_range(1e-9..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let z = rng.normal();
         ((mu + sigma * z).exp() as usize).clamp(4, cap)
     };
     (0..n).map(|_| (sample(4.6, 1.0, 2048), sample(5.0, 0.9, 2048))).collect()

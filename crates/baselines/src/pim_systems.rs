@@ -161,8 +161,7 @@ impl PimNode {
         if weights >= capacity {
             return 0;
         }
-        ((capacity - weights) / cfg.kv_bytes_per_query(context).as_bytes() as f64).floor()
-            as usize
+        ((capacity - weights) / cfg.kv_bytes_per_query(context).as_bytes() as f64).floor() as usize
     }
 
     /// Decode throughput at `batch`, `context` (roofline over the split

@@ -34,14 +34,14 @@ fn main() {
     let payload = ByteSize::kib(16);
     let targets: Vec<DeviceId> = (1..32).map(DeviceId).collect();
     let mut mc = CxlFabric::new(FabricConfig::cent(32));
-    let bcast =
-        mc.broadcast(NodeId::Device(DeviceId(0)), &targets, payload, Time::ZERO).unwrap();
+    let bcast = mc.broadcast(NodeId::Device(DeviceId(0)), &targets, payload, Time::ZERO).unwrap();
     let mut uc = CxlFabric::new(FabricConfig::without_multicast(32));
     let mut serial = Time::ZERO;
     for &d in &targets {
-        serial =
-            uc.write(NodeId::Device(DeviceId(0)), NodeId::Device(d), payload, serial).unwrap()
-                .completed_at;
+        serial = uc
+            .write(NodeId::Device(DeviceId(0)), NodeId::Device(d), payload, serial)
+            .unwrap()
+            .completed_at;
     }
     report.push_series(
         "multicast vs serial unicast (16 KB to 31 devices)",

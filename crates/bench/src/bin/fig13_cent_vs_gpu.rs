@@ -4,9 +4,9 @@ use cent_baselines::GpuSystem;
 use cent_bench::{geomean, Report};
 use cent_compiler::Strategy;
 use cent_cost::tokens_per_dollar;
-use cent_types::Dollars;
 use cent_model::ModelConfig;
 use cent_sim::evaluate;
+use cent_types::Dollars;
 
 fn main() {
     let ctx = 4096usize;
@@ -32,10 +32,9 @@ fn main() {
     for (cfg, devices, gpus) in cases {
         let gpu = GpuSystem::a100x(gpus);
         // (a) latency-critical: batch 1, TP on CENT.
-        let cent_tp = evaluate(&cfg, devices, Strategy::TensorParallel, ctx)
-            .expect("tp evaluation");
-        let gpu_tok_latency =
-            1.0 / gpu.decode_tokens_per_s(&cfg, 1, ctx).max(1e-9);
+        let cent_tp =
+            evaluate(&cfg, devices, Strategy::TensorParallel, ctx).expect("tp evaluation");
+        let gpu_tok_latency = 1.0 / gpu.decode_tokens_per_s(&cfg, 1, ctx).max(1e-9);
         let cent_tok_latency = cent_tp.token_latency.as_secs();
         let lat_speedup = gpu_tok_latency / cent_tok_latency;
         lat_rows.push((cfg.name.to_string(), lat_speedup));

@@ -26,10 +26,7 @@ fn main() {
         };
         let gpu_batch = gpu.max_batch(&cfg, ctx).clamp(1, 128);
         let gpu_tput = gpu.decode_tokens_per_s(&cfg, gpu_batch, ctx);
-        speedups.push((
-            format!("{}K", ctx / 1024),
-            cent.decode_tokens_per_s / gpu_tput,
-        ));
+        speedups.push((format!("{}K", ctx / 1024), cent.decode_tokens_per_s / gpu_tput));
     }
     report.push_series("(a) decode speedup vs context", "x", &speedups);
 

@@ -3,7 +3,9 @@ use cent_baselines::{throttle_trace, GpuSpec, GpuSystem};
 use cent_bench::{geomean, Report};
 use cent_compiler::Strategy;
 use cent_model::ModelConfig;
-use cent_power::{device_power, tokens_per_joule, ControllerPowerModel, DramEnergyModel, HOST_CPU_POWER};
+use cent_power::{
+    device_power, tokens_per_joule, ControllerPowerModel, DramEnergyModel, HOST_CPU_POWER,
+};
 use cent_sim::evaluate;
 use cent_types::Power;
 

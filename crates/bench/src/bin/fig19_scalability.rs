@@ -18,10 +18,8 @@ fn main() {
                 .iter()
                 .map(|p| (format!("{} devices", p.devices), p.tokens_per_s / 1000.0))
                 .collect();
-            let util: Vec<(String, f64)> = points
-                .iter()
-                .map(|p| (format!("{} devices", p.devices), p.utilization))
-                .collect();
+            let util: Vec<(String, f64)> =
+                points.iter().map(|p| (format!("{} devices", p.devices), p.utilization)).collect();
             report.push_series("decode throughput", "K tokens/s", &tput);
             report.push_series("device utilization", "fraction", &util);
         }

@@ -9,10 +9,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// Paper-vs-measured record for one experiment series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series name (e.g. "decode throughput, Llama2-70B").
     pub name: String,
@@ -25,7 +23,7 @@ pub struct Series {
 }
 
 /// A complete experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id ("fig13", "table4", ...).
     pub id: String,
@@ -73,9 +71,57 @@ impl Report {
         let dir = results_dir();
         let _ = fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.json", self.id));
-        if let Ok(json) = serde_json::to_string_pretty(self) {
-            let _ = fs::write(path, json);
+        let _ = fs::write(path, self.to_json());
+    }
+
+    /// Serialises the report as pretty-printed JSON (hand-rolled; the build
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"paper_reference\": {},\n", json_str(&self.paper_reference)));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&s.name)));
+            let xs: Vec<String> = s.x.iter().map(|x| json_str(x)).collect();
+            out.push_str(&format!("      \"x\": [{}],\n", xs.join(", ")));
+            let ys: Vec<String> = s.y.iter().map(|y| json_f64(*y)).collect();
+            out.push_str(&format!("      \"y\": [{}],\n", ys.join(", ")));
+            out.push_str(&format!("      \"unit\": {}\n", json_str(&s.unit)));
+            out.push_str(if i + 1 < self.series.len() { "    },\n" } else { "    }\n" });
         }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report fields can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (JSON has no NaN/Inf; map them to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -109,9 +155,11 @@ mod tests {
 
     #[test]
     fn report_round_trips_to_json() {
-        let mut r = Report::new("test", "Test", "n/a");
+        let mut r = Report::new("test", "Test \"quoted\"", "n/a");
         r.push_series("s", "unit", &[("a".into(), 1.0), ("b".into(), 2.0)]);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"id\":\"test\""));
+        let json = r.to_json();
+        assert!(json.contains("\"id\": \"test\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("[1, 2]"), "{json}");
     }
 }

@@ -19,9 +19,7 @@
 //! are folded into the weight matrices at load time (exact rewrites).
 
 use cent_types::consts::{ACC_REGS_PER_PU, COLS_PER_ROW, LANES_PER_BEAT};
-use cent_types::{
-    BankId, CentError, CentResult, ChannelId, ChannelMask, ColAddr, RowAddr, SbSlot,
-};
+use cent_types::{BankId, CentError, CentResult, ChannelId, ChannelMask, ColAddr, RowAddr, SbSlot};
 
 use cent_isa::Instruction;
 use cent_model::{FfnKind, ModelConfig, PositionalKind};
@@ -43,9 +41,7 @@ pub fn sb_demand(cfg: &ModelConfig, channels: usize) -> usize {
     let pass_slots = |m: usize| groups(m).div_ceil(c).min(ACC_REGS_PER_PU) * c;
     let out_slots = |m: usize| groups(m).div_ceil(c) * c;
     let h = cfg.hidden;
-    let ring = pass_slots(h)
-        .max(pass_slots(cfg.kv_dim()))
-        .max(pass_slots(cfg.ffn_hidden));
+    let ring = pass_slots(h).max(pass_slots(cfg.kv_dim())).max(pass_slots(cfg.ffn_hidden));
     let tmp = pass_slots(h).max(pass_slots(h)); // wo and w2 both output `h`
     let x = out_slots(h).max(h.div_ceil(LANES_PER_BEAT));
     let up_ring = if cfg.ffn == FfnKind::GatedSilu { pass_slots(cfg.ffn_hidden) } else { 0 };
@@ -142,8 +138,7 @@ impl BlockPlacement {
             let slot_on_channel = head / channels.len();
             let mut base = kv_base;
             for _ in 0..slot_on_channel {
-                let (probe, next) =
-                    KvLayout::plan(channel, base, cfg.head_dim(), cfg.max_context)?;
+                let (probe, next) = KvLayout::plan(channel, base, cfg.head_dim(), cfg.max_context)?;
                 let _ = probe;
                 base = next;
             }
@@ -163,8 +158,7 @@ impl BlockPlacement {
         };
         let rope_table = rows.alloc(rope_rows.max(1))?;
         let dot_row = rows.alloc(h.div_ceil(LANES_PER_BEAT * 8).div_ceil(COLS_PER_ROW).max(1))?;
-        let norm_rows =
-            h.div_ceil(LANES_PER_BEAT * 4).div_ceil(COLS_PER_ROW).max(1);
+        let norm_rows = h.div_ceil(LANES_PER_BEAT * 4).div_ceil(COLS_PER_ROW).max(1);
         let norm_row = rows.alloc(norm_rows)?;
         let chunk = ACC_REGS_PER_PU * LANES_PER_BEAT * channels.len();
         let ffn_rows = chunk.div_ceil(LANES_PER_BEAT * 4).div_ceil(COLS_PER_ROW).max(1);
@@ -293,8 +287,7 @@ pub fn compile_decode_step(p: &BlockPlacement, position: usize) -> CentResult<Bl
 
     // ---- Phase 1: RMSNorm(x) into the norm scratch banks. -----------------
     b.set_phase(BlockPhase::Norm);
-    let norm_stride =
-        b.rmsnorm_to_scratch(chmask, p.dot_row, p.norm_row, x_slot, h, scratch);
+    let norm_stride = b.rmsnorm_to_scratch(chmask, p.dot_row, p.norm_row, x_slot, h, scratch);
     let normed = VecSource::ScratchQuartered { row: p.norm_row, per_group: norm_stride };
 
     // ---- Phase 2: K projection, RoPE, cache append. ------------------------
@@ -384,8 +377,17 @@ pub fn compile_decode_step(p: &BlockPlacement, position: usize) -> CentResult<Bl
                 b.set_phase(BlockPhase::Attention);
                 let kv = &kv_layouts[head / group];
                 emit_attention_head(
-                    b, kv, q_slot, ctx, hd_beats, score_slot, exp_slot, head_raw, head_scalar,
-                    denom, denom_sum,
+                    b,
+                    kv,
+                    q_slot,
+                    ctx,
+                    hd_beats,
+                    score_slot,
+                    exp_slot,
+                    head_raw,
+                    head_scalar,
+                    denom,
+                    denom_sum,
                 );
                 // Scale by 1/Σexp into the final head vector.
                 b.emit(Instruction::Riscv {
@@ -404,8 +406,7 @@ pub fn compile_decode_step(p: &BlockPlacement, position: usize) -> CentResult<Bl
 
     // ---- Phase 5: RMSNorm(x1) and the FFN. ---------------------------------
     b.set_phase(BlockPhase::Norm);
-    let norm_stride2 =
-        b.rmsnorm_to_scratch(chmask, p.dot_row, p.norm_row, x_slot, h, scratch);
+    let norm_stride2 = b.rmsnorm_to_scratch(chmask, p.dot_row, p.norm_row, x_slot, h, scratch);
     let normed2 = VecSource::ScratchQuartered { row: p.norm_row, per_group: norm_stride2 };
     let gate_ring = ring;
     let up_ring = b.sb.alloc(ring_slots)?;
@@ -559,7 +560,12 @@ fn emit_rope(
             rs: rope_ab,
         });
     }
-    b.emit(Instruction::EwMul { chmask: ChannelMask::single(channel), opsize: hd_beats as u32, row, col });
+    b.emit(Instruction::EwMul {
+        chmask: ChannelMask::single(channel),
+        opsize: hd_beats as u32,
+        row,
+        col,
+    });
     b.emit(Instruction::RdSbk {
         ch: channel,
         opsize: hd_beats as u32,
@@ -644,11 +650,7 @@ fn emit_attention_head(
             });
         }
         // exp() on the PNM exponent units.
-        b.emit(Instruction::Exp {
-            opsize: groups as u32,
-            rd: exp_slot,
-            rs: score_slot,
-        });
+        b.emit(Instruction::Exp { opsize: groups as u32, rd: exp_slot, rs: score_slot });
         // Clear the padded lanes of the final group: their keys are zero, so
         // exp(0)=1 would pollute the softmax denominator.
         let last_token = (seg_base + groups * LANES_PER_BEAT).min(seg_base + seg_tokens_max);

@@ -244,9 +244,9 @@ impl TraceBuilder {
                 while beat < tile_end {
                     let quarter = beat / per_group;
                     let qbeat = beat % per_group;
-                    let run = (tile_end - beat).min(per_group - qbeat).min(
-                        COLS_PER_ROW - qbeat % COLS_PER_ROW,
-                    );
+                    let run = (tile_end - beat)
+                        .min(per_group - qbeat)
+                        .min(COLS_PER_ROW - qbeat % COLS_PER_ROW);
                     self.emit(Instruction::CopyBkGb {
                         chmask,
                         opsize: run as u32,
@@ -273,13 +273,7 @@ impl TraceBuilder {
     /// [`Self::gemv_accumulate`]. Multi-pass single-shot is still allowed;
     /// each pass has exclusive use of the registers because its `RD_MAC`
     /// completes before the next pass starts.
-    pub fn gemv(
-        &mut self,
-        layout: &GemvLayout,
-        source: VecSource,
-        out: SbSlot,
-        af_id: Option<u8>,
-    ) {
+    pub fn gemv(&mut self, layout: &GemvLayout, source: VecSource, out: SbSlot, af_id: Option<u8>) {
         let chmask = layout.chmask();
         let channels = layout.channels.len();
         for pass in 0..layout.passes {
@@ -307,11 +301,7 @@ impl TraceBuilder {
             }
             for reg in 0..regs {
                 if let Some(af) = af_id {
-                    self.emit(Instruction::Af {
-                        chmask,
-                        af_id: af,
-                        reg: AccRegId::new(reg as u8),
-                    });
+                    self.emit(Instruction::Af { chmask, af_id: af, reg: AccRegId::new(reg as u8) });
                 }
                 self.emit(Instruction::RdMac {
                     chmask,
@@ -473,11 +463,7 @@ impl TraceBuilder {
             }
             for reg in 0..regs {
                 if let Some(af) = af_id {
-                    self.emit(Instruction::Af {
-                        chmask,
-                        af_id: af,
-                        reg: AccRegId::new(reg as u8),
-                    });
+                    self.emit(Instruction::Af { chmask, af_id: af, reg: AccRegId::new(reg as u8) });
                 }
                 let local = layout.out_slot(0, pass, reg) - pass * pass_slots;
                 self.emit(Instruction::RdMac {
@@ -717,28 +703,6 @@ impl TraceBuilder {
 mod tests {
     use super::*;
     use crate::layout::GemvLayout;
-
-/// Which block phase an instruction belongs to (latency attribution for the
-/// tensor-parallel composition and Figure 14c).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum BlockPhase {
-    /// RMSNorm choreography (dot product, scale, element-wise multiply).
-    Norm,
-    /// Q/K/V projection GEMVs.
-    FcQkv,
-    /// Rotary-embedding products and combines.
-    Rope,
-    /// KV-cache appends.
-    KvAppend,
-    /// Attention scores, softmax and value accumulation.
-    Attention,
-    /// Output projection.
-    FcWo,
-    /// FFN matrices and gate products.
-    FcFfn,
-    /// Anything else (setup, communication).
-    Other,
-}
 
     fn chans(n: u16) -> Vec<ChannelId> {
         (0..n).map(ChannelId).collect()

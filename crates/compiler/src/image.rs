@@ -40,7 +40,15 @@ struct ImageBuilder {
 }
 
 impl ImageBuilder {
-    fn set(&mut self, ch: ChannelId, bank: BankId, row: RowAddr, col: ColAddr, lane: usize, v: f32) {
+    fn set(
+        &mut self,
+        ch: ChannelId,
+        bank: BankId,
+        row: RowAddr,
+        col: ColAddr,
+        lane: usize,
+        v: f32,
+    ) {
         let beat = self.beats.entry((ch, bank, row, col)).or_insert(ZERO_BEAT);
         beat[lane] = Bf16::from_f32(v);
     }
@@ -99,8 +107,7 @@ pub fn weight_image(p: &BlockPlacement, w: &BlockWeights) -> Vec<BankWrite> {
         for pos in 0..cfg.max_context {
             let (row, col) = p.rope_entry(pos);
             for pair in 0..pairs {
-                let theta =
-                    (pos as f32) * f32::powf(10_000.0, -2.0 * (pair as f32) / (hd as f32));
+                let theta = (pos as f32) * f32::powf(10_000.0, -2.0 * (pair as f32) / (hd as f32));
                 let (sin, cos) = theta.sin_cos();
                 // Element index within the head run: cos half then sin half.
                 let write = |img: &mut ImageBuilder, bank: BankId, idx: usize, v: f32| {

@@ -93,10 +93,7 @@ impl GemvLayout {
 
     /// The DRAM row of `(pass, reg, tile)` — identical in all banks/channels.
     pub fn dram_row(&self, pass: usize, reg: usize, tile: usize) -> RowAddr {
-        RowAddr(
-            self.base_row.0
-                + ((pass * ACC_REGS_PER_PU + reg) * self.tiles + tile) as u32,
-        )
+        RowAddr(self.base_row.0 + ((pass * ACC_REGS_PER_PU + reg) * self.tiles + tile) as u32)
     }
 
     /// Beats in input tile `tile` (the final tile may be short).
@@ -116,7 +113,12 @@ impl GemvLayout {
         row: usize,
         elem: usize,
     ) -> (ChannelId, BankId, RowAddr, ColAddr, usize) {
-        assert!(row < self.m && elem < self.n, "element ({row},{elem}) out of {}x{}", self.m, self.n);
+        assert!(
+            row < self.m && elem < self.n,
+            "element ({row},{elem}) out of {}x{}",
+            self.m,
+            self.n
+        );
         let group = row / LANES_PER_BEAT;
         let bank = BankId((row % LANES_PER_BEAT) as u16);
         let c = self.channels.len();
@@ -367,7 +369,7 @@ mod tests {
         assert_eq!(b17, BankId(1));
         assert_eq!(r17, RowAddr(100));
         assert_eq!(c17, ColAddr(8)); // second key of the bank: 8 beats in
-        // 4096/16 = 256 keys per bank × 128 elems = 32 rows of keys.
+                                     // 4096/16 = 256 keys per bank × 128 elems = 32 rows of keys.
         assert_eq!(kv.v_base, RowAddr(132));
         assert!(next > kv.v_base);
     }

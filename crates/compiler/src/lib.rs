@@ -19,7 +19,10 @@ mod image;
 mod layout;
 mod mapping;
 
-pub use block::{compile_decode_step, max_feasible_channels, sb_demand, BlockPlacement, BlockStep, SEGMENT_TOKENS_MAX};
+pub use block::{
+    compile_decode_step, max_feasible_channels, sb_demand, BlockPlacement, BlockStep,
+    SEGMENT_TOKENS_MAX,
+};
 pub use builder::{pc, BlockPhase, SbAllocator, TraceBuilder, VecSource};
 pub use image::{weight_image, BankWrite};
 pub use layout::{GemvLayout, KvLayout, RowAllocator, OUTPUTS_PER_PASS, TILE_ELEMS};

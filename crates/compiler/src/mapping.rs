@@ -219,9 +219,8 @@ mod tests {
     #[test]
     fn llama70b_pp_matches_paper_deployment() {
         // 80 blocks on 32 devices → 3 per device, 27 devices used (§7.2).
-        let plan =
-            SystemMapping::plan(&ModelConfig::llama2_70b(), 32, Strategy::PipelineParallel)
-                .unwrap();
+        let plan = SystemMapping::plan(&ModelConfig::llama2_70b(), 32, Strategy::PipelineParallel)
+            .unwrap();
         assert_eq!(plan.blocks_per_device, 3);
         assert_eq!(plan.used_devices, 27);
         assert_eq!(plan.channels_per_block, 10);
@@ -242,9 +241,8 @@ mod tests {
     #[test]
     fn idle_devices_when_blocks_do_not_divide() {
         // §7.4: 80 blocks over 44 devices keeps the 40-device distribution.
-        let plan =
-            SystemMapping::plan(&ModelConfig::llama2_70b(), 44, Strategy::PipelineParallel)
-                .unwrap();
+        let plan = SystemMapping::plan(&ModelConfig::llama2_70b(), 44, Strategy::PipelineParallel)
+            .unwrap();
         assert_eq!(plan.blocks_per_device, 2);
         assert_eq!(plan.used_devices, 40);
     }

@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use cent_compiler::{
-    compile_decode_step, weight_image, BlockPlacement, Strategy, SystemMapping,
-};
+use cent_compiler::{compile_decode_step, weight_image, BlockPlacement, Strategy, SystemMapping};
 use cent_cxl::{CommunicationEngine, FabricConfig};
 use cent_device::{CxlDevice, DeviceConfig, LatencyBreakdown};
 use cent_model::{BlockWeights, ModelConfig};
@@ -22,7 +20,7 @@ use cent_types::{Bf16, CentError, CentResult, ChannelId, DeviceId, SbSlot, Time}
 /// # Examples
 ///
 /// ```
-/// use cent::CentSystem;
+/// use cent_core::CentSystem;
 /// use cent_compiler::Strategy;
 /// use cent_model::ModelConfig;
 ///
@@ -56,11 +54,7 @@ impl CentSystem {
     /// # Errors
     ///
     /// Fails if the mapping does not fit the devices.
-    pub fn functional(
-        cfg: &ModelConfig,
-        devices: usize,
-        strategy: Strategy,
-    ) -> CentResult<Self> {
+    pub fn functional(cfg: &ModelConfig, devices: usize, strategy: Strategy) -> CentResult<Self> {
         Self::build(cfg, devices, strategy, true)
     }
 
@@ -69,11 +63,7 @@ impl CentSystem {
     /// # Errors
     ///
     /// Fails if the mapping does not fit the devices.
-    pub fn timing_only(
-        cfg: &ModelConfig,
-        devices: usize,
-        strategy: Strategy,
-    ) -> CentResult<Self> {
+    pub fn timing_only(cfg: &ModelConfig, devices: usize, strategy: Strategy) -> CentResult<Self> {
         Self::build(cfg, devices, strategy, false)
     }
 
@@ -98,8 +88,8 @@ impl CentSystem {
         // Pure TP: every block on device 0's channels (shard 0 is what we
         // simulate functionally; timing composition handles the rest).
         if mapping.assignments.is_empty() {
-            for b in 0..cfg.layers {
-                block_home[b] = Some((DeviceId(0), 0));
+            for home in block_home.iter_mut() {
+                *home = Some((DeviceId(0), 0));
             }
         }
         let usable = cent_compiler::max_feasible_channels(cfg, mapping.channels_per_block);
@@ -114,10 +104,7 @@ impl CentSystem {
             dev_map.entry(device).or_insert_with(|| {
                 CxlDevice::new(
                     device,
-                    DeviceConfig {
-                        channels: cent_types::consts::CHANNELS_PER_DEVICE,
-                        functional,
-                    },
+                    DeviceConfig { channels: cent_types::consts::CHANNELS_PER_DEVICE, functional },
                 )
             });
         }

@@ -42,9 +42,8 @@ pub fn verify_block(
     let mut max_abs = 0.0f32;
     let mut max_rel = 0.0f32;
     for t in 0..tokens {
-        let x: Vec<f32> = (0..cfg.hidden)
-            .map(|i| 0.1 * ((i as f32 * 0.37 + t as f32 * 1.3).sin()))
-            .collect();
+        let x: Vec<f32> =
+            (0..cfg.hidden).map(|i| 0.1 * ((i as f32 * 0.37 + t as f32 * 1.3).sin())).collect();
         let expect = reference_block(&cfg, &weights, &x, &mut cache, t);
         let got = system.decode_block_step(block, &x, t)?;
         // BF16 noise is proportional to the vector's magnitude, so gate on a

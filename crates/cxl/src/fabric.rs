@@ -293,7 +293,8 @@ impl CxlFabric {
                 continue;
             }
             let (ack_begin, _) = self.occupy_tx(node, delivered_at, self.ser_time(node, ack), ack);
-            let (_, ack_rx_end) = self.occupy_rx(src, ack_begin + hop, self.ser_time(src, ack), ack);
+            let (_, ack_rx_end) =
+                self.occupy_rx(src, ack_begin + hop, self.ser_time(src, ack), ack);
             completed_at = completed_at.max(ack_rx_end);
         }
         Ok(Transfer { delivered_at, completed_at })

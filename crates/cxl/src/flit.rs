@@ -7,7 +7,6 @@
 //! reserved code forwards the flit to every device named in a device-ID mask
 //! carried in the header (§4.1). This module packs and unpacks those flits.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cent_types::{CentError, CentResult, DeviceId};
 
 /// Flit size on the PCIe 6.0 physical layer.
@@ -114,17 +113,17 @@ pub struct Flit {
     /// (CENT modifies the CXL port to carry this in the header slot).
     pub dv_mask: u64,
     /// Payload carried in the data slots.
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
 }
 
 impl Flit {
     /// Builds a unicast write flit.
-    pub fn write(src: NodeId, dst: NodeId, payload: Bytes) -> Self {
+    pub fn write(src: NodeId, dst: NodeId, payload: Vec<u8>) -> Self {
         Flit { opcode: FlitOpcode::Rwd, src, dst, dv_mask: 0, payload }
     }
 
     /// Builds a broadcast flit targeting the devices in `dv_mask`.
-    pub fn broadcast(src: NodeId, dv_mask: u64, payload: Bytes) -> Self {
+    pub fn broadcast(src: NodeId, dv_mask: u64, payload: Vec<u8>) -> Self {
         Flit { opcode: FlitOpcode::Bcast, src, dst: NodeId::Host, dv_mask, payload }
     }
 
@@ -133,25 +132,25 @@ impl Flit {
     /// # Errors
     ///
     /// Fails if the payload exceeds [`FLIT_PAYLOAD`].
-    pub fn pack(&self) -> CentResult<Bytes> {
+    pub fn pack(&self) -> CentResult<Vec<u8>> {
         if self.payload.len() > FLIT_PAYLOAD {
             return Err(CentError::ProtocolViolation(format!(
                 "payload of {} bytes exceeds flit capacity {FLIT_PAYLOAD}",
                 self.payload.len()
             )));
         }
-        let mut buf = BytesMut::with_capacity(FLIT_BYTES);
-        buf.put_u8(self.opcode.code());
-        buf.put_u8(0); // reserved
-        buf.put_u16(self.src.encode());
-        buf.put_u16(self.dst.encode());
-        buf.put_u16(self.payload.len() as u16);
-        buf.put_u64(self.dv_mask);
-        buf.put_slice(&self.payload);
+        let mut buf = Vec::with_capacity(FLIT_BYTES);
+        buf.push(self.opcode.code());
+        buf.push(0); // reserved
+        buf.extend_from_slice(&self.src.encode().to_be_bytes());
+        buf.extend_from_slice(&self.dst.encode().to_be_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&self.dv_mask.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
         // CRC over header+payload (simple sum; stands in for the real CRC).
         let crc: u32 = buf.iter().map(|&b| u32::from(b)).sum();
-        buf.put_u32(crc);
-        Ok(buf.freeze())
+        buf.extend_from_slice(&crc.to_be_bytes());
+        Ok(buf)
     }
 
     /// Parses wire bytes back into a flit, verifying the CRC.
@@ -159,23 +158,24 @@ impl Flit {
     /// # Errors
     ///
     /// Fails on short input, bad opcode or CRC mismatch.
-    pub fn unpack(mut wire: Bytes) -> CentResult<Flit> {
+    pub fn unpack(wire: &[u8]) -> CentResult<Flit> {
         if wire.len() < HEADER_BYTES + 4 {
             return Err(CentError::ProtocolViolation("truncated flit".into()));
         }
-        let body = wire.slice(..wire.len() - 4);
-        let opcode = FlitOpcode::from_code(wire.get_u8())?;
-        let _reserved = wire.get_u8();
-        let src = NodeId::decode(wire.get_u16());
-        let dst = NodeId::decode(wire.get_u16());
-        let len = wire.get_u16() as usize;
-        let dv_mask = wire.get_u64();
-        if wire.len() < len + 4 {
+        let body = &wire[..wire.len() - 4];
+        let take_u16 = |at: usize| u16::from_be_bytes([wire[at], wire[at + 1]]);
+        let opcode = FlitOpcode::from_code(wire[0])?;
+        let _reserved = wire[1];
+        let src = NodeId::decode(take_u16(2));
+        let dst = NodeId::decode(take_u16(4));
+        let len = take_u16(6) as usize;
+        let dv_mask = u64::from_be_bytes(wire[8..16].try_into().expect("8-byte slice"));
+        if wire.len() < HEADER_BYTES + len + 4 {
             return Err(CentError::ProtocolViolation("flit payload truncated".into()));
         }
-        let payload = wire.slice(..len);
-        wire.advance(len);
-        let crc = wire.get_u32();
+        let payload = wire[HEADER_BYTES..HEADER_BYTES + len].to_vec();
+        let crc_at = HEADER_BYTES + len;
+        let crc = u32::from_be_bytes(wire[crc_at..crc_at + 4].try_into().expect("4-byte slice"));
         let expect: u32 = body.iter().map(|&b| u32::from(b)).sum();
         if crc != expect {
             return Err(CentError::ProtocolViolation(format!(
@@ -197,38 +197,35 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trip() {
-        let payload = Bytes::from(vec![7u8; 100]);
+        let payload = vec![7u8; 100];
         let flit = Flit::write(NodeId::Device(DeviceId(3)), NodeId::Device(DeviceId(9)), payload);
         let wire = flit.pack().unwrap();
-        let back = Flit::unpack(wire).unwrap();
+        let back = Flit::unpack(&wire).unwrap();
         assert_eq!(back, flit);
     }
 
     #[test]
     fn broadcast_carries_device_mask() {
-        let flit = Flit::broadcast(NodeId::Host, 0b1011, Bytes::from_static(b"emb"));
-        let back = Flit::unpack(flit.pack().unwrap()).unwrap();
+        let flit = Flit::broadcast(NodeId::Host, 0b1011, b"emb".to_vec());
+        let back = Flit::unpack(&flit.pack().unwrap()).unwrap();
         assert_eq!(back.opcode, FlitOpcode::Bcast);
         assert_eq!(back.dv_mask, 0b1011);
     }
 
     #[test]
     fn oversized_payload_rejected() {
-        let flit = Flit::write(
-            NodeId::Host,
-            NodeId::Device(DeviceId(0)),
-            Bytes::from(vec![0u8; FLIT_PAYLOAD + 1]),
-        );
+        let flit =
+            Flit::write(NodeId::Host, NodeId::Device(DeviceId(0)), vec![0u8; FLIT_PAYLOAD + 1]);
         assert!(flit.pack().is_err());
     }
 
     #[test]
     fn corrupted_crc_detected() {
-        let flit = Flit::write(NodeId::Host, NodeId::Device(DeviceId(0)), Bytes::from_static(b"x"));
-        let mut wire = flit.pack().unwrap().to_vec();
+        let flit = Flit::write(NodeId::Host, NodeId::Device(DeviceId(0)), b"x".to_vec());
+        let mut wire = flit.pack().unwrap();
         let last = wire.len() - 1;
         wire[last] ^= 0xFF;
-        assert!(Flit::unpack(Bytes::from(wire)).is_err());
+        assert!(Flit::unpack(&wire).is_err());
     }
 
     #[test]
@@ -242,8 +239,8 @@ mod tests {
 
     #[test]
     fn host_node_encoding() {
-        let flit = Flit::write(NodeId::Host, NodeId::Host, Bytes::new());
-        let back = Flit::unpack(flit.pack().unwrap()).unwrap();
+        let flit = Flit::write(NodeId::Host, NodeId::Host, Vec::new());
+        let back = Flit::unpack(&flit.pack().unwrap()).unwrap();
         assert_eq!(back.src, NodeId::Host);
         assert_eq!(back.dst, NodeId::Host);
     }

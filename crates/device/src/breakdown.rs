@@ -24,12 +24,8 @@ pub struct LatencyBreakdown {
 
 impl LatencyBreakdown {
     /// Zero breakdown.
-    pub const ZERO: LatencyBreakdown = LatencyBreakdown {
-        pim: Time::ZERO,
-        pnm: Time::ZERO,
-        cxl: Time::ZERO,
-        host: Time::ZERO,
-    };
+    pub const ZERO: LatencyBreakdown =
+        LatencyBreakdown { pim: Time::ZERO, pnm: Time::ZERO, cxl: Time::ZERO, host: Time::ZERO };
 
     /// Total across all components.
     pub fn total(&self) -> Time {

@@ -8,14 +8,14 @@
 //! §4.2. PNM instructions execute on the device clock; CXL receives stall
 //! until delivery.
 
-use cent_pim::{ActivationFunction, MacSource, PimChannel};
-use cent_pnm::{programs, PnmCore, PnmUnits, SharedBuffer};
-use cent_types::consts::{CHANNELS_PER_DEVICE, PNM_CLOCK_PERIOD, PNM_RISCV_CORES};
-use cent_types::{Beat, CentError, CentResult, ChannelId, DeviceId, SbSlot, Time};
 use cent_cxl::CommunicationEngine;
 use cent_dram::ActivityCounters;
 use cent_isa::{Instruction, MacOperand};
+use cent_pim::{ActivationFunction, MacSource, PimChannel};
 use cent_pnm::PnmStats;
+use cent_pnm::{programs, PnmCore, PnmUnits, SharedBuffer};
+use cent_types::consts::{CHANNELS_PER_DEVICE, PNM_CLOCK_PERIOD, PNM_RISCV_CORES};
+use cent_types::{Beat, CentError, CentResult, ChannelId, DeviceId, SbSlot, Time};
 
 use crate::breakdown::LatencyBreakdown;
 
@@ -123,7 +123,13 @@ impl CxlDevice {
     /// Creates a device.
     pub fn new(id: DeviceId, config: DeviceConfig) -> Self {
         let channels = (0..config.channels)
-            .map(|_| if config.functional { PimChannel::functional() } else { PimChannel::timing_only() })
+            .map(|_| {
+                if config.functional {
+                    PimChannel::functional()
+                } else {
+                    PimChannel::timing_only()
+                }
+            })
             .collect();
         CxlDevice {
             id,
@@ -198,9 +204,9 @@ impl CxlDevice {
 
     /// Direct channel access for inspection.
     pub fn channel(&self, ch: ChannelId) -> CentResult<&PimChannel> {
-        self.channels
-            .get(ch.index())
-            .ok_or_else(|| CentError::config(format!("device has {} channels", self.channels.len())))
+        self.channels.get(ch.index()).ok_or_else(|| {
+            CentError::config(format!("device has {} channels", self.channels.len()))
+        })
     }
 
     /// Preloads one beat into a bank without advancing timing — model
@@ -431,9 +437,8 @@ impl CxlDevice {
                 let beats: Vec<Beat> = (0..opsize)
                     .map(|i| self.sb.read(rs.offset(i as u16)))
                     .collect::<CentResult<_>>()?;
-                let targets: Vec<DeviceId> = (1..=u16::from(dv_count))
-                    .map(|i| DeviceId(self.id.0 + i))
-                    .collect();
+                let targets: Vec<DeviceId> =
+                    (1..=u16::from(dv_count)).map(|i| DeviceId(self.id.0 + i)).collect();
                 comm.broadcast_to_slot(self.id, &targets, rd, beats, self.now)?;
             }
         }
@@ -563,11 +568,8 @@ mod tests {
     fn pnm_softmax_pipeline() {
         let mut dev = small_device(0);
         // Scores in slot 0: [0, ln2, 0, ...] -> exp = [1, 2, 1 ...].
-        let scores = vec![
-            Bf16::from_f32(0.0),
-            Bf16::from_f32(core::f32::consts::LN_2),
-            Bf16::from_f32(0.0),
-        ];
+        let scores =
+            vec![Bf16::from_f32(0.0), Bf16::from_f32(core::f32::consts::LN_2), Bf16::from_f32(0.0)];
         dev.shared_buffer_mut().write_vec(SbSlot(0), &scores).unwrap();
         let trace = [
             Instruction::Exp { opsize: 1, rd: SbSlot(1), rs: SbSlot(0) },
@@ -663,7 +665,12 @@ mod tests {
         dev.shared_buffer_mut().write_vec(SbSlot(0), &[Bf16::ONE; 16]).unwrap();
         dev.run_trace(
             &[
-                Instruction::WrGb { chmask: ChannelMask(0b11), opsize: 1, gb_slot: 0, rs: SbSlot(0) },
+                Instruction::WrGb {
+                    chmask: ChannelMask(0b11),
+                    opsize: 1,
+                    gb_slot: 0,
+                    rs: SbSlot(0),
+                },
                 Instruction::MacAbk {
                     chmask: ChannelMask(0b11),
                     opsize: 4,
@@ -705,7 +712,12 @@ mod tests {
         }
         dev.run_trace(
             &[
-                Instruction::EwMul { chmask: ChannelMask(1), opsize: 1, row: RowAddr(1), col: ColAddr(0) },
+                Instruction::EwMul {
+                    chmask: ChannelMask(1),
+                    opsize: 1,
+                    row: RowAddr(1),
+                    col: ColAddr(0),
+                },
                 Instruction::RdSbk {
                     ch: ChannelId(0),
                     opsize: 1,

@@ -364,9 +364,7 @@ pub fn decode(word: &[u8; INST_BYTES]) -> CentResult<Instruction> {
             gb_slot: r.u8(),
             rs: SbSlot(r.u16()),
         },
-        other => {
-            return Err(CentError::InvalidInstruction(format!("unknown opcode {other:#04x}")))
-        }
+        other => return Err(CentError::InvalidInstruction(format!("unknown opcode {other:#04x}"))),
     })
 }
 
@@ -421,7 +419,12 @@ mod tests {
                 reg: AccRegId::new(0),
                 operand: MacOperand::NeighbourBank,
             },
-            Instruction::EwMul { chmask: ChannelMask(0xFF), opsize: 128, row: RowAddr(7), col: ColAddr(3) },
+            Instruction::EwMul {
+                chmask: ChannelMask(0xFF),
+                opsize: 128,
+                row: RowAddr(7),
+                col: ColAddr(3),
+            },
             Instruction::Af { chmask: ChannelMask::ALL, af_id: 4, reg: AccRegId::new(2) },
             Instruction::Exp { opsize: 256, rd: SbSlot(100), rs: SbSlot(200) },
             Instruction::Red { opsize: 1, rd: SbSlot(0), rs: SbSlot(2047) },
@@ -463,7 +466,11 @@ mod tests {
                 col: ColAddr(32),
                 gb_slot: 16,
             },
-            Instruction::WrBias { chmask: ChannelMask(0xF0), rs: SbSlot(11), reg: AccRegId::new(7) },
+            Instruction::WrBias {
+                chmask: ChannelMask(0xF0),
+                rs: SbSlot(11),
+                reg: AccRegId::new(7),
+            },
             Instruction::RdMac { chmask: ChannelMask(0x0F), rd: SbSlot(12), reg: AccRegId::new(8) },
             Instruction::WrGb { chmask: ChannelMask(3), opsize: 64, gb_slot: 0, rs: SbSlot(40) },
         ]

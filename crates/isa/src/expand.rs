@@ -38,11 +38,7 @@ pub fn flop_count(inst: &Instruction) -> u64 {
     match inst {
         Instruction::MacAbk { chmask, opsize, .. } => {
             // Each beat: 16 banks × 16 lanes × (mul + add).
-            u64::from(*opsize)
-                * u64::from(chmask.count())
-                * BANKS_PER_CHANNEL as u64
-                * lanes
-                * 2
+            u64::from(*opsize) * u64::from(chmask.count()) * BANKS_PER_CHANNEL as u64 * lanes * 2
         }
         Instruction::EwMul { chmask, opsize, .. } => {
             // Each beat: 4 bank groups × 16 lanes × 1 multiply.
@@ -159,7 +155,11 @@ mod tests {
         trace.push(Instruction::Exp { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
         trace.push(Instruction::Red { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
         trace.push(Instruction::Acc { opsize: 256, rd: SbSlot(0), rs: SbSlot(256) });
-        trace.push(Instruction::Af { chmask: ChannelMask::range(0, 10), af_id: 0, reg: AccRegId::new(0) });
+        trace.push(Instruction::Af {
+            chmask: ChannelMask::range(0, 10),
+            af_id: 0,
+            reg: AccRegId::new(0),
+        });
         let stats = analyze(&trace);
         assert!(stats.mac_flop_fraction() > 0.99, "got {}", stats.mac_flop_fraction());
     }

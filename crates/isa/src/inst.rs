@@ -15,9 +15,7 @@
 
 use core::fmt;
 
-use cent_types::{
-    AccRegId, BankId, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot,
-};
+use cent_types::{AccRegId, BankId, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot};
 
 /// Second-operand source of `MAC_ABK` (Figure 7a datapath mux).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -309,7 +307,9 @@ impl Instruction {
     pub fn is_cxl(&self) -> bool {
         matches!(
             self,
-            Instruction::SendCxl { .. } | Instruction::RecvCxl { .. } | Instruction::BcastCxl { .. }
+            Instruction::SendCxl { .. }
+                | Instruction::RecvCxl { .. }
+                | Instruction::BcastCxl { .. }
         )
     }
 
@@ -415,7 +415,8 @@ mod tests {
         assert!(sample().is_arithmetic());
         assert!(sample().is_pim());
         assert!(!sample().is_cxl());
-        let send = Instruction::SendCxl { dv: DeviceId(1), rs: SbSlot(0), rd: SbSlot(0), opsize: 4 };
+        let send =
+            Instruction::SendCxl { dv: DeviceId(1), rs: SbSlot(0), rd: SbSlot(0), opsize: 4 };
         assert!(send.is_cxl());
         assert!(!send.is_arithmetic());
         assert!(!send.is_pim());
@@ -440,13 +441,8 @@ mod tests {
         let insts = [
             sample().mnemonic(),
             Instruction::RecvCxl { opsize: 1 }.mnemonic(),
-            Instruction::WrGb {
-                chmask: ChannelMask::ALL,
-                opsize: 1,
-                gb_slot: 0,
-                rs: SbSlot(0),
-            }
-            .mnemonic(),
+            Instruction::WrGb { chmask: ChannelMask::ALL, opsize: 1, gb_slot: 0, rs: SbSlot(0) }
+                .mnemonic(),
         ];
         assert_eq!(insts, ["MAC_ABK", "RECV_CXL", "WR_GB"]);
     }

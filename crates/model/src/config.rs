@@ -214,8 +214,7 @@ impl ModelConfig {
     pub fn decode_flops_per_token(&self, context: usize) -> u64 {
         let weight_flops = 2 * self.params_per_block() * self.layers as u64;
         // Scores: heads × ctx × head_dim MACs; output: same again.
-        let attn_flops =
-            2 * 2 * (self.heads as u64) * (context as u64) * (self.head_dim() as u64);
+        let attn_flops = 2 * 2 * (self.heads as u64) * (context as u64) * (self.head_dim() as u64);
         weight_flops + attn_flops * self.layers as u64
     }
 

@@ -6,8 +6,7 @@
 //! KV cache → output projection → residual → RMSNorm → gated-SiLU FFN →
 //! residual.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cent_types::Rng64;
 
 use crate::config::{FfnKind, ModelConfig, PositionalKind};
 
@@ -30,8 +29,8 @@ impl Matrix {
 
     /// Small random weights (±0.08, uniform) — keeps activations in range
     /// for BF16 comparison without normalisation tricks.
-    pub fn random(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-0.08..0.08)).collect();
+    pub fn random(rows: usize, cols: usize, rng: &mut Rng64) -> Self {
+        let data = (0..rows * cols).map(|_| rng.uniform(-0.08, 0.08) as f32).collect();
         Matrix { rows, cols, data }
     }
 
@@ -86,8 +85,7 @@ pub fn gelu(x: f32) -> f32 {
 pub fn rope(head: &mut [f32], position: usize) {
     let dim = head.len();
     for pair in 0..dim / 2 {
-        let theta = (position as f32)
-            * f32::powf(10_000.0, -2.0 * (pair as f32) / (dim as f32));
+        let theta = (position as f32) * f32::powf(10_000.0, -2.0 * (pair as f32) / (dim as f32));
         let (sin, cos) = theta.sin_cos();
         let (a, b) = (head[2 * pair], head[2 * pair + 1]);
         head[2 * pair] = a * cos - b * sin;
@@ -121,7 +119,7 @@ pub struct BlockWeights {
 impl BlockWeights {
     /// Deterministic random weights for `cfg`.
     pub fn random(cfg: &ModelConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed(seed);
         let h = cfg.hidden;
         let kv = cfg.kv_dim();
         let f = cfg.ffn_hidden;
@@ -228,8 +226,7 @@ pub fn reference_block(
         FfnKind::GatedSilu => {
             let gate = w.w1.gemv(&normed2);
             let up = w.w3.gemv(&normed2);
-            let inner: Vec<f32> =
-                gate.iter().zip(&up).map(|(g, u)| silu(*g) * u).collect();
+            let inner: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| silu(*g) * u).collect();
             w.w2.gemv(&inner)
         }
         FfnKind::Gelu => {

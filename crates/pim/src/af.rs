@@ -154,10 +154,7 @@ mod tests {
                 let exact = f.exact(x);
                 let approx = lut.eval(x);
                 let tol = 1e-2_f32.max(exact.abs() * 2.0 / 256.0);
-                assert!(
-                    (approx - exact).abs() <= tol,
-                    "{f:?}({x}) = {exact}, lut gave {approx}"
-                );
+                assert!((approx - exact).abs() <= tol, "{f:?}({x}) = {exact}, lut gave {approx}");
             }
         }
     }

@@ -46,9 +46,7 @@ struct BankStorage {
 
 impl BankStorage {
     fn row_mut(&mut self, row: RowAddr) -> &mut [Bf16] {
-        self.rows
-            .entry(row.0)
-            .or_insert_with(|| vec![Bf16::ZERO; ELEMS_PER_ROW].into_boxed_slice())
+        self.rows.entry(row.0).or_insert_with(|| vec![Bf16::ZERO; ELEMS_PER_ROW].into_boxed_slice())
     }
 
     fn read_beat(&self, row: RowAddr, col: ColAddr) -> Beat {
@@ -259,15 +257,17 @@ impl PimChannel {
     /// # Errors
     ///
     /// Returns an error for out-of-range addresses.
-    pub fn read_beat(&mut self, bank: BankId, row: RowAddr, col: ColAddr) -> CentResult<(Beat, Time)> {
+    pub fn read_beat(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        col: ColAddr,
+    ) -> CentResult<(Beat, Time)> {
         self.check_addr(bank, row, col)?;
         self.open_all(row)?;
         let t = self.timing.issue(DramCommand::Rd { bank, col })?;
-        let beat = if self.functional {
-            self.banks[bank.index()].read_beat(row, col)
-        } else {
-            ZERO_BEAT
-        };
+        let beat =
+            if self.functional { self.banks[bank.index()].read_beat(row, col) } else { ZERO_BEAT };
         Ok((beat, t))
     }
 
@@ -463,11 +463,8 @@ impl PimChannel {
                         for k in 0..BANKS_PER_CHANNEL / 2 {
                             let a = self.banks[2 * k].read_beat(r, ColAddr(c as u32));
                             let b = self.banks[2 * k + 1].read_beat(r, ColAddr(c as u32));
-                            let dot: f32 = a
-                                .iter()
-                                .zip(b.iter())
-                                .map(|(x, y)| x.to_f32() * y.to_f32())
-                                .sum();
+                            let dot: f32 =
+                                a.iter().zip(b.iter()).map(|(x, y)| x.to_f32() * y.to_f32()).sum();
                             self.pus[2 * k].acc[reg.index()] += dot;
                         }
                     }
@@ -580,11 +577,17 @@ mod tests {
         let v: Vec<f32> = (0..16).map(|i| i as f32).collect();
         ch.write_gb(0, &beat_of(&v));
         ch.write_bias(AccRegId::new(0), &ZERO_BEAT);
-        ch.mac_abk(RowAddr(0), ColAddr(0), 1, AccRegId::new(0), MacSource::GlobalBuffer { slot: 0 })
-            .unwrap();
+        ch.mac_abk(
+            RowAddr(0),
+            ColAddr(0),
+            1,
+            AccRegId::new(0),
+            MacSource::GlobalBuffer { slot: 0 },
+        )
+        .unwrap();
         let (out, _) = ch.read_mac(AccRegId::new(0));
-        for p in 0..16 {
-            assert_eq!(out[p].to_f32(), 120.0, "pu {p}");
+        for (p, o) in out.iter().enumerate() {
+            assert_eq!(o.to_f32(), 120.0, "pu {p}");
         }
     }
 
@@ -600,8 +603,14 @@ mod tests {
             ch.write_gb(s, &beat_of(&[2.0; 16]));
         }
         ch.write_bias(AccRegId::new(3), &ZERO_BEAT);
-        ch.mac_abk(RowAddr(0), ColAddr(62), 3, AccRegId::new(3), MacSource::GlobalBuffer { slot: 0 })
-            .unwrap();
+        ch.mac_abk(
+            RowAddr(0),
+            ColAddr(62),
+            3,
+            AccRegId::new(3),
+            MacSource::GlobalBuffer { slot: 0 },
+        )
+        .unwrap();
         // 3 beats × 16 lanes × 1.0 × 2.0 = 96 for PU 0.
         assert_eq!(ch.acc(0, AccRegId::new(3)), 96.0);
         // The writes opened rows 0 and 1 (32 bank-acts) and the MAC stream
@@ -681,8 +690,14 @@ mod tests {
     fn timing_advances_with_work() {
         let mut ch = PimChannel::timing_only();
         ch.write_gb(0, &ZERO_BEAT);
-        ch.mac_abk(RowAddr(0), ColAddr(0), 64, AccRegId::new(0), MacSource::GlobalBuffer { slot: 0 })
-            .unwrap();
+        ch.mac_abk(
+            RowAddr(0),
+            ColAddr(0),
+            64,
+            AccRegId::new(0),
+            MacSource::GlobalBuffer { slot: 0 },
+        )
+        .unwrap();
         // 18 ns tRCD + 64 beats ≈ 82 ns minimum.
         assert!(ch.busy_until().as_ns() >= 82.0);
         assert_eq!(ch.activity().mac_beats, 64 * 16);
@@ -693,9 +708,7 @@ mod tests {
         let mut ch = PimChannel::functional();
         assert!(ch.write_beat(BankId(0), RowAddr(1_000_000), ColAddr(0), &ZERO_BEAT).is_err());
         assert!(ch.write_beat(BankId(0), RowAddr(0), ColAddr(64), &ZERO_BEAT).is_err());
-        assert!(ch
-            .copy_bank_to_gb(BankId(0), RowAddr(0), ColAddr(0), 60, 10)
-            .is_err());
+        assert!(ch.copy_bank_to_gb(BankId(0), RowAddr(0), ColAddr(0), 60, 10).is_err());
     }
 
     #[test]

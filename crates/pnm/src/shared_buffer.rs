@@ -97,9 +97,9 @@ impl SharedBuffer {
         let beats = values.len().div_ceil(16);
         for i in 0..beats {
             let mut beat = ZERO_BEAT;
-            for lane in 0..16 {
+            for (lane, out) in beat.iter_mut().enumerate() {
                 if let Some(v) = values.get(i * 16 + lane) {
-                    beat[lane] = *v;
+                    *out = *v;
                 }
             }
             self.write(slot.offset(i as u16), &beat)?;

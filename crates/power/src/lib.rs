@@ -122,8 +122,7 @@ pub fn device_power(
     let dram_energy = dram_model.energy(dram, elapsed);
     let mac_energy = dram_model.mac_beat * dram.mac_beats as f64
         + (dram_model.read_beat * 2.0 + dram_model.write_beat) * dram.ewmul_beats as f64;
-    let act_pre_energy =
-        dram_model.act * dram.acts as f64 + dram_model.pre * dram.pres as f64;
+    let act_pre_energy = dram_model.act * dram.acts as f64 + dram_model.pre * dram.pres as f64;
 
     // RISC-V cores: 250 mW when running; utilization from retired
     // instructions at ~2 IPC, 2 GHz.

@@ -130,8 +130,7 @@ fn parse_imm(token: &str, line_no: usize) -> CentResult<i64> {
 fn parse_mem(token: &str, line_no: usize) -> CentResult<(i64, u8)> {
     let t = token.trim().trim_end_matches(',');
     let open = t.find('(').ok_or_else(|| err(line_no, format!("expected imm(reg), got '{t}'")))?;
-    let close =
-        t.find(')').ok_or_else(|| err(line_no, format!("expected imm(reg), got '{t}'")))?;
+    let close = t.find(')').ok_or_else(|| err(line_no, format!("expected imm(reg), got '{t}'")))?;
     let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line_no)? };
     let reg = parse_reg(&t[open + 1..close], line_no)?;
     Ok((imm, reg))

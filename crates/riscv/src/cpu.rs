@@ -218,7 +218,12 @@ impl Cpu {
     /// # Errors
     ///
     /// Propagates bus store faults.
-    pub fn load_program<B: Bus>(&mut self, bus: &mut B, base: u32, words: &[u32]) -> CentResult<()> {
+    pub fn load_program<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        base: u32,
+        words: &[u32],
+    ) -> CentResult<()> {
         for (i, &w) in words.iter().enumerate() {
             bus.store32(base + (i as u32) * 4, w)?;
         }
@@ -395,7 +400,7 @@ impl Cpu {
             Inst::Divu { rd, rs1, rs2 } => {
                 self.stats.divs += 1;
                 let (a, b) = (self.x(rs1 as usize), self.x(rs2 as usize));
-                rr!(rd, if b == 0 { u32::MAX } else { a / b });
+                rr!(rd, a.checked_div(b).unwrap_or(u32::MAX));
             }
             Inst::Rem { rd, rs1, rs2 } => {
                 self.stats.divs += 1;
@@ -452,8 +457,8 @@ impl Cpu {
             }
             Inst::FsgnjxS { rd, rs1, rs2 } => {
                 self.stats.fp_ops += 1;
-                let sign = (self.f[rs1 as usize].to_bits() ^ self.f[rs2 as usize].to_bits())
-                    & 0x8000_0000;
+                let sign =
+                    (self.f[rs1 as usize].to_bits() ^ self.f[rs2 as usize].to_bits()) & 0x8000_0000;
                 self.f[rd as usize] =
                     f32::from_bits((self.f[rs1 as usize].to_bits() & 0x7FFF_FFFF) | sign);
             }

@@ -144,7 +144,9 @@ fn imm_s(w: u32) -> i32 {
 
 fn imm_b(w: u32) -> i32 {
     sext(
-        (bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) | (bits(w, 30, 25) << 5)
+        (bits(w, 31, 31) << 12)
+            | (bits(w, 7, 7) << 11)
+            | (bits(w, 30, 25) << 5)
             | (bits(w, 11, 8) << 1),
         13,
     )
@@ -156,7 +158,9 @@ fn imm_u(w: u32) -> i32 {
 
 fn imm_j(w: u32) -> i32 {
     sext(
-        (bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) | (bits(w, 20, 20) << 11)
+        (bits(w, 31, 31) << 20)
+            | (bits(w, 19, 12) << 12)
+            | (bits(w, 20, 20) << 11)
             | (bits(w, 30, 21) << 1),
         21,
     )

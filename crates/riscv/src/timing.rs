@@ -55,8 +55,7 @@ impl Default for BoomTimingModel {
 impl BoomTimingModel {
     /// Estimated cycles to retire the given instruction mix.
     pub fn cycles(&self, stats: &ExecStats) -> f64 {
-        let special =
-            stats.mem_ops + stats.muls + stats.divs + stats.fp_ops + stats.fp_div_sqrt;
+        let special = stats.mem_ops + stats.muls + stats.divs + stats.fp_ops + stats.fp_div_sqrt;
         let plain = stats.retired.saturating_sub(special) as f64;
         plain * self.alu
             + stats.mem_ops as f64 * self.mem
@@ -103,7 +102,6 @@ mod tests {
             divs: 0,
             fp_ops: 3,
             fp_div_sqrt: 1,
-            ..Default::default()
         };
         let model = BoomTimingModel::default();
         // plain = 20 - (4+1+3+1) = 11 → 5.5 + mem 4 + branch 6 + mul 3 + fp 3 + fds 10

@@ -1,0 +1,53 @@
+//! Request-level serving simulation for CENT deployments.
+//!
+//! The paper evaluates CENT at steady state: one block step composed across
+//! pipeline stages, tensor shards and replicas (`cent_sim::evaluate`). This
+//! crate layers a discrete-event, request-level serving model on top, so a
+//! deployment can be judged the way production systems are — queues, SLOs
+//! and the throughput–latency knee under offered load:
+//!
+//! * [`Workload`] — reproducible arrival traces ([`ArrivalProcess`]:
+//!   Poisson or bursty MMPP) with configurable shapes ([`LengthSampler`]:
+//!   the paper's 512/3584 chatbot mix, ShareGPT-like log-normals, uniform
+//!   or fixed);
+//! * [`ContinuousBatchScheduler`] — FIFO admission into pipeline-stage
+//!   decode slots with strict per-replica KV-cache accounting derived from
+//!   the mapping ([`KvBudget`]): a request's full context footprint is
+//!   reserved at admission, so nothing is ever evicted mid-decode;
+//! * [`ServingSystem`] — the event loop, costed by the steady-state block
+//!   simulation (token cadence, prefill rate, slot/replica structure);
+//! * [`ServingReport`] — TTFT, time-between-tokens and query-latency
+//!   distributions (p50/p95/p99), tokens/s against the steady-state oracle,
+//!   slot utilization and KV pressure.
+//!
+//! # Examples
+//!
+//! ```
+//! use cent_compiler::Strategy;
+//! use cent_model::ModelConfig;
+//! use cent_serving::{ServingSystem, Workload};
+//! use cent_types::Time;
+//!
+//! # fn main() -> Result<(), cent_types::CentError> {
+//! let cfg = ModelConfig::tiny();
+//! let system = ServingSystem::plan(&cfg, 2, Strategy::PipelineParallel, 32)?;
+//! let workload = Workload::chatbot(0.5 * system.capacity_qps(16), 42);
+//! let report = system.run(&workload, Time::from_secs_f64(2.0));
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod report;
+mod scheduler;
+mod sim;
+mod workload;
+
+pub use queue::{RequestId, RequestQueue, RequestRecord, RequestSpec};
+pub use report::{LatencyStats, ServingReport};
+pub use scheduler::{Admission, ContinuousBatchScheduler, KvBudget, SchedulerConfig};
+pub use sim::ServingSystem;
+pub use workload::{ArrivalProcess, LengthSampler, Workload};

@@ -1,0 +1,207 @@
+//! Serving-level SLO metrics: latency distributions, throughput and
+//! utilization for one simulated run.
+
+use cent_types::{mean, Time, TimeHistogram};
+
+use crate::queue::RequestRecord;
+
+/// Summary statistics of one latency population.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean: Time,
+    /// Median.
+    pub p50: Time,
+    /// 95th percentile.
+    pub p95: Time,
+    /// 99th percentile.
+    pub p99: Time,
+    /// Worst observed.
+    pub max: Time,
+}
+
+impl LatencyStats {
+    /// Computes the summary of `samples` (all zeros if empty).
+    pub fn from_samples(samples: &[Time]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        // Sort once; nearest-rank indexing matches `percentile`.
+        let mut sorted: Vec<Time> = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[r - 1]
+        };
+        LatencyStats {
+            mean: mean(samples),
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Summarises a streamed [`TimeHistogram`] (quantiles within the
+    /// histogram's ~4.5% bucket resolution; mean and max are exact).
+    pub fn from_histogram(h: &TimeHistogram) -> Self {
+        LatencyStats {
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {} | p50 {} | p95 {} | p99 {} | max {}",
+            self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// The result of one request-level serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Mean offered load of the workload, queries/second.
+    pub offered_qps: f64,
+    /// Requests that arrived within the horizon.
+    pub submitted: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected (KV footprint larger than a replica's budget).
+    pub rejected: usize,
+    /// First arrival to last completion.
+    pub makespan: Time,
+    /// Total generated (decode) tokens.
+    pub decode_tokens: u64,
+    /// Total prompt (prefill) tokens processed.
+    pub prefill_tokens: u64,
+    /// Achieved decode throughput over the makespan, tokens/second.
+    pub tokens_per_s: f64,
+    /// The steady-state decode throughput of the underlying deployment
+    /// (`cent_sim::evaluate`), for convergence comparison.
+    pub steady_state_tokens_per_s: f64,
+    /// Time-to-first-token distribution.
+    pub ttft: LatencyStats,
+    /// End-to-end query latency distribution.
+    pub query_latency: LatencyStats,
+    /// Queue-wait distribution.
+    pub queue_wait: LatencyStats,
+    /// Time-between-tokens distribution (decode cadence), streamed through
+    /// a [`TimeHistogram`] so long-horizon runs stay constant-memory.
+    pub tbt: LatencyStats,
+    /// Time-weighted fraction of decode slots occupied.
+    pub slot_utilization: f64,
+    /// Peak per-replica KV reservation as a fraction of the budget.
+    pub peak_kv_fraction: f64,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+}
+
+impl ServingReport {
+    /// Builds the report from completed request records and run-level
+    /// counters gathered by the event loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_records(
+        records: &[RequestRecord],
+        offered_qps: f64,
+        submitted: usize,
+        rejected: usize,
+        steady_state_tokens_per_s: f64,
+        slot_utilization: f64,
+        peak_kv_fraction: f64,
+        peak_queue_depth: usize,
+    ) -> Self {
+        let first_arrival = records.iter().map(|r| r.spec.arrival).min().unwrap_or(Time::ZERO);
+        let last_finish = records.iter().map(|r| r.finished).max().unwrap_or(Time::ZERO);
+        let makespan = last_finish.saturating_sub(first_arrival);
+        let decode_tokens: u64 = records.iter().map(|r| r.spec.decode as u64).sum();
+        let prefill_tokens: u64 = records.iter().map(|r| r.spec.prompt as u64).sum();
+        let tokens_per_s =
+            if makespan > Time::ZERO { decode_tokens as f64 / makespan.as_secs() } else { 0.0 };
+        let ttfts: Vec<Time> = records.iter().map(|r| r.ttft()).collect();
+        let latencies: Vec<Time> = records.iter().map(|r| r.query_latency()).collect();
+        let waits: Vec<Time> = records.iter().map(|r| r.queue_wait()).collect();
+        let mut tbt_hist = TimeHistogram::new();
+        for r in records.iter().filter(|r| r.spec.decode > 1) {
+            tbt_hist.record(r.time_between_tokens());
+        }
+        ServingReport {
+            offered_qps,
+            submitted,
+            completed: records.len(),
+            rejected,
+            makespan,
+            decode_tokens,
+            prefill_tokens,
+            tokens_per_s,
+            steady_state_tokens_per_s,
+            ttft: LatencyStats::from_samples(&ttfts),
+            query_latency: LatencyStats::from_samples(&latencies),
+            queue_wait: LatencyStats::from_samples(&waits),
+            tbt: LatencyStats::from_histogram(&tbt_hist),
+            slot_utilization,
+            peak_kv_fraction,
+            peak_queue_depth,
+        }
+    }
+
+    /// Achieved throughput as a fraction of the steady-state oracle.
+    pub fn throughput_fraction(&self) -> f64 {
+        if self.steady_state_tokens_per_s > 0.0 {
+            self.tokens_per_s / self.steady_state_tokens_per_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "offered {:.2} q/s | served {}/{} ({} rejected) over {}",
+            self.offered_qps, self.completed, self.submitted, self.rejected, self.makespan
+        )?;
+        writeln!(
+            f,
+            "decode {:.0} tok/s ({:.0}% of steady state) | slots {:.0}% busy | peak KV {:.0}% | peak queue {}",
+            self.tokens_per_s,
+            100.0 * self.throughput_fraction(),
+            100.0 * self.slot_utilization,
+            100.0 * self.peak_kv_fraction,
+            self.peak_queue_depth,
+        )?;
+        writeln!(f, "TTFT:    {}", self.ttft)?;
+        writeln!(f, "latency: {}", self.query_latency)?;
+        writeln!(f, "wait:    {}", self.queue_wait)?;
+        write!(f, "mean time between tokens: {}", self.tbt.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_empty_are_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.p99, Time::ZERO);
+        assert_eq!(s.mean, Time::ZERO);
+        assert_eq!(s.max, Time::ZERO);
+    }
+
+    #[test]
+    fn stats_percentiles_are_ordered() {
+        let samples: Vec<Time> = (1..=1000).map(Time::from_us).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, Time::from_us(1000));
+    }
+}

@@ -1,0 +1,380 @@
+//! The discrete-event serving loop: arrivals → queue → continuous batching
+//! → per-token service, costed by the steady-state block simulation.
+//!
+//! `cent_sim::evaluate` is the cost oracle: it gives the per-query token
+//! cadence (`token_latency`), the pipeline's prefill token rate and the
+//! mapping (slots, replicas, KV capacity). The event loop then serves an
+//! arbitrary request trace against those constants. Three modelling
+//! assumptions, all matching §5 of the paper: a query holds one pipeline
+//! slot from admission to last token (prefill streams through the same
+//! stage it will decode in); each replica has a single prefill front-end,
+//! so concurrent admissions prefill in series at the replica's prefill
+//! rate; and the decode cadence is constant at the steady-state stage
+//! interval — CENT's pipeline emits tokens at the block step rate
+//! regardless of how many slots are filled, so partial occupancy changes
+//! throughput, not per-query latency.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cent_compiler::Strategy;
+use cent_model::ModelConfig;
+use cent_sim::{evaluate, CentPerformance};
+use cent_types::{CentResult, Time};
+
+use crate::queue::{RequestRecord, RequestSpec};
+use crate::report::ServingReport;
+use crate::scheduler::{Admission, ContinuousBatchScheduler, KvBudget, SchedulerConfig};
+use crate::workload::Workload;
+
+/// A deployment ready to serve request traces.
+///
+/// Construction runs the (comparatively expensive) block-level simulation
+/// once; [`ServingSystem::run`] is then cheap, so load sweeps reuse one
+/// system across all offered-load points.
+#[derive(Debug, Clone)]
+pub struct ServingSystem {
+    cfg: ModelConfig,
+    scheduler_cfg: SchedulerConfig,
+    /// Interval between a resident query's tokens (pipeline round trip).
+    token_interval: Time,
+    /// Prefill token rate of one replica, tokens/second.
+    prefill_rate: f64,
+    /// Steady-state system decode throughput from the oracle.
+    steady_state_tokens_per_s: f64,
+}
+
+impl ServingSystem {
+    /// Plans a deployment and derives its serving constants from the
+    /// steady-state simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and simulation errors from [`evaluate`].
+    pub fn plan(
+        cfg: &ModelConfig,
+        devices: usize,
+        strategy: Strategy,
+        context: usize,
+    ) -> CentResult<Self> {
+        let perf = evaluate(cfg, devices, strategy, context)?;
+        Ok(Self::from_performance(cfg, &perf))
+    }
+
+    /// Builds the system from an existing [`CentPerformance`] evaluation.
+    pub fn from_performance(cfg: &ModelConfig, perf: &CentPerformance) -> Self {
+        let replicas = perf.mapping.replicas.max(1);
+        let slots = perf.mapping.batch.max(1);
+        ServingSystem {
+            cfg: cfg.clone(),
+            scheduler_cfg: SchedulerConfig {
+                replicas,
+                slots_per_replica: slots,
+                kv_budget: KvBudget::from_mapping(cfg, &perf.mapping),
+            },
+            token_interval: perf.token_latency,
+            prefill_rate: perf.prefill_tokens_per_s / replicas as f64,
+            steady_state_tokens_per_s: perf.decode_tokens_per_s,
+        }
+    }
+
+    /// Builds a system directly from serving constants (tests, what-ifs).
+    pub fn from_parts(
+        cfg: &ModelConfig,
+        scheduler_cfg: SchedulerConfig,
+        token_interval: Time,
+        prefill_rate: f64,
+        steady_state_tokens_per_s: f64,
+    ) -> Self {
+        ServingSystem {
+            cfg: cfg.clone(),
+            scheduler_cfg,
+            token_interval,
+            prefill_rate,
+            steady_state_tokens_per_s,
+        }
+    }
+
+    /// Overrides the per-replica KV budget (what-if capacity studies).
+    pub fn with_kv_budget(mut self, budget: KvBudget) -> Self {
+        self.scheduler_cfg.kv_budget = budget;
+        self
+    }
+
+    /// The steady-state decode throughput of the deployment, tokens/s.
+    pub fn steady_state_tokens_per_s(&self) -> f64 {
+        self.steady_state_tokens_per_s
+    }
+
+    /// Decode slots across all replicas.
+    pub fn total_slots(&self) -> usize {
+        self.scheduler_cfg.replicas * self.scheduler_cfg.slots_per_replica
+    }
+
+    /// Maximum offered load the deployment can sustain for a given request
+    /// shape, in queries/second (decode-side capacity).
+    pub fn capacity_qps(&self, decode_tokens_per_query: usize) -> f64 {
+        self.steady_state_tokens_per_s / decode_tokens_per_query.max(1) as f64
+    }
+
+    /// Serves every request the workload generates in `[0, horizon)` and
+    /// drains the system, returning the SLO report.
+    pub fn run(&self, workload: &Workload, horizon: Time) -> ServingReport {
+        let trace = workload.generate(horizon, self.cfg.max_context);
+        self.serve_trace(&trace, workload.arrivals.mean_qps())
+    }
+
+    /// Serves an explicit request trace (must be sorted by arrival time).
+    pub fn serve_trace(&self, trace: &[RequestSpec], offered_qps: f64) -> ServingReport {
+        let mut scheduler = ContinuousBatchScheduler::new(self.scheduler_cfg);
+        let mut events: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+        for (i, spec) in trace.iter().enumerate() {
+            events.push(Reverse(HeapEntry {
+                at: spec.arrival,
+                seq: i as u64,
+                event: Event::Arrive(*spec),
+            }));
+        }
+        let mut seq = trace.len() as u64;
+
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
+        // Each replica has one prefill front-end: prompts of back-to-back
+        // admissions stream through it in series.
+        let mut prefill_free: Vec<Time> = vec![Time::ZERO; self.scheduler_cfg.replicas];
+        let mut busy_slot_seconds = 0.0;
+        let mut last_t = Time::ZERO;
+
+        while let Some(&Reverse(HeapEntry { at: t, .. })) = events.peek() {
+            // Accumulate slot occupancy over [last_t, t) before mutating it.
+            busy_slot_seconds += scheduler.in_flight() as f64 * t.saturating_sub(last_t).as_secs();
+            last_t = t;
+            // Drain every event at this instant, then admit once.
+            while matches!(events.peek(), Some(Reverse(e)) if e.at == t) {
+                let Reverse(entry) = events.pop().expect("peeked");
+                match entry.event {
+                    Event::Arrive(spec) => scheduler.enqueue(spec),
+                    Event::Finish(record) => {
+                        scheduler.complete(&Admission {
+                            spec: record.spec,
+                            replica: record.replica,
+                            at: record.admitted,
+                        });
+                        records.push(record);
+                    }
+                }
+            }
+            for admission in scheduler.admit_ready(t) {
+                let record = self.service_times(&admission, &mut prefill_free);
+                events.push(Reverse(HeapEntry {
+                    at: record.finished,
+                    seq,
+                    event: Event::Finish(record),
+                }));
+                seq += 1;
+            }
+        }
+
+        let total_slot_seconds = self.total_slots() as f64 * last_t.as_secs();
+        let slot_utilization =
+            if total_slot_seconds > 0.0 { busy_slot_seconds / total_slot_seconds } else { 0.0 };
+        let peak_kv_fraction = if scheduler.kv_budget_tokens() > 0 {
+            scheduler.peak_kv_reserved() as f64 / scheduler.kv_budget_tokens() as f64
+        } else {
+            0.0
+        };
+        records.sort_by_key(|r| r.spec.id);
+        ServingReport::from_records(
+            &records,
+            offered_qps,
+            trace.len(),
+            scheduler.rejected().len(),
+            self.steady_state_tokens_per_s,
+            slot_utilization,
+            peak_kv_fraction,
+            scheduler.peak_queue_depth(),
+        )
+    }
+
+    /// Deterministic service timeline of one admitted request: the prompt
+    /// streams through the replica's prefill front-end (serialised with any
+    /// prefill already in flight there), then each decode token takes one
+    /// pipeline round trip.
+    fn service_times(&self, admission: &Admission, prefill_free: &mut [Time]) -> RequestRecord {
+        let spec = admission.spec;
+        let prefill = Time::from_secs_f64(spec.prompt as f64 / self.prefill_rate);
+        let start = admission.at.max(prefill_free[admission.replica]);
+        let prefill_done = start + prefill;
+        prefill_free[admission.replica] = prefill_done;
+        let first_token = prefill_done + self.token_interval;
+        let rest = (spec.decode as u64).saturating_sub(1);
+        let finished = first_token + Time::from_ps(self.token_interval.as_ps() * rest);
+        RequestRecord {
+            spec,
+            admitted: admission.at,
+            first_token,
+            finished,
+            replica: admission.replica,
+        }
+    }
+}
+
+/// A scheduled event. Ordering (and equality) is by `(at, seq)` only — the
+/// payload never drives the heap — and `seq` is unique per entry, so the
+/// order is total and deterministic.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrive(RequestSpec),
+    Finish(RequestRecord),
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, LengthSampler};
+
+    /// A hand-built system: 1 replica × 4 slots, 1 ms per token, 1000-token/s
+    /// prefill, KV for 4000 tokens. Uses a 4K-context config so test shapes
+    /// are not clamped by the context window (`from_parts` never simulates,
+    /// so the model size is free).
+    fn tiny_system() -> ServingSystem {
+        ServingSystem::from_parts(
+            &ModelConfig::llama2_7b(),
+            SchedulerConfig {
+                replicas: 1,
+                slots_per_replica: 4,
+                kv_budget: KvBudget::tokens(4000),
+            },
+            Time::from_us(1000),
+            1000.0,
+            4000.0,
+        )
+    }
+
+    fn poisson(rate: f64, seed: u64, prompt: usize, decode: usize) -> Workload {
+        Workload {
+            arrivals: ArrivalProcess::Poisson { rate_qps: rate },
+            lengths: LengthSampler::Fixed { prompt, decode },
+            seed,
+        }
+    }
+
+    #[test]
+    fn empty_workload_yields_idle_report() {
+        let sys = tiny_system();
+        let report = sys.serve_trace(&[], 0.0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.tokens_per_s, 0.0);
+        assert_eq!(report.slot_utilization, 0.0);
+        assert_eq!(report.ttft.p99, Time::ZERO);
+    }
+
+    #[test]
+    fn single_request_latency_is_prefill_plus_decode() {
+        let sys = tiny_system();
+        let trace = [RequestSpec {
+            id: crate::queue::RequestId(0),
+            arrival: Time::from_us(500),
+            prompt: 100,
+            decode: 10,
+        }];
+        let report = sys.serve_trace(&trace, 1.0);
+        assert_eq!(report.completed, 1);
+        // No queueing: TTFT = prefill (100 tokens @ 1000/s = 100 ms) plus
+        // one token interval (1 ms).
+        assert_eq!(report.queue_wait.max, Time::ZERO);
+        assert_eq!(report.ttft.p50, Time::from_secs_f64(0.101));
+        // Query latency adds the remaining 9 tokens.
+        assert_eq!(report.query_latency.p50, Time::from_secs_f64(0.110));
+        assert_eq!(report.tbt.mean, Time::from_us(1000));
+    }
+
+    #[test]
+    fn saturation_converges_to_slot_limited_throughput() {
+        let sys = tiny_system();
+        // 4 slots × 1 token/ms = 4000 tok/s decode capacity; shape 10+490
+        // tokens → capacity ≈ 8 q/s. Offer 3× that.
+        let w = poisson(25.0, 11, 10, 490);
+        let report = sys.run(&w, Time::from_secs_f64(20.0));
+        let fraction = report.throughput_fraction();
+        assert!(
+            (0.9..=1.02).contains(&fraction),
+            "throughput {:.0} tok/s vs steady {:.0} ({fraction:.3})",
+            report.tokens_per_s,
+            report.steady_state_tokens_per_s,
+        );
+        assert!(report.slot_utilization > 0.9, "util {}", report.slot_utilization);
+        // Latency blows up under 3× overload: queue wait dwarfs service.
+        assert!(report.queue_wait.p99 > Time::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn latency_knee_appears_past_saturation() {
+        let sys = tiny_system();
+        let light = sys.run(&poisson(8.0, 5, 10, 90), Time::from_secs_f64(20.0));
+        let heavy = sys.run(&poisson(100.0, 5, 10, 90), Time::from_secs_f64(20.0));
+        assert!(
+            heavy.query_latency.p99.as_secs() > 5.0 * light.query_latency.p99.as_secs(),
+            "light p99 {} heavy p99 {}",
+            light.query_latency.p99,
+            heavy.query_latency.p99,
+        );
+        assert!(light.queue_wait.p99 < heavy.queue_wait.p99);
+    }
+
+    #[test]
+    fn kv_budget_caps_concurrency_below_slot_count() {
+        // KV for only 2 resident 100-token requests despite 4 slots.
+        let sys = tiny_system().with_kv_budget(KvBudget::tokens(200));
+        let w = poisson(100.0, 13, 10, 90);
+        let report = sys.run(&w, Time::from_secs_f64(10.0));
+        // Throughput is KV-bound at half the slot-limited rate.
+        assert!(report.throughput_fraction() < 0.6, "{}", report.throughput_fraction());
+        assert!(report.peak_kv_fraction <= 1.0);
+        assert!(report.slot_utilization < 0.6);
+    }
+
+    #[test]
+    fn end_to_end_on_simulated_tiny_deployment() {
+        // Full path through the block-level oracle on the tiny model.
+        let cfg = ModelConfig::tiny();
+        let sys = ServingSystem::plan(&cfg, 2, Strategy::PipelineParallel, 32).unwrap();
+        assert!(sys.steady_state_tokens_per_s() > 0.0);
+        let rate = 0.5 * sys.capacity_qps(16);
+        let w = Workload {
+            arrivals: ArrivalProcess::Poisson { rate_qps: rate },
+            lengths: LengthSampler::Fixed { prompt: 8, decode: 16 },
+            seed: 2,
+        };
+        let report = sys.run(&w, Time::from_secs_f64(2.0));
+        assert!(report.completed > 0);
+        assert!(report.ttft.p50 > Time::ZERO);
+        assert!(report.query_latency.p99 >= report.query_latency.p50);
+    }
+}

@@ -1,0 +1,260 @@
+//! Workload generation: request arrival processes and length distributions.
+//!
+//! A [`Workload`] pairs an [`ArrivalProcess`] (when queries show up) with a
+//! [`LengthSampler`] (how long their prompts and generations are) and turns
+//! them into a concrete, reproducible trace of [`RequestSpec`]s for the
+//! serving simulator.
+
+use cent_types::{Rng64, Time};
+
+use crate::queue::{RequestId, RequestSpec};
+
+/// When requests arrive at the serving frontend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant average rate (queries/second) —
+    /// the standard open-loop serving assumption.
+    Poisson {
+        /// Average arrival rate in queries per second.
+        rate_qps: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: the system alternates
+    /// between a base rate and a burst rate, with exponentially distributed
+    /// dwell times. Models diurnal/bursty production traffic.
+    Bursty {
+        /// Arrival rate outside bursts (queries/second).
+        base_qps: f64,
+        /// Arrival rate during bursts (queries/second).
+        burst_qps: f64,
+        /// Mean dwell time in each state, in seconds.
+        mean_dwell_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run average rate in queries per second.
+    pub fn mean_qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => rate_qps,
+            // Equal mean dwell in both states → rates average evenly.
+            ArrivalProcess::Bursty { base_qps, burst_qps, .. } => 0.5 * (base_qps + burst_qps),
+        }
+    }
+
+    /// Samples arrival instants over `[0, horizon)`.
+    fn sample(&self, horizon: Time, rng: &mut Rng64) -> Vec<Time> {
+        let horizon_s = horizon.as_secs();
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => {
+                assert!(rate_qps > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                loop {
+                    t += rng.exponential(rate_qps);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    out.push(Time::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Bursty { base_qps, burst_qps, mean_dwell_s } => {
+                assert!(base_qps > 0.0 && burst_qps > 0.0, "rates must be positive");
+                assert!(mean_dwell_s > 0.0, "dwell must be positive");
+                let mut t = 0.0;
+                let mut in_burst = false;
+                let mut state_end = rng.exponential(1.0 / mean_dwell_s);
+                while t < horizon_s {
+                    let rate = if in_burst { burst_qps } else { base_qps };
+                    let dt = rng.exponential(rate);
+                    if t + dt >= state_end {
+                        // The state flips before this arrival would land;
+                        // restart the (memoryless) draw in the new state.
+                        t = state_end;
+                        state_end += rng.exponential(1.0 / mean_dwell_s);
+                        in_burst = !in_burst;
+                        continue;
+                    }
+                    t += dt;
+                    if t < horizon_s {
+                        out.push(Time::from_secs_f64(t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How prompt and generation lengths are drawn for each request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthSampler {
+    /// Every request has the same shape.
+    Fixed {
+        /// Prompt tokens.
+        prompt: usize,
+        /// Generated tokens.
+        decode: usize,
+    },
+    /// The paper's chatbot mix: 512-token prompts, 3584 generated tokens
+    /// (§7.1's QoS workload).
+    Chatbot,
+    /// Prompt and decode lengths uniform in the given inclusive ranges.
+    Uniform {
+        /// Minimum prompt tokens.
+        prompt_min: usize,
+        /// Maximum prompt tokens.
+        prompt_max: usize,
+        /// Minimum generated tokens.
+        decode_min: usize,
+        /// Maximum generated tokens.
+        decode_max: usize,
+    },
+    /// ShareGPT-like log-normal lengths (mean input ≈ 160, output ≈ 210,
+    /// heavy tail), matching `cent_baselines::sharegpt_lengths`.
+    ShareGpt,
+}
+
+impl LengthSampler {
+    /// Draws one (prompt, decode) pair, clamped so the total stays within
+    /// `max_context`.
+    pub fn sample(&self, max_context: usize, rng: &mut Rng64) -> (usize, usize) {
+        let (prompt, decode) = match *self {
+            LengthSampler::Fixed { prompt, decode } => (prompt, decode),
+            LengthSampler::Chatbot => (512, 3584),
+            LengthSampler::Uniform { prompt_min, prompt_max, decode_min, decode_max } => {
+                let p = prompt_min + rng.next_below((prompt_max - prompt_min + 1) as u64) as usize;
+                let d = decode_min + rng.next_below((decode_max - decode_min + 1) as u64) as usize;
+                (p, d)
+            }
+            LengthSampler::ShareGpt => {
+                let mut draw = |mu: f64, sigma: f64| {
+                    ((mu + sigma * rng.normal()).exp() as usize).clamp(4, 2048)
+                };
+                (draw(4.6, 1.0), draw(5.0, 0.9))
+            }
+        };
+        // A query's KV footprint is prompt + decode tokens; clamp to the
+        // model's context window (treated as at least 2: one prompt token
+        // plus one generated token), preserving at least one of each.
+        let max_context = max_context.max(2);
+        let prompt = prompt.clamp(1, max_context - 1);
+        let decode = decode.clamp(1, max_context - prompt);
+        (prompt, decode)
+    }
+}
+
+/// A reproducible request workload: arrivals plus shapes.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Length distribution.
+    pub lengths: LengthSampler,
+    /// PRNG seed; identical seeds generate identical traces.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// An open-loop Poisson workload with the paper's chatbot shape.
+    pub fn chatbot(rate_qps: f64, seed: u64) -> Self {
+        Workload {
+            arrivals: ArrivalProcess::Poisson { rate_qps },
+            lengths: LengthSampler::Chatbot,
+            seed,
+        }
+    }
+
+    /// Materialises the request trace over `[0, horizon)`.
+    ///
+    /// Requests are returned in arrival order with sequential ids.
+    pub fn generate(&self, horizon: Time, max_context: usize) -> Vec<RequestSpec> {
+        let mut rng = Rng64::seed(self.seed);
+        let arrivals = self.arrivals.sample(horizon, &mut rng);
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let (prompt, decode) = self.lengths.sample(max_context, &mut rng);
+                RequestSpec { id: RequestId(i as u64), arrival, prompt, decode }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let w = Workload::chatbot(100.0, 1);
+        let reqs = w.generate(Time::from_secs_f64(50.0), 4096);
+        let rate = reqs.len() as f64 / 50.0;
+        assert!((rate - 100.0).abs() / 100.0 < 0.1, "rate {rate}");
+        // Arrival order, monotone times.
+        for pair in reqs.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let w = Workload::chatbot(20.0, 42);
+        let a = w.generate(Time::from_secs_f64(10.0), 4096);
+        let b = w.generate(Time::from_secs_f64(10.0), 4096);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn bursty_mean_rate_between_base_and_burst() {
+        let w = Workload {
+            arrivals: ArrivalProcess::Bursty {
+                base_qps: 10.0,
+                burst_qps: 100.0,
+                mean_dwell_s: 2.0,
+            },
+            lengths: LengthSampler::Chatbot,
+            seed: 3,
+        };
+        let reqs = w.generate(Time::from_secs_f64(200.0), 4096);
+        let rate = reqs.len() as f64 / 200.0;
+        assert!(rate > 20.0 && rate < 90.0, "rate {rate}");
+    }
+
+    #[test]
+    fn lengths_respect_context_window() {
+        let mut rng = Rng64::seed(9);
+        for sampler in [
+            LengthSampler::Chatbot,
+            LengthSampler::ShareGpt,
+            LengthSampler::Uniform {
+                prompt_min: 1,
+                prompt_max: 4000,
+                decode_min: 1,
+                decode_max: 4000,
+            },
+            LengthSampler::Fixed { prompt: 9999, decode: 9999 },
+        ] {
+            for _ in 0..200 {
+                let (p, d) = sampler.sample(2048, &mut rng);
+                assert!(p >= 1 && d >= 1 && p + d <= 2048, "{sampler:?}: {p}+{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_context_windows_do_not_panic() {
+        let mut rng = Rng64::seed(11);
+        for max_context in [0usize, 1, 2] {
+            let (p, d) = LengthSampler::Chatbot.sample(max_context, &mut rng);
+            assert_eq!((p, d), (1, 1), "context {max_context}");
+        }
+    }
+
+    #[test]
+    fn chatbot_mix_matches_paper_shape() {
+        let mut rng = Rng64::seed(0);
+        assert_eq!(LengthSampler::Chatbot.sample(4096, &mut rng), (512, 3584));
+    }
+}

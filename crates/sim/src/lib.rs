@@ -16,5 +16,7 @@
 mod block_sim;
 mod perf;
 
-pub use block_sim::{simulate_block_avg, simulate_block_step, simulate_placed_block_step, BlockTiming};
+pub use block_sim::{
+    simulate_block_avg, simulate_block_step, simulate_placed_block_step, BlockTiming,
+};
 pub use perf::{evaluate, qos_sweep, scalability_sweep, CentPerformance, QosPoint, ScalePoint};

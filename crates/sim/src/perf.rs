@@ -70,8 +70,7 @@ pub fn evaluate(
     let mapping = SystemMapping::plan(cfg, devices, strategy)?;
     // Wide TP shards can exceed the Shared Buffer budget; simulate with the
     // largest feasible channel count and rescale the FC phases below.
-    let sim_channels =
-        cent_compiler::max_feasible_channels(cfg, mapping.channels_per_block);
+    let sim_channels = cent_compiler::max_feasible_channels(cfg, mapping.channels_per_block);
     let block = simulate_block_avg(cfg, sim_channels, context)?;
     let mut fabric = CxlFabric::new(FabricConfig::cent(devices.max(2)));
     let emb = mapping.embedding_bytes();
@@ -86,11 +85,9 @@ pub fn evaluate(
         // TP: FC sharded across the group; master phases unscaled; every
         // block broadcasts the embedding and gathers FC partials.
         let targets: Vec<DeviceId> = (1..tp as u16).map(DeviceId).collect();
-        let bcast = fabric
-            .broadcast(NodeId::Device(DeviceId(0)), &targets, emb, Time::ZERO)?
-            .completed_at;
-        let gather_bytes =
-            ByteSize::bytes(mapping.tp_traffic_per_block().as_bytes() / tp as u64);
+        let bcast =
+            fabric.broadcast(NodeId::Device(DeviceId(0)), &targets, emb, Time::ZERO)?.completed_at;
+        let gather_bytes = ByteSize::bytes(mapping.tp_traffic_per_block().as_bytes() / tp as u64);
         let gather = fabric
             .gather(NodeId::Device(DeviceId(0)), &targets, gather_bytes, Time::ZERO)?
             .delivered_at;
@@ -98,9 +95,8 @@ pub fn evaluate(
         // FC work spreads over tp × 32 channels; the simulation used
         // `sim_channels`, so rescale accordingly.
         let shard_channels = tp * cent_types::consts::CHANNELS_PER_DEVICE;
-        let fc = Time::from_ps(
-            block.fc_time().as_ps() * sim_channels as u64 / shard_channels as u64,
-        );
+        let fc =
+            Time::from_ps(block.fc_time().as_ps() * sim_channels as u64 / shard_channels as u64);
         (fc + block.master_time() + comm, comm)
     } else {
         (block.total, Time::ZERO)
@@ -115,11 +111,9 @@ pub fn evaluate(
     } else {
         0.0
     };
-    let concurrent_blocks =
-        if tp > 1 { 1 } else { mapping.blocks_per_device };
+    let concurrent_blocks = if tp > 1 { 1 } else { mapping.blocks_per_device };
     let sharing = 1.0 + pnm_share * (concurrent_blocks.saturating_sub(1)) as f64;
-    let stage_interval =
-        Time::from_ps((stage_time.as_ps() as f64 * sharing) as u64) + hop;
+    let stage_interval = Time::from_ps((stage_time.as_ps() as f64 * sharing) as u64) + hop;
 
     let stages = if mapping.batch > 1 { cfg.layers } else { 1 };
     let token_latency = if mapping.batch > 1 {
@@ -141,9 +135,8 @@ pub fn evaluate(
     let prefill_block = simulate_block_avg(cfg, sim_channels, context.min(512))?;
     let prefill_interval = if tp > 1 {
         let shard_channels = tp * cent_types::consts::CHANNELS_PER_DEVICE;
-        Time::from_ps(
-            prefill_block.fc_time().as_ps() * sim_channels as u64 / shard_channels as u64,
-        ) + prefill_block.master_time()
+        Time::from_ps(prefill_block.fc_time().as_ps() * sim_channels as u64 / shard_channels as u64)
+            + prefill_block.master_time()
             + cxl_per_block
     } else {
         prefill_block.total
@@ -258,8 +251,7 @@ pub fn scalability_sweep(
             // Quick analytic score to avoid simulating every option:
             // pipeline throughput ≈ 1/stage_interval ∝ (feasible) channels
             // per block, and data-parallel replicas multiply it.
-            let feasible =
-                cent_compiler::max_feasible_channels(cfg, mapping.channels_per_block);
+            let feasible = cent_compiler::max_feasible_channels(cfg, mapping.channels_per_block);
             let score = replicas as f64 * feasible as f64;
             let used = mapping.used_devices * replicas;
             if best.is_none_or(|(s, _, _)| score > s) {
@@ -327,8 +319,7 @@ mod tests {
     #[test]
     fn data_parallel_multiplies_throughput() {
         let one = evaluate(&tiny(), 1, Strategy::PipelineParallel, 32).unwrap();
-        let two =
-            evaluate(&tiny(), 2, Strategy::DataParallel { replicas: 2 }, 32).unwrap();
+        let two = evaluate(&tiny(), 2, Strategy::DataParallel { replicas: 2 }, 32).unwrap();
         let ratio = two.decode_tokens_per_s / one.decode_tokens_per_s;
         assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
     }

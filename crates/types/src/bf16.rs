@@ -219,6 +219,13 @@ impl Sum for Bf16 {
 /// helpers in higher-level crates scale this by the reduction depth.
 pub const BF16_RELATIVE_ERROR: f32 = 1.0 / 256.0;
 
+/// One 256-bit datapath beat: 16 BF16 lanes. Every PIM/PNM datapath in CENT
+/// moves data at this granularity (§4.2).
+pub type Beat = [Bf16; 16];
+
+/// A zeroed [`Beat`].
+pub const ZERO_BEAT: Beat = [Bf16::ZERO; 16];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +298,7 @@ mod tests {
         // whereas naive BF16 accumulation would stall once the running sum
         // grows past the point where 1/256 is representable relative to it.
         let x = Bf16::from_f32(1.0 / 256.0);
-        let total: Bf16 = std::iter::repeat(x).take(256).sum();
+        let total: Bf16 = std::iter::repeat_n(x, 256).sum();
         assert_eq!(total.to_f32(), 1.0);
     }
 
@@ -317,10 +324,3 @@ mod tests {
         assert_eq!((Bf16::ONE + Bf16::EPSILON).to_f32(), 1.0 + f32::powi(2.0, -7));
     }
 }
-
-/// One 256-bit datapath beat: 16 BF16 lanes. Every PIM/PNM datapath in CENT
-/// moves data at this granularity (§4.2).
-pub type Beat = [Bf16; 16];
-
-/// A zeroed [`Beat`].
-pub const ZERO_BEAT: Beat = [Bf16::ZERO; 16];

@@ -1,0 +1,237 @@
+//! Latency-oriented [`Time`] statistics: exact percentiles and a
+//! log-bucketed histogram for streaming aggregation.
+//!
+//! The serving simulator reports TTFT / time-between-tokens / query-latency
+//! distributions. Per-request populations keep every sample and take exact
+//! percentiles; high-volume streams (e.g. the serving report's per-token
+//! cadence) go through [`TimeHistogram`], which buckets samples
+//! logarithmically (~4% relative resolution) in constant memory.
+
+use crate::units::Time;
+
+/// Exact percentile over a set of [`Time`] samples.
+///
+/// `q` is in `[0, 1]`; uses the nearest-rank method on a sorted copy.
+/// Returns [`Time::ZERO`] for an empty slice.
+pub fn percentile(samples: &[Time], q: f64) -> Time {
+    if samples.is_empty() {
+        return Time::ZERO;
+    }
+    let mut sorted: Vec<Time> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Arithmetic mean of a set of [`Time`] samples ([`Time::ZERO`] if empty).
+pub fn mean(samples: &[Time]) -> Time {
+    if samples.is_empty() {
+        return Time::ZERO;
+    }
+    let sum: u128 = samples.iter().map(|t| u128::from(t.as_ps())).sum();
+    Time::from_ps((sum / samples.len() as u128) as u64)
+}
+
+/// Number of log-spaced buckets: 16 per octave across the full u64 range.
+const SUB_BUCKETS: u64 = 16;
+const BUCKETS: usize = 64 * SUB_BUCKETS as usize;
+
+/// A constant-memory histogram of [`Time`] samples with logarithmic buckets
+/// (16 sub-buckets per power of two, ≲ 4.5% relative quantile error).
+#[derive(Debug, Clone)]
+pub struct TimeHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: Time,
+    max: Time,
+    sum_ps: u128,
+}
+
+impl Default for TimeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        TimeHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: Time::from_ps(u64::MAX),
+            max: Time::ZERO,
+            sum_ps: 0,
+        }
+    }
+
+    fn bucket_of(ps: u64) -> usize {
+        if ps < SUB_BUCKETS {
+            return ps as usize;
+        }
+        // Octave = position of the leading bit; sub-bucket = next 4 bits.
+        let octave = 63 - ps.leading_zeros() as u64;
+        let sub = (ps >> (octave - 4)) & (SUB_BUCKETS - 1);
+        ((octave - 4) * SUB_BUCKETS + SUB_BUCKETS + sub) as usize
+    }
+
+    /// Representative (upper-edge) value of bucket `i`.
+    fn bucket_value(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUB_BUCKETS {
+            return i;
+        }
+        let octave = (i - SUB_BUCKETS) / SUB_BUCKETS + 4;
+        let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+        (1u64 << octave) + (sub + 1) * (1u64 << (octave - 4)) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, t: Time) {
+        let ps = t.as_ps();
+        self.counts[Self::bucket_of(ps).min(BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.min = if t < self.min { t } else { self.min };
+        self.max = self.max.max(t);
+        self.sum_ps += u128::from(ps);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample ([`Time::ZERO`] if empty).
+    pub fn min(&self) -> Time {
+        if self.total == 0 {
+            Time::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Time {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed).
+    pub fn mean(&self) -> Time {
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        Time::from_ps((self.sum_ps / u128::from(self.total)) as u64)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (nearest-rank over buckets).
+    ///
+    /// The returned value is the upper edge of the bucket holding the rank,
+    /// clamped to the observed min/max, so the error is bounded by the
+    /// bucket width (≲ 4.5% relative).
+    pub fn quantile(&self, q: f64) -> Time {
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Time::from_ps(Self::bucket_value(i));
+                return core::cmp::min(v.max(self.min()), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &TimeHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.min = if other.min < self.min { other.min } else { self.min };
+            self.max = self.max.max(other.max);
+        }
+        self.sum_ps += other.sum_ps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentile_nearest_rank() {
+        let samples: Vec<Time> = (1..=100).map(Time::from_ns).collect();
+        assert_eq!(percentile(&samples, 0.50), Time::from_ns(50));
+        assert_eq!(percentile(&samples, 0.95), Time::from_ns(95));
+        assert_eq!(percentile(&samples, 0.99), Time::from_ns(99));
+        assert_eq!(percentile(&samples, 1.0), Time::from_ns(100));
+        assert_eq!(percentile(&[], 0.5), Time::ZERO);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let samples = [Time::from_ns(10), Time::from_ns(20), Time::from_ns(30)];
+        assert_eq!(mean(&samples), Time::from_ns(20));
+        assert_eq!(mean(&[]), Time::ZERO);
+    }
+
+    #[test]
+    fn histogram_tracks_count_min_max_mean() {
+        let mut h = TimeHistogram::new();
+        assert_eq!(h.quantile(0.5), Time::ZERO);
+        for ns in [5u64, 10, 15, 20] {
+            h.record(Time::from_ns(ns));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Time::from_ns(5));
+        assert_eq!(h.max(), Time::from_ns(20));
+        assert_eq!(h.mean(), Time::from_ps(12_500));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_within_bucket_error() {
+        let mut h = TimeHistogram::new();
+        let samples: Vec<Time> = (1..=10_000).map(Time::from_ns).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let exact = percentile(&samples, q).as_ps() as f64;
+            let approx = h.quantile(q).as_ps() as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "q{q}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_combines_streams() {
+        let mut a = TimeHistogram::new();
+        let mut b = TimeHistogram::new();
+        for ns in 1..=50u64 {
+            a.record(Time::from_ns(ns));
+        }
+        for ns in 51..=100u64 {
+            b.record(Time::from_ns(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), Time::from_ns(1));
+        assert_eq!(a.max(), Time::from_ns(100));
+        let median = a.quantile(0.5).as_ns();
+        assert!((median - 50.0).abs() / 50.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut last = 0;
+        for ps in [0u64, 1, 15, 16, 17, 100, 1_000, 1 << 20, 1 << 40, u64::MAX / 2] {
+            let b = TimeHistogram::bucket_of(ps);
+            assert!(b >= last, "bucket({ps}) = {b} < {last}");
+            last = b;
+        }
+    }
+}

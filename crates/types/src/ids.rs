@@ -85,7 +85,7 @@ impl BankId {
     /// The bank group this bank belongs to (4 banks per group).
     #[inline]
     pub const fn bank_group(self) -> BankGroupId {
-        BankGroupId(((self.0 / 4)))
+        BankGroupId(self.0 / 4)
     }
 
     /// Index of this bank within its bank group (0..4).

@@ -31,12 +31,16 @@
 mod bf16;
 pub mod consts;
 mod error;
+mod histogram;
 mod ids;
+mod rng;
 mod units;
 
 pub use bf16::{Beat, Bf16, BF16_RELATIVE_ERROR, ZERO_BEAT};
 pub use error::{CentError, CentResult};
+pub use histogram::{mean, percentile, TimeHistogram};
 pub use ids::{
     AccRegId, BankGroupId, BankId, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot,
 };
+pub use rng::Rng64;
 pub use units::{Bandwidth, ByteSize, Dollars, Energy, Power, Time};

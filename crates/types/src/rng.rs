@@ -1,0 +1,132 @@
+//! A small deterministic PRNG for workload generation and tests.
+//!
+//! The workspace builds without external crates, so this replaces `rand`:
+//! a SplitMix64 generator (Steele et al., "Fast splittable pseudorandom
+//! number generators", OOPSLA'14). It passes BigCrush when used as a 64-bit
+//! stream and is more than adequate for arrival sampling, synthetic length
+//! distributions and property-style tests — all of which only need a
+//! reproducible, well-mixed stream.
+
+/// Deterministic SplitMix64 pseudorandom number generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Identical seeds yield identical
+    /// streams on every platform.
+    pub fn seed(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value in `[0, bound)`. Returns 0 for `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift bounded sampling; the bias is < 2^-32 for
+        // every bound this workspace uses.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal variate (Box-Muller, cosine branch).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// Exponential variate with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_reproduce_streams() {
+        let mut a = Rng64::seed(7);
+        let mut b = Rng64::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed(1);
+        let mut b = Rng64::seed(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers_it() {
+        let mut rng = Rng64::seed(3);
+        let mut lo_seen = f64::MAX;
+        let mut hi_seen = f64::MIN;
+        for _ in 0..10_000 {
+            let v = rng.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert!(lo_seen < 2.1 && hi_seen > 4.9);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Rng64::seed(4);
+        assert_eq!(rng.next_below(0), 0);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Rng64::seed(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = Rng64::seed(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

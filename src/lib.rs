@@ -1,1 +1,34 @@
-pub use cent as core_api;
+//! CENT — "PIM Is All You Need": a CXL-enabled, GPU-free system for LLM
+//! inference (ASPLOS'25 reproduction).
+//!
+//! This is the workspace facade: it re-exports every substrate crate under
+//! one roof plus the most common types at the top level, so examples and
+//! downstream users can write `use cent::{CentSystem, ModelConfig, ...}` or
+//! reach into a substrate via `cent::sim`, `cent::serving`, and so on.
+
+#![warn(missing_docs)]
+
+pub use cent_baselines as baselines;
+pub use cent_compiler as compiler;
+pub use cent_core as core_api;
+pub use cent_cost as cost;
+pub use cent_cxl as cxl;
+pub use cent_device as device;
+pub use cent_dram as dram;
+pub use cent_isa as isa;
+pub use cent_model as model;
+pub use cent_pim as pim;
+pub use cent_pnm as pnm;
+pub use cent_power as power;
+pub use cent_riscv as riscv;
+pub use cent_serving as serving;
+pub use cent_sim as sim;
+pub use cent_types as types;
+
+pub use cent_compiler::{Strategy, SystemMapping};
+pub use cent_core::{verify_block, CentSystem, VerifyReport};
+pub use cent_device::LatencyBreakdown;
+pub use cent_model::{BlockWeights, KvCache, ModelConfig};
+pub use cent_serving::{ServingReport, ServingSystem, Workload};
+pub use cent_sim::{evaluate, CentPerformance};
+pub use cent_types::{Bf16, ByteSize, CentError, CentResult, Time};

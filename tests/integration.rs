@@ -83,11 +83,7 @@ fn trace_statistics_confirm_mac_dominance() {
     let p = BlockPlacement::plan(&cfg, channels).unwrap();
     let step = compile_decode_step(&p, 1024).unwrap();
     let stats = analyze(&step.trace);
-    assert!(
-        stats.mac_flop_fraction() > 0.99,
-        "MAC fraction {}",
-        stats.mac_flop_fraction()
-    );
+    assert!(stats.mac_flop_fraction() > 0.99, "MAC fraction {}", stats.mac_flop_fraction());
     // The trace fits the 2 MB instruction buffer.
     assert!(step.trace.len() * cent_isa::INST_BYTES <= 2 * 1024 * 1024);
 }
@@ -134,8 +130,7 @@ fn prefill_then_decode_matches_reference_continuation() {
 #[test]
 fn hybrid_mapping_builds_and_runs() {
     let cfg = ModelConfig::tiny();
-    let mut system =
-        CentSystem::functional(&cfg, 2, Strategy::Hybrid { tp: 2 }).unwrap();
+    let mut system = CentSystem::functional(&cfg, 2, Strategy::Hybrid { tp: 2 }).unwrap();
     system.load_random_weights(3).unwrap();
     let out = system.decode_token(&input(&cfg, 0), 0).unwrap();
     assert_eq!(out.len(), cfg.hidden);

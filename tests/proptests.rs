@@ -1,246 +1,311 @@
-//! Property-based tests on core invariants (proptest).
-use proptest::prelude::*;
+//! Property-style tests on core invariants.
+//!
+//! The build environment has no external crates, so instead of `proptest`
+//! these run each property over a few hundred samples drawn from the
+//! workspace's deterministic [`Rng64`] stream — same invariants, fixed
+//! seeds, reproducible failures.
 
 use cent_dram::{DramCommand, PimChannelTiming};
 use cent_isa::{decode as isa_decode, encode as isa_encode, Instruction, MacOperand};
 use cent_types::{
-    AccRegId, BankId, Bf16, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot,
+    AccRegId, BankId, Bf16, ChannelId, ChannelMask, ColAddr, DeviceId, Rng64, RowAddr, SbSlot,
 };
 
-proptest! {
-    // BF16 conversion: every roundtrip through f32 is exact.
-    #[test]
-    fn bf16_bits_roundtrip(bits in any::<u16>()) {
+const CASES: usize = 300;
+
+// BF16 conversion: every roundtrip through f32 is exact.
+#[test]
+fn bf16_bits_roundtrip() {
+    let mut rng = Rng64::seed(0x1001);
+    for _ in 0..CASES {
+        let bits = rng.next_u64() as u16;
         let v = Bf16::from_bits(bits);
         if !v.is_nan() {
-            prop_assert_eq!(Bf16::from_f32(v.to_f32()).to_bits(), bits);
+            assert_eq!(Bf16::from_f32(v.to_f32()).to_bits(), bits);
         }
     }
+}
 
-    // BF16 quantisation error is within half a ULP (2^-8 relative).
-    #[test]
-    fn bf16_error_bound(v in -1.0e30f32..1.0e30f32) {
+// BF16 quantisation error is within half a ULP (2^-8 relative).
+#[test]
+fn bf16_error_bound() {
+    let mut rng = Rng64::seed(0x1002);
+    for _ in 0..CASES {
+        let v = rng.uniform(-1.0e30, 1.0e30) as f32;
         let q = Bf16::from_f32(v).to_f32();
         if q.is_finite() {
-            prop_assert!((q - v).abs() <= v.abs() / 256.0 + f32::MIN_POSITIVE);
+            assert!((q - v).abs() <= v.abs() / 256.0 + f32::MIN_POSITIVE);
         }
     }
+}
 
-    // ISA: arbitrary instructions survive the 16-byte encoding.
-    #[test]
-    fn isa_roundtrip(
-        chmask in any::<u32>(),
-        opsize in 1u32..100_000,
-        row in 0u32..16384,
-        col in 0u32..64,
-        reg in 0u8..32,
-        gb in 0u8..64,
-        nbk in any::<bool>(),
-    ) {
-        let operand = if nbk { MacOperand::NeighbourBank }
-                      else { MacOperand::GlobalBuffer { slot: gb } };
+// ISA: arbitrary instructions survive the 16-byte encoding.
+#[test]
+fn isa_roundtrip() {
+    let mut rng = Rng64::seed(0x1003);
+    for _ in 0..CASES {
+        let operand = if rng.next_below(2) == 1 {
+            MacOperand::NeighbourBank
+        } else {
+            MacOperand::GlobalBuffer { slot: rng.next_below(64) as u8 }
+        };
         let inst = Instruction::MacAbk {
-            chmask: ChannelMask(chmask),
-            opsize,
-            row: RowAddr(row),
-            col: ColAddr(col),
-            reg: AccRegId::new(reg),
+            chmask: ChannelMask(rng.next_u64() as u32),
+            opsize: 1 + rng.next_below(99_999) as u32,
+            row: RowAddr(rng.next_below(16384) as u32),
+            col: ColAddr(rng.next_below(64) as u32),
+            reg: AccRegId::new(rng.next_below(32) as u8),
             operand,
         };
-        prop_assert_eq!(isa_decode(&isa_encode(&inst)).unwrap(), inst);
+        assert_eq!(isa_decode(&isa_encode(&inst)).unwrap(), inst);
     }
+}
 
-    #[test]
-    fn isa_data_movement_roundtrip(
-        dv in 0u16..4096,
-        rs in 0u16..2048,
-        rd in 0u16..2048,
-        opsize in 1u32..10_000,
-        ch in 0u16..32,
-        bank in 0u16..16,
-    ) {
+#[test]
+fn isa_data_movement_roundtrip() {
+    let mut rng = Rng64::seed(0x1004);
+    for _ in 0..CASES {
+        let (dv, rs, rd) = (
+            DeviceId(rng.next_below(4096) as u16),
+            SbSlot(rng.next_below(2048) as u16),
+            SbSlot(rng.next_below(2048) as u16),
+        );
+        let opsize = 1 + rng.next_below(9_999) as u32;
+        let ch = rng.next_below(32) as u16;
+        let bank = BankId(rng.next_below(16) as u16);
         for inst in [
-            Instruction::SendCxl { dv: DeviceId(dv), rs: SbSlot(rs), rd: SbSlot(rd), opsize },
+            Instruction::SendCxl { dv, rs, rd, opsize },
             Instruction::WrSbk {
-                ch: ChannelId(ch), opsize, bank: BankId(bank),
-                row: RowAddr(7), col: ColAddr(3), rs: SbSlot(rs),
+                ch: ChannelId(ch),
+                opsize,
+                bank,
+                row: RowAddr(7),
+                col: ColAddr(3),
+                rs,
             },
-            Instruction::RdMac { chmask: ChannelMask(1 << ch), rd: SbSlot(rd), reg: AccRegId::new(0) },
+            Instruction::RdMac { chmask: ChannelMask(1 << ch), rd, reg: AccRegId::new(0) },
         ] {
-            prop_assert_eq!(isa_decode(&isa_encode(&inst)).unwrap(), inst);
+            assert_eq!(isa_decode(&isa_encode(&inst)).unwrap(), inst);
         }
     }
+}
 
-    // DRAM timing: command issue times are monotonically non-decreasing and
-    // MAC beats never violate tCCD_S.
-    #[test]
-    fn dram_issue_monotonic(rows in prop::collection::vec(0u32..64, 1..6)) {
+// DRAM timing: command issue times are monotonically non-decreasing.
+#[test]
+fn dram_issue_monotonic() {
+    let mut rng = Rng64::seed(0x1005);
+    for _ in 0..60 {
         let mut ch = PimChannelTiming::new();
         let mut last = cent_types::Time::ZERO;
-        for row in rows {
+        for _ in 0..1 + rng.next_below(5) {
+            let row = rng.next_below(64) as u32;
             let t = ch.issue(DramCommand::ActAb { row: RowAddr(row) }).unwrap();
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             for col in 0..8 {
                 let t = ch.issue(DramCommand::MacAb { col: ColAddr(col) }).unwrap();
-                prop_assert!(t >= last);
-                prop_assert!(t.saturating_sub(last) >= cent_types::Time::ZERO);
+                assert!(t >= last);
                 last = t;
             }
             let t = ch.issue(DramCommand::PreAb).unwrap();
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
     }
+}
 
-    // MAC beat spacing is at least tCCD_S = 1 ns.
-    #[test]
-    fn mac_beats_never_closer_than_tccds(n in 2usize..64) {
+// MAC beat spacing is at least tCCD_S = 1 ns.
+#[test]
+fn mac_beats_never_closer_than_tccds() {
+    let mut rng = Rng64::seed(0x1006);
+    for _ in 0..60 {
+        let n = 2 + rng.next_below(62) as usize;
         let mut ch = PimChannelTiming::new();
         ch.issue(DramCommand::ActAb { row: RowAddr(0) }).unwrap();
         let mut prev = None;
         for col in 0..n {
             let t = ch.issue(DramCommand::MacAb { col: ColAddr(col as u32) }).unwrap();
             if let Some(p) = prev {
-                prop_assert!((t - p).as_ns() >= 1.0);
+                assert!((t - p).as_ns() >= 1.0);
             }
             prev = Some(t);
         }
     }
+}
 
-    // GEMV layout: element placement is injective within a matrix.
-    #[test]
-    fn gemv_layout_no_aliasing(m in 1usize..96, n in 1usize..512, chans in 1u16..4) {
-        use cent_compiler::GemvLayout;
+// GEMV layout: element placement is injective within a matrix.
+#[test]
+fn gemv_layout_no_aliasing() {
+    use cent_compiler::GemvLayout;
+    let mut rng = Rng64::seed(0x1007);
+    for _ in 0..30 {
+        let m = 1 + rng.next_below(95) as usize;
+        let n = 1 + rng.next_below(511) as usize;
+        let chans = 1 + rng.next_below(3) as u16;
         let channels: Vec<ChannelId> = (0..chans).map(ChannelId).collect();
         let layout = GemvLayout::plan(channels, RowAddr(0), m, n).unwrap();
         let mut seen = std::collections::HashSet::new();
         for r in (0..m).step_by(3) {
             for e in (0..n).step_by(7) {
                 let loc = layout.element_location(r, e);
-                prop_assert!(seen.insert(loc));
+                assert!(seen.insert(loc));
             }
         }
     }
+}
 
-    // Shared Buffer allocator: never double-books, errors past capacity.
-    #[test]
-    fn sb_allocator_is_disjoint(sizes in prop::collection::vec(1usize..128, 1..20)) {
-        use cent_compiler::SbAllocator;
+// Shared Buffer allocator: never double-books, errors past capacity.
+#[test]
+fn sb_allocator_is_disjoint() {
+    use cent_compiler::SbAllocator;
+    let mut rng = Rng64::seed(0x1008);
+    for _ in 0..CASES {
         let mut alloc = SbAllocator::new(0);
         let mut next_expected = 0usize;
-        for s in sizes {
+        for _ in 0..1 + rng.next_below(19) {
+            let s = 1 + rng.next_below(127) as usize;
             match alloc.alloc(s) {
                 Ok(slot) => {
-                    prop_assert_eq!(slot.index(), next_expected);
+                    assert_eq!(slot.index(), next_expected);
                     next_expected += s;
                 }
-                Err(_) => prop_assert!(next_expected + s > 2048),
+                Err(_) => assert!(next_expected + s > 2048),
             }
         }
     }
+}
 
-    // CXL gather delivers exactly the multiset of sent payloads.
-    #[test]
-    fn cxl_gather_preserves_payloads(values in prop::collection::vec(-100.0f32..100.0, 1..8)) {
-        use cent_cxl::{CommunicationEngine, FabricConfig};
-        use cent_types::{Time, ZERO_BEAT};
+// CXL gather delivers exactly the multiset of sent payloads.
+#[test]
+fn cxl_gather_preserves_payloads() {
+    use cent_cxl::{CommunicationEngine, FabricConfig};
+    use cent_types::{Time, ZERO_BEAT};
+    let mut rng = Rng64::seed(0x1009);
+    for _ in 0..40 {
+        let values: Vec<f32> =
+            (0..1 + rng.next_below(7)).map(|_| rng.uniform(-100.0, 100.0) as f32).collect();
         let mut comm = CommunicationEngine::new(FabricConfig::cent(16));
-        let contributions: Vec<_> = values.iter().enumerate().map(|(i, v)| {
-            let mut beat = ZERO_BEAT;
-            beat[0] = Bf16::from_f32(*v);
-            (DeviceId(i as u16 + 1), vec![beat])
-        }).collect();
+        let contributions: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut beat = ZERO_BEAT;
+                beat[0] = Bf16::from_f32(*v);
+                (DeviceId(i as u16 + 1), vec![beat])
+            })
+            .collect();
         let msgs = comm.gather(DeviceId(0), &contributions, Time::ZERO).unwrap();
         let mut got: Vec<f32> = msgs.iter().map(|m| m.beats[0][0].to_f32()).collect();
         let mut want: Vec<f32> = values.iter().map(|v| Bf16::from_f32(*v).to_f32()).collect();
         got.sort_by(f32::total_cmp);
         want.sort_by(f32::total_cmp);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 }
 
 // RISC-V interpreter arithmetic matches host semantics.
-proptest! {
-    #[test]
-    fn riscv_alu_matches_host(a in any::<i32>(), b in any::<i32>()) {
-        use cent_riscv::{assemble, Cpu, Halt, Ram};
-        let program = assemble(
-            "add  t0, a0, a1
-             sub  t1, a0, a1
-             xor  t2, a0, a1
-             mul  t3, a0, a1
-             sltu t4, a0, a1
-             ecall",
-        ).unwrap();
+#[test]
+fn riscv_alu_matches_host() {
+    use cent_riscv::{assemble, Cpu, Halt, Ram};
+    let program = assemble(
+        "add  t0, a0, a1
+         sub  t1, a0, a1
+         xor  t2, a0, a1
+         mul  t3, a0, a1
+         sltu t4, a0, a1
+         ecall",
+    )
+    .unwrap();
+    let mut rng = Rng64::seed(0x100A);
+    for _ in 0..CASES {
+        let a = rng.next_u64() as u32 as i32;
+        let b = rng.next_u64() as u32 as i32;
         let mut ram = Ram::new(4096);
         let mut cpu = Cpu::new();
         cpu.load_program(&mut ram, 0, &program).unwrap();
         cpu.set_x(10, a as u32);
         cpu.set_x(11, b as u32);
-        prop_assert_eq!(cpu.run(&mut ram, 100).unwrap(), Halt::Ecall);
-        prop_assert_eq!(cpu.x(5), a.wrapping_add(b) as u32);
-        prop_assert_eq!(cpu.x(6), a.wrapping_sub(b) as u32);
-        prop_assert_eq!(cpu.x(7), (a ^ b) as u32);
-        prop_assert_eq!(cpu.x(28), a.wrapping_mul(b) as u32);
-        prop_assert_eq!(cpu.x(29), u32::from((a as u32) < (b as u32)));
+        assert_eq!(cpu.run(&mut ram, 100).unwrap(), Halt::Ecall);
+        assert_eq!(cpu.x(5), a.wrapping_add(b) as u32);
+        assert_eq!(cpu.x(6), a.wrapping_sub(b) as u32);
+        assert_eq!(cpu.x(7), (a ^ b) as u32);
+        assert_eq!(cpu.x(28), a.wrapping_mul(b) as u32);
+        assert_eq!(cpu.x(29), u32::from((a as u32) < (b as u32)));
     }
+}
 
-    #[test]
-    fn riscv_div_rem_identity(a in any::<i32>(), b in any::<i32>()) {
-        use cent_riscv::{assemble, Cpu, Halt, Ram};
-        prop_assume!(b != 0);
-        prop_assume!(!(a == i32::MIN && b == -1));
-        let program = assemble("div t0, a0, a1\nrem t1, a0, a1\necall").unwrap();
+#[test]
+fn riscv_div_rem_identity() {
+    use cent_riscv::{assemble, Cpu, Halt, Ram};
+    let program = assemble("div t0, a0, a1\nrem t1, a0, a1\necall").unwrap();
+    let mut rng = Rng64::seed(0x100B);
+    for _ in 0..CASES {
+        let a = rng.next_u64() as u32 as i32;
+        let b = rng.next_u64() as u32 as i32;
+        if b == 0 || (a == i32::MIN && b == -1) {
+            continue;
+        }
         let mut ram = Ram::new(4096);
         let mut cpu = Cpu::new();
         cpu.load_program(&mut ram, 0, &program).unwrap();
         cpu.set_x(10, a as u32);
         cpu.set_x(11, b as u32);
-        prop_assert_eq!(cpu.run(&mut ram, 100).unwrap(), Halt::Ecall);
+        assert_eq!(cpu.run(&mut ram, 100).unwrap(), Halt::Ecall);
         let q = cpu.x(5) as i32;
         let r = cpu.x(6) as i32;
         // RISC-V spec: a = q*b + r with |r| < |b| and sign(r) = sign(a).
-        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
-        prop_assert!(r == 0 || r.signum() == a.signum());
-        prop_assert!(r.unsigned_abs() < b.unsigned_abs());
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        assert!(r == 0 || r.signum() == a.signum());
+        assert!(r.unsigned_abs() < b.unsigned_abs());
     }
+}
 
-    // Activation LUTs: monotone functions stay monotone through the table.
-    #[test]
-    fn af_lut_preserves_monotonicity(xs in prop::collection::vec(-8.0f32..8.0, 2..20)) {
-        use cent_pim::{ActivationFunction, AfLut};
-        let mut sorted = xs.clone();
+// Activation LUTs: monotone functions stay monotone through the table.
+#[test]
+fn af_lut_preserves_monotonicity() {
+    use cent_pim::{ActivationFunction, AfLut};
+    let mut rng = Rng64::seed(0x100C);
+    for _ in 0..40 {
+        let mut sorted: Vec<f32> =
+            (0..2 + rng.next_below(18)).map(|_| rng.uniform(-8.0, 8.0) as f32).collect();
         sorted.sort_by(f32::total_cmp);
         for f in [ActivationFunction::Sigmoid, ActivationFunction::Tanh, ActivationFunction::Exp] {
             let lut = AfLut::new(f);
             let ys: Vec<f32> = sorted.iter().map(|x| lut.eval(*x)).collect();
             for w in ys.windows(2) {
-                prop_assert!(w[1] >= w[0] - 1e-4, "{f:?} not monotone: {w:?}");
+                assert!(w[1] >= w[0] - 1e-4, "{f:?} not monotone: {w:?}");
             }
         }
     }
+}
 
-    // The PNM exponent pipeline tracks the reference within BF16 tolerance
-    // across its whole input range.
-    #[test]
-    fn exp_taylor_tracks_reference(x in -80.0f32..10.0) {
+// The PNM exponent pipeline tracks the reference within BF16 tolerance
+// across its whole input range.
+#[test]
+fn exp_taylor_tracks_reference() {
+    let mut rng = Rng64::seed(0x100D);
+    for _ in 0..CASES {
+        let x = rng.uniform(-80.0, 10.0) as f32;
         let got = cent_pnm::exp_taylor(x);
         let want = x.exp();
         let tol = (want * 0.02).abs().max(1e-30);
-        prop_assert!((got - want).abs() <= tol, "exp({x}) = {got}, want {want}");
+        assert!((got - want).abs() <= tol, "exp({x}) = {got}, want {want}");
     }
+}
 
-    // DRAM earliest_issue is a fixed point: issuing at the returned time
-    // must be legal (the scheduler never undershoots a constraint).
-    #[test]
-    fn dram_earliest_issue_is_legal(cols in prop::collection::vec(0u32..64, 1..32)) {
+// DRAM earliest_issue is a fixed point: issuing at the returned time must
+// be legal (the scheduler never undershoots a constraint).
+#[test]
+fn dram_earliest_issue_is_legal() {
+    let mut rng = Rng64::seed(0x100E);
+    for _ in 0..40 {
         let mut ch = PimChannelTiming::new();
         ch.issue(DramCommand::ActAb { row: RowAddr(0) }).unwrap();
-        for col in cols {
-            let predicted = ch.earliest_issue(DramCommand::MacAb { col: ColAddr(col) }).unwrap();
-            let actual = ch.issue(DramCommand::MacAb { col: ColAddr(col) }).unwrap();
-            prop_assert_eq!(predicted, actual);
+        for _ in 0..1 + rng.next_below(31) {
+            let col = ColAddr(rng.next_below(64) as u32);
+            let predicted = ch.earliest_issue(DramCommand::MacAb { col }).unwrap();
+            let actual = ch.issue(DramCommand::MacAb { col }).unwrap();
+            assert_eq!(predicted, actual);
         }
     }
 }
