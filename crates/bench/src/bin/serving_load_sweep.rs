@@ -3,7 +3,10 @@
 //!
 //! Sweeps Poisson offered load from 25% to 150% of the deployment's chatbot
 //! capacity and records delivered tokens/s, p99 TTFT and p99 query latency
-//! — the classic throughput–latency knee.
+//! — the classic throughput–latency knee. The load points are anchored on
+//! `capacity_qps(512, 3584)`, which takes the tighter of the decode- and
+//! prefill-side limits (the chatbot mix is decode-bound, but the anchor now
+//! stays correct for prompt-heavy what-ifs too).
 use cent_bench::Report;
 use cent_model::ModelConfig;
 use cent_serving::{ServingSystem, Workload};
@@ -15,7 +18,9 @@ fn main() {
     let system =
         ServingSystem::plan(&cfg, devices, cent_compiler::Strategy::PipelineParallel, 4096)
             .expect("planning Llama2-7B on 8 devices");
-    let capacity = system.capacity_qps(3584);
+    // The corrected knee: min(decode-side, prefill-side) capacity for the
+    // paper's 512-in/3584-out chatbot shape.
+    let capacity = system.capacity_qps(512, 3584);
     let horizon = Time::from_secs_f64(3600.0);
 
     let mut tokens = Vec::new();

@@ -12,9 +12,9 @@ pub struct DieCostModel {
     pub area_mm2: f64,
     /// Wafer diameter in mm.
     pub wafer_diameter_mm: f64,
-    /// Wafer cost ($9,346 for 7 nm, [71]).
+    /// Wafer cost ($9,346 for 7 nm, paper ref. \[71\]).
     pub wafer_cost: Dollars,
-    /// Defect density per mm² (0.0015, [71]).
+    /// Defect density per mm² (0.0015, paper ref. \[71\]).
     pub defect_density: f64,
 }
 
@@ -101,7 +101,7 @@ impl NreBreakdown {
 pub struct ControllerCost {
     /// Good-die cost.
     pub die: Dollars,
-    /// 2D packaging (29% of chip cost, [59]).
+    /// 2D packaging (29% of chip cost, paper ref. \[59\]).
     pub packaging: Dollars,
     /// Amortised NRE.
     pub nre: Dollars,

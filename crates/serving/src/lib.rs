@@ -10,29 +10,45 @@
 //!   Poisson or bursty MMPP) with configurable shapes ([`LengthSampler`]:
 //!   the paper's 512/3584 chatbot mix, ShareGPT-like log-normals, uniform
 //!   or fixed);
-//! * [`ContinuousBatchScheduler`] — FIFO admission into pipeline-stage
-//!   decode slots with strict per-replica KV-cache accounting derived from
-//!   the mapping ([`KvBudget`]): a request's full context footprint is
-//!   reserved at admission, so nothing is ever evicted mid-decode;
-//! * [`ServingSystem`] — the event loop, costed by the steady-state block
-//!   simulation (token cadence, prefill rate, slot/replica structure);
-//! * [`ServingReport`] — TTFT, time-between-tokens and query-latency
-//!   distributions (p50/p95/p99), tokens/s against the steady-state oracle,
-//!   slot utilization and KV pressure.
+//! * [`ContinuousBatchScheduler`] — policy-driven admission into
+//!   pipeline-stage decode slots with strict per-replica KV-cache
+//!   accounting derived from the mapping ([`KvBudget`]). Two [`KvMode`]s:
+//!   *full reservation* (a request's complete context footprint is reserved
+//!   at admission; nothing is ever evicted) and *token-granular* (only the
+//!   prompt is reserved up front, the reservation grows one token per
+//!   generated token, admission is optimistic against a watermark, and pool
+//!   exhaustion preempts the youngest resident for vLLM-style recompute);
+//! * [`SchedulingPolicy`] — pluggable admission order: [`Fifo`],
+//!   [`ShortestRemainingDecode`], deadline/SLO-aware least-slack
+//!   ([`DeadlineAware`]);
+//! * [`ServingSystem`] — the token-progress event loop, costed by the
+//!   steady-state block simulation (token cadence, prefill rate,
+//!   slot/replica structure), configured per run via [`ServeOptions`];
+//! * [`ServingReport`] — TTFT, per-token time-between-tokens and
+//!   query-latency distributions (p50/p95/p99), tokens/s against the
+//!   steady-state oracle, slot utilization, peak and time-weighted KV
+//!   pressure, preemption counts and deadline goodput.
 //!
 //! # Examples
 //!
 //! ```
 //! use cent_compiler::Strategy;
 //! use cent_model::ModelConfig;
-//! use cent_serving::{ServingSystem, Workload};
+//! use cent_serving::{ServeOptions, ServingSystem, Workload};
 //! use cent_types::Time;
 //!
 //! # fn main() -> Result<(), cent_types::CentError> {
 //! let cfg = ModelConfig::tiny();
 //! let system = ServingSystem::plan(&cfg, 2, Strategy::PipelineParallel, 32)?;
-//! let workload = Workload::chatbot(0.5 * system.capacity_qps(16), 42);
+//! let workload = Workload::chatbot(0.5 * system.capacity_qps(8, 16), 42);
+//! // Default (full-reservation, FIFO) run...
 //! let report = system.run(&workload, Time::from_secs_f64(2.0));
+//! // ...or token-granular KV accounting with preemption.
+//! let report = system.run_with(
+//!     &workload,
+//!     Time::from_secs_f64(2.0),
+//!     ServeOptions::token_granular(),
+//! );
 //! println!("{report}");
 //! # Ok(())
 //! # }
@@ -40,14 +56,16 @@
 
 #![warn(missing_docs)]
 
+mod policy;
 mod queue;
 mod report;
 mod scheduler;
 mod sim;
 mod workload;
 
-pub use queue::{RequestId, RequestQueue, RequestRecord, RequestSpec};
+pub use policy::{DeadlineAware, Fifo, PolicyContext, SchedulingPolicy, ShortestRemainingDecode};
+pub use queue::{QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec};
 pub use report::{LatencyStats, ServingReport};
-pub use scheduler::{Admission, ContinuousBatchScheduler, KvBudget, SchedulerConfig};
-pub use sim::ServingSystem;
+pub use scheduler::{Admission, ContinuousBatchScheduler, KvBudget, KvMode, SchedulerConfig};
+pub use sim::{ServeOptions, ServingSystem};
 pub use workload::{ArrivalProcess, LengthSampler, Workload};

@@ -1,12 +1,12 @@
-//! Serving-level SLO metrics: latency distributions, throughput and
-//! utilization for one simulated run.
+//! Serving-level SLO metrics: latency distributions, throughput,
+//! utilization, preemption and goodput for one simulated run.
 
 use cent_types::{mean, Time, TimeHistogram};
 
 use crate::queue::RequestRecord;
 
 /// Summary statistics of one latency population.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Arithmetic mean.
     pub mean: Time,
@@ -65,8 +65,37 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
-/// The result of one request-level serving simulation.
+/// Run-level counters gathered by the event loop, handed to
+/// [`ServingReport::from_records`] alongside the completed records.
 #[derive(Debug, Clone)]
+pub(crate) struct RunTotals {
+    /// Mean offered load, queries/second.
+    pub offered_qps: f64,
+    /// Requests that arrived within the horizon.
+    pub submitted: usize,
+    /// Requests rejected up front (footprint exceeds a replica's budget).
+    pub rejected: usize,
+    /// Steady-state decode throughput of the deployment.
+    pub steady_state_tokens_per_s: f64,
+    /// Time-weighted fraction of decode slots occupied.
+    pub slot_utilization: f64,
+    /// Peak per-replica KV reservation as a fraction of the budget.
+    pub peak_kv_fraction: f64,
+    /// Time-weighted mean KV reservation as a fraction of the budget.
+    pub kv_utilization: f64,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Total preemption events.
+    pub preemptions: u64,
+    /// Per-gap time-between-tokens stream (one sample per generated token
+    /// after a request's first, so long queries weigh proportionally).
+    pub tbt: TimeHistogram,
+    /// Latency SLO used for goodput accounting, if any.
+    pub slo: Option<Time>,
+}
+
+/// The result of one request-level serving simulation.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
     /// Mean offered load of the workload, queries/second.
     pub offered_qps: f64,
@@ -93,31 +122,38 @@ pub struct ServingReport {
     pub query_latency: LatencyStats,
     /// Queue-wait distribution.
     pub queue_wait: LatencyStats,
-    /// Time-between-tokens distribution (decode cadence), streamed through
-    /// a [`TimeHistogram`] so long-horizon runs stay constant-memory.
+    /// Time-between-tokens distribution (decode cadence): one sample per
+    /// generated token after a request's first — preemption stalls appear
+    /// as outlier gaps — streamed through a [`TimeHistogram`] so
+    /// long-horizon runs stay constant-memory.
     pub tbt: LatencyStats,
     /// Time-weighted fraction of decode slots occupied.
     pub slot_utilization: f64,
     /// Peak per-replica KV reservation as a fraction of the budget.
     pub peak_kv_fraction: f64,
+    /// Time-weighted mean KV reservation as a fraction of the total budget
+    /// (peak tells you the worst instant; this tells you how well the pool
+    /// is actually used).
+    pub kv_utilization: f64,
     /// Largest queue depth observed.
     pub peak_queue_depth: usize,
+    /// Preemption events (a request evicted mid-decode for KV reclamation
+    /// and later recomputed).
+    pub preemptions: u64,
+    /// Latency SLO the run was judged against, if any.
+    pub slo: Option<Time>,
+    /// Completed requests whose end-to-end latency met the SLO (equals
+    /// `completed` when no SLO is set).
+    pub deadline_hits: usize,
+    /// SLO-meeting completions per second over the makespan — the paper's
+    /// QoS lens on throughput.
+    pub goodput_qps: f64,
 }
 
 impl ServingReport {
     /// Builds the report from completed request records and run-level
     /// counters gathered by the event loop.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_records(
-        records: &[RequestRecord],
-        offered_qps: f64,
-        submitted: usize,
-        rejected: usize,
-        steady_state_tokens_per_s: f64,
-        slot_utilization: f64,
-        peak_kv_fraction: f64,
-        peak_queue_depth: usize,
-    ) -> Self {
+    pub(crate) fn from_records(records: &[RequestRecord], totals: RunTotals) -> Self {
         let first_arrival = records.iter().map(|r| r.spec.arrival).min().unwrap_or(Time::ZERO);
         let last_finish = records.iter().map(|r| r.finished).max().unwrap_or(Time::ZERO);
         let makespan = last_finish.saturating_sub(first_arrival);
@@ -128,27 +164,34 @@ impl ServingReport {
         let ttfts: Vec<Time> = records.iter().map(|r| r.ttft()).collect();
         let latencies: Vec<Time> = records.iter().map(|r| r.query_latency()).collect();
         let waits: Vec<Time> = records.iter().map(|r| r.queue_wait()).collect();
-        let mut tbt_hist = TimeHistogram::new();
-        for r in records.iter().filter(|r| r.spec.decode > 1) {
-            tbt_hist.record(r.time_between_tokens());
-        }
+        let deadline_hits = match totals.slo {
+            Some(slo) => records.iter().filter(|r| r.query_latency() <= slo).count(),
+            None => records.len(),
+        };
+        let goodput_qps =
+            if makespan > Time::ZERO { deadline_hits as f64 / makespan.as_secs() } else { 0.0 };
         ServingReport {
-            offered_qps,
-            submitted,
+            offered_qps: totals.offered_qps,
+            submitted: totals.submitted,
             completed: records.len(),
-            rejected,
+            rejected: totals.rejected,
             makespan,
             decode_tokens,
             prefill_tokens,
             tokens_per_s,
-            steady_state_tokens_per_s,
+            steady_state_tokens_per_s: totals.steady_state_tokens_per_s,
             ttft: LatencyStats::from_samples(&ttfts),
             query_latency: LatencyStats::from_samples(&latencies),
             queue_wait: LatencyStats::from_samples(&waits),
-            tbt: LatencyStats::from_histogram(&tbt_hist),
-            slot_utilization,
-            peak_kv_fraction,
-            peak_queue_depth,
+            tbt: LatencyStats::from_histogram(&totals.tbt),
+            slot_utilization: totals.slot_utilization,
+            peak_kv_fraction: totals.peak_kv_fraction,
+            kv_utilization: totals.kv_utilization,
+            peak_queue_depth: totals.peak_queue_depth,
+            preemptions: totals.preemptions,
+            slo: totals.slo,
+            deadline_hits,
+            goodput_qps,
         }
     }
 
@@ -156,6 +199,15 @@ impl ServingReport {
     pub fn throughput_fraction(&self) -> f64 {
         if self.steady_state_tokens_per_s > 0.0 {
             self.tokens_per_s / self.steady_state_tokens_per_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of completed requests that met the SLO (1.0 when no SLO).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed > 0 {
+            self.deadline_hits as f64 / self.completed as f64
         } else {
             0.0
         }
@@ -171,13 +223,25 @@ impl std::fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "decode {:.0} tok/s ({:.0}% of steady state) | slots {:.0}% busy | peak KV {:.0}% | peak queue {}",
+            "decode {:.0} tok/s ({:.0}% of steady state) | slots {:.0}% busy | KV peak {:.0}% / mean {:.0}% | peak queue {}",
             self.tokens_per_s,
             100.0 * self.throughput_fraction(),
             100.0 * self.slot_utilization,
             100.0 * self.peak_kv_fraction,
+            100.0 * self.kv_utilization,
             self.peak_queue_depth,
         )?;
+        if let Some(slo) = self.slo {
+            writeln!(
+                f,
+                "goodput {:.3} q/s ({:.0}% within the {slo} SLO) | {} preemptions",
+                self.goodput_qps,
+                100.0 * self.slo_attainment(),
+                self.preemptions,
+            )?;
+        } else if self.preemptions > 0 {
+            writeln!(f, "preemptions: {}", self.preemptions)?;
+        }
         writeln!(f, "TTFT:    {}", self.ttft)?;
         writeln!(f, "latency: {}", self.query_latency)?;
         writeln!(f, "wait:    {}", self.queue_wait)?;
@@ -188,6 +252,7 @@ impl std::fmt::Display for ServingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::{RequestId, RequestSpec};
 
     #[test]
     fn stats_from_empty_are_zero() {
@@ -203,5 +268,53 @@ mod tests {
         let s = LatencyStats::from_samples(&samples);
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
         assert_eq!(s.max, Time::from_us(1000));
+    }
+
+    fn record(id: u64, arrival_us: u64, finished_us: u64) -> RequestRecord {
+        RequestRecord {
+            spec: RequestSpec {
+                id: RequestId(id),
+                arrival: Time::from_us(arrival_us),
+                prompt: 8,
+                decode: 4,
+            },
+            admitted: Time::from_us(arrival_us),
+            first_token: Time::from_us(arrival_us + 10),
+            finished: Time::from_us(finished_us),
+            replica: 0,
+            preemptions: 0,
+        }
+    }
+
+    fn totals(slo: Option<Time>) -> RunTotals {
+        RunTotals {
+            offered_qps: 1.0,
+            submitted: 2,
+            rejected: 0,
+            steady_state_tokens_per_s: 100.0,
+            slot_utilization: 0.5,
+            peak_kv_fraction: 0.5,
+            kv_utilization: 0.25,
+            peak_queue_depth: 1,
+            preemptions: 0,
+            tbt: TimeHistogram::new(),
+            slo,
+        }
+    }
+
+    #[test]
+    fn goodput_counts_only_slo_hits() {
+        // Request 0 finishes 50 us after arrival, request 1 takes 500 us.
+        let records = [record(0, 0, 50), record(1, 100, 600)];
+        let slo = Some(Time::from_us(100));
+        let report = ServingReport::from_records(&records, totals(slo));
+        assert_eq!(report.deadline_hits, 1);
+        assert!((report.slo_attainment() - 0.5).abs() < 1e-12);
+        // Goodput = 1 hit over the 600 us makespan.
+        assert!((report.goodput_qps - 1.0 / 600e-6).abs() < 1e-3);
+        // Without an SLO every completion counts.
+        let report = ServingReport::from_records(&records, totals(None));
+        assert_eq!(report.deadline_hits, 2);
+        assert_eq!(report.slo_attainment(), 1.0);
     }
 }

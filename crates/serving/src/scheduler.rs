@@ -5,17 +5,31 @@
 //! GDDR6 channels assigned to a block hold its weights plus the KV cache of
 //! every resident query (§5.4). The [`ContinuousBatchScheduler`] admits
 //! queued requests into slots as they free up — the vLLM-style iteration
-//! policy, specialised to CENT's structural batch limit — and never
-//! overcommits the KV budget: a request's full footprint (prompt + decode
-//! tokens) is reserved at admission so decode can never be evicted
-//! mid-flight.
+//! policy, specialised to CENT's structural batch limit — and never lets a
+//! replica's reservations exceed its budget. Two accounting modes
+//! ([`KvMode`]):
+//!
+//! * **Full reservation** — a request's complete footprint (prompt + every
+//!   decode token) is reserved at admission, so decode can never run out of
+//!   KV space mid-flight. Safe but pessimistic: a 512/3584 chatbot query
+//!   holds 4096 tokens of budget from its first instant.
+//! * **Token-granular** — only the prompt (plus any recomputed progress) is
+//!   reserved at admission; the reservation grows one token per generated
+//!   token. Admission is optimistic against a configurable watermark, and
+//!   when growth would exceed the budget the *youngest* resident on that
+//!   replica is preempted: its KV is released and it re-enters the queue
+//!   for recompute. This is the capacity-managed regime of §5.4 — occupancy
+//!   in reality grows one token per step, so far more queries fit.
+
+use std::collections::BTreeMap;
 
 use cent_compiler::{Strategy, SystemMapping};
 use cent_model::ModelConfig;
 use cent_types::consts::CHANNEL_CAPACITY;
 use cent_types::Time;
 
-use crate::queue::{RequestQueue, RequestSpec};
+use crate::policy::{Fifo, PolicyContext, SchedulingPolicy};
+use crate::queue::{QueuedRequest, RequestId, RequestQueue, RequestSpec};
 
 /// KV-cache capacity of one pipeline replica, in context tokens.
 ///
@@ -51,6 +65,29 @@ impl KvBudget {
     }
 }
 
+/// How KV-cache occupancy is accounted while a request is resident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvMode {
+    /// Reserve `prompt + decode` tokens at admission; never preempt.
+    FullReservation,
+    /// Reserve only the current context at admission and grow one token per
+    /// generated token; preempt the youngest resident on exhaustion.
+    TokenGranular {
+        /// Fraction of the budget below which new admissions are accepted.
+        /// Growth of already-resident requests may use the full budget; the
+        /// gap between watermark and budget is headroom that absorbs growth
+        /// before preemption kicks in. Clamped to `(0, 1]`.
+        admission_watermark: f64,
+    },
+}
+
+impl KvMode {
+    /// Token-granular accounting with the default 0.9 admission watermark.
+    pub fn token_granular() -> Self {
+        KvMode::TokenGranular { admission_watermark: 0.9 }
+    }
+}
+
 /// Static configuration of the scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
@@ -60,13 +97,15 @@ pub struct SchedulerConfig {
     pub slots_per_replica: usize,
     /// KV budget per replica.
     pub kv_budget: KvBudget,
+    /// KV accounting mode.
+    pub kv: KvMode,
 }
 
 /// Where an admitted request landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Admission {
-    /// The admitted request.
-    pub spec: RequestSpec,
+    /// The admitted request, with any resume state it carried.
+    pub req: QueuedRequest,
     /// Replica index it was placed on.
     pub replica: usize,
     /// Admission instant.
@@ -79,19 +118,34 @@ struct ReplicaState {
     kv_reserved: u64,
 }
 
-/// FIFO continuous-batching scheduler over replicated pipelines.
+/// Accounting entry for one resident request.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    replica: usize,
+    /// Monotone admission sequence number; the largest on a replica is the
+    /// youngest resident (the preemption victim).
+    seq: u64,
+    /// Tokens currently reserved for this request.
+    kv_now: u64,
+}
+
+/// Policy-driven continuous-batching scheduler over replicated pipelines.
 #[derive(Debug)]
 pub struct ContinuousBatchScheduler {
     cfg: SchedulerConfig,
+    policy: Box<dyn SchedulingPolicy>,
     queue: RequestQueue,
     replicas: Vec<ReplicaState>,
+    leases: BTreeMap<RequestId, Lease>,
     rejected: Vec<RequestSpec>,
     peak_kv: u64,
     admissions: u64,
+    preemptions: u64,
+    admit_seq: u64,
 }
 
 impl ContinuousBatchScheduler {
-    /// Creates an idle scheduler.
+    /// Creates an idle scheduler with the FIFO policy.
     ///
     /// # Panics
     ///
@@ -101,66 +155,171 @@ impl ContinuousBatchScheduler {
         assert!(cfg.slots_per_replica > 0, "need at least one slot");
         ContinuousBatchScheduler {
             queue: RequestQueue::new(),
+            policy: Box::new(Fifo),
             replicas: vec![ReplicaState::default(); cfg.replicas],
+            leases: BTreeMap::new(),
             rejected: Vec::new(),
             peak_kv: 0,
             admissions: 0,
+            preemptions: 0,
+            admit_seq: 0,
             cfg,
         }
     }
 
-    /// Offers an arriving request. Requests whose KV footprint exceeds the
-    /// per-replica budget can never be scheduled and are rejected up front.
+    /// Replaces the admission-ordering policy.
+    pub fn with_policy(mut self, policy: Box<dyn SchedulingPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Offers an arriving request. Requests whose *complete* KV footprint
+    /// exceeds the per-replica budget can never finish in either mode and
+    /// are rejected up front.
     pub fn enqueue(&mut self, spec: RequestSpec) {
         if spec.kv_tokens() > self.cfg.kv_budget.tokens {
             self.rejected.push(spec);
         } else {
-            self.queue.push(spec);
+            self.queue.push(QueuedRequest::fresh(spec));
         }
     }
 
-    /// Admits queued requests in strict FIFO order while the head fits some
-    /// replica (a free slot and enough unreserved KV budget). Head-of-line
-    /// blocking is deliberate: it is what makes saturation fair.
-    pub fn admit_ready(&mut self, now: Time) -> Vec<Admission> {
+    /// Returns a preempted request (with its resume state) to the queue.
+    pub fn requeue(&mut self, req: QueuedRequest) {
+        debug_assert!(req.spec.kv_tokens() <= self.cfg.kv_budget.tokens);
+        self.queue.push(req);
+    }
+
+    /// Tokens a request reserves the instant it is admitted under the
+    /// configured mode.
+    fn admission_kv(&self, req: &QueuedRequest) -> u64 {
+        match self.cfg.kv {
+            KvMode::FullReservation => req.spec.kv_tokens(),
+            KvMode::TokenGranular { .. } => req.resident_kv(),
+        }
+    }
+
+    /// Reservation level above which admissions stop.
+    fn admission_limit(&self) -> u64 {
+        match self.cfg.kv {
+            KvMode::FullReservation => self.cfg.kv_budget.tokens,
+            KvMode::TokenGranular { admission_watermark } => {
+                let w = admission_watermark.clamp(f64::MIN_POSITIVE, 1.0);
+                (self.cfg.kv_budget.tokens as f64 * w).floor() as u64
+            }
+        }
+    }
+
+    /// Admits waiting requests in the policy's priority order while the top
+    /// pick fits some replica (a free slot and enough KV headroom under the
+    /// admission limit; an idle replica always accepts a feasible request,
+    /// which guarantees preempted work is eventually recomputed).
+    /// Head-of-line blocking on the policy order is deliberate: it is what
+    /// makes saturation fair.
+    pub fn admit_ready(&mut self, ctx: &PolicyContext) -> Vec<Admission> {
         let mut admitted = Vec::new();
-        while let Some(head) = self.queue.head() {
-            let need = head.kv_tokens();
-            // Least-loaded replica that can take the head request.
+        while let Some((idx, need)) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (self.policy.priority(q, ctx), q.spec.arrival, q.spec.id))
+            .map(|(i, q)| (i, self.admission_kv(q)))
+        {
+            let limit = self.admission_limit();
+            // Least-loaded replica that can take the pick; ties on busy
+            // slots break on KV reserved so reservations spread evenly.
             let slot = self
                 .replicas
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| {
                     r.busy_slots < self.cfg.slots_per_replica
-                        && r.kv_reserved + need <= self.cfg.kv_budget.tokens
+                        && (r.kv_reserved + need <= limit || r.kv_reserved == 0)
                 })
-                .min_by_key(|(_, r)| r.busy_slots);
-            let Some((idx, _)) = slot else { break };
-            let spec = self.queue.pop().expect("head exists");
-            let r = &mut self.replicas[idx];
+                .min_by_key(|(i, r)| (r.busy_slots, r.kv_reserved, *i));
+            let Some((ridx, _)) = slot else { break };
+            let req = self.queue.remove(idx);
+            let r = &mut self.replicas[ridx];
             r.busy_slots += 1;
             r.kv_reserved += need;
+            assert!(
+                r.kv_reserved <= self.cfg.kv_budget.tokens,
+                "admission overcommitted KV: {} > {}",
+                r.kv_reserved,
+                self.cfg.kv_budget.tokens
+            );
             self.peak_kv = self.peak_kv.max(r.kv_reserved);
             self.admissions += 1;
-            admitted.push(Admission { spec, replica: idx, at: now });
+            self.admit_seq += 1;
+            self.leases
+                .insert(req.spec.id, Lease { replica: ridx, seq: self.admit_seq, kv_now: need });
+            admitted.push(Admission { req, replica: ridx, at: ctx.now });
         }
         admitted
+    }
+
+    /// Extends a resident request's reservation by one generated token.
+    ///
+    /// In full-reservation mode this is a no-op (the token was paid for at
+    /// admission). In token-granular mode, if the replica's pool is
+    /// exhausted the youngest residents are preempted — their accounting is
+    /// released here and their ids returned so the event loop can requeue
+    /// them via [`requeue`](Self::requeue) — until the token fits. If the
+    /// growing request is itself the youngest, it is the victim: its id is
+    /// in the returned list and the token must not be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not resident.
+    pub fn grow(&mut self, id: RequestId) -> Vec<RequestId> {
+        if matches!(self.cfg.kv, KvMode::FullReservation) {
+            assert!(self.leases.contains_key(&id), "growing a non-resident request");
+            return Vec::new();
+        }
+        let replica = self.leases.get(&id).expect("growing a non-resident request").replica;
+        let mut victims = Vec::new();
+        while self.replicas[replica].kv_reserved + 1 > self.cfg.kv_budget.tokens {
+            // Youngest resident on this replica = largest admission seq.
+            let victim = self
+                .leases
+                .iter()
+                .filter(|(_, l)| l.replica == replica)
+                .max_by_key(|(_, l)| l.seq)
+                .map(|(vid, _)| *vid)
+                .expect("exhausted replica has residents");
+            let lease = self.leases.remove(&victim).expect("victim is resident");
+            let r = &mut self.replicas[replica];
+            r.busy_slots -= 1;
+            r.kv_reserved -= lease.kv_now;
+            self.preemptions += 1;
+            victims.push(victim);
+            if victim == id {
+                // The grower was the youngest: it preempted itself and must
+                // be recomputed; nothing grew.
+                return victims;
+            }
+        }
+        let lease = self.leases.get_mut(&id).expect("grower survived");
+        lease.kv_now += 1;
+        let r = &mut self.replicas[replica];
+        r.kv_reserved += 1;
+        assert!(r.kv_reserved <= self.cfg.kv_budget.tokens, "growth overcommitted KV");
+        self.peak_kv = self.peak_kv.max(r.kv_reserved);
+        victims
     }
 
     /// Releases the slot and KV reservation of a finished request.
     ///
     /// # Panics
     ///
-    /// Panics if the admission does not match an outstanding reservation.
-    pub fn complete(&mut self, admission: &Admission) {
-        let r = &mut self.replicas[admission.replica];
+    /// Panics if `id` is not resident.
+    pub fn complete(&mut self, id: RequestId) {
+        let lease = self.leases.remove(&id).expect("completing a non-resident request");
+        let r = &mut self.replicas[lease.replica];
         assert!(r.busy_slots > 0, "completing on an idle replica");
         r.busy_slots -= 1;
-        r.kv_reserved = r
-            .kv_reserved
-            .checked_sub(admission.spec.kv_tokens())
-            .expect("KV release exceeds reservation");
+        r.kv_reserved =
+            r.kv_reserved.checked_sub(lease.kv_now).expect("KV release exceeds reservation");
     }
 
     /// Requests currently waiting in the queue.
@@ -188,6 +347,11 @@ impl ContinuousBatchScheduler {
         self.replicas[replica].kv_reserved
     }
 
+    /// KV tokens currently reserved across all replicas.
+    pub fn total_kv_reserved(&self) -> u64 {
+        self.replicas.iter().map(|r| r.kv_reserved).sum()
+    }
+
     /// Largest per-replica KV reservation ever observed.
     pub fn peak_kv_reserved(&self) -> u64 {
         self.peak_kv
@@ -203,16 +367,21 @@ impl ContinuousBatchScheduler {
         &self.rejected
     }
 
-    /// Total requests admitted so far.
+    /// Total admissions so far (re-admissions after preemption included).
     pub fn admissions(&self) -> u64 {
         self.admissions
+    }
+
+    /// Total preemption events so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::RequestId;
+    use crate::policy::ShortestRemainingDecode;
     use cent_compiler::Strategy;
 
     fn spec(id: u64, prompt: usize, decode: usize) -> RequestSpec {
@@ -224,7 +393,21 @@ mod tests {
             replicas,
             slots_per_replica: slots,
             kv_budget: KvBudget::tokens(kv),
+            kv: KvMode::FullReservation,
         })
+    }
+
+    fn token_sched(replicas: usize, slots: usize, kv: u64) -> ContinuousBatchScheduler {
+        ContinuousBatchScheduler::new(SchedulerConfig {
+            replicas,
+            slots_per_replica: slots,
+            kv_budget: KvBudget::tokens(kv),
+            kv: KvMode::TokenGranular { admission_watermark: 1.0 },
+        })
+    }
+
+    fn ctx(us: u64) -> PolicyContext {
+        PolicyContext { now: Time::from_us(us), token_interval: Time::from_us(1) }
     }
 
     #[test]
@@ -234,13 +417,13 @@ mod tests {
         for i in 0..6 {
             s.enqueue(spec(i, 6, 4));
         }
-        let first = s.admit_ready(Time::ZERO);
+        let first = s.admit_ready(&ctx(0));
         assert_eq!(first.len(), 2, "third request must not overcommit KV");
         assert_eq!(s.kv_reserved(0), 20);
         assert!(s.peak_kv_reserved() <= s.kv_budget_tokens());
         // Finishing one frees exactly one admission's worth.
-        s.complete(&first[0]);
-        let next = s.admit_ready(Time::from_us(1));
+        s.complete(first[0].req.spec.id);
+        let next = s.admit_ready(&ctx(1));
         assert_eq!(next.len(), 1);
         assert!(s.kv_reserved(0) <= 25);
     }
@@ -252,14 +435,14 @@ mod tests {
             s.enqueue(spec(i, 4, 4));
         }
         let mut order = Vec::new();
-        let mut resident: Vec<Admission> = s.admit_ready(Time::ZERO);
-        order.extend(resident.iter().map(|a| a.spec.id.0));
+        let mut resident: Vec<Admission> = s.admit_ready(&ctx(0));
+        order.extend(resident.iter().map(|a| a.req.spec.id.0));
         let mut clock = 1u64;
         while !resident.is_empty() {
             let done = resident.remove(0);
-            s.complete(&done);
-            let mut newly = s.admit_ready(Time::from_us(clock));
-            order.extend(newly.iter().map(|a| a.spec.id.0));
+            s.complete(done.req.spec.id);
+            let mut newly = s.admit_ready(&ctx(clock));
+            order.extend(newly.iter().map(|a| a.req.spec.id.0));
             resident.append(&mut newly);
             clock += 1;
         }
@@ -268,20 +451,33 @@ mod tests {
     }
 
     #[test]
+    fn srd_policy_reorders_admissions() {
+        let mut s = sched(1, 1, u64::MAX).with_policy(Box::new(ShortestRemainingDecode));
+        s.enqueue(spec(0, 4, 100));
+        s.enqueue(spec(1, 4, 5));
+        s.enqueue(spec(2, 4, 50));
+        let first = s.admit_ready(&ctx(0));
+        assert_eq!(first[0].req.spec.id, RequestId(1), "shortest decode first");
+        s.complete(RequestId(1));
+        let second = s.admit_ready(&ctx(1));
+        assert_eq!(second[0].req.spec.id, RequestId(2));
+    }
+
+    #[test]
     fn oversized_requests_are_rejected_not_blocking() {
         let mut s = sched(1, 2, 100);
         s.enqueue(spec(0, 400, 400)); // can never fit
         s.enqueue(spec(1, 10, 10));
         assert_eq!(s.rejected().len(), 1);
-        let adm = s.admit_ready(Time::ZERO);
+        let adm = s.admit_ready(&ctx(0));
         assert_eq!(adm.len(), 1);
-        assert_eq!(adm[0].spec.id, RequestId(1));
+        assert_eq!(adm[0].req.spec.id, RequestId(1));
     }
 
     #[test]
     fn empty_queue_is_idle_and_correct() {
         let mut s = sched(2, 4, 1000);
-        assert!(s.admit_ready(Time::ZERO).is_empty());
+        assert!(s.admit_ready(&ctx(0)).is_empty());
         assert_eq!(s.in_flight(), 0);
         assert_eq!(s.queue_len(), 0);
         assert_eq!(s.peak_kv_reserved(), 0);
@@ -293,10 +489,108 @@ mod tests {
         for i in 0..6 {
             s.enqueue(spec(i, 4, 4));
         }
-        let adm = s.admit_ready(Time::ZERO);
+        let adm = s.admit_ready(&ctx(0));
         assert_eq!(adm.len(), 6);
         let on_r0 = adm.iter().filter(|a| a.replica == 0).count();
         assert_eq!(on_r0, 3, "least-loaded placement should balance");
+    }
+
+    #[test]
+    fn placement_ties_break_on_kv_reserved() {
+        // Two replicas, equal busy-slot counts after the first two
+        // admissions, but very different reservations: the light request
+        // lands on replica 0, the heavy one on replica 1, and the third
+        // must go where less KV is piled up (replica 0).
+        let mut s = sched(2, 4, u64::MAX);
+        s.enqueue(spec(0, 10, 10)); // 20 tokens
+        s.enqueue(spec(1, 500, 500)); // 1000 tokens
+        s.enqueue(spec(2, 10, 10));
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 3);
+        assert_eq!(adm[0].replica, 0);
+        assert_eq!(adm[1].replica, 1);
+        assert_eq!(adm[2].replica, 0, "tie on busy slots must break on kv_reserved");
+    }
+
+    #[test]
+    fn token_granular_reserves_prompt_and_grows() {
+        let mut s = token_sched(1, 4, 100);
+        s.enqueue(spec(0, 10, 50));
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 1);
+        assert_eq!(s.kv_reserved(0), 10, "only the prompt is reserved");
+        for _ in 0..50 {
+            assert!(s.grow(RequestId(0)).is_empty());
+        }
+        assert_eq!(s.kv_reserved(0), 60);
+        s.complete(RequestId(0));
+        assert_eq!(s.kv_reserved(0), 0);
+    }
+
+    #[test]
+    fn exhaustion_preempts_youngest_resident() {
+        // Budget 30: two requests admitted (10 each), then growth of the
+        // older one exhausts the pool and evicts the younger.
+        let mut s = token_sched(1, 4, 30);
+        s.enqueue(spec(0, 10, 18));
+        s.enqueue(spec(1, 10, 18));
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 2);
+        assert_eq!(s.kv_reserved(0), 20);
+        // Grow the elder to the budget.
+        for _ in 0..10 {
+            assert!(s.grow(RequestId(0)).is_empty());
+        }
+        assert_eq!(s.kv_reserved(0), 30);
+        // One more token must evict request 1 (the youngest).
+        let victims = s.grow(RequestId(0));
+        assert_eq!(victims, vec![RequestId(1)]);
+        assert_eq!(s.preemptions(), 1);
+        assert_eq!(s.kv_reserved(0), 21);
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn youngest_grower_preempts_itself() {
+        let mut s = token_sched(1, 4, 25);
+        s.enqueue(spec(0, 10, 14));
+        s.enqueue(spec(1, 10, 14));
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 2);
+        for _ in 0..5 {
+            assert!(s.grow(RequestId(0)).is_empty());
+        }
+        // Pool is full (25); the *younger* request asks for growth and must
+        // sacrifice itself rather than evict its elder.
+        let victims = s.grow(RequestId(1));
+        assert_eq!(victims, vec![RequestId(1)]);
+        assert_eq!(s.in_flight(), 1);
+        assert_eq!(s.kv_reserved(0), 15);
+        // It resumes from the queue once readmitted.
+        let mut q = QueuedRequest::fresh(spec(1, 10, 14));
+        q.progress = 0;
+        q.preemptions = 1;
+        s.requeue(q);
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn watermark_gates_admission_but_idle_replica_accepts() {
+        let mut s = ContinuousBatchScheduler::new(SchedulerConfig {
+            replicas: 1,
+            slots_per_replica: 4,
+            kv_budget: KvBudget::tokens(100),
+            kv: KvMode::TokenGranular { admission_watermark: 0.5 },
+        });
+        // 60-token prompt exceeds the 50-token watermark but the replica is
+        // idle, so it must still be admitted (feasibility guarantee).
+        s.enqueue(spec(0, 60, 10));
+        assert_eq!(s.admit_ready(&ctx(0)).len(), 1);
+        // A second 20-token prompt would land above the watermark: blocked.
+        s.enqueue(spec(1, 20, 10));
+        assert!(s.admit_ready(&ctx(1)).is_empty());
+        s.complete(RequestId(0));
+        assert_eq!(s.admit_ready(&ctx(2)).len(), 1);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The discrete-event serving loop: arrivals → queue → continuous batching
-//! → per-token service, costed by the steady-state block simulation.
+//! → token-progress events, costed by the steady-state block simulation.
 //!
 //! `cent_sim::evaluate` is the cost oracle: it gives the per-query token
 //! cadence (`token_latency`), the pipeline's prefill token rate and the
 //! mapping (slots, replicas, KV capacity). The event loop then serves an
-//! arbitrary request trace against those constants. Three modelling
+//! arbitrary request trace against those constants, advancing every
+//! resident query one *token* at a time so KV occupancy is tracked
+//! incrementally and preemption can interleave with decode. Three modelling
 //! assumptions, all matching §5 of the paper: a query holds one pipeline
 //! slot from admission to last token (prefill streams through the same
 //! stage it will decode in); each replica has a single prefill front-end,
@@ -15,17 +17,60 @@
 //! throughput, not per-query latency.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use cent_compiler::Strategy;
 use cent_model::ModelConfig;
 use cent_sim::{evaluate, CentPerformance};
-use cent_types::{CentResult, Time};
+use cent_types::{CentResult, Time, TimeHistogram};
 
-use crate::queue::{RequestRecord, RequestSpec};
-use crate::report::ServingReport;
-use crate::scheduler::{Admission, ContinuousBatchScheduler, KvBudget, SchedulerConfig};
+use crate::policy::{Fifo, PolicyContext, SchedulingPolicy};
+use crate::queue::{QueuedRequest, RequestId, RequestRecord, RequestSpec};
+use crate::report::{RunTotals, ServingReport};
+use crate::scheduler::{ContinuousBatchScheduler, KvBudget, KvMode, SchedulerConfig};
 use crate::workload::Workload;
+
+/// Per-run serving knobs: KV accounting, admission order and SLO target.
+///
+/// The default is the conservative pre-refactor regime — full reservation
+/// under FIFO with no SLO — so plain [`ServingSystem::run`] keeps its exact
+/// historical semantics; sweeps opt into token-granular accounting and
+/// alternative policies through [`ServingSystem::run_with`].
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// KV accounting mode (full reservation or token-granular growth).
+    pub kv: KvMode,
+    /// Admission-ordering policy.
+    pub policy: Box<dyn SchedulingPolicy>,
+    /// Optional end-to-end latency SLO; when set, the report's goodput
+    /// counts only queries finishing within `arrival + slo`.
+    pub slo: Option<Time>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { kv: KvMode::FullReservation, policy: Box::new(Fifo), slo: None }
+    }
+}
+
+impl ServeOptions {
+    /// Token-granular KV accounting (default watermark) under FIFO.
+    pub fn token_granular() -> Self {
+        ServeOptions { kv: KvMode::token_granular(), ..Default::default() }
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_policy(mut self, policy: Box<dyn SchedulingPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the latency SLO used for goodput accounting.
+    pub fn with_slo(mut self, slo: Time) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+}
 
 /// A deployment ready to serve request traces.
 ///
@@ -71,6 +116,7 @@ impl ServingSystem {
                 replicas,
                 slots_per_replica: slots,
                 kv_budget: KvBudget::from_mapping(cfg, &perf.mapping),
+                kv: KvMode::FullReservation,
             },
             token_interval: perf.token_latency,
             prefill_rate: perf.prefill_tokens_per_s / replicas as f64,
@@ -111,22 +157,73 @@ impl ServingSystem {
         self.scheduler_cfg.replicas * self.scheduler_cfg.slots_per_replica
     }
 
+    /// Independent pipeline replicas in the deployment.
+    pub fn replicas(&self) -> usize {
+        self.scheduler_cfg.replicas
+    }
+
+    /// Per-replica KV budget in tokens.
+    pub fn kv_budget_tokens(&self) -> u64 {
+        self.scheduler_cfg.kv_budget.tokens
+    }
+
     /// Maximum offered load the deployment can sustain for a given request
-    /// shape, in queries/second (decode-side capacity).
-    pub fn capacity_qps(&self, decode_tokens_per_query: usize) -> f64 {
-        self.steady_state_tokens_per_s / decode_tokens_per_query.max(1) as f64
+    /// shape, in queries/second: the tighter of the decode-side rate
+    /// (steady-state tokens/s over generated tokens) and the prefill-side
+    /// rate (aggregate prefill tokens/s over prompt tokens). Short-decode /
+    /// long-prompt mixes are prefill-bound; the paper's chatbot mix is
+    /// decode-bound.
+    pub fn capacity_qps(
+        &self,
+        prompt_tokens_per_query: usize,
+        decode_tokens_per_query: usize,
+    ) -> f64 {
+        let decode_side = self.steady_state_tokens_per_s / decode_tokens_per_query.max(1) as f64;
+        let prefill_side = self.prefill_rate * self.scheduler_cfg.replicas as f64
+            / prompt_tokens_per_query.max(1) as f64;
+        decode_side.min(prefill_side)
     }
 
     /// Serves every request the workload generates in `[0, horizon)` and
-    /// drains the system, returning the SLO report.
+    /// drains the system, returning the SLO report. Uses the default
+    /// [`ServeOptions`] (full reservation, FIFO).
     pub fn run(&self, workload: &Workload, horizon: Time) -> ServingReport {
-        let trace = workload.generate(horizon, self.cfg.max_context);
-        self.serve_trace(&trace, workload.arrivals.mean_qps())
+        self.run_with(workload, horizon, ServeOptions::default())
     }
 
-    /// Serves an explicit request trace (must be sorted by arrival time).
+    /// Serves the workload under explicit [`ServeOptions`].
+    pub fn run_with(
+        &self,
+        workload: &Workload,
+        horizon: Time,
+        options: ServeOptions,
+    ) -> ServingReport {
+        let trace = workload.generate(horizon, self.cfg.max_context);
+        self.serve_trace_with(&trace, workload.arrivals.mean_qps(), options)
+    }
+
+    /// Serves an explicit request trace (must be sorted by arrival time)
+    /// under the default options.
     pub fn serve_trace(&self, trace: &[RequestSpec], offered_qps: f64) -> ServingReport {
-        let mut scheduler = ContinuousBatchScheduler::new(self.scheduler_cfg);
+        self.serve_trace_with(trace, offered_qps, ServeOptions::default())
+    }
+
+    /// Serves an explicit request trace under explicit [`ServeOptions`].
+    ///
+    /// The loop advances in token-progress events: each resident request
+    /// emits one token per pipeline round trip, growing its KV reservation
+    /// (in token-granular mode) as it goes, and admission re-runs whenever
+    /// queue or capacity state changed. Identical traces and options always
+    /// produce identical reports — event order is total over `(time, seq)`
+    /// and preemption victims are chosen deterministically.
+    pub fn serve_trace_with(
+        &self,
+        trace: &[RequestSpec],
+        offered_qps: f64,
+        options: ServeOptions,
+    ) -> ServingReport {
+        let cfg = SchedulerConfig { kv: options.kv, ..self.scheduler_cfg };
+        let mut scheduler = ContinuousBatchScheduler::new(cfg).with_policy(options.policy);
         let mut events: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
         for (i, spec) in trace.iter().enumerate() {
             events.push(Reverse(HeapEntry {
@@ -138,45 +235,127 @@ impl ServingSystem {
         let mut seq = trace.len() as u64;
 
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
+        let mut residents: BTreeMap<RequestId, Resident> = BTreeMap::new();
         // Each replica has one prefill front-end: prompts of back-to-back
         // admissions stream through it in series.
         let mut prefill_free: Vec<Time> = vec![Time::ZERO; self.scheduler_cfg.replicas];
-        let mut busy_slot_seconds = 0.0;
+        // Occupancy integrals in exact integer units (slot·ps / token·ps),
+        // so the result is independent of how finely events subdivide time.
+        let mut busy_slot_ps: u128 = 0;
+        let mut kv_reserved_ps: u128 = 0;
+        let mut tbt = TimeHistogram::new();
         let mut last_t = Time::ZERO;
+        let mut epoch: u64 = 0;
+        // Admission can only succeed after an arrival, completion or
+        // preemption; skipping it on pure token-progress instants keeps the
+        // loop linear in generated tokens.
+        let mut admission_dirty = false;
 
         while let Some(&Reverse(HeapEntry { at: t, .. })) = events.peek() {
-            // Accumulate slot occupancy over [last_t, t) before mutating it.
-            busy_slot_seconds += scheduler.in_flight() as f64 * t.saturating_sub(last_t).as_secs();
+            // Accumulate occupancy over [last_t, t) before mutating it.
+            let dt = u128::from(t.saturating_sub(last_t).as_ps());
+            busy_slot_ps += scheduler.in_flight() as u128 * dt;
+            kv_reserved_ps += u128::from(scheduler.total_kv_reserved()) * dt;
             last_t = t;
             // Drain every event at this instant, then admit once.
             while matches!(events.peek(), Some(Reverse(e)) if e.at == t) {
                 let Reverse(entry) = events.pop().expect("peeked");
                 match entry.event {
-                    Event::Arrive(spec) => scheduler.enqueue(spec),
-                    Event::Finish(record) => {
-                        scheduler.complete(&Admission {
-                            spec: record.spec,
-                            replica: record.replica,
-                            at: record.admitted,
-                        });
-                        records.push(record);
+                    Event::Arrive(spec) => {
+                        scheduler.enqueue(spec);
+                        admission_dirty = true;
+                    }
+                    Event::Token { id, epoch: ev_epoch } => {
+                        let stale = residents.get(&id).map(|r| r.epoch != ev_epoch).unwrap_or(true);
+                        if stale {
+                            continue;
+                        }
+                        // Grow the KV reservation for this token; pool
+                        // exhaustion preempts the youngest residents.
+                        let victims = scheduler.grow(id);
+                        let mut self_preempted = false;
+                        for vid in victims {
+                            admission_dirty = true;
+                            let mut v = residents.remove(&vid).expect("victim is resident");
+                            v.q.preemptions += 1;
+                            if vid == id {
+                                self_preempted = true;
+                            }
+                            scheduler.requeue(v.q);
+                        }
+                        if self_preempted {
+                            continue;
+                        }
+                        let r = residents.get_mut(&id).expect("survived growth");
+                        r.q.progress += 1;
+                        if r.q.first_token.is_none() {
+                            r.q.first_token = Some(t);
+                        }
+                        if let Some(prev) = r.q.last_token {
+                            tbt.record(t.saturating_sub(prev));
+                        }
+                        r.q.last_token = Some(t);
+                        if r.q.progress >= r.q.spec.decode {
+                            scheduler.complete(id);
+                            admission_dirty = true;
+                            let r = residents.remove(&id).expect("finished resident");
+                            records.push(RequestRecord {
+                                spec: r.q.spec,
+                                admitted: r.q.first_admitted.expect("was admitted"),
+                                first_token: r.q.first_token.expect("emitted first token"),
+                                finished: t,
+                                replica: r.replica,
+                                preemptions: r.q.preemptions,
+                            });
+                        } else {
+                            events.push(Reverse(HeapEntry {
+                                at: t + self.token_interval,
+                                seq,
+                                event: Event::Token { id, epoch: ev_epoch },
+                            }));
+                            seq += 1;
+                        }
                     }
                 }
             }
-            for admission in scheduler.admit_ready(t) {
-                let record = self.service_times(&admission, &mut prefill_free);
-                events.push(Reverse(HeapEntry {
-                    at: record.finished,
-                    seq,
-                    event: Event::Finish(record),
-                }));
-                seq += 1;
+            if admission_dirty {
+                admission_dirty = false;
+                let ctx = PolicyContext { now: t, token_interval: self.token_interval };
+                for admission in scheduler.admit_ready(&ctx) {
+                    let mut q = admission.req;
+                    if q.first_admitted.is_none() {
+                        q.first_admitted = Some(t);
+                    }
+                    // Recompute semantics: a resumed request streams its
+                    // whole context (prompt + generated so far) back
+                    // through the prefill front-end before decoding on.
+                    let context_tokens = q.spec.prompt + q.progress;
+                    let prefill = Time::from_secs_f64(context_tokens as f64 / self.prefill_rate);
+                    let start = t.max(prefill_free[admission.replica]);
+                    let prefill_done = start + prefill;
+                    prefill_free[admission.replica] = prefill_done;
+                    epoch += 1;
+                    let id = q.spec.id;
+                    residents.insert(id, Resident { q, replica: admission.replica, epoch });
+                    events.push(Reverse(HeapEntry {
+                        at: prefill_done + self.token_interval,
+                        seq,
+                        event: Event::Token { id, epoch },
+                    }));
+                    seq += 1;
+                }
             }
         }
+        debug_assert!(residents.is_empty(), "drained loop left residents behind");
 
-        let total_slot_seconds = self.total_slots() as f64 * last_t.as_secs();
+        let total_slot_ps = self.total_slots() as u128 * u128::from(last_t.as_ps());
         let slot_utilization =
-            if total_slot_seconds > 0.0 { busy_slot_seconds / total_slot_seconds } else { 0.0 };
+            if total_slot_ps > 0 { busy_slot_ps as f64 / total_slot_ps as f64 } else { 0.0 };
+        let total_kv_ps = u128::from(scheduler.kv_budget_tokens())
+            * self.scheduler_cfg.replicas as u128
+            * u128::from(last_t.as_ps());
+        let kv_utilization =
+            if total_kv_ps > 0 { kv_reserved_ps as f64 / total_kv_ps as f64 } else { 0.0 };
         let peak_kv_fraction = if scheduler.kv_budget_tokens() > 0 {
             scheduler.peak_kv_reserved() as f64 / scheduler.kv_budget_tokens() as f64
         } else {
@@ -185,37 +364,31 @@ impl ServingSystem {
         records.sort_by_key(|r| r.spec.id);
         ServingReport::from_records(
             &records,
-            offered_qps,
-            trace.len(),
-            scheduler.rejected().len(),
-            self.steady_state_tokens_per_s,
-            slot_utilization,
-            peak_kv_fraction,
-            scheduler.peak_queue_depth(),
+            RunTotals {
+                offered_qps,
+                submitted: trace.len(),
+                rejected: scheduler.rejected().len(),
+                steady_state_tokens_per_s: self.steady_state_tokens_per_s,
+                slot_utilization,
+                peak_kv_fraction,
+                kv_utilization,
+                peak_queue_depth: scheduler.peak_queue_depth(),
+                preemptions: scheduler.preemptions(),
+                tbt,
+                slo: options.slo,
+            },
         )
     }
+}
 
-    /// Deterministic service timeline of one admitted request: the prompt
-    /// streams through the replica's prefill front-end (serialised with any
-    /// prefill already in flight there), then each decode token takes one
-    /// pipeline round trip.
-    fn service_times(&self, admission: &Admission, prefill_free: &mut [Time]) -> RequestRecord {
-        let spec = admission.spec;
-        let prefill = Time::from_secs_f64(spec.prompt as f64 / self.prefill_rate);
-        let start = admission.at.max(prefill_free[admission.replica]);
-        let prefill_done = start + prefill;
-        prefill_free[admission.replica] = prefill_done;
-        let first_token = prefill_done + self.token_interval;
-        let rest = (spec.decode as u64).saturating_sub(1);
-        let finished = first_token + Time::from_ps(self.token_interval.as_ps() * rest);
-        RequestRecord {
-            spec,
-            admitted: admission.at,
-            first_token,
-            finished,
-            replica: admission.replica,
-        }
-    }
+/// Loop-side state of a resident (admitted, not yet finished) request.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    q: QueuedRequest,
+    replica: usize,
+    /// Admission epoch; token events from before a preemption carry an
+    /// older epoch and are discarded as stale.
+    epoch: u64,
 }
 
 /// A scheduled event. Ordering (and equality) is by `(at, seq)` only — the
@@ -231,7 +404,7 @@ struct HeapEntry {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrive(RequestSpec),
-    Finish(RequestRecord),
+    Token { id: RequestId, epoch: u64 },
 }
 
 impl PartialEq for HeapEntry {
@@ -257,6 +430,7 @@ impl PartialOrd for HeapEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::RequestId;
     use crate::workload::{ArrivalProcess, LengthSampler};
 
     /// A hand-built system: 1 replica × 4 slots, 1 ms per token, 1000-token/s
@@ -270,6 +444,7 @@ mod tests {
                 replicas: 1,
                 slots_per_replica: 4,
                 kv_budget: KvBudget::tokens(4000),
+                kv: KvMode::FullReservation,
             },
             Time::from_us(1000),
             1000.0,
@@ -299,7 +474,7 @@ mod tests {
     fn single_request_latency_is_prefill_plus_decode() {
         let sys = tiny_system();
         let trace = [RequestSpec {
-            id: crate::queue::RequestId(0),
+            id: RequestId(0),
             arrival: Time::from_us(500),
             prompt: 100,
             decode: 10,
@@ -313,6 +488,7 @@ mod tests {
         // Query latency adds the remaining 9 tokens.
         assert_eq!(report.query_latency.p50, Time::from_secs_f64(0.110));
         assert_eq!(report.tbt.mean, Time::from_us(1000));
+        assert_eq!(report.preemptions, 0);
     }
 
     #[test]
@@ -361,12 +537,67 @@ mod tests {
     }
 
     #[test]
+    fn token_granular_mode_lifts_kv_bound_concurrency() {
+        // KV-starved deployment: full reservation fits 2 resident queries
+        // (2 × 100 tokens) despite 4 slots; token-granular admission packs
+        // more because occupancy only reaches 100 tokens at the end of each
+        // query's decode. Prefill is 20x faster than decode (the realistic
+        // regime) so preemption/recompute stays cheap.
+        let sys = ServingSystem::from_parts(
+            &ModelConfig::llama2_7b(),
+            SchedulerConfig {
+                replicas: 1,
+                slots_per_replica: 4,
+                kv_budget: KvBudget::tokens(200),
+                kv: KvMode::FullReservation,
+            },
+            Time::from_us(1000),
+            20_000.0,
+            4000.0,
+        );
+        let w = poisson(100.0, 13, 10, 90);
+        let full = sys.run(&w, Time::from_secs_f64(10.0));
+        let token = sys.run_with(&w, Time::from_secs_f64(10.0), ServeOptions::token_granular());
+        assert!(
+            token.slot_utilization > full.slot_utilization,
+            "token {} vs full {}",
+            token.slot_utilization,
+            full.slot_utilization
+        );
+        assert!(token.tokens_per_s >= full.tokens_per_s);
+        assert!(token.peak_kv_fraction <= 1.0);
+        assert_eq!(token.completed, token.submitted - token.rejected);
+    }
+
+    #[test]
+    fn preempted_requests_complete_and_are_counted() {
+        // Budget for ~1.5 full contexts forces repeated preemption, yet
+        // every admitted request must finish exactly once.
+        let sys = tiny_system().with_kv_budget(KvBudget::tokens(150));
+        let w = poisson(50.0, 7, 10, 90);
+        let report = sys.run_with(&w, Time::from_secs_f64(5.0), ServeOptions::token_granular());
+        assert!(report.preemptions > 0, "expected KV pressure to preempt");
+        assert_eq!(report.completed, report.submitted - report.rejected);
+        assert!(report.peak_kv_fraction <= 1.0);
+    }
+
+    #[test]
+    fn capacity_is_min_of_decode_and_prefill_sides() {
+        let sys = tiny_system();
+        // Decode side: 4000 tok/s / 100 = 40 q/s; prefill side:
+        // 1000 tok/s / 10 = 100 q/s → decode-bound.
+        assert_eq!(sys.capacity_qps(10, 100), 40.0);
+        // Long prompts flip it: prefill side 1000/500 = 2 q/s.
+        assert_eq!(sys.capacity_qps(500, 100), 2.0);
+    }
+
+    #[test]
     fn end_to_end_on_simulated_tiny_deployment() {
         // Full path through the block-level oracle on the tiny model.
         let cfg = ModelConfig::tiny();
         let sys = ServingSystem::plan(&cfg, 2, Strategy::PipelineParallel, 32).unwrap();
         assert!(sys.steady_state_tokens_per_s() > 0.0);
-        let rate = 0.5 * sys.capacity_qps(16);
+        let rate = 0.5 * sys.capacity_qps(8, 16);
         let w = Workload {
             arrivals: ArrivalProcess::Poisson { rate_qps: rate },
             lengths: LengthSampler::Fixed { prompt: 8, decode: 16 },

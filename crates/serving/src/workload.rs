@@ -61,7 +61,11 @@ impl ArrivalProcess {
                 assert!(base_qps > 0.0 && burst_qps > 0.0, "rates must be positive");
                 assert!(mean_dwell_s > 0.0, "dwell must be positive");
                 let mut t = 0.0;
-                let mut in_burst = false;
+                // The chain's stationary distribution is 50/50 (equal mean
+                // dwell in both states), so the initial state is a fair,
+                // seeded coin flip — always starting outside a burst would
+                // bias short-horizon traces toward `base_qps`.
+                let mut in_burst = rng.next_below(2) == 1;
                 let mut state_end = rng.exponential(1.0 / mean_dwell_s);
                 while t < horizon_s {
                     let rate = if in_burst { burst_qps } else { base_qps };
@@ -220,6 +224,30 @@ mod tests {
         let reqs = w.generate(Time::from_secs_f64(200.0), 4096);
         let rate = reqs.len() as f64 / 200.0;
         assert!(rate > 20.0 && rate < 90.0, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_short_horizons_start_in_stationary_state() {
+        // Dwell (5 s) far exceeds the horizon (1 s), so each trace mostly
+        // stays in its initial state. Drawn from the stationary 50/50
+        // distribution, the across-seed mean rate sits near the process
+        // mean (55 q/s); the old always-start-in-base behaviour would pin
+        // it near 10 q/s.
+        let mut total = 0usize;
+        for seed in 0..40 {
+            let w = Workload {
+                arrivals: ArrivalProcess::Bursty {
+                    base_qps: 10.0,
+                    burst_qps: 100.0,
+                    mean_dwell_s: 5.0,
+                },
+                lengths: LengthSampler::Fixed { prompt: 4, decode: 4 },
+                seed,
+            };
+            total += w.generate(Time::from_secs_f64(1.0), 4096).len();
+        }
+        let rate = total as f64 / 40.0;
+        assert!((30.0..80.0).contains(&rate), "short-horizon mean rate {rate} is biased");
     }
 
     #[test]

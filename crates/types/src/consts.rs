@@ -171,7 +171,7 @@ pub mod cxl {
     pub const FLIT_BYTES: usize = 256;
 
     /// One-way port-to-port latency through a CXL 3.0 switch
-    /// (paper cites Pond [61]: CXL.mem adds ~70-90 ns per hop; we use the
+    /// (paper cites Pond \[61\]: CXL.mem adds ~70-90 ns per hop; we use the
     /// midpoint for a loaded switch).
     pub const SWITCH_LATENCY: Time = Time::from_ns(80);
 

@@ -88,12 +88,22 @@ impl TimeHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, t: Time) {
+        self.record_n(t, 1);
+    }
+
+    /// Records `n` identical samples in one update (used to weight a known
+    /// repeat count, e.g. a constant token cadence repeated `decode - 1`
+    /// times, without `n` bucket walks). A zero count is a no-op.
+    pub fn record_n(&mut self, t: Time, n: u64) {
+        if n == 0 {
+            return;
+        }
         let ps = t.as_ps();
-        self.counts[Self::bucket_of(ps).min(BUCKETS - 1)] += 1;
-        self.total += 1;
+        self.counts[Self::bucket_of(ps).min(BUCKETS - 1)] += n;
+        self.total += n;
         self.min = if t < self.min { t } else { self.min };
         self.max = self.max.max(t);
-        self.sum_ps += u128::from(ps);
+        self.sum_ps += u128::from(ps) * u128::from(n);
     }
 
     /// Number of samples recorded.
@@ -204,6 +214,24 @@ mod tests {
             let approx = h.quantile(q).as_ps() as f64;
             let rel = (approx - exact).abs() / exact;
             assert!(rel < 0.05, "q{q}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = TimeHistogram::new();
+        let mut b = TimeHistogram::new();
+        for _ in 0..37 {
+            a.record(Time::from_ns(250));
+        }
+        b.record_n(Time::from_ns(250), 37);
+        b.record_n(Time::from_ns(999), 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        for q in [0.5, 0.99] {
+            assert_eq!(a.quantile(q), b.quantile(q));
         }
     }
 

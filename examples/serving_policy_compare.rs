@@ -1,0 +1,98 @@
+//! Capacity management head-to-head: full-reservation vs token-granular KV
+//! occupancy, and the pluggable scheduling policies, at one saturated
+//! operating point of the paper's chatbot mix.
+//!
+//! The per-replica KV budget is constrained to a third of the slots' full
+//! 4096-token contexts, so admission strategy decides concurrency: full
+//! reservation parks 4096 tokens per query from its first instant, while
+//! token-granular occupancy grows one token per decode step (§5.4's
+//! capacity-managed regime) and preempts the youngest resident when the
+//! optimism loses.
+//!
+//! Run with: `cargo run --release --example serving_policy_compare`
+use cent::serving::{
+    DeadlineAware, KvBudget, ServeOptions, ServingReport, ServingSystem, ShortestRemainingDecode,
+    Workload,
+};
+use cent::{ModelConfig, Strategy, Time};
+
+fn main() -> Result<(), cent::CentError> {
+    let cfg = ModelConfig::llama2_7b();
+    let devices = 8;
+    println!("planning {} on {devices} CENT devices (pipeline parallel)...", cfg.name);
+    let system = ServingSystem::plan(&cfg, devices, Strategy::PipelineParallel, 4096)?;
+    let slots_per_replica = system.total_slots() / system.replicas();
+    let budget = KvBudget::tokens((slots_per_replica as u64 * 4096).div_ceil(3));
+    let system = system.with_kv_budget(budget);
+
+    let capacity = system.capacity_qps(512, 3584);
+    let token_interval_s = system.total_slots() as f64 / system.steady_state_tokens_per_s();
+    let slo = Time::from_secs_f64(2.0 * 3584.0 * token_interval_s);
+    println!(
+        "KV budget {} tokens/replica ({} slots) | offered load {capacity:.3} q/s (the \
+         uncapped knee) | SLO {slo}\n",
+        budget.tokens,
+        system.total_slots(),
+    );
+
+    let workload = Workload::chatbot(capacity, 0xCE27);
+    let horizon = Time::from_secs_f64(600.0);
+    let configs: [(&str, ServeOptions); 4] = [
+        ("full + fifo", ServeOptions::default().with_slo(slo)),
+        ("token + fifo", ServeOptions::token_granular().with_slo(slo)),
+        (
+            "token + srd",
+            ServeOptions::token_granular()
+                .with_policy(Box::new(ShortestRemainingDecode))
+                .with_slo(slo),
+        ),
+        (
+            "token + deadline",
+            ServeOptions::token_granular()
+                .with_policy(Box::new(DeadlineAware { slo }))
+                .with_slo(slo),
+        ),
+    ];
+
+    println!(
+        "{:>16}  {:>9}  {:>6}  {:>8}  {:>10}  {:>8}  {:>9}",
+        "config", "tokens/s", "slots", "KV mean", "p99 lat", "preempt", "goodput"
+    );
+    let mut full: Option<ServingReport> = None;
+    let mut token_fifo: Option<ServingReport> = None;
+    for (name, options) in configs {
+        let r = system.run_with(&workload, horizon, options);
+        println!(
+            "{:>16}  {:>9.0}  {:>5.0}%  {:>7.0}%  {:>10}  {:>8}  {:>9.3}",
+            name,
+            r.tokens_per_s,
+            100.0 * r.slot_utilization,
+            100.0 * r.kv_utilization,
+            r.query_latency.p99,
+            r.preemptions,
+            r.goodput_qps,
+        );
+        match name {
+            "full + fifo" => full = Some(r),
+            "token + fifo" => token_fifo = Some(r),
+            _ => {}
+        }
+    }
+
+    let (full, token) = (full.expect("ran"), token_fifo.expect("ran"));
+    println!(
+        "\ntoken-granular admits {:.1}x the concurrency of full reservation \
+         ({:.0}% vs {:.0}% slot occupancy) and delivers {:.2}x the throughput \
+         at the same offered load",
+        token.slot_utilization / full.slot_utilization,
+        100.0 * token.slot_utilization,
+        100.0 * full.slot_utilization,
+        token.tokens_per_s / full.tokens_per_s,
+    );
+    assert!(
+        token.slot_utilization > full.slot_utilization && token.tokens_per_s >= full.tokens_per_s,
+        "token-granular occupancy should dominate full reservation at a \
+         KV-bound operating point"
+    );
+    Ok(())
+}

@@ -16,7 +16,7 @@ fn main() -> Result<(), cent::CentError> {
     println!("planning {} on {devices} CENT devices (pipeline parallel)...", cfg.name);
     let system = ServingSystem::plan(&cfg, devices, Strategy::PipelineParallel, 4096)?;
     let steady = system.steady_state_tokens_per_s();
-    let capacity_qps = system.capacity_qps(3584);
+    let capacity_qps = system.capacity_qps(512, 3584);
     println!("steady-state decode throughput: {steady:.0} tokens/s");
     println!("chatbot capacity (512 in / 3584 out): {capacity_qps:.3} queries/s");
     println!("decode slots: {} | KV budget sized from the mapping\n", system.total_slots());
