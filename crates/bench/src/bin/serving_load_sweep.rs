@@ -7,10 +7,18 @@
 //! `capacity_qps(512, 3584)`, which takes the tighter of the decode- and
 //! prefill-side limits (the chatbot mix is decode-bound, but the anchor now
 //! stays correct for prompt-heavy what-ifs too).
+//!
+//! Every operating point owns an independent simulation against the shared
+//! (immutable) `ServingSystem`, so the points run in parallel under
+//! `std::thread::scope`; results are printed in load order, and each point
+//! is seeded identically to the serial version, so the output is
+//! bit-for-bit reproducible regardless of thread interleaving.
 use cent_bench::Report;
 use cent_model::ModelConfig;
-use cent_serving::{ServingSystem, Workload};
+use cent_serving::{ServingReport, ServingSystem, Workload};
 use cent_types::Time;
+
+const LOADS: [f64; 8] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5];
 
 fn main() {
     let cfg = ModelConfig::llama2_7b();
@@ -23,13 +31,25 @@ fn main() {
     let capacity = system.capacity_qps(512, 3584);
     let horizon = Time::from_secs_f64(3600.0);
 
+    // Fan the operating points out across threads; each writes its own
+    // pre-allocated slot, so the collected order is the load order.
+    let mut results: Vec<Option<ServingReport>> = vec![None; LOADS.len()];
+    std::thread::scope(|scope| {
+        for (slot, &load) in results.iter_mut().zip(&LOADS) {
+            let system = &system;
+            scope.spawn(move || {
+                let workload = Workload::chatbot(load * capacity, 0xCE27);
+                *slot = Some(system.run(&workload, horizon));
+            });
+        }
+    });
+
     let mut tokens = Vec::new();
     let mut ttft_p99 = Vec::new();
     let mut latency_p99 = Vec::new();
-    for load in [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5] {
+    for (&load, result) in LOADS.iter().zip(&results) {
+        let r = result.as_ref().expect("every sweep point completed");
         let label = format!("{load:.2}x");
-        let workload = Workload::chatbot(load * capacity, 0xCE27);
-        let r = system.run(&workload, horizon);
         tokens.push((label.clone(), r.tokens_per_s));
         ttft_p99.push((label.clone(), r.ttft.p99.as_secs()));
         latency_p99.push((label, r.query_latency.p99.as_secs()));

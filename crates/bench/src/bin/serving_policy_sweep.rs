@@ -18,6 +18,12 @@
 //! higher slot utilization and at-least-equal throughput at the same
 //! offered load, at the price of preemption/recompute when the optimism
 //! loses.
+//!
+//! The `config × load` grid runs in parallel under `std::thread::scope`:
+//! each cell clones one pre-built `ServeOptions` (policies clone through
+//! `SchedulingPolicy::clone_box`) and simulates against the shared
+//! immutable system, then rows print in the serial order, so the output is
+//! reproducible regardless of thread interleaving.
 use cent_bench::Report;
 use cent_model::ModelConfig;
 use cent_serving::{
@@ -38,20 +44,26 @@ struct Mix {
     decode: usize,
 }
 
-fn options(config: &str, slo: Time) -> ServeOptions {
-    let base = match config {
+/// The four swept configurations, each built exactly once per mix and
+/// cloned per operating point.
+fn configs(slo: Time) -> [(&'static str, ServeOptions); 4] {
+    [
         // The default policy is FIFO in both KV modes.
-        "full+fifo" => ServeOptions::default(),
-        "token+fifo" => ServeOptions::token_granular(),
-        "token+srd" => {
-            ServeOptions::token_granular().with_policy(Box::new(ShortestRemainingDecode))
-        }
-        "token+deadline" => {
-            ServeOptions::token_granular().with_policy(Box::new(DeadlineAware { slo }))
-        }
-        other => unreachable!("unknown config {other}"),
-    };
-    base.with_slo(slo)
+        ("full+fifo", ServeOptions::default().with_slo(slo)),
+        ("token+fifo", ServeOptions::token_granular().with_slo(slo)),
+        (
+            "token+srd",
+            ServeOptions::token_granular()
+                .with_policy(Box::new(ShortestRemainingDecode))
+                .with_slo(slo),
+        ),
+        (
+            "token+deadline",
+            ServeOptions::token_granular()
+                .with_policy(Box::new(DeadlineAware { slo }))
+                .with_slo(slo),
+        ),
+    ]
 }
 
 fn main() {
@@ -83,11 +95,11 @@ fn main() {
          at-least-equal throughput at the same offered load",
     );
 
-    let configs = ["full+fifo", "token+fifo", "token+srd", "token+deadline"];
     for mix in &mixes {
         let capacity = system.capacity_qps(mix.prompt, mix.decode);
         // SLO: 2x the uncontended service time of the nominal shape.
         let slo = Time::from_secs_f64(2.0 * mix.decode as f64 * token_interval_s);
+        let configs = configs(slo);
         println!(
             "{} mix: capacity {capacity:.3} q/s | KV budget {} tokens/replica | SLO {slo}",
             mix.name, budget.tokens,
@@ -96,19 +108,31 @@ fn main() {
             "{:>16} {:>6} {:>10} {:>7} {:>9} {:>10} {:>8} {:>9}",
             "config", "load", "tokens/s", "slots", "KV mean", "p99 lat", "preempt", "goodput"
         );
+        // One simulation per (config, load) cell, all in parallel.
+        let mut cells: Vec<Option<ServingReport>> = vec![None; configs.len() * LOADS.len()];
+        std::thread::scope(|scope| {
+            for (idx, cell) in cells.iter_mut().enumerate() {
+                let (_, options) = &configs[idx / LOADS.len()];
+                let load = LOADS[idx % LOADS.len()];
+                let system = &system;
+                let options = options.clone();
+                scope.spawn(move || {
+                    let w = Workload {
+                        arrivals: ArrivalProcess::Poisson { rate_qps: load * capacity },
+                        lengths: mix.lengths,
+                        seed: SEED,
+                    };
+                    *cell = Some(system.run_with(&w, Time::from_secs_f64(HORIZON_S), options));
+                });
+            }
+        });
         let mut series: Vec<(String, Vec<(String, f64)>)> = Vec::new();
-        for config in configs {
+        for (ci, (config, _)) in configs.iter().enumerate() {
             let mut tokens = Vec::new();
             let mut goodput = Vec::new();
             let mut util = Vec::new();
-            for load in LOADS {
-                let w = Workload {
-                    arrivals: ArrivalProcess::Poisson { rate_qps: load * capacity },
-                    lengths: mix.lengths,
-                    seed: SEED,
-                };
-                let r: ServingReport =
-                    system.run_with(&w, Time::from_secs_f64(HORIZON_S), options(config, slo));
+            for (li, load) in LOADS.iter().enumerate() {
+                let r = cells[ci * LOADS.len() + li].as_ref().expect("cell completed");
                 println!(
                     "{:>16} {:>5.2}x {:>10.0} {:>6.0}% {:>8.0}% {:>10} {:>8} {:>9.3}",
                     config,

@@ -21,9 +21,15 @@
 //! * [`SchedulingPolicy`] — pluggable admission order: [`Fifo`],
 //!   [`ShortestRemainingDecode`], deadline/SLO-aware least-slack
 //!   ([`DeadlineAware`]);
-//! * [`ServingSystem`] — the token-progress event loop, costed by the
+//! * [`ServingSystem`] — the discrete-event loop, costed by the
 //!   steady-state block simulation (token cadence, prefill rate,
-//!   slot/replica structure), configured per run via [`ServeOptions`];
+//!   slot/replica structure), configured per run via [`ServeOptions`].
+//!   Two interchangeable event cores ([`TickEngine`]): the default
+//!   *phase-bucketed* engine advances every due resident of a replica in
+//!   one tick event (heap traffic scales with admissions, not generated
+//!   tokens) and the retained *per-token reference* loop, kept for
+//!   differential testing and the `sim_perf` bench
+//!   ([`ServingSystem::serve_trace_instrumented`] exposes [`SimStats`]);
 //! * [`ServingReport`] — TTFT, per-token time-between-tokens and
 //!   query-latency distributions (p50/p95/p99), tokens/s against the
 //!   steady-state oracle, slot utilization, peak and time-weighted KV
@@ -66,6 +72,8 @@ mod workload;
 pub use policy::{DeadlineAware, Fifo, PolicyContext, SchedulingPolicy, ShortestRemainingDecode};
 pub use queue::{QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec};
 pub use report::{LatencyStats, ServingReport};
-pub use scheduler::{Admission, ContinuousBatchScheduler, KvBudget, KvMode, SchedulerConfig};
-pub use sim::{ServeOptions, ServingSystem};
+pub use scheduler::{
+    Admission, ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, Preemption, SchedulerConfig,
+};
+pub use sim::{ServeOptions, ServingSystem, SimStats, TickEngine};
 pub use workload::{ArrivalProcess, LengthSampler, Workload};

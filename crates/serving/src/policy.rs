@@ -29,13 +29,26 @@ pub struct PolicyContext {
 ///
 /// Lower priority values are served first; the scheduler breaks ties by
 /// arrival time and then request id, so any policy yields a total,
-/// reproducible order.
-pub trait SchedulingPolicy: std::fmt::Debug {
+/// reproducible order. Policies are `Send + Sync` so sweeps can fan
+/// operating points out across threads, and boxed policies are [`Clone`]
+/// (via [`clone_box`](Self::clone_box)) so one
+/// [`ServeOptions`](crate::ServeOptions) can be reused across points.
+pub trait SchedulingPolicy: std::fmt::Debug + Send + Sync {
     /// Short human-readable name (used in sweep tables).
     fn name(&self) -> &'static str;
 
     /// Priority key of `req`; lower is served first.
     fn priority(&self, req: &QueuedRequest, ctx: &PolicyContext) -> i128;
+
+    /// Boxed copy of this policy, so containers of `Box<dyn
+    /// SchedulingPolicy>` can implement [`Clone`].
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy>;
+}
+
+impl Clone for Box<dyn SchedulingPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// First-in, first-out by arrival time — the paper's implicit baseline and
@@ -50,6 +63,10 @@ impl SchedulingPolicy for Fifo {
 
     fn priority(&self, req: &QueuedRequest, _ctx: &PolicyContext) -> i128 {
         i128::from(req.spec.arrival.as_ps())
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -67,6 +84,10 @@ impl SchedulingPolicy for ShortestRemainingDecode {
 
     fn priority(&self, req: &QueuedRequest, _ctx: &PolicyContext) -> i128 {
         req.remaining_decode() as i128
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -91,6 +112,10 @@ impl SchedulingPolicy for DeadlineAware {
         let deadline = i128::from((req.spec.arrival + self.slo).as_ps());
         let remaining = i128::from(ctx.token_interval.as_ps()) * req.remaining_decode() as i128;
         deadline - remaining
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(*self)
     }
 }
 

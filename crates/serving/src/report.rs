@@ -1,7 +1,7 @@
 //! Serving-level SLO metrics: latency distributions, throughput,
 //! utilization, preemption and goodput for one simulated run.
 
-use cent_types::{mean, Time, TimeHistogram};
+use cent_types::{SortedSamples, Time, TimeHistogram};
 
 use crate::queue::RequestRecord;
 
@@ -23,22 +23,18 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Computes the summary of `samples` (all zeros if empty).
     pub fn from_samples(samples: &[Time]) -> Self {
-        if samples.is_empty() {
-            return LatencyStats::default();
-        }
-        // Sort once; nearest-rank indexing matches `percentile`.
-        let mut sorted: Vec<Time> = samples.to_vec();
-        sorted.sort_unstable();
-        let rank = |q: f64| {
-            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[r - 1]
-        };
+        Self::from_sorted(&SortedSamples::from_slice(samples))
+    }
+
+    /// Reads every summary statistic from one pre-sorted population — one
+    /// sort per metric, shared across p50/p95/p99.
+    pub fn from_sorted(sorted: &SortedSamples) -> Self {
         LatencyStats {
-            mean: mean(samples),
-            p50: rank(0.50),
-            p95: rank(0.95),
-            p99: rank(0.99),
-            max: *sorted.last().expect("non-empty"),
+            mean: sorted.mean(),
+            p50: sorted.percentile(0.50),
+            p95: sorted.percentile(0.95),
+            p99: sorted.percentile(0.99),
+            max: sorted.max(),
         }
     }
 
@@ -161,9 +157,11 @@ impl ServingReport {
         let prefill_tokens: u64 = records.iter().map(|r| r.spec.prompt as u64).sum();
         let tokens_per_s =
             if makespan > Time::ZERO { decode_tokens as f64 / makespan.as_secs() } else { 0.0 };
-        let ttfts: Vec<Time> = records.iter().map(|r| r.ttft()).collect();
-        let latencies: Vec<Time> = records.iter().map(|r| r.query_latency()).collect();
-        let waits: Vec<Time> = records.iter().map(|r| r.queue_wait()).collect();
+        // Each latency population is sorted exactly once; p50/p95/p99 and
+        // max all read from the same sorted storage.
+        let ttfts = SortedSamples::new(records.iter().map(|r| r.ttft()).collect());
+        let latencies = SortedSamples::new(records.iter().map(|r| r.query_latency()).collect());
+        let waits = SortedSamples::new(records.iter().map(|r| r.queue_wait()).collect());
         let deadline_hits = match totals.slo {
             Some(slo) => records.iter().filter(|r| r.query_latency() <= slo).count(),
             None => records.len(),
@@ -180,9 +178,9 @@ impl ServingReport {
             prefill_tokens,
             tokens_per_s,
             steady_state_tokens_per_s: totals.steady_state_tokens_per_s,
-            ttft: LatencyStats::from_samples(&ttfts),
-            query_latency: LatencyStats::from_samples(&latencies),
-            queue_wait: LatencyStats::from_samples(&waits),
+            ttft: LatencyStats::from_sorted(&ttfts),
+            query_latency: LatencyStats::from_sorted(&latencies),
+            queue_wait: LatencyStats::from_sorted(&waits),
             tbt: LatencyStats::from_histogram(&totals.tbt),
             slot_utilization: totals.slot_utilization,
             peak_kv_fraction: totals.peak_kv_fraction,

@@ -20,8 +20,12 @@
 //!   replica is preempted: its KV is released and it re-enters the queue
 //!   for recompute. This is the capacity-managed regime of §5.4 — occupancy
 //!   in reality grows one token per step, so far more queries fit.
-
-use std::collections::BTreeMap;
+//!
+//! Resident accounting lives in a dense lease table: [`Admission`] hands
+//! the event engine a [`LeaseId`], and the per-token hot path
+//! ([`grow`](ContinuousBatchScheduler::grow)) is an array index — no map
+//! lookup — while each replica keeps its residents in admission order so
+//! the youngest preemption victim is the last element.
 
 use cent_compiler::{Strategy, SystemMapping};
 use cent_model::ModelConfig;
@@ -101,6 +105,22 @@ pub struct SchedulerConfig {
     pub kv: KvMode,
 }
 
+/// Handle of one resident request's lease in the scheduler's dense lease
+/// table. Returned by [`Admission`]; the per-token hot path
+/// ([`grow`](ContinuousBatchScheduler::grow),
+/// [`complete`](ContinuousBatchScheduler::complete)) indexes the table
+/// directly instead of walking an id-keyed map. Handles are reused after
+/// release, so they identify a lease only while it is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(u32);
+
+impl LeaseId {
+    /// Index into dense side tables kept by the event engine.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Where an admitted request landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Admission {
@@ -108,23 +128,37 @@ pub struct Admission {
     pub req: QueuedRequest,
     /// Replica index it was placed on.
     pub replica: usize,
+    /// Lease handle for the hot-path accounting calls.
+    pub lease: LeaseId,
     /// Admission instant.
     pub at: Time,
+}
+
+/// A preemption victim evicted by [`grow`](ContinuousBatchScheduler::grow):
+/// its lease is already released; the event engine must drop its resident
+/// state and [`requeue`](ContinuousBatchScheduler::requeue) the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preemption {
+    /// The lease that was evicted (released; the handle may be reused).
+    pub lease: LeaseId,
+    /// The request that held it.
+    pub id: RequestId,
 }
 
 #[derive(Debug, Clone, Default)]
 struct ReplicaState {
     busy_slots: usize,
     kv_reserved: u64,
+    /// Resident leases in admission order — the youngest (preemption
+    /// victim) is always the last element.
+    residents: Vec<LeaseId>,
 }
 
 /// Accounting entry for one resident request.
 #[derive(Debug, Clone, Copy)]
 struct Lease {
+    id: RequestId,
     replica: usize,
-    /// Monotone admission sequence number; the largest on a replica is the
-    /// youngest resident (the preemption victim).
-    seq: u64,
     /// Tokens currently reserved for this request.
     kv_now: u64,
 }
@@ -136,12 +170,17 @@ pub struct ContinuousBatchScheduler {
     policy: Box<dyn SchedulingPolicy>,
     queue: RequestQueue,
     replicas: Vec<ReplicaState>,
-    leases: BTreeMap<RequestId, Lease>,
+    /// Dense lease table; freed slots are recycled LIFO.
+    leases: Vec<Option<Lease>>,
+    free_leases: Vec<LeaseId>,
+    /// Running totals so per-event occupancy sampling is O(1), not
+    /// O(replicas).
+    busy_total: usize,
+    kv_total: u64,
     rejected: Vec<RequestSpec>,
     peak_kv: u64,
     admissions: u64,
     preemptions: u64,
-    admit_seq: u64,
 }
 
 impl ContinuousBatchScheduler {
@@ -157,12 +196,14 @@ impl ContinuousBatchScheduler {
             queue: RequestQueue::new(),
             policy: Box::new(Fifo),
             replicas: vec![ReplicaState::default(); cfg.replicas],
-            leases: BTreeMap::new(),
+            leases: Vec::new(),
+            free_leases: Vec::new(),
+            busy_total: 0,
+            kv_total: 0,
             rejected: Vec::new(),
             peak_kv: 0,
             admissions: 0,
             preemptions: 0,
-            admit_seq: 0,
             cfg,
         }
     }
@@ -210,6 +251,40 @@ impl ContinuousBatchScheduler {
         }
     }
 
+    /// Stores a new lease, reusing a freed slot when one exists.
+    fn alloc_lease(&mut self, lease: Lease) -> LeaseId {
+        match self.free_leases.pop() {
+            Some(h) => {
+                debug_assert!(self.leases[h.index()].is_none(), "reusing a live lease slot");
+                self.leases[h.index()] = Some(lease);
+                h
+            }
+            None => {
+                self.leases.push(Some(lease));
+                LeaseId((self.leases.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Releases `lease`: removes it from its replica's accounting and
+    /// recycles the slot. Returns the released entry.
+    fn release(&mut self, lease: LeaseId) -> Lease {
+        let l = self.leases[lease.index()].take().expect("releasing a non-resident lease");
+        let r = &mut self.replicas[l.replica];
+        // Victims pop from the tail; completions remove from the middle.
+        // `rposition` because the common (preemption) case is the youngest.
+        let pos = r.residents.iter().rposition(|&x| x == lease).expect("lease on its replica");
+        r.residents.remove(pos);
+        assert!(r.busy_slots > 0, "releasing on an idle replica");
+        r.busy_slots -= 1;
+        r.kv_reserved =
+            r.kv_reserved.checked_sub(l.kv_now).expect("KV release exceeds reservation");
+        self.busy_total -= 1;
+        self.kv_total -= l.kv_now;
+        self.free_leases.push(lease);
+        l
+    }
+
     /// Admits waiting requests in the policy's priority order while the top
     /// pick fits some replica (a free slot and enough KV headroom under the
     /// admission limit; an idle replica always accepts a feasible request,
@@ -218,13 +293,15 @@ impl ContinuousBatchScheduler {
     /// makes saturation fair.
     pub fn admit_ready(&mut self, ctx: &PolicyContext) -> Vec<Admission> {
         let mut admitted = Vec::new();
-        while let Some((idx, need)) = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, q)| (self.policy.priority(q, ctx), q.spec.arrival, q.spec.id))
-            .map(|(i, q)| (i, self.admission_kv(q)))
-        {
+        loop {
+            let policy = &self.policy;
+            let Some(idx) = self
+                .queue
+                .min_index_by_key(|q| (policy.priority(q, ctx), q.spec.arrival, q.spec.id))
+            else {
+                break;
+            };
+            let need = self.admission_kv(self.queue.get(idx));
             let limit = self.admission_limit();
             // Least-loaded replica that can take the pick; ties on busy
             // slots break on KV reserved so reservations spread evenly.
@@ -239,9 +316,11 @@ impl ContinuousBatchScheduler {
                 .min_by_key(|(i, r)| (r.busy_slots, r.kv_reserved, *i));
             let Some((ridx, _)) = slot else { break };
             let req = self.queue.remove(idx);
+            let lease = self.alloc_lease(Lease { id: req.spec.id, replica: ridx, kv_now: need });
             let r = &mut self.replicas[ridx];
             r.busy_slots += 1;
             r.kv_reserved += need;
+            r.residents.push(lease);
             assert!(
                 r.kv_reserved <= self.cfg.kv_budget.tokens,
                 "admission overcommitted KV: {} > {}",
@@ -249,11 +328,10 @@ impl ContinuousBatchScheduler {
                 self.cfg.kv_budget.tokens
             );
             self.peak_kv = self.peak_kv.max(r.kv_reserved);
+            self.busy_total += 1;
+            self.kv_total += need;
             self.admissions += 1;
-            self.admit_seq += 1;
-            self.leases
-                .insert(req.spec.id, Lease { replica: ridx, seq: self.admit_seq, kv_now: need });
-            admitted.push(Admission { req, replica: ridx, at: ctx.now });
+            admitted.push(Admission { req, replica: ridx, lease, at: ctx.now });
         }
         admitted
     }
@@ -263,48 +341,41 @@ impl ContinuousBatchScheduler {
     /// In full-reservation mode this is a no-op (the token was paid for at
     /// admission). In token-granular mode, if the replica's pool is
     /// exhausted the youngest residents are preempted — their accounting is
-    /// released here and their ids returned so the event loop can requeue
-    /// them via [`requeue`](Self::requeue) — until the token fits. If the
-    /// growing request is itself the youngest, it is the victim: its id is
-    /// in the returned list and the token must not be emitted.
+    /// released here and returned as [`Preemption`]s so the event loop can
+    /// requeue them via [`requeue`](Self::requeue) — until the token fits.
+    /// If the growing request is itself the youngest, it is the victim: it
+    /// is in the returned list and the token must not be emitted.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not resident.
-    pub fn grow(&mut self, id: RequestId) -> Vec<RequestId> {
+    /// Panics if `lease` is not live.
+    pub fn grow(&mut self, lease: LeaseId) -> Vec<Preemption> {
         if matches!(self.cfg.kv, KvMode::FullReservation) {
-            assert!(self.leases.contains_key(&id), "growing a non-resident request");
+            assert!(self.leases[lease.index()].is_some(), "growing a non-resident request");
             return Vec::new();
         }
-        let replica = self.leases.get(&id).expect("growing a non-resident request").replica;
+        let replica = self.leases[lease.index()].expect("growing a non-resident request").replica;
         let mut victims = Vec::new();
         while self.replicas[replica].kv_reserved + 1 > self.cfg.kv_budget.tokens {
-            // Youngest resident on this replica = largest admission seq.
-            let victim = self
-                .leases
-                .iter()
-                .filter(|(_, l)| l.replica == replica)
-                .max_by_key(|(_, l)| l.seq)
-                .map(|(vid, _)| *vid)
-                .expect("exhausted replica has residents");
-            let lease = self.leases.remove(&victim).expect("victim is resident");
-            let r = &mut self.replicas[replica];
-            r.busy_slots -= 1;
-            r.kv_reserved -= lease.kv_now;
+            // Youngest resident on this replica = last in admission order.
+            let victim =
+                *self.replicas[replica].residents.last().expect("exhausted replica has residents");
+            let released = self.release(victim);
             self.preemptions += 1;
-            victims.push(victim);
-            if victim == id {
+            victims.push(Preemption { lease: victim, id: released.id });
+            if victim == lease {
                 // The grower was the youngest: it preempted itself and must
                 // be recomputed; nothing grew.
                 return victims;
             }
         }
-        let lease = self.leases.get_mut(&id).expect("grower survived");
-        lease.kv_now += 1;
+        let l = self.leases[lease.index()].as_mut().expect("grower survived");
+        l.kv_now += 1;
         let r = &mut self.replicas[replica];
         r.kv_reserved += 1;
         assert!(r.kv_reserved <= self.cfg.kv_budget.tokens, "growth overcommitted KV");
         self.peak_kv = self.peak_kv.max(r.kv_reserved);
+        self.kv_total += 1;
         victims
     }
 
@@ -312,14 +383,9 @@ impl ContinuousBatchScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not resident.
-    pub fn complete(&mut self, id: RequestId) {
-        let lease = self.leases.remove(&id).expect("completing a non-resident request");
-        let r = &mut self.replicas[lease.replica];
-        assert!(r.busy_slots > 0, "completing on an idle replica");
-        r.busy_slots -= 1;
-        r.kv_reserved =
-            r.kv_reserved.checked_sub(lease.kv_now).expect("KV release exceeds reservation");
+    /// Panics if `lease` is not live.
+    pub fn complete(&mut self, lease: LeaseId) {
+        self.release(lease);
     }
 
     /// Requests currently waiting in the queue.
@@ -334,7 +400,7 @@ impl ContinuousBatchScheduler {
 
     /// Requests currently occupying slots, across all replicas.
     pub fn in_flight(&self) -> usize {
-        self.replicas.iter().map(|r| r.busy_slots).sum()
+        self.busy_total
     }
 
     /// Total decode slots across replicas.
@@ -349,7 +415,7 @@ impl ContinuousBatchScheduler {
 
     /// KV tokens currently reserved across all replicas.
     pub fn total_kv_reserved(&self) -> u64 {
-        self.replicas.iter().map(|r| r.kv_reserved).sum()
+        self.kv_total
     }
 
     /// Largest per-replica KV reservation ever observed.
@@ -422,7 +488,7 @@ mod tests {
         assert_eq!(s.kv_reserved(0), 20);
         assert!(s.peak_kv_reserved() <= s.kv_budget_tokens());
         // Finishing one frees exactly one admission's worth.
-        s.complete(first[0].req.spec.id);
+        s.complete(first[0].lease);
         let next = s.admit_ready(&ctx(1));
         assert_eq!(next.len(), 1);
         assert!(s.kv_reserved(0) <= 25);
@@ -440,7 +506,7 @@ mod tests {
         let mut clock = 1u64;
         while !resident.is_empty() {
             let done = resident.remove(0);
-            s.complete(done.req.spec.id);
+            s.complete(done.lease);
             let mut newly = s.admit_ready(&ctx(clock));
             order.extend(newly.iter().map(|a| a.req.spec.id.0));
             resident.append(&mut newly);
@@ -458,7 +524,7 @@ mod tests {
         s.enqueue(spec(2, 4, 50));
         let first = s.admit_ready(&ctx(0));
         assert_eq!(first[0].req.spec.id, RequestId(1), "shortest decode first");
-        s.complete(RequestId(1));
+        s.complete(first[0].lease);
         let second = s.admit_ready(&ctx(1));
         assert_eq!(second[0].req.spec.id, RequestId(2));
     }
@@ -520,11 +586,13 @@ mod tests {
         assert_eq!(adm.len(), 1);
         assert_eq!(s.kv_reserved(0), 10, "only the prompt is reserved");
         for _ in 0..50 {
-            assert!(s.grow(RequestId(0)).is_empty());
+            assert!(s.grow(adm[0].lease).is_empty());
         }
         assert_eq!(s.kv_reserved(0), 60);
-        s.complete(RequestId(0));
+        s.complete(adm[0].lease);
         assert_eq!(s.kv_reserved(0), 0);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.total_kv_reserved(), 0);
     }
 
     #[test]
@@ -539,12 +607,14 @@ mod tests {
         assert_eq!(s.kv_reserved(0), 20);
         // Grow the elder to the budget.
         for _ in 0..10 {
-            assert!(s.grow(RequestId(0)).is_empty());
+            assert!(s.grow(adm[0].lease).is_empty());
         }
         assert_eq!(s.kv_reserved(0), 30);
         // One more token must evict request 1 (the youngest).
-        let victims = s.grow(RequestId(0));
-        assert_eq!(victims, vec![RequestId(1)]);
+        let victims = s.grow(adm[0].lease);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].id, RequestId(1));
+        assert_eq!(victims[0].lease, adm[1].lease);
         assert_eq!(s.preemptions(), 1);
         assert_eq!(s.kv_reserved(0), 21);
         assert_eq!(s.in_flight(), 1);
@@ -558,12 +628,13 @@ mod tests {
         let adm = s.admit_ready(&ctx(0));
         assert_eq!(adm.len(), 2);
         for _ in 0..5 {
-            assert!(s.grow(RequestId(0)).is_empty());
+            assert!(s.grow(adm[0].lease).is_empty());
         }
         // Pool is full (25); the *younger* request asks for growth and must
         // sacrifice itself rather than evict its elder.
-        let victims = s.grow(RequestId(1));
-        assert_eq!(victims, vec![RequestId(1)]);
+        let victims = s.grow(adm[1].lease);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].id, RequestId(1));
         assert_eq!(s.in_flight(), 1);
         assert_eq!(s.kv_reserved(0), 15);
         // It resumes from the queue once readmitted.
@@ -572,6 +643,23 @@ mod tests {
         q.preemptions = 1;
         s.requeue(q);
         assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn lease_handles_are_recycled_deterministically() {
+        // Freed slots are reused LIFO: after completing both residents, the
+        // next two admissions get the same handles back in reverse order.
+        let mut s = sched(1, 4, u64::MAX);
+        s.enqueue(spec(0, 4, 4));
+        s.enqueue(spec(1, 4, 4));
+        let first = s.admit_ready(&ctx(0));
+        s.complete(first[0].lease);
+        s.complete(first[1].lease);
+        s.enqueue(spec(2, 4, 4));
+        s.enqueue(spec(3, 4, 4));
+        let second = s.admit_ready(&ctx(1));
+        assert_eq!(second[0].lease, first[1].lease);
+        assert_eq!(second[1].lease, first[0].lease);
     }
 
     #[test]
@@ -585,11 +673,12 @@ mod tests {
         // 60-token prompt exceeds the 50-token watermark but the replica is
         // idle, so it must still be admitted (feasibility guarantee).
         s.enqueue(spec(0, 60, 10));
-        assert_eq!(s.admit_ready(&ctx(0)).len(), 1);
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 1);
         // A second 20-token prompt would land above the watermark: blocked.
         s.enqueue(spec(1, 20, 10));
         assert!(s.admit_ready(&ctx(1)).is_empty());
-        s.complete(RequestId(0));
+        s.complete(adm[0].lease);
         assert_eq!(s.admit_ready(&ctx(2)).len(), 1);
     }
 

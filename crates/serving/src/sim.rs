@@ -1,20 +1,41 @@
 //! The discrete-event serving loop: arrivals → queue → continuous batching
-//! → token-progress events, costed by the steady-state block simulation.
+//! → replica tick events, costed by the steady-state block simulation.
 //!
 //! `cent_sim::evaluate` is the cost oracle: it gives the per-query token
 //! cadence (`token_latency`), the pipeline's prefill token rate and the
 //! mapping (slots, replicas, KV capacity). The event loop then serves an
-//! arbitrary request trace against those constants, advancing every
-//! resident query one *token* at a time so KV occupancy is tracked
-//! incrementally and preemption can interleave with decode. Three modelling
+//! arbitrary request trace against those constants, tracking KV occupancy
+//! token by token so preemption can interleave with decode. Four modelling
 //! assumptions, all matching §5 of the paper: a query holds one pipeline
 //! slot from admission to last token (prefill streams through the same
 //! stage it will decode in); each replica has a single prefill front-end,
 //! so concurrent admissions prefill in series at the replica's prefill
-//! rate; and the decode cadence is constant at the steady-state stage
-//! interval — CENT's pipeline emits tokens at the block step rate
-//! regardless of how many slots are filled, so partial occupancy changes
-//! throughput, not per-query latency.
+//! rate; the decode cadence is constant at the steady-state stage interval
+//! — CENT's pipeline emits tokens at the block step rate regardless of how
+//! many slots are filled, so partial occupancy changes throughput, not
+//! per-query latency; and token emission aligns to the pipeline's
+//! *block-step grid* — the pipeline executes block steps back to back, so
+//! a query's first token emerges at the first step boundary after its
+//! prefill completes, and every later token one step apart.
+//!
+//! The grid alignment is what makes the default [`TickEngine`] fast:
+//! residents of a replica share tick phases
+//! (`next_token mod token_interval`), so one `Tick` heap entry per
+//! `(replica, phase)` bucket advances *every* due resident in admission
+//! order, and heap traffic scales with admissions instead of generated
+//! tokens (`O(admissions·log n)` vs `O(tokens·log n)` — roughly
+//! `slots_per_replica ×` fewer heap operations on the paper's PP
+//! mappings). With the zero-anchored step grid every first token lands on
+//! a multiple of the interval, so today each replica has exactly one
+//! phase (0) and one bucket; the buckets stay keyed by phase so
+//! off-grid cadences (e.g. chunked prefill interleaving, per-stage
+//! emission offsets) slot in without touching the event core. Resident state lives in a dense slab indexed by small
+//! handles, so the per-token hot path is an array walk, not a tree lookup.
+//! The pre-refactor one-heap-entry-per-token loop is retained as
+//! [`TickEngine::PerTokenReference`]; both engines produce bit-identical
+//! [`ServingReport`]s (enforced by differential tests), and
+//! [`ServingSystem::serve_trace_instrumented`] exposes [`SimStats`] so the
+//! `sim_perf` bench can chart the gap.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -27,16 +48,46 @@ use cent_types::{CentResult, Time, TimeHistogram};
 use crate::policy::{Fifo, PolicyContext, SchedulingPolicy};
 use crate::queue::{QueuedRequest, RequestId, RequestRecord, RequestSpec};
 use crate::report::{RunTotals, ServingReport};
-use crate::scheduler::{ContinuousBatchScheduler, KvBudget, KvMode, SchedulerConfig};
+use crate::scheduler::{ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, SchedulerConfig};
 use crate::workload::Workload;
 
-/// Per-run serving knobs: KV accounting, admission order and SLO target.
+/// Which event core advances resident queries through decode.
 ///
-/// The default is the conservative pre-refactor regime — full reservation
-/// under FIFO with no SLO — so plain [`ServingSystem::run`] keeps its exact
-/// historical semantics; sweeps opt into token-granular accounting and
-/// alternative policies through [`ServingSystem::run_with`].
-#[derive(Debug)]
+/// Both engines implement the same serving semantics and produce
+/// bit-identical [`ServingReport`]s for identical traces and options; they
+/// differ only in how much heap traffic the simulation itself pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickEngine {
+    /// Phase-bucketed replica ticks: one heap entry per `(replica, phase)`
+    /// bucket advances every due resident, and residents live in a dense
+    /// slab. The default.
+    #[default]
+    PhaseBucketed,
+    /// The straight-line pre-refactor loop: one heap entry per generated
+    /// token, residents in an id-keyed map. Retained as the differential
+    /// reference and the `sim_perf` baseline.
+    PerTokenReference,
+}
+
+impl TickEngine {
+    /// Short name used in bench tables and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            TickEngine::PhaseBucketed => "bucketed",
+            TickEngine::PerTokenReference => "reference",
+        }
+    }
+}
+
+/// Per-run serving knobs: KV accounting, admission order, SLO target and
+/// event core.
+///
+/// The default is the conservative regime — full reservation under FIFO
+/// with no SLO on the phase-bucketed engine; sweeps opt into
+/// token-granular accounting and alternative policies through
+/// [`ServingSystem::run_with`]. Options are `Clone`, so sweeps build them
+/// once and reuse them across operating points.
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// KV accounting mode (full reservation or token-granular growth).
     pub kv: KvMode,
@@ -45,11 +96,18 @@ pub struct ServeOptions {
     /// Optional end-to-end latency SLO; when set, the report's goodput
     /// counts only queries finishing within `arrival + slo`.
     pub slo: Option<Time>,
+    /// Event core driving token progress.
+    pub engine: TickEngine,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { kv: KvMode::FullReservation, policy: Box::new(Fifo), slo: None }
+        ServeOptions {
+            kv: KvMode::FullReservation,
+            policy: Box::new(Fifo),
+            slo: None,
+            engine: TickEngine::default(),
+        }
     }
 }
 
@@ -70,13 +128,52 @@ impl ServeOptions {
         self.slo = Some(slo);
         self
     }
+
+    /// Selects the event core (default: [`TickEngine::PhaseBucketed`]).
+    pub fn with_engine(mut self, engine: TickEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Event-core counters from one simulated run, for perf tracking.
+///
+/// The serving *semantics* are identical across engines; these measure the
+/// simulator's own work, and `sim_perf` charts them as the repo's perf
+/// trajectory artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Heap entries pushed (arrivals plus per-token events or replica
+    /// ticks).
+    pub heap_pushes: u64,
+    /// Heap entries popped, stale entries included.
+    pub heap_pops: u64,
+    /// Tick events that fired a `(replica, phase)` bucket (zero on the
+    /// per-token reference engine).
+    pub tick_events: u64,
+    /// Generated (decode) tokens driven through the event core.
+    pub tokens: u64,
+    /// Admissions performed (re-admissions after preemption included).
+    pub admissions: u64,
+}
+
+impl SimStats {
+    /// Heap events (pushes + pops) per generated token — the hot-path
+    /// metric the phase-bucketed engine exists to shrink.
+    pub fn heap_events_per_token(&self) -> f64 {
+        if self.tokens == 0 {
+            return 0.0;
+        }
+        (self.heap_pushes + self.heap_pops) as f64 / self.tokens as f64
+    }
 }
 
 /// A deployment ready to serve request traces.
 ///
 /// Construction runs the (comparatively expensive) block-level simulation
 /// once; [`ServingSystem::run`] is then cheap, so load sweeps reuse one
-/// system across all offered-load points.
+/// system across all offered-load points (and, being `Sync`, across
+/// threads).
 #[derive(Debug, Clone)]
 pub struct ServingSystem {
     cfg: ModelConfig,
@@ -162,6 +259,11 @@ impl ServingSystem {
         self.scheduler_cfg.replicas
     }
 
+    /// Decode slots on one replica.
+    pub fn slots_per_replica(&self) -> usize {
+        self.scheduler_cfg.slots_per_replica
+    }
+
     /// Per-replica KV budget in tokens.
     pub fn kv_budget_tokens(&self) -> u64 {
         self.scheduler_cfg.kv_budget.tokens
@@ -210,185 +312,529 @@ impl ServingSystem {
 
     /// Serves an explicit request trace under explicit [`ServeOptions`].
     ///
-    /// The loop advances in token-progress events: each resident request
-    /// emits one token per pipeline round trip, growing its KV reservation
-    /// (in token-granular mode) as it goes, and admission re-runs whenever
-    /// queue or capacity state changed. Identical traces and options always
-    /// produce identical reports — event order is total over `(time, seq)`
-    /// and preemption victims are chosen deterministically.
+    /// Identical traces and options always produce identical reports —
+    /// regardless of the [`TickEngine`] — because event order is total:
+    /// simultaneous events on one replica resolve in admission order,
+    /// replicas are independent, and preemption victims are chosen
+    /// deterministically.
     pub fn serve_trace_with(
         &self,
         trace: &[RequestSpec],
         offered_qps: f64,
         options: ServeOptions,
     ) -> ServingReport {
-        let cfg = SchedulerConfig { kv: options.kv, ..self.scheduler_cfg };
-        let mut scheduler = ContinuousBatchScheduler::new(cfg).with_policy(options.policy);
-        let mut events: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
-        for (i, spec) in trace.iter().enumerate() {
-            events.push(Reverse(HeapEntry {
-                at: spec.arrival,
-                seq: i as u64,
-                event: Event::Arrive(*spec),
-            }));
+        self.serve_trace_instrumented(trace, offered_qps, options).0
+    }
+
+    /// Serves a trace and additionally returns the event-core counters
+    /// ([`SimStats`]) of the run — the instrumentation behind `sim_perf`.
+    pub fn serve_trace_instrumented(
+        &self,
+        trace: &[RequestSpec],
+        offered_qps: f64,
+        options: ServeOptions,
+    ) -> (ServingReport, SimStats) {
+        assert!(self.token_interval > Time::ZERO, "token interval must be positive");
+        match options.engine {
+            TickEngine::PhaseBucketed => self.run_bucketed(trace, offered_qps, options),
+            TickEngine::PerTokenReference => self.run_reference(trace, offered_qps, options),
         }
-        let mut seq = trace.len() as u64;
+    }
 
-        let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
-        let mut residents: BTreeMap<RequestId, Resident> = BTreeMap::new();
-        // Each replica has one prefill front-end: prompts of back-to-back
-        // admissions stream through it in series.
-        let mut prefill_free: Vec<Time> = vec![Time::ZERO; self.scheduler_cfg.replicas];
-        // Occupancy integrals in exact integer units (slot·ps / token·ps),
-        // so the result is independent of how finely events subdivide time.
-        let mut busy_slot_ps: u128 = 0;
-        let mut kv_reserved_ps: u128 = 0;
-        let mut tbt = TimeHistogram::new();
-        let mut last_t = Time::ZERO;
-        let mut epoch: u64 = 0;
-        // Admission can only succeed after an arrival, completion or
-        // preemption; skipping it on pure token-progress instants keeps the
-        // loop linear in generated tokens.
-        let mut admission_dirty = false;
+    /// The phase-bucketed engine: residents in a dense slab, one `Tick`
+    /// heap entry per `(replica, phase)` bucket.
+    fn run_bucketed(
+        &self,
+        trace: &[RequestSpec],
+        offered_qps: f64,
+        options: ServeOptions,
+    ) -> (ServingReport, SimStats) {
+        let interval = self.token_interval;
+        let mut core = Core::new(self, options);
+        let mut heap = EventHeap::with_arrivals(trace);
+        let mut slab = Slab::default();
+        let mut buckets: Vec<BTreeMap<u64, Bucket>> =
+            vec![BTreeMap::new(); self.scheduler_cfg.replicas];
+        // Lease handle → slab handle, so preemption victims reported by the
+        // scheduler resolve to residents without a map lookup.
+        let mut lease_handle: Vec<u32> = Vec::new();
 
-        while let Some(&Reverse(HeapEntry { at: t, .. })) = events.peek() {
-            // Accumulate occupancy over [last_t, t) before mutating it.
-            let dt = u128::from(t.saturating_sub(last_t).as_ps());
-            busy_slot_ps += scheduler.in_flight() as u128 * dt;
-            kv_reserved_ps += u128::from(scheduler.total_kv_reserved()) * dt;
-            last_t = t;
+        while let Some(t) = heap.next_instant() {
+            core.accumulate_to(t);
             // Drain every event at this instant, then admit once.
-            while matches!(events.peek(), Some(Reverse(e)) if e.at == t) {
-                let Reverse(entry) = events.pop().expect("peeked");
-                match entry.event {
+            while let Some(event) = heap.pop_at(t) {
+                match event {
                     Event::Arrive(spec) => {
-                        scheduler.enqueue(spec);
-                        admission_dirty = true;
+                        core.scheduler.enqueue(spec);
+                        core.admission_dirty = true;
                     }
-                    Event::Token { id, epoch: ev_epoch } => {
-                        let stale = residents.get(&id).map(|r| r.epoch != ev_epoch).unwrap_or(true);
+                    Event::Tick { replica, phase } => {
+                        let due: Vec<u32> = {
+                            let bucket = buckets[replica as usize]
+                                .get_mut(&phase)
+                                .expect("tick targets a known bucket");
+                            if bucket.scheduled != Some(t) {
+                                // Retired (bucket emptied) or superseded by
+                                // an earlier reschedule: drop it.
+                                continue;
+                            }
+                            bucket.scheduled = None;
+                            core.tick_events += 1;
+                            // Snapshot the due members (admission order);
+                            // preemption may mutate the bucket mid-walk.
+                            bucket
+                                .members
+                                .iter()
+                                .copied()
+                                .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t))
+                                .collect()
+                        };
+                        for h in due {
+                            // An earlier grower this tick may have evicted
+                            // this resident; its slot is then empty (no new
+                            // residents are slabbed until the drain ends).
+                            let Some(r) = slab.get(h) else { continue };
+                            if r.next_at != t {
+                                continue;
+                            }
+                            let lease = r.lease;
+                            // Grow the KV reservation for this token; pool
+                            // exhaustion preempts the youngest residents.
+                            let mut self_preempted = false;
+                            for p in core.scheduler.grow(lease) {
+                                let vh = lease_handle[p.lease.index()];
+                                let v = slab.remove(vh);
+                                debug_assert_eq!(v.q.spec.id, p.id, "slab and leases agree");
+                                remove_member(&mut buckets[v.replica], v.phase, vh);
+                                if p.lease == lease {
+                                    self_preempted = true;
+                                }
+                                core.preempt(v.q);
+                            }
+                            if self_preempted {
+                                continue;
+                            }
+                            let r = slab.get_mut(h).expect("survived growth");
+                            if core.emit_token(&mut r.q, t) {
+                                core.scheduler.complete(lease);
+                                let r = slab.remove(h);
+                                remove_member(&mut buckets[r.replica], r.phase, h);
+                                core.finish(r.q, r.replica, t);
+                            } else {
+                                // Same bucket, next step: no heap traffic.
+                                r.next_at = t + interval;
+                            }
+                        }
+                        // One live heap entry per non-empty bucket, at the
+                        // earliest instant any member is due.
+                        let bucket = buckets[replica as usize]
+                            .get_mut(&phase)
+                            .expect("bucket persists across its tick");
+                        let next = bucket
+                            .members
+                            .iter()
+                            .map(|&h| slab.get(h).expect("members are live").next_at)
+                            .min();
+                        if let Some(next) = next {
+                            debug_assert!(next > t, "tick must advance");
+                            bucket.scheduled = Some(next);
+                            heap.push(next, Event::Tick { replica, phase });
+                        }
+                    }
+                    Event::Token { .. } => {
+                        unreachable!("bucketed engine schedules no per-token events")
+                    }
+                }
+            }
+            if core.admission_dirty {
+                core.admission_dirty = false;
+                for p in core.admit(t) {
+                    let phase = p.first_token.as_ps() % interval.as_ps();
+                    let h = slab.insert(Resident {
+                        q: p.q,
+                        replica: p.replica,
+                        lease: p.lease,
+                        next_at: p.first_token,
+                        phase,
+                    });
+                    if lease_handle.len() <= p.lease.index() {
+                        lease_handle.resize(p.lease.index() + 1, u32::MAX);
+                    }
+                    lease_handle[p.lease.index()] = h;
+                    let bucket = buckets[p.replica].entry(phase).or_default();
+                    // Admission order: the serial prefill front-end makes
+                    // first tokens monotone per replica, so appending keeps
+                    // members sorted by both admission and due time.
+                    bucket.members.push(h);
+                    if bucket.scheduled.is_none_or(|at| p.first_token < at) {
+                        bucket.scheduled = Some(p.first_token);
+                        heap.push(p.first_token, Event::Tick { replica: p.replica as u32, phase });
+                    }
+                }
+            }
+        }
+        debug_assert!(slab.is_empty(), "drained loop left residents behind");
+        core.into_report(trace.len(), offered_qps, &heap)
+    }
+
+    /// The retained straight-line per-token loop: one heap entry per
+    /// generated token, residents in an id-keyed map. Differential
+    /// reference for the bucketed engine and the `sim_perf` baseline.
+    fn run_reference(
+        &self,
+        trace: &[RequestSpec],
+        offered_qps: f64,
+        options: ServeOptions,
+    ) -> (ServingReport, SimStats) {
+        let interval = self.token_interval;
+        let mut core = Core::new(self, options);
+        let mut heap = EventHeap::with_arrivals(trace);
+        let mut residents: BTreeMap<RequestId, RefResident> = BTreeMap::new();
+        // Token events order by admission epoch within an instant (offset
+        // past the arrival sequence range), so simultaneous tokens resolve
+        // in admission order — the same total order the bucketed engine's
+        // bucket walk uses.
+        let seq_base = trace.len() as u64;
+
+        while let Some(t) = heap.next_instant() {
+            core.accumulate_to(t);
+            while let Some(event) = heap.pop_at(t) {
+                match event {
+                    Event::Arrive(spec) => {
+                        core.scheduler.enqueue(spec);
+                        core.admission_dirty = true;
+                    }
+                    Event::Token { id, epoch } => {
+                        // Token events from before a preemption carry an
+                        // older epoch and are discarded as stale.
+                        let stale = residents.get(&id).map(|r| r.epoch != epoch).unwrap_or(true);
                         if stale {
                             continue;
                         }
-                        // Grow the KV reservation for this token; pool
-                        // exhaustion preempts the youngest residents.
-                        let victims = scheduler.grow(id);
+                        let lease = residents.get(&id).expect("checked resident").lease;
                         let mut self_preempted = false;
-                        for vid in victims {
-                            admission_dirty = true;
-                            let mut v = residents.remove(&vid).expect("victim is resident");
-                            v.q.preemptions += 1;
-                            if vid == id {
+                        for p in core.scheduler.grow(lease) {
+                            let v = residents.remove(&p.id).expect("victim is resident");
+                            if p.id == id {
                                 self_preempted = true;
                             }
-                            scheduler.requeue(v.q);
+                            core.preempt(v.q);
                         }
                         if self_preempted {
                             continue;
                         }
                         let r = residents.get_mut(&id).expect("survived growth");
-                        r.q.progress += 1;
-                        if r.q.first_token.is_none() {
-                            r.q.first_token = Some(t);
-                        }
-                        if let Some(prev) = r.q.last_token {
-                            tbt.record(t.saturating_sub(prev));
-                        }
-                        r.q.last_token = Some(t);
-                        if r.q.progress >= r.q.spec.decode {
-                            scheduler.complete(id);
-                            admission_dirty = true;
+                        if core.emit_token(&mut r.q, t) {
+                            core.scheduler.complete(lease);
                             let r = residents.remove(&id).expect("finished resident");
-                            records.push(RequestRecord {
-                                spec: r.q.spec,
-                                admitted: r.q.first_admitted.expect("was admitted"),
-                                first_token: r.q.first_token.expect("emitted first token"),
-                                finished: t,
-                                replica: r.replica,
-                                preemptions: r.q.preemptions,
-                            });
+                            core.finish(r.q, r.replica, t);
                         } else {
-                            events.push(Reverse(HeapEntry {
-                                at: t + self.token_interval,
-                                seq,
-                                event: Event::Token { id, epoch: ev_epoch },
-                            }));
-                            seq += 1;
+                            heap.push_seq(
+                                t + interval,
+                                seq_base + epoch,
+                                Event::Token { id, epoch },
+                            );
                         }
+                    }
+                    Event::Tick { .. } => {
+                        unreachable!("reference engine schedules no replica ticks")
                     }
                 }
             }
-            if admission_dirty {
-                admission_dirty = false;
-                let ctx = PolicyContext { now: t, token_interval: self.token_interval };
-                for admission in scheduler.admit_ready(&ctx) {
-                    let mut q = admission.req;
-                    if q.first_admitted.is_none() {
-                        q.first_admitted = Some(t);
-                    }
-                    // Recompute semantics: a resumed request streams its
-                    // whole context (prompt + generated so far) back
-                    // through the prefill front-end before decoding on.
-                    let context_tokens = q.spec.prompt + q.progress;
-                    let prefill = Time::from_secs_f64(context_tokens as f64 / self.prefill_rate);
-                    let start = t.max(prefill_free[admission.replica]);
-                    let prefill_done = start + prefill;
-                    prefill_free[admission.replica] = prefill_done;
-                    epoch += 1;
-                    let id = q.spec.id;
-                    residents.insert(id, Resident { q, replica: admission.replica, epoch });
-                    events.push(Reverse(HeapEntry {
-                        at: prefill_done + self.token_interval,
-                        seq,
-                        event: Event::Token { id, epoch },
-                    }));
-                    seq += 1;
+            if core.admission_dirty {
+                core.admission_dirty = false;
+                for p in core.admit(t) {
+                    let id = p.q.spec.id;
+                    residents.insert(
+                        id,
+                        RefResident { q: p.q, replica: p.replica, lease: p.lease, epoch: p.epoch },
+                    );
+                    heap.push_seq(
+                        p.first_token,
+                        seq_base + p.epoch,
+                        Event::Token { id, epoch: p.epoch },
+                    );
                 }
             }
         }
         debug_assert!(residents.is_empty(), "drained loop left residents behind");
-
-        let total_slot_ps = self.total_slots() as u128 * u128::from(last_t.as_ps());
-        let slot_utilization =
-            if total_slot_ps > 0 { busy_slot_ps as f64 / total_slot_ps as f64 } else { 0.0 };
-        let total_kv_ps = u128::from(scheduler.kv_budget_tokens())
-            * self.scheduler_cfg.replicas as u128
-            * u128::from(last_t.as_ps());
-        let kv_utilization =
-            if total_kv_ps > 0 { kv_reserved_ps as f64 / total_kv_ps as f64 } else { 0.0 };
-        let peak_kv_fraction = if scheduler.kv_budget_tokens() > 0 {
-            scheduler.peak_kv_reserved() as f64 / scheduler.kv_budget_tokens() as f64
-        } else {
-            0.0
-        };
-        records.sort_by_key(|r| r.spec.id);
-        ServingReport::from_records(
-            &records,
-            RunTotals {
-                offered_qps,
-                submitted: trace.len(),
-                rejected: scheduler.rejected().len(),
-                steady_state_tokens_per_s: self.steady_state_tokens_per_s,
-                slot_utilization,
-                peak_kv_fraction,
-                kv_utilization,
-                peak_queue_depth: scheduler.peak_queue_depth(),
-                preemptions: scheduler.preemptions(),
-                tbt,
-                slo: options.slo,
-            },
-        )
+        core.into_report(trace.len(), offered_qps, &heap)
     }
 }
 
-/// Loop-side state of a resident (admitted, not yet finished) request.
+/// Event-loop state shared by both engines: the scheduler, the occupancy
+/// integrals, the serial prefill front-ends and the run counters. Keeping
+/// admission, token accounting and report assembly here guarantees the
+/// engines can only differ in *event mechanics*, never in semantics.
+struct Core<'a> {
+    sys: &'a ServingSystem,
+    scheduler: ContinuousBatchScheduler,
+    records: Vec<RequestRecord>,
+    /// Each replica has one prefill front-end: prompts of back-to-back
+    /// admissions stream through it in series.
+    prefill_free: Vec<Time>,
+    /// Occupancy integrals in exact integer units (slot·ps / token·ps),
+    /// so the result is independent of how finely events subdivide time.
+    busy_slot_ps: u128,
+    kv_reserved_ps: u128,
+    tbt: TimeHistogram,
+    last_t: Time,
+    /// Monotone admission counter; doubles as the staleness epoch of the
+    /// reference engine and the bucket ordering key of the bucketed one.
+    epoch: u64,
+    /// Admission can only succeed after an arrival, completion or
+    /// preemption; skipping it on pure token-progress instants keeps the
+    /// loop linear in generated tokens.
+    admission_dirty: bool,
+    slo: Option<Time>,
+    tokens: u64,
+    tick_events: u64,
+}
+
+/// One admission placed by [`Core::admit`]: where the request landed and
+/// when its first token emerges.
+struct Placed {
+    q: QueuedRequest,
+    replica: usize,
+    lease: LeaseId,
+    first_token: Time,
+    epoch: u64,
+}
+
+impl<'a> Core<'a> {
+    fn new(sys: &'a ServingSystem, options: ServeOptions) -> Self {
+        let cfg = SchedulerConfig { kv: options.kv, ..sys.scheduler_cfg };
+        Core {
+            sys,
+            scheduler: ContinuousBatchScheduler::new(cfg).with_policy(options.policy),
+            records: Vec::new(),
+            prefill_free: vec![Time::ZERO; sys.scheduler_cfg.replicas],
+            busy_slot_ps: 0,
+            kv_reserved_ps: 0,
+            tbt: TimeHistogram::new(),
+            last_t: Time::ZERO,
+            epoch: 0,
+            admission_dirty: false,
+            slo: options.slo,
+            tokens: 0,
+            tick_events: 0,
+        }
+    }
+
+    /// Accumulates the occupancy integrals over `[last_t, t)`.
+    fn accumulate_to(&mut self, t: Time) {
+        let dt = u128::from(t.saturating_sub(self.last_t).as_ps());
+        self.busy_slot_ps += self.scheduler.in_flight() as u128 * dt;
+        self.kv_reserved_ps += u128::from(self.scheduler.total_kv_reserved()) * dt;
+        self.last_t = t;
+    }
+
+    /// First block-step boundary strictly after `t`: the pipeline emits
+    /// the first token of a query whose prefill finished at `t` at the end
+    /// of the step in progress.
+    fn next_step(&self, t: Time) -> Time {
+        let step = self.sys.token_interval.as_ps();
+        Time::from_ps((t.as_ps() / step + 1) * step)
+    }
+
+    /// Runs admission at instant `t` and computes each admitted request's
+    /// prefill timeline and first-token instant.
+    fn admit(&mut self, t: Time) -> Vec<Placed> {
+        let ctx = PolicyContext { now: t, token_interval: self.sys.token_interval };
+        let admitted = self.scheduler.admit_ready(&ctx);
+        let mut placed = Vec::with_capacity(admitted.len());
+        for admission in admitted {
+            let mut q = admission.req;
+            if q.first_admitted.is_none() {
+                q.first_admitted = Some(t);
+            }
+            // Recompute semantics: a resumed request streams its whole
+            // context (prompt + generated so far) back through the prefill
+            // front-end before decoding on.
+            let context_tokens = q.spec.prompt + q.progress;
+            let prefill = Time::from_secs_f64(context_tokens as f64 / self.sys.prefill_rate);
+            let start = t.max(self.prefill_free[admission.replica]);
+            let prefill_done = start + prefill;
+            self.prefill_free[admission.replica] = prefill_done;
+            self.epoch += 1;
+            placed.push(Placed {
+                q,
+                replica: admission.replica,
+                lease: admission.lease,
+                first_token: self.next_step(prefill_done),
+                epoch: self.epoch,
+            });
+        }
+        placed
+    }
+
+    /// Applies one generated token to `q` at instant `t`; returns `true`
+    /// when the request just finished.
+    fn emit_token(&mut self, q: &mut QueuedRequest, t: Time) -> bool {
+        q.progress += 1;
+        self.tokens += 1;
+        if q.first_token.is_none() {
+            q.first_token = Some(t);
+        }
+        if let Some(prev) = q.last_token {
+            self.tbt.record(t.saturating_sub(prev));
+        }
+        q.last_token = Some(t);
+        q.progress >= q.spec.decode
+    }
+
+    /// Records a completion (the scheduler lease must already be released).
+    fn finish(&mut self, q: QueuedRequest, replica: usize, t: Time) {
+        self.admission_dirty = true;
+        self.records.push(RequestRecord {
+            spec: q.spec,
+            admitted: q.first_admitted.expect("was admitted"),
+            first_token: q.first_token.expect("emitted first token"),
+            finished: t,
+            replica,
+            preemptions: q.preemptions,
+        });
+    }
+
+    /// Requeues a preemption victim for recompute.
+    fn preempt(&mut self, mut q: QueuedRequest) {
+        self.admission_dirty = true;
+        q.preemptions += 1;
+        self.scheduler.requeue(q);
+    }
+
+    /// Assembles the [`ServingReport`] and [`SimStats`] of the finished run.
+    fn into_report(
+        mut self,
+        submitted: usize,
+        offered_qps: f64,
+        heap: &EventHeap,
+    ) -> (ServingReport, SimStats) {
+        let sys = self.sys;
+        let total_slot_ps = sys.total_slots() as u128 * u128::from(self.last_t.as_ps());
+        let slot_utilization =
+            if total_slot_ps > 0 { self.busy_slot_ps as f64 / total_slot_ps as f64 } else { 0.0 };
+        let total_kv_ps = u128::from(self.scheduler.kv_budget_tokens())
+            * sys.scheduler_cfg.replicas as u128
+            * u128::from(self.last_t.as_ps());
+        let kv_utilization =
+            if total_kv_ps > 0 { self.kv_reserved_ps as f64 / total_kv_ps as f64 } else { 0.0 };
+        let peak_kv_fraction = if self.scheduler.kv_budget_tokens() > 0 {
+            self.scheduler.peak_kv_reserved() as f64 / self.scheduler.kv_budget_tokens() as f64
+        } else {
+            0.0
+        };
+        self.records.sort_by_key(|r| r.spec.id);
+        let stats = SimStats {
+            heap_pushes: heap.pushes,
+            heap_pops: heap.pops,
+            tick_events: self.tick_events,
+            tokens: self.tokens,
+            admissions: self.scheduler.admissions(),
+        };
+        let report = ServingReport::from_records(
+            &self.records,
+            RunTotals {
+                offered_qps,
+                submitted,
+                rejected: self.scheduler.rejected().len(),
+                steady_state_tokens_per_s: sys.steady_state_tokens_per_s,
+                slot_utilization,
+                peak_kv_fraction,
+                kv_utilization,
+                peak_queue_depth: self.scheduler.peak_queue_depth(),
+                preemptions: self.scheduler.preemptions(),
+                tbt: self.tbt,
+                slo: self.slo,
+            },
+        );
+        (report, stats)
+    }
+}
+
+/// Loop-side state of a resident in the bucketed engine.
 #[derive(Debug, Clone, Copy)]
 struct Resident {
     q: QueuedRequest,
     replica: usize,
+    lease: LeaseId,
+    /// Instant of this resident's next token.
+    next_at: Time,
+    /// Tick-bucket key: `next_at mod token_interval`, fixed at admission.
+    phase: u64,
+}
+
+/// Loop-side state of a resident in the per-token reference engine.
+#[derive(Debug, Clone, Copy)]
+struct RefResident {
+    q: QueuedRequest,
+    replica: usize,
+    lease: LeaseId,
     /// Admission epoch; token events from before a preemption carry an
     /// older epoch and are discarded as stale.
     epoch: u64,
+}
+
+/// Dense resident storage for the bucketed engine: the hot path indexes an
+/// array slot instead of walking an id-keyed tree. Freed handles are
+/// recycled LIFO, deterministically.
+#[derive(Debug, Default)]
+struct Slab {
+    slots: Vec<Option<Resident>>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    fn insert(&mut self, r: Resident) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none(), "reusing a live slot");
+                self.slots[h as usize] = Some(r);
+                h
+            }
+            None => {
+                self.slots.push(Some(r));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn remove(&mut self, h: u32) -> Resident {
+        let r = self.slots[h as usize].take().expect("removing an empty slot");
+        self.free.push(h);
+        r
+    }
+
+    fn get(&self, h: u32) -> Option<&Resident> {
+        self.slots[h as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, h: u32) -> Option<&mut Resident> {
+        self.slots[h as usize].as_mut()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+/// One tick bucket: the residents of a replica sharing a token phase.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Resident handles in admission order (the order simultaneous token
+    /// events resolve in).
+    members: Vec<u32>,
+    /// Fire instant of this bucket's live heap entry, if any. A popped
+    /// `Tick` whose instant does not match is stale and is dropped, so
+    /// empty buckets retire their entry without heap surgery.
+    scheduled: Option<Time>,
+}
+
+/// Removes a resident handle from its bucket, preserving admission order.
+fn remove_member(buckets: &mut BTreeMap<u64, Bucket>, phase: u64, h: u32) {
+    let bucket = buckets.get_mut(&phase).expect("resident's bucket exists");
+    let pos = bucket.members.iter().position(|&x| x == h).expect("resident is in its bucket");
+    bucket.members.remove(pos);
 }
 
 /// A scheduled event. Ordering (and equality) is by `(at, seq)` only — the
@@ -404,7 +850,17 @@ struct HeapEntry {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrive(RequestSpec),
-    Token { id: RequestId, epoch: u64 },
+    /// One token of one resident (reference engine only).
+    Token {
+        id: RequestId,
+        epoch: u64,
+    },
+    /// One firing of a `(replica, phase)` tick bucket (bucketed engine
+    /// only): advances every due resident of the bucket.
+    Tick {
+        replica: u32,
+        phase: u64,
+    },
 }
 
 impl PartialEq for HeapEntry {
@@ -424,6 +880,61 @@ impl Ord for HeapEntry {
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The event heap plus push/pop counters: arrivals are seeded with the
+/// trace order sequence numbers, so simultaneous arrivals resolve in trace
+/// order ahead of any tick or token event.
+struct EventHeap {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    next_seq: u64,
+    pushes: u64,
+    pops: u64,
+}
+
+impl EventHeap {
+    fn with_arrivals(trace: &[RequestSpec]) -> Self {
+        let mut heap = BinaryHeap::with_capacity(trace.len() + 64);
+        for (i, spec) in trace.iter().enumerate() {
+            heap.push(Reverse(HeapEntry {
+                at: spec.arrival,
+                seq: i as u64,
+                event: Event::Arrive(*spec),
+            }));
+        }
+        EventHeap { heap, next_seq: trace.len() as u64, pushes: trace.len() as u64, pops: 0 }
+    }
+
+    fn push(&mut self, at: Time, event: Event) {
+        self.heap.push(Reverse(HeapEntry { at, seq: self.next_seq, event }));
+        self.next_seq += 1;
+        self.pushes += 1;
+    }
+
+    /// Pushes with an explicit sequence key. The reference engine keys
+    /// token events by admission epoch so simultaneous tokens resolve in
+    /// admission order; a resident has at most one pending event, so
+    /// `(at, seq)` stays unique.
+    fn push_seq(&mut self, at: Time, seq: u64, event: Event) {
+        self.heap.push(Reverse(HeapEntry { at, seq, event }));
+        self.pushes += 1;
+    }
+
+    /// Instant of the earliest pending event.
+    fn next_instant(&self) -> Option<Time> {
+        self.heap.peek().map(|&Reverse(HeapEntry { at, .. })| at)
+    }
+
+    /// Pops the earliest event if it is scheduled exactly at `t`.
+    fn pop_at(&mut self, t: Time) -> Option<Event> {
+        match self.heap.peek() {
+            Some(Reverse(entry)) if entry.at == t => {
+                self.pops += 1;
+                Some(self.heap.pop().expect("peeked").0.event)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -481,14 +992,42 @@ mod tests {
         }];
         let report = sys.serve_trace(&trace, 1.0);
         assert_eq!(report.completed, 1);
-        // No queueing: TTFT = prefill (100 tokens @ 1000/s = 100 ms) plus
-        // one token interval (1 ms).
+        // No queueing: prefill (100 tokens @ 1000/s) finishes at 100.5 ms
+        // and the first token emerges at the end of the block step in
+        // progress — the 101 ms grid point — so TTFT is 100.5 ms from the
+        // 0.5 ms arrival.
         assert_eq!(report.queue_wait.max, Time::ZERO);
-        assert_eq!(report.ttft.p50, Time::from_secs_f64(0.101));
-        // Query latency adds the remaining 9 tokens.
-        assert_eq!(report.query_latency.p50, Time::from_secs_f64(0.110));
+        assert_eq!(report.ttft.p50, Time::from_secs_f64(0.1005));
+        // Query latency adds the remaining 9 tokens on the 1 ms cadence.
+        assert_eq!(report.query_latency.p50, Time::from_secs_f64(0.1095));
         assert_eq!(report.tbt.mean, Time::from_us(1000));
         assert_eq!(report.preemptions, 0);
+    }
+
+    #[test]
+    fn tokens_land_on_the_block_step_grid() {
+        let sys = tiny_system();
+        // Prefill offsets that are not multiples of the 1 ms step.
+        for (arrival_us, prompt) in [(1u64, 1usize), (137, 33), (999, 100), (1000, 250)] {
+            let trace = [RequestSpec {
+                id: RequestId(0),
+                arrival: Time::from_us(arrival_us),
+                prompt,
+                decode: 5,
+            }];
+            let report = sys.serve_trace(&trace, 1.0);
+            let first_token = report.ttft.p50 + Time::from_us(arrival_us);
+            assert_eq!(
+                first_token.as_ps() % Time::from_us(1000).as_ps(),
+                0,
+                "first token off-grid for arrival {arrival_us} us, prompt {prompt}"
+            );
+            // The whole decode stays one step apart.
+            assert_eq!(
+                report.query_latency.p50.saturating_sub(report.ttft.p50),
+                Time::from_us(4000)
+            );
+        }
     }
 
     #[test]
@@ -579,6 +1118,58 @@ mod tests {
         assert!(report.preemptions > 0, "expected KV pressure to preempt");
         assert_eq!(report.completed, report.submitted - report.rejected);
         assert!(report.peak_kv_fraction <= 1.0);
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit_under_preemption() {
+        // Quick smoke of the differential property (the full seed × mode ×
+        // policy matrix lives in tests/serving_props.rs).
+        let sys = tiny_system().with_kv_budget(KvBudget::tokens(150));
+        let w = poisson(50.0, 7, 10, 90);
+        let horizon = Time::from_secs_f64(5.0);
+        let bucketed = sys.run_with(&w, horizon, ServeOptions::token_granular());
+        let reference = sys.run_with(
+            &w,
+            horizon,
+            ServeOptions::token_granular().with_engine(TickEngine::PerTokenReference),
+        );
+        assert!(bucketed.preemptions > 0);
+        assert_eq!(bucketed, reference);
+    }
+
+    #[test]
+    fn bucketed_engine_slashes_heap_traffic() {
+        // Saturated 1×8-slot system: the bucketed engine must do at least
+        // 5× fewer heap operations per generated token than the per-token
+        // reference, and fire roughly one tick per step, not per token.
+        let sys = ServingSystem::from_parts(
+            &ModelConfig::llama2_7b(),
+            SchedulerConfig {
+                replicas: 1,
+                slots_per_replica: 8,
+                kv_budget: KvBudget::tokens(u64::MAX / 2),
+                kv: KvMode::FullReservation,
+            },
+            Time::from_us(1000),
+            50_000.0,
+            8000.0,
+        );
+        let w = poisson(100.0, 3, 10, 200);
+        let trace = w.generate(Time::from_secs_f64(5.0), 4096);
+        let (bucketed_report, bucketed) =
+            sys.serve_trace_instrumented(&trace, 100.0, ServeOptions::default());
+        let (reference_report, reference) = sys.serve_trace_instrumented(
+            &trace,
+            100.0,
+            ServeOptions::default().with_engine(TickEngine::PerTokenReference),
+        );
+        assert_eq!(bucketed_report, reference_report);
+        assert_eq!(bucketed.tokens, reference.tokens);
+        assert!(bucketed.tokens > 0);
+        let ratio = reference.heap_events_per_token() / bucketed.heap_events_per_token();
+        assert!(ratio >= 5.0, "heap-event ratio only {ratio:.2}");
+        assert!(bucketed.tick_events < bucketed.tokens / 4, "ticks should batch residents");
+        assert_eq!(reference.tick_events, 0);
     }
 
     #[test]

@@ -13,14 +13,70 @@ use crate::units::Time;
 ///
 /// `q` is in `[0, 1]`; uses the nearest-rank method on a sorted copy.
 /// Returns [`Time::ZERO`] for an empty slice.
+///
+/// Sorts on every call; when several quantiles of the same population are
+/// needed (a report's p50/p95/p99), build a [`SortedSamples`] once and read
+/// them all from the same sorted slice.
 pub fn percentile(samples: &[Time], q: f64) -> Time {
-    if samples.is_empty() {
-        return Time::ZERO;
+    SortedSamples::from_slice(samples).percentile(q)
+}
+
+/// A [`Time`] sample population sorted once at construction.
+///
+/// Every quantile read is then an index into the same sorted slice, so
+/// summarising a metric at p50/p95/p99 costs one sort instead of one
+/// clone-and-sort per quantile.
+#[derive(Debug, Clone, Default)]
+pub struct SortedSamples {
+    sorted: Vec<Time>,
+    sum_ps: u128,
+}
+
+impl SortedSamples {
+    /// Takes ownership of `samples` and sorts them in place.
+    pub fn new(mut samples: Vec<Time>) -> Self {
+        samples.sort_unstable();
+        let sum_ps = samples.iter().map(|t| u128::from(t.as_ps())).sum();
+        SortedSamples { sorted: samples, sum_ps }
     }
-    let mut sorted: Vec<Time> = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+
+    /// Copies and sorts a borrowed slice.
+    pub fn from_slice(samples: &[Time]) -> Self {
+        Self::new(samples.to_vec())
+    }
+
+    /// Nearest-rank percentile, `q` in `[0, 1]` ([`Time::ZERO`] if empty).
+    pub fn percentile(&self, q: f64) -> Time {
+        if self.sorted.is_empty() {
+            return Time::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Arithmetic mean ([`Time::ZERO`] if empty).
+    pub fn mean(&self) -> Time {
+        if self.sorted.is_empty() {
+            return Time::ZERO;
+        }
+        Time::from_ps((self.sum_ps / self.sorted.len() as u128) as u64)
+    }
+
+    /// Largest sample ([`Time::ZERO`] if empty).
+    pub fn max(&self) -> Time {
+        self.sorted.last().copied().unwrap_or(Time::ZERO)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
 }
 
 /// Arithmetic mean of a set of [`Time`] samples ([`Time::ZERO`] if empty).
@@ -180,6 +236,23 @@ mod tests {
         assert_eq!(percentile(&samples, 0.99), Time::from_ns(99));
         assert_eq!(percentile(&samples, 1.0), Time::from_ns(100));
         assert_eq!(percentile(&[], 0.5), Time::ZERO);
+    }
+
+    #[test]
+    fn sorted_samples_match_per_call_percentiles() {
+        let samples: Vec<Time> = (1..=997).rev().map(Time::from_ns).collect();
+        let sorted = SortedSamples::from_slice(&samples);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(sorted.percentile(q), percentile(&samples, q), "q = {q}");
+        }
+        assert_eq!(sorted.mean(), mean(&samples));
+        assert_eq!(sorted.max(), Time::from_ns(997));
+        assert_eq!(sorted.len(), 997);
+        let empty = SortedSamples::new(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(0.5), Time::ZERO);
+        assert_eq!(empty.mean(), Time::ZERO);
+        assert_eq!(empty.max(), Time::ZERO);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod units;
 
 pub use bf16::{Beat, Bf16, BF16_RELATIVE_ERROR, ZERO_BEAT};
 pub use error::{CentError, CentResult};
-pub use histogram::{mean, percentile, TimeHistogram};
+pub use histogram::{mean, percentile, SortedSamples, TimeHistogram};
 pub use ids::{
     AccRegId, BankGroupId, BankId, ChannelId, ChannelMask, ColAddr, DeviceId, RowAddr, SbSlot,
 };

@@ -30,7 +30,7 @@ pub use cent_core::{verify_block, CentSystem, VerifyReport};
 pub use cent_device::LatencyBreakdown;
 pub use cent_model::{BlockWeights, KvCache, ModelConfig};
 pub use cent_serving::{
-    KvMode, SchedulingPolicy, ServeOptions, ServingReport, ServingSystem, Workload,
+    KvMode, SchedulingPolicy, ServeOptions, ServingReport, ServingSystem, TickEngine, Workload,
 };
 pub use cent_sim::{evaluate, CentPerformance};
 pub use cent_types::{Bf16, ByteSize, CentError, CentResult, Time};

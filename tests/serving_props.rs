@@ -3,14 +3,17 @@
 //! The build environment has no external crates, so instead of `proptest`
 //! these run each property over seeded workloads drawn from the in-tree
 //! deterministic PRNG — same invariants, fixed seeds, reproducible
-//! failures. Three properties guard the token-granular KV refactor:
+//! failures. Four properties guard the KV and tick-engine refactors:
 //!
 //! 1. the KV budget is never exceeded at any event (the scheduler asserts
 //!    it internally on every mutation; the runs here would panic);
 //! 2. every admitted request — including preempted-then-recomputed ones —
 //!    completes exactly once;
-//! 3. full-reservation mode reproduces the pre-refactor closed-form
-//!    reports bit-for-bit on the same seed.
+//! 3. full-reservation mode reproduces a closed-form reference
+//!    bit-for-bit on the same seed;
+//! 4. the phase-bucketed tick engine and the retained straight-line
+//!    per-token loop produce bit-identical reports across seeds × KV
+//!    modes × scheduling policies.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -18,7 +21,8 @@ use std::collections::BinaryHeap;
 use cent_model::ModelConfig;
 use cent_serving::{
     ArrivalProcess, DeadlineAware, KvBudget, KvMode, LatencyStats, LengthSampler, RequestRecord,
-    RequestSpec, SchedulerConfig, ServeOptions, ServingSystem, ShortestRemainingDecode, Workload,
+    RequestSpec, SchedulerConfig, ServeOptions, ServingSystem, ShortestRemainingDecode, TickEngine,
+    Workload,
 };
 use cent_types::{Time, TimeHistogram};
 
@@ -70,11 +74,12 @@ fn workload(seed: u64, rate: f64) -> Workload {
     }
 }
 
-/// The pre-refactor serving loop, reimplemented in closed form: full
-/// reservation, FIFO head-of-line admission, per-request `Finish` events,
-/// per-replica serial prefill, and one deterministic service timeline per
-/// admission. (Placement tie-breaking and TBT token-weighting follow this
-/// PR's satellite bugfixes, which apply to both implementations.)
+/// The serving loop reimplemented in closed form: full reservation, FIFO
+/// head-of-line admission, per-request `Finish` events, per-replica serial
+/// prefill, and one deterministic service timeline per admission. The
+/// timeline matches the event engines' block-step model: the first token
+/// emerges at the first step-grid boundary after prefill completes, and
+/// every later token one `token_interval` apart.
 struct Reference {
     records: Vec<RequestRecord>,
     rejected: usize,
@@ -172,7 +177,10 @@ fn reference_full_reservation(c: Constants, trace: &[RequestSpec]) -> Reference 
             let start = t.max(prefill_free[idx]);
             let prefill_done = start + prefill;
             prefill_free[idx] = prefill_done;
-            let first_token = prefill_done + c.token_interval;
+            // First token at the end of the block step in progress when
+            // prefill completes (the step grid is anchored at time zero).
+            let step = c.token_interval.as_ps();
+            let first_token = Time::from_ps((prefill_done.as_ps() / step + 1) * step);
             let rest = (head.decode as u64).saturating_sub(1);
             let finished = first_token + Time::from_ps(c.token_interval.as_ps() * rest);
             events.push(Reverse(Entry {
@@ -201,6 +209,9 @@ fn full_reservation_matches_closed_form_reference_bit_for_bit() {
     for seed in [1u64, 7, 42, 0xCE27, 9001] {
         let w = workload(seed, 12.0);
         let trace = w.generate(Time::from_secs_f64(10.0), 4096);
+        // Default (phase-bucketed) engine vs the closed form; the per-token
+        // loop is held to the same closed form via the engine-equivalence
+        // matrix below.
         let report = sys.serve_trace(&trace, 12.0);
         let reference = reference_full_reservation(c, &trace);
 
@@ -244,6 +255,57 @@ fn full_reservation_matches_closed_form_reference_bit_for_bit() {
         let expect_kv_util = reference.kv_reserved_ps as f64 / total_kv_ps as f64;
         assert_eq!(report.kv_utilization.to_bits(), expect_kv_util.to_bits(), "seed {seed}");
     }
+}
+
+/// The differential property behind the tick-engine refactor: the
+/// phase-bucketed engine and the retained straight-line per-token loop
+/// must produce **bit-identical** `ServingReport`s on the same trace, for
+/// every KV mode and scheduling policy, including preemption-heavy
+/// operating points (the 160/170-token budgets force constant eviction and
+/// recompute under token-granular accounting).
+#[test]
+fn bucketed_engine_matches_per_token_reference_bit_for_bit() {
+    let slo = Time::from_secs_f64(0.5);
+    type MakeOptions = fn(Time) -> ServeOptions;
+    let policies: [(&str, MakeOptions); 3] = [
+        ("fifo", |_| ServeOptions::default()),
+        ("srd", |_| ServeOptions::default().with_policy(Box::new(ShortestRemainingDecode))),
+        ("deadline", |slo| {
+            ServeOptions::default().with_policy(Box::new(DeadlineAware { slo })).with_slo(slo)
+        }),
+    ];
+    let mut preemptions_seen = 0u64;
+    for seed in [1u64, 21, 0xCE27] {
+        for (budget, rate) in [(160u64, 30.0), (170, 40.0), (CONSTANTS.budget, 12.0)] {
+            let c = Constants { budget, ..CONSTANTS };
+            let sys = system(c, KvMode::FullReservation);
+            let w = workload(seed, rate);
+            let trace = w.generate(Time::from_secs_f64(6.0), 4096);
+            for kv in [KvMode::FullReservation, KvMode::token_granular()] {
+                for (name, make) in policies {
+                    let options = ServeOptions { kv, ..make(slo) };
+                    let bucketed = sys.serve_trace_with(
+                        &trace,
+                        rate,
+                        options.clone().with_engine(TickEngine::PhaseBucketed),
+                    );
+                    let reference = sys.serve_trace_with(
+                        &trace,
+                        rate,
+                        options.with_engine(TickEngine::PerTokenReference),
+                    );
+                    assert_eq!(
+                        bucketed, reference,
+                        "engines diverged: seed {seed}, budget {budget}, {kv:?}, {name}"
+                    );
+                    assert_eq!(bucketed.completed, bucketed.submitted - bucketed.rejected);
+                    preemptions_seen += bucketed.preemptions;
+                }
+            }
+        }
+    }
+    // The matrix must actually exercise the preemption machinery.
+    assert!(preemptions_seen > 0, "expected KV pressure under the tight budgets");
 }
 
 #[test]
