@@ -8,11 +8,15 @@
 //! prefill-side limits (the chatbot mix is decode-bound, but the anchor now
 //! stays correct for prompt-heavy what-ifs too).
 //!
-//! Every operating point owns an independent simulation against the shared
-//! (immutable) `ServingSystem`, so the points run in parallel under
-//! `std::thread::scope`; results are printed in load order, and each point
-//! is seeded identically to the serial version, so the output is
-//! bit-for-bit reproducible regardless of thread interleaving.
+//! The workload trace is generated **once**, at the maximum swept rate, and
+//! shared behind an `Arc`; every lower operating point derives its trace by
+//! deterministic Poisson thinning (`Workload::thin_trace` — an exact
+//! Poisson-process identity, not an approximation), so the sweep pays the
+//! hour-long trace generation one time instead of eight. Points run in
+//! parallel under `std::thread::scope`, results print in load order, and
+//! the whole sweep is bit-for-bit reproducible.
+use std::sync::Arc;
+
 use cent_bench::Report;
 use cent_model::ModelConfig;
 use cent_serving::{ServingReport, ServingSystem, Workload};
@@ -30,6 +34,10 @@ fn main() {
     // paper's 512-in/3584-out chatbot shape.
     let capacity = system.capacity_qps(512, 3584);
     let horizon = Time::from_secs_f64(3600.0);
+    let max_load = LOADS.last().copied().expect("non-empty sweep");
+
+    // One generation at the top rate; every other point thins it.
+    let base = Arc::new(Workload::chatbot(max_load * capacity, 0xCE27).generate(horizon, 4096));
 
     // Fan the operating points out across threads; each writes its own
     // pre-allocated slot, so the collected order is the load order.
@@ -37,9 +45,18 @@ fn main() {
     std::thread::scope(|scope| {
         for (slot, &load) in results.iter_mut().zip(&LOADS) {
             let system = &system;
+            let base = Arc::clone(&base);
             scope.spawn(move || {
-                let workload = Workload::chatbot(load * capacity, 0xCE27);
-                *slot = Some(system.run(&workload, horizon));
+                // The top point serves the shared trace in place; lower
+                // points thin it (the thinned copies are strictly smaller).
+                let thinned;
+                let trace: &[_] = if load == max_load {
+                    &base
+                } else {
+                    thinned = Workload::thin_trace(&base, load / max_load, 0xCE27 ^ load.to_bits());
+                    &thinned
+                };
+                *slot = Some(system.serve_trace(trace, load * capacity));
             });
         }
     });

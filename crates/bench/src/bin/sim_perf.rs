@@ -11,19 +11,28 @@
 //! documented in the README's Performance section).
 //!
 //! Run with `cargo run --release --bin sim_perf`; pass `--smoke` for the
-//! CI mode, which uses a small synthetic shape, skips the slow planner
-//! sweeps, and fails if the bucketed engine does not beat the reference on
-//! heap traffic (deterministic) and wall-clock (with noise slack).
+//! CI mode, which uses small synthetic shapes (one clean, one churning the
+//! swap-to-CXL spill tier), skips the slow planner sweeps, and fails if the
+//! bucketed engine does not beat the reference on heap traffic
+//! (deterministic) and wall-clock (with noise slack).
+//!
+//! Pass `--check-against <path>` to gate against a committed baseline
+//! (`results/BENCH_serving_sim_baseline.json`): the run fails if any
+//! baseline shape regresses by more than 20% on heap events per token
+//! (deterministic) or on the reference→bucketed wall-clock speedup (the
+//! machine-normalized wall-clock metric — absolute seconds are not
+//! comparable across runners, the engines' ratio on the same machine is).
 
 use std::time::Instant;
 
 use cent_bench::results_dir;
+use cent_cost::KvSwapCost;
 use cent_model::ModelConfig;
 use cent_serving::{
-    ArrivalProcess, KvBudget, KvMode, LengthSampler, RequestSpec, SchedulerConfig, ServeOptions,
-    ServingSystem, SimStats, TickEngine, Workload,
+    ArrivalProcess, ClassMix, KvBudget, KvMode, KvSpillConfig, LengthSampler, RequestSpec,
+    SchedulerConfig, ServeOptions, ServingSystem, SimStats, TickEngine, Workload,
 };
-use cent_types::Time;
+use cent_types::{ByteSize, Time};
 
 /// One benchmark shape: a deployment plus a saturated trace to serve.
 struct Shape {
@@ -86,15 +95,30 @@ fn smoke_shapes() -> Vec<Shape> {
         arrivals: ArrivalProcess::Poisson { rate_qps: 3.0 * system.capacity_qps(32, 256) },
         lengths: LengthSampler::Fixed { prompt: 32, decode: 256 },
         seed: 0xCE27,
+        classes: ClassMix::default(),
     };
     let trace = w.generate(Time::from_secs_f64(30.0), 4096);
-    vec![Shape {
+    let mut shapes = vec![Shape {
         name: "smoke-8slot-saturated",
         system,
-        trace,
+        trace: trace.clone(),
         offered_qps: w.arrivals.mean_qps(),
         options: ServeOptions::default(),
-    }]
+    }];
+    // The same trace against a KV-starved pool with the cost-driven
+    // swap-to-CXL tier: eviction, page-out/page-in serialization and the
+    // per-victim comparator all ride the perf gate too.
+    let starved = synthetic(8, 8 * (32 + 256) / 3, KvMode::token_granular());
+    let spill =
+        KvSpillConfig::cost_driven(4 * 8 * (32 + 256), KvSwapCost::cent(ByteSize::kib(128)));
+    shapes.push(Shape {
+        name: "smoke-8slot-kv-swap",
+        system: starved,
+        trace,
+        offered_qps: w.arrivals.mean_qps(),
+        options: ServeOptions::token_granular().with_spill(spill),
+    });
+    shapes
 }
 
 fn full_shapes() -> Vec<Shape> {
@@ -122,10 +146,21 @@ fn full_shapes() -> Vec<Shape> {
     let constrained = system.with_kv_budget(KvBudget::tokens((slots as u64 * 4096).div_ceil(3)));
     shapes.push(Shape {
         name: "llama2_7b-pp8-chatbot-kv-managed",
+        system: constrained.clone(),
+        trace: trace.clone(),
+        offered_qps: rate,
+        options: ServeOptions::token_granular(),
+    });
+    // The same KV-pressured point with the cost-driven swap-to-CXL tier
+    // (host pool for 2× the device budget, the deployment's own link/cost
+    // model): the spill machinery's event cost shows up next to recompute's.
+    let spill = KvSpillConfig::cost_driven(2 * slots as u64 * 4096, constrained.swap_cost());
+    shapes.push(Shape {
+        name: "llama2_7b-pp8-chatbot-kv-swap",
         system: constrained,
         trace,
         offered_qps: rate,
-        options: ServeOptions::token_granular(),
+        options: ServeOptions::token_granular().with_spill(spill),
     });
     shapes
 }
@@ -143,8 +178,58 @@ fn json_engine(m: &Measurement) -> String {
     )
 }
 
+/// Per-shape numbers the regression gate compares.
+struct GateRow {
+    name: String,
+    heap_events_per_token: f64,
+    wall_speedup: f64,
+}
+
+/// Extracts `(name, bucketed heap_events_per_token, wall_speedup)` rows
+/// from a `BENCH_serving_sim*.json` file. The file is machine-written by
+/// this bin (one `"name"`, one `"bucketed": {...}` and one
+/// `"wall_speedup"` line per shape, in that order), so a line scan is
+/// exact — the build environment has no serde to do better.
+fn parse_baseline(text: &str) -> Vec<GateRow> {
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let tail = &line[line.find(&format!("\"{key}\": "))? + key.len() + 4..];
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        tail[..end].trim().parse().ok()
+    }
+    let mut rows = Vec::new();
+    let mut name: Option<String> = None;
+    let mut hept: Option<f64> = None;
+    for line in text.lines() {
+        if let Some(tail) = line.trim().strip_prefix("{\"name\": \"") {
+            name = tail.split('"').next().map(str::to_string);
+            hept = None;
+        } else if line.trim_start().starts_with("\"bucketed\":") {
+            hept = field(line, "heap_events_per_token");
+        } else if let Some(speedup) = field(line, "wall_speedup") {
+            if let (Some(name), Some(heap_events_per_token)) = (name.take(), hept.take()) {
+                rows.push(GateRow { name, heap_events_per_token, wall_speedup: speedup });
+            }
+        }
+    }
+    rows
+}
+
+/// Allowed regression on either gated metric.
+const GATE_SLACK: f64 = 1.20;
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut check_against: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check-against" => {
+                check_against = Some(args.next().expect("--check-against needs a path"));
+            }
+            other => panic!("unknown argument {other:?} (expected --smoke / --check-against)"),
+        }
+    }
     let shapes = if smoke { smoke_shapes() } else { full_shapes() };
 
     println!(
@@ -152,10 +237,11 @@ fn main() {
         "shape", "ref wall", "bkt wall", "speedup", "ref hp/tok", "bkt hp/tok", "hp ratio"
     );
     let mut rows = Vec::new();
-    // The smoke gate compares single-shot wall clocks on a shared CI
-    // runner; take the best of three so one scheduler stall cannot flip
-    // the not-slower assert.
-    let repeats = if smoke { 3 } else { 1 };
+    let mut gate_rows = Vec::new();
+    // The smoke gate compares wall clocks on a shared CI runner; take the
+    // best of five so scheduler stalls cannot flip the not-slower assert
+    // or the speedup half of the regression gate.
+    let repeats = if smoke { 5 } else { 1 };
     for shape in &shapes {
         let (reference, ref_report) = measure(shape, TickEngine::PerTokenReference, repeats);
         let (bucketed, bkt_report) = measure(shape, TickEngine::PhaseBucketed, repeats);
@@ -180,7 +266,8 @@ fn main() {
         let slots = shape.system.slots_per_replica();
         rows.push(format!(
             "    {{\"name\": \"{}\", \"replicas\": {}, \"slots_per_replica\": {}, \
-             \"sim_tokens\": {}, \"preemptions\": {},\n     \"reference\": {},\n     \
+             \"sim_tokens\": {}, \"preemptions\": {}, \"swaps\": {},\n     \
+             \"reference\": {},\n     \
              \"bucketed\": {},\n     \"wall_speedup\": {:.3}, \"heap_event_ratio\": {:.3}, \
              \"reports_identical\": true}}",
             shape.name,
@@ -188,17 +275,26 @@ fn main() {
             slots,
             bucketed.stats.tokens,
             bkt_report.preemptions,
+            bkt_report.swaps,
             json_engine(&reference),
             json_engine(&bucketed),
             speedup,
             heap_ratio,
         ));
+        gate_rows.push(GateRow {
+            name: shape.name.to_string(),
+            heap_events_per_token: bucketed.stats.heap_events_per_token(),
+            wall_speedup: speedup,
+        });
         // The heap-event ratio is deterministic: on any shape with >= 8
-        // slots per replica the bucketed engine must batch at least 5x.
+        // slots per replica the bucketed engine must batch at least 5x —
+        // relaxed to 3x under eviction churn, where every resume is a fresh
+        // admission and heap traffic is admission-bound in both engines.
         if slots >= 8 {
+            let floor = if bkt_report.preemptions + bkt_report.swaps > 0 { 3.0 } else { 5.0 };
             assert!(
-                heap_ratio >= 5.0,
-                "{}: heap-event ratio {heap_ratio:.2} < 5x on {slots} slots/replica",
+                heap_ratio >= floor,
+                "{}: heap-event ratio {heap_ratio:.2} < {floor}x on {slots} slots/replica",
                 shape.name
             );
         }
@@ -225,4 +321,57 @@ fn main() {
     let path = dir.join("BENCH_serving_sim.json");
     std::fs::write(&path, json).expect("writing BENCH_serving_sim.json");
     println!("\nwrote {}", path.display());
+
+    // The CI perf-regression gate: every shape in the committed baseline
+    // must still be measured and must not regress by more than 20% on
+    // either bucketed heap events per token or the reference→bucketed
+    // wall-clock speedup.
+    if let Some(baseline_path) = check_against {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(!baseline.is_empty(), "baseline {baseline_path} has no shapes");
+        println!("checking against {baseline_path} (\u{2264}{GATE_SLACK}x regression allowed):");
+        let mut failures = Vec::new();
+        for b in &baseline {
+            let Some(now) = gate_rows.iter().find(|g| g.name == b.name) else {
+                failures.push(format!("shape {:?} missing from this run", b.name));
+                continue;
+            };
+            println!(
+                "  {:>32}: heap/tok {:.4} (baseline {:.4}) | speedup {:.3}x (baseline {:.3}x)",
+                b.name,
+                now.heap_events_per_token,
+                b.heap_events_per_token,
+                now.wall_speedup,
+                b.wall_speedup,
+            );
+            if now.heap_events_per_token > GATE_SLACK * b.heap_events_per_token {
+                failures.push(format!(
+                    "{}: heap events/token regressed {:.4} -> {:.4} (>{:.0}%)",
+                    b.name,
+                    b.heap_events_per_token,
+                    now.heap_events_per_token,
+                    (GATE_SLACK - 1.0) * 100.0
+                ));
+            }
+            if now.wall_speedup < b.wall_speedup / GATE_SLACK {
+                failures.push(format!(
+                    "{}: wall-clock speedup regressed {:.3}x -> {:.3}x (>{:.0}%)",
+                    b.name,
+                    b.wall_speedup,
+                    now.wall_speedup,
+                    (GATE_SLACK - 1.0) * 100.0
+                ));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "perf regression gate failed:\n  {}\n(if intentional: rerun `cargo run --release \
+             -p cent-bench --bin sim_perf -- --smoke`, copy results/BENCH_serving_sim.json \
+             over {baseline_path}, and commit it)",
+            failures.join("\n  ")
+        );
+        println!("perf gate passed ({} shapes)", baseline.len());
+    }
 }

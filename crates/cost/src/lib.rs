@@ -1,9 +1,12 @@
 //! Cost models: die/NRE economics (Figure 12), hardware cost (Table 6) and
-//! three-year TCO (Table 4), plus tokens-per-dollar.
+//! three-year TCO (Table 4), tokens-per-dollar, and the KV swap-vs-recompute
+//! comparator ([`KvSwapCost`]) behind the serving simulator's spill-to-CXL
+//! tier.
 
 #![warn(missing_docs)]
 
-use cent_types::{Dollars, Power};
+use cent_cxl::FabricConfig;
+use cent_types::{Bandwidth, ByteSize, Dollars, Power, Time};
 
 /// Die-cost model for the CXL controller (§6, Figure 12).
 #[derive(Debug, Clone, Copy)]
@@ -206,6 +209,81 @@ pub fn tokens_per_dollar(tokens_per_s: f64, cost_per_hour: Dollars) -> f64 {
     tokens_per_s * 3600.0 / cost_per_hour.amount()
 }
 
+/// The swap-vs-recompute comparator behind the serving simulator's
+/// spill-to-CXL KV tier.
+///
+/// When a replica's device KV pool is exhausted, an eviction victim's pages
+/// can either be *recomputed* later (vLLM-style: the victim's whole context
+/// streams back through the prefill front-end) or *swapped* to CXL host
+/// memory and paged back before decode resumes (two bulk transfers over the
+/// host link). Both costs are functions of the same quantity — the victim's
+/// resident KV tokens — so the comparator reduces to
+/// `round_trip_time(tokens)` vs `recompute_time(tokens, prefill_rate)`.
+///
+/// Times are integer picoseconds end to end, so the comparison is exact and
+/// deterministic — a requirement for the tick engines' bit-identical
+/// differential property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvSwapCost {
+    /// Bytes one KV-cache token occupies across every block the replica
+    /// serves (`kv_bytes_per_token_per_block × layers` for a full-model
+    /// pipeline replica).
+    pub bytes_per_token: ByteSize,
+    /// One-way link latency per transfer (the CXL switch hop).
+    pub latency: Time,
+    /// Effective bulk bandwidth of the host link.
+    pub bandwidth: Bandwidth,
+}
+
+impl KvSwapCost {
+    /// Builds the comparator from a CXL fabric's host-link parameters
+    /// ([`FabricConfig::hop_latency`] / [`FabricConfig::host_bulk_bandwidth`]),
+    /// so `transfer_time(tokens)` equals
+    /// [`FabricConfig::host_transfer_time`] of the same payload.
+    pub fn from_host_link(bytes_per_token: ByteSize, fabric: &FabricConfig) -> Self {
+        KvSwapCost {
+            bytes_per_token,
+            latency: fabric.hop_latency(),
+            bandwidth: fabric.host_bulk_bandwidth(),
+        }
+    }
+
+    /// The paper's fabric (multicast switch, x16 host link) for a given
+    /// per-token KV footprint.
+    pub fn cent(bytes_per_token: ByteSize) -> Self {
+        // Host-link parameters do not depend on the device count.
+        Self::from_host_link(bytes_per_token, &FabricConfig::cent(1))
+    }
+
+    /// Bytes `tokens` KV tokens occupy on the wire.
+    pub fn bytes_for(&self, tokens: u64) -> ByteSize {
+        ByteSize::bytes(self.bytes_per_token.as_bytes() * tokens)
+    }
+
+    /// One-way transfer time of `tokens` KV tokens (swap-out *or* swap-in).
+    pub fn transfer_time(&self, tokens: u64) -> Time {
+        self.latency + self.bytes_for(tokens).transfer_time(self.bandwidth)
+    }
+
+    /// Round-trip swap cost: pages out to host memory and back again before
+    /// decode can resume (`2 × (latency + bytes/bandwidth)`).
+    pub fn round_trip_time(&self, tokens: u64) -> Time {
+        self.transfer_time(tokens).times(2)
+    }
+
+    /// Recompute cost: the victim's whole context (`tokens` = prompt +
+    /// generated so far) re-prefills at the replica's prefill rate.
+    pub fn recompute_time(&self, tokens: u64, prefill_tokens_per_s: f64) -> Time {
+        Time::from_secs_f64(tokens as f64 / prefill_tokens_per_s)
+    }
+
+    /// The cost-driven eviction decision: `true` when the swap round trip is
+    /// strictly cheaper than re-prefilling the same tokens.
+    pub fn swap_is_cheaper(&self, tokens: u64, prefill_tokens_per_s: f64) -> bool {
+        self.round_trip_time(tokens) < self.recompute_time(tokens, prefill_tokens_per_s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +334,34 @@ mod tests {
         let gpu = Tco::owned(hw.gpu_system(4), Power::watts(1_385.0));
         let gpu_hr = gpu.per_hour().amount();
         assert!((1.5..2.0).contains(&gpu_hr), "GPU ${gpu_hr}/h (Table 4: 1.76)");
+    }
+
+    #[test]
+    fn swap_cost_matches_host_link_helper() {
+        // Llama2-70B-class footprint: 4 KiB per token per block × 80 blocks.
+        let per_token = ByteSize::kib(320);
+        let fabric = FabricConfig::cent(32);
+        let cost = KvSwapCost::from_host_link(per_token, &fabric);
+        for tokens in [1u64, 600, 4096] {
+            assert_eq!(
+                cost.transfer_time(tokens),
+                fabric.host_transfer_time(cost.bytes_for(tokens)),
+                "{tokens} tokens"
+            );
+        }
+        assert_eq!(cost.round_trip_time(4096), cost.transfer_time(4096).times(2));
+    }
+
+    #[test]
+    fn comparator_flips_with_prefill_rate() {
+        // 4096 tokens × 320 KiB ≈ 1.25 GiB; round trip over ~58.9 GB/s
+        // effective ≈ 45.6 ms. At 1000 tok/s prefill the recompute costs
+        // 4.1 s → swap wins; at 1M tok/s it costs 4.1 ms → recompute wins.
+        let cost = KvSwapCost::cent(ByteSize::kib(320));
+        assert!(cost.swap_is_cheaper(4096, 1_000.0));
+        assert!(!cost.swap_is_cheaper(4096, 1_000_000.0));
+        // Tiny contexts are latency-dominated but still strictly ordered.
+        assert!(cost.round_trip_time(1) > Time::ZERO);
     }
 
     #[test]

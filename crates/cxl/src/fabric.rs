@@ -55,10 +55,32 @@ impl FabricConfig {
         FabricConfig { multicast_switch: false, ..Self::cent(devices) }
     }
 
-    fn hop_latency(&self) -> Time {
+    /// One-way port-to-port latency of a single switch traversal: port
+    /// (pack) + switch + port (unpack), switch scaled by the multicast
+    /// variant's derating.
+    pub fn hop_latency(&self) -> Time {
         let factor = if self.multicast_switch { cxl::MULTICAST_LATENCY_FACTOR } else { 1 };
-        // port (pack) + switch + port (unpack), switch scaled by variant.
         self.port_latency + self.switch_latency.times(factor) + self.port_latency
+    }
+
+    /// Effective bulk-payload bandwidth of the host x16 link: the raw rate,
+    /// derated for the multicast-capable switch and scaled by flit payload
+    /// efficiency. Bulk KV-page streams amortise per-flit headers, so
+    /// payload bytes move at `raw × derate × efficiency`.
+    pub fn host_bulk_bandwidth(&self) -> Bandwidth {
+        let derate = if self.multicast_switch { cxl::MULTICAST_BW_DERATE } else { 1.0 };
+        self.host_link_bw.scale(derate * self.flit_efficiency)
+    }
+
+    /// Uncontended one-way transfer time of `bytes` over the host x16 link:
+    /// one switch hop plus serialization at [`host_bulk_bandwidth`]. This is
+    /// the swap-tier cost helper (KV pages spilled to CXL host memory, §4.1
+    /// topology): a bulk stream, unlike the per-transaction [`CxlFabric`]
+    /// model, which additionally tracks contention and round-trip acks.
+    ///
+    /// [`host_bulk_bandwidth`]: FabricConfig::host_bulk_bandwidth
+    pub fn host_transfer_time(&self, bytes: ByteSize) -> Time {
+        self.hop_latency() + bytes.transfer_time(self.host_bulk_bandwidth())
     }
 }
 
@@ -422,6 +444,21 @@ mod tests {
         assert!(s.tx_busy > Time::ZERO);
         let r = f.stats(dev(1));
         assert!(r.rx_bytes >= 4096);
+    }
+
+    #[test]
+    fn host_transfer_time_is_hop_plus_serialization() {
+        let cfg = FabricConfig::cent(32);
+        // Zero bytes: pure hop latency (2×25 ns ports + 2×80 ns switch).
+        assert_eq!(cfg.host_transfer_time(ByteSize::ZERO), cfg.hop_latency());
+        assert_eq!(cfg.hop_latency(), Time::from_ns(210));
+        // 1 GiB at 128 GB/s × 0.5 multicast derate × 0.92 efficiency
+        // ≈ 58.88 GB/s → ~18.2 ms, latency negligible.
+        let t = cfg.host_transfer_time(ByteSize::gib(1));
+        assert!((17.0..20.0).contains(&t.as_ms()), "bulk transfer {t}");
+        // The baseline switch moves the same payload twice as fast.
+        let plain = FabricConfig::without_multicast(32);
+        assert!(plain.host_transfer_time(ByteSize::gib(1)).as_ms() < t.as_ms() / 1.9);
     }
 
     #[test]

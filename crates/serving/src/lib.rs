@@ -17,7 +17,15 @@
 //!   at admission; nothing is ever evicted) and *token-granular* (only the
 //!   prompt is reserved up front, the reservation grows one token per
 //!   generated token, admission is optimistic against a watermark, and pool
-//!   exhaustion preempts the youngest resident for vLLM-style recompute);
+//!   exhaustion evicts residents — lowest [`PriorityClass`] first, youngest
+//!   within the class);
+//! * a second KV tier ([`KvSpillMode`] / [`KvSpillConfig`]): an eviction
+//!   victim is either requeued for vLLM-style *recompute* or *swapped* — its
+//!   KV pages move to CXL host memory at a transfer time derived from the
+//!   host-link model ([`cent_cost::KvSwapCost`]) and page back in before
+//!   decode resumes, bounded by a host-pool capacity with per-replica
+//!   transfer serialization. `CostDriven` picks the cheaper disposition per
+//!   victim;
 //! * [`SchedulingPolicy`] — pluggable admission order: [`Fifo`],
 //!   [`ShortestRemainingDecode`], deadline/SLO-aware least-slack
 //!   ([`DeadlineAware`]);
@@ -70,10 +78,12 @@ mod sim;
 mod workload;
 
 pub use policy::{DeadlineAware, Fifo, PolicyContext, SchedulingPolicy, ShortestRemainingDecode};
-pub use queue::{QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec};
-pub use report::{LatencyStats, ServingReport};
+pub use queue::{
+    PriorityClass, QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec, SwapState,
+};
+pub use report::{ClassReport, LatencyStats, ServingReport};
 pub use scheduler::{
     Admission, ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, Preemption, SchedulerConfig,
 };
-pub use sim::{ServeOptions, ServingSystem, SimStats, TickEngine};
-pub use workload::{ArrivalProcess, LengthSampler, Workload};
+pub use sim::{KvSpillConfig, KvSpillMode, ServeOptions, ServingSystem, SimStats, TickEngine};
+pub use workload::{ArrivalProcess, ClassMix, LengthSampler, Workload};

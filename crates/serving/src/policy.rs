@@ -7,6 +7,12 @@
 //! saturation behaviour fair and deterministic). Policies are pure ranking
 //! functions over [`QueuedRequest`]s, so preemption and KV accounting stay
 //! in the scheduler while service order is swappable per run.
+//!
+//! A request's [`PriorityClass`](crate::PriorityClass) dominates the policy
+//! order: the scheduler keys admission on `(class, policy priority, arrival,
+//! id)`, so a policy reorders traffic *within* a class but background tiers
+//! never overtake interactive ones. Single-class workloads reduce to the
+//! pure policy order.
 
 use cent_types::Time;
 
@@ -122,7 +128,7 @@ impl SchedulingPolicy for DeadlineAware {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::{RequestId, RequestSpec};
+    use crate::queue::{PriorityClass, RequestId, RequestSpec};
 
     fn queued(id: u64, arrival_us: u64, decode: usize, progress: usize) -> QueuedRequest {
         let mut q = QueuedRequest::fresh(RequestSpec {
@@ -130,6 +136,7 @@ mod tests {
             arrival: Time::from_us(arrival_us),
             prompt: 16,
             decode,
+            class: PriorityClass::default(),
         });
         q.progress = progress;
         q

@@ -1,9 +1,10 @@
 //! Serving-level SLO metrics: latency distributions, throughput,
-//! utilization, preemption and goodput for one simulated run.
+//! utilization, eviction (recompute and swap-to-CXL) and goodput — global
+//! and per priority class — for one simulated run.
 
 use cent_types::{SortedSamples, Time, TimeHistogram};
 
-use crate::queue::RequestRecord;
+use crate::queue::{PriorityClass, RequestRecord};
 
 /// Summary statistics of one latency population.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,13 +82,53 @@ pub(crate) struct RunTotals {
     pub kv_utilization: f64,
     /// Largest queue depth observed.
     pub peak_queue_depth: usize,
-    /// Total preemption events.
+    /// Recompute-eviction events.
     pub preemptions: u64,
+    /// Swap-to-CXL eviction events.
+    pub swaps: u64,
+    /// Total eviction-to-resume stall across recompute victims.
+    pub recompute_stall: Time,
+    /// Total eviction-to-resume stall across swap victims.
+    pub swap_stall: Time,
+    /// Configured CXL host-pool capacity in KV tokens.
+    pub host_pool_tokens: u64,
+    /// Largest host-pool occupancy observed, in KV tokens.
+    pub host_kv_peak_tokens: u64,
+    /// Time-weighted mean host-pool occupancy as a fraction of capacity.
+    pub host_kv_utilization: f64,
     /// Per-gap time-between-tokens stream (one sample per generated token
     /// after a request's first, so long queries weigh proportionally).
     pub tbt: TimeHistogram,
+    /// Arrivals per priority class (sorted by class; rejections included).
+    pub submitted_by_class: Vec<(PriorityClass, usize)>,
+    /// Per-class TBT streams, aligned with `submitted_by_class`.
+    pub tbt_by_class: Vec<(PriorityClass, TimeHistogram)>,
     /// Latency SLO used for goodput accounting, if any.
     pub slo: Option<Time>,
+}
+
+/// Per-[`PriorityClass`] SLO metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class these rows describe.
+    pub class: PriorityClass,
+    /// Requests of this class that arrived within the horizon (rejections
+    /// included).
+    pub submitted: usize,
+    /// Requests of this class served to completion.
+    pub completed: usize,
+    /// Time-to-first-token distribution of the class.
+    pub ttft: LatencyStats,
+    /// End-to-end query latency distribution of the class.
+    pub query_latency: LatencyStats,
+    /// Time-between-tokens distribution of the class.
+    pub tbt: LatencyStats,
+    /// Completions of this class that met the SLO.
+    pub deadline_hits: usize,
+    /// SLO-meeting completions of this class per second, over the run's
+    /// global makespan (so class goodputs are comparable and sum to the
+    /// run's total goodput).
+    pub goodput_qps: f64,
 }
 
 /// The result of one request-level serving simulation.
@@ -133,9 +174,29 @@ pub struct ServingReport {
     pub kv_utilization: f64,
     /// Largest queue depth observed.
     pub peak_queue_depth: usize,
-    /// Preemption events (a request evicted mid-decode for KV reclamation
-    /// and later recomputed).
+    /// Recompute evictions (a request evicted mid-decode for KV
+    /// reclamation, its context later re-prefilled).
     pub preemptions: u64,
+    /// Swap evictions (a request's KV paged out to CXL host memory and
+    /// paged back before decode resumed).
+    pub swaps: u64,
+    /// Total eviction-to-resume stall time across recompute victims (from
+    /// eviction to the end of the resumed re-prefill, queue wait included).
+    pub recompute_stall: Time,
+    /// Total eviction-to-resume stall time across swap victims (from
+    /// eviction to the end of the page-in transfer, queue wait included).
+    pub swap_stall: Time,
+    /// Configured CXL host-pool capacity in KV tokens (zero when the swap
+    /// tier is disabled).
+    pub host_pool_tokens: u64,
+    /// Largest host-pool occupancy observed, in KV tokens.
+    pub host_kv_peak_tokens: u64,
+    /// Time-weighted mean host-pool occupancy as a fraction of capacity
+    /// (zero when the swap tier is disabled).
+    pub host_kv_utilization: f64,
+    /// Per-class SLO metrics, sorted by class (one entry per class that
+    /// submitted at least one request).
+    pub classes: Vec<ClassReport>,
     /// Latency SLO the run was judged against, if any.
     pub slo: Option<Time>,
     /// Completed requests whose end-to-end latency met the SLO (equals
@@ -168,6 +229,40 @@ impl ServingReport {
         };
         let goodput_qps =
             if makespan > Time::ZERO { deadline_hits as f64 / makespan.as_secs() } else { 0.0 };
+        let classes = totals
+            .submitted_by_class
+            .iter()
+            .map(|&(class, submitted)| {
+                let of_class: Vec<&RequestRecord> =
+                    records.iter().filter(|r| r.spec.class == class).collect();
+                let ttfts = SortedSamples::new(of_class.iter().map(|r| r.ttft()).collect());
+                let lats = SortedSamples::new(of_class.iter().map(|r| r.query_latency()).collect());
+                let hits = match totals.slo {
+                    Some(slo) => of_class.iter().filter(|r| r.query_latency() <= slo).count(),
+                    None => of_class.len(),
+                };
+                let tbt = totals
+                    .tbt_by_class
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .map(|(_, h)| LatencyStats::from_histogram(h))
+                    .unwrap_or_default();
+                ClassReport {
+                    class,
+                    submitted,
+                    completed: of_class.len(),
+                    ttft: LatencyStats::from_sorted(&ttfts),
+                    query_latency: LatencyStats::from_sorted(&lats),
+                    tbt,
+                    deadline_hits: hits,
+                    goodput_qps: if makespan > Time::ZERO {
+                        hits as f64 / makespan.as_secs()
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
         ServingReport {
             offered_qps: totals.offered_qps,
             submitted: totals.submitted,
@@ -187,10 +282,23 @@ impl ServingReport {
             kv_utilization: totals.kv_utilization,
             peak_queue_depth: totals.peak_queue_depth,
             preemptions: totals.preemptions,
+            swaps: totals.swaps,
+            recompute_stall: totals.recompute_stall,
+            swap_stall: totals.swap_stall,
+            host_pool_tokens: totals.host_pool_tokens,
+            host_kv_peak_tokens: totals.host_kv_peak_tokens,
+            host_kv_utilization: totals.host_kv_utilization,
+            classes,
             slo: totals.slo,
             deadline_hits,
             goodput_qps,
         }
+    }
+
+    /// Total eviction-to-resume stall time across both victim kinds — the
+    /// quantity the cost-driven spill mode minimises.
+    pub fn eviction_stall(&self) -> Time {
+        self.recompute_stall + self.swap_stall
     }
 
     /// Achieved throughput as a fraction of the steady-state oracle.
@@ -237,8 +345,31 @@ impl std::fmt::Display for ServingReport {
                 100.0 * self.slo_attainment(),
                 self.preemptions,
             )?;
-        } else if self.preemptions > 0 {
-            writeln!(f, "preemptions: {}", self.preemptions)?;
+        } else if self.preemptions > 0 || self.swaps > 0 {
+            writeln!(f, "preemptions: {} | swaps: {}", self.preemptions, self.swaps)?;
+        }
+        if self.swaps > 0 {
+            writeln!(
+                f,
+                "swap tier: {} swaps (stall {}) vs {} recomputes (stall {}) | host pool peak \
+                 {}/{} tokens ({:.0}% mean)",
+                self.swaps,
+                self.swap_stall,
+                self.preemptions,
+                self.recompute_stall,
+                self.host_kv_peak_tokens,
+                self.host_pool_tokens,
+                100.0 * self.host_kv_utilization,
+            )?;
+        }
+        if self.classes.len() > 1 {
+            for c in &self.classes {
+                writeln!(
+                    f,
+                    "class {}: {}/{} done | TTFT p99 {} | TBT mean {} | goodput {:.3} q/s",
+                    c.class, c.completed, c.submitted, c.ttft.p99, c.tbt.mean, c.goodput_qps,
+                )?;
+            }
         }
         writeln!(f, "TTFT:    {}", self.ttft)?;
         writeln!(f, "latency: {}", self.query_latency)?;
@@ -268,13 +399,14 @@ mod tests {
         assert_eq!(s.max, Time::from_us(1000));
     }
 
-    fn record(id: u64, arrival_us: u64, finished_us: u64) -> RequestRecord {
+    fn record(id: u64, arrival_us: u64, finished_us: u64, class: u8) -> RequestRecord {
         RequestRecord {
             spec: RequestSpec {
                 id: RequestId(id),
                 arrival: Time::from_us(arrival_us),
                 prompt: 8,
                 decode: 4,
+                class: PriorityClass(class),
             },
             admitted: Time::from_us(arrival_us),
             first_token: Time::from_us(arrival_us + 10),
@@ -284,10 +416,10 @@ mod tests {
         }
     }
 
-    fn totals(slo: Option<Time>) -> RunTotals {
+    fn totals(slo: Option<Time>, by_class: &[(u8, usize)]) -> RunTotals {
         RunTotals {
             offered_qps: 1.0,
-            submitted: 2,
+            submitted: by_class.iter().map(|&(_, n)| n).sum(),
             rejected: 0,
             steady_state_tokens_per_s: 100.0,
             slot_utilization: 0.5,
@@ -295,7 +427,15 @@ mod tests {
             kv_utilization: 0.25,
             peak_queue_depth: 1,
             preemptions: 0,
+            swaps: 0,
+            recompute_stall: Time::ZERO,
+            swap_stall: Time::ZERO,
+            host_pool_tokens: 0,
+            host_kv_peak_tokens: 0,
+            host_kv_utilization: 0.0,
             tbt: TimeHistogram::new(),
+            submitted_by_class: by_class.iter().map(|&(c, n)| (PriorityClass(c), n)).collect(),
+            tbt_by_class: Vec::new(),
             slo,
         }
     }
@@ -303,16 +443,41 @@ mod tests {
     #[test]
     fn goodput_counts_only_slo_hits() {
         // Request 0 finishes 50 us after arrival, request 1 takes 500 us.
-        let records = [record(0, 0, 50), record(1, 100, 600)];
+        let records = [record(0, 0, 50, 0), record(1, 100, 600, 0)];
         let slo = Some(Time::from_us(100));
-        let report = ServingReport::from_records(&records, totals(slo));
+        let report = ServingReport::from_records(&records, totals(slo, &[(0, 2)]));
         assert_eq!(report.deadline_hits, 1);
         assert!((report.slo_attainment() - 0.5).abs() < 1e-12);
         // Goodput = 1 hit over the 600 us makespan.
         assert!((report.goodput_qps - 1.0 / 600e-6).abs() < 1e-3);
         // Without an SLO every completion counts.
-        let report = ServingReport::from_records(&records, totals(None));
+        let report = ServingReport::from_records(&records, totals(None, &[(0, 2)]));
         assert_eq!(report.deadline_hits, 2);
         assert_eq!(report.slo_attainment(), 1.0);
+    }
+
+    #[test]
+    fn per_class_rows_partition_the_run() {
+        // Interactive request 0 meets the SLO; background 1 and 2 miss it.
+        let records = [record(0, 0, 50, 0), record(1, 100, 600, 1), record(2, 120, 700, 1)];
+        let slo = Some(Time::from_us(100));
+        let report = ServingReport::from_records(&records, totals(slo, &[(0, 1), (1, 2)]));
+        assert_eq!(report.classes.len(), 2);
+        let (hi, lo) = (&report.classes[0], &report.classes[1]);
+        assert_eq!(
+            (hi.class, hi.submitted, hi.completed, hi.deadline_hits),
+            (PriorityClass(0), 1, 1, 1)
+        );
+        assert_eq!(
+            (lo.class, lo.submitted, lo.completed, lo.deadline_hits),
+            (PriorityClass(1), 2, 2, 0)
+        );
+        // Class goodputs sum to the run's total.
+        let sum: f64 = report.classes.iter().map(|c| c.goodput_qps).sum();
+        assert!((sum - report.goodput_qps).abs() < 1e-9);
+        // Per-class TTFT populations are the class's own records.
+        assert_eq!(hi.ttft.max, Time::from_us(10));
+        assert_eq!(lo.query_latency.max, Time::from_us(580));
+        assert_eq!(report.eviction_stall(), Time::ZERO);
     }
 }

@@ -24,8 +24,16 @@
 //! Resident accounting lives in a dense lease table: [`Admission`] hands
 //! the event engine a [`LeaseId`], and the per-token hot path
 //! ([`grow`](ContinuousBatchScheduler::grow)) is an array index — no map
-//! lookup — while each replica keeps its residents in admission order so
-//! the youngest preemption victim is the last element.
+//! lookup — while each replica keeps its residents in admission order.
+//!
+//! Requests carry a [`PriorityClass`](crate::PriorityClass): admission
+//! serves lower class values first (the policy orders within a class), and
+//! eviction victims are picked lowest-priority-class-first, youngest within
+//! the class — with a single class this degenerates to the youngest
+//! resident, the pre-class behaviour. What happens to a victim (recompute
+//! vs swap to CXL host memory) is the event loop's decision
+//! ([`KvSpillMode`](crate::KvSpillMode)); the scheduler only selects and
+//! releases.
 
 use cent_compiler::{Strategy, SystemMapping};
 use cent_model::ModelConfig;
@@ -161,6 +169,8 @@ struct Lease {
     replica: usize,
     /// Tokens currently reserved for this request.
     kv_now: u64,
+    /// Priority class, for victim selection (larger = evicted first).
+    class: u8,
 }
 
 /// Policy-driven continuous-batching scheduler over replicated pipelines.
@@ -285,20 +295,21 @@ impl ContinuousBatchScheduler {
         l
     }
 
-    /// Admits waiting requests in the policy's priority order while the top
-    /// pick fits some replica (a free slot and enough KV headroom under the
-    /// admission limit; an idle replica always accepts a feasible request,
-    /// which guarantees preempted work is eventually recomputed).
-    /// Head-of-line blocking on the policy order is deliberate: it is what
-    /// makes saturation fair.
+    /// Admits waiting requests in `(priority class, policy priority)` order
+    /// while the top pick fits some replica (a free slot and enough KV
+    /// headroom under the admission limit; an idle replica always accepts a
+    /// feasible request, which guarantees evicted work eventually resumes).
+    /// The class dominates, so background traffic never overtakes
+    /// interactive traffic at admission; the policy orders within a class.
+    /// Head-of-line blocking on that order is deliberate: it is what makes
+    /// saturation fair.
     pub fn admit_ready(&mut self, ctx: &PolicyContext) -> Vec<Admission> {
         let mut admitted = Vec::new();
         loop {
             let policy = &self.policy;
-            let Some(idx) = self
-                .queue
-                .min_index_by_key(|q| (policy.priority(q, ctx), q.spec.arrival, q.spec.id))
-            else {
+            let Some(idx) = self.queue.min_index_by_key(|q| {
+                (q.spec.class, policy.priority(q, ctx), q.spec.arrival, q.spec.id)
+            }) else {
                 break;
             };
             let need = self.admission_kv(self.queue.get(idx));
@@ -316,7 +327,12 @@ impl ContinuousBatchScheduler {
                 .min_by_key(|(i, r)| (r.busy_slots, r.kv_reserved, *i));
             let Some((ridx, _)) = slot else { break };
             let req = self.queue.remove(idx);
-            let lease = self.alloc_lease(Lease { id: req.spec.id, replica: ridx, kv_now: need });
+            let lease = self.alloc_lease(Lease {
+                id: req.spec.id,
+                replica: ridx,
+                kv_now: need,
+                class: req.spec.class.0,
+            });
             let r = &mut self.replicas[ridx];
             r.busy_slots += 1;
             r.kv_reserved += need;
@@ -340,11 +356,12 @@ impl ContinuousBatchScheduler {
     ///
     /// In full-reservation mode this is a no-op (the token was paid for at
     /// admission). In token-granular mode, if the replica's pool is
-    /// exhausted the youngest residents are preempted — their accounting is
-    /// released here and returned as [`Preemption`]s so the event loop can
-    /// requeue them via [`requeue`](Self::requeue) — until the token fits.
-    /// If the growing request is itself the youngest, it is the victim: it
-    /// is in the returned list and the token must not be emitted.
+    /// exhausted residents are evicted — lowest priority class first,
+    /// youngest within the class — their accounting released here and
+    /// returned as [`Preemption`]s so the event loop can decide their fate
+    /// (recompute requeue or swap to the CXL host pool) — until the token
+    /// fits. If the growing request is itself the selected victim, it is in
+    /// the returned list and the token must not be emitted.
     ///
     /// # Panics
     ///
@@ -357,15 +374,24 @@ impl ContinuousBatchScheduler {
         let replica = self.leases[lease.index()].expect("growing a non-resident request").replica;
         let mut victims = Vec::new();
         while self.replicas[replica].kv_reserved + 1 > self.cfg.kv_budget.tokens {
-            // Youngest resident on this replica = last in admission order.
-            let victim =
-                *self.replicas[replica].residents.last().expect("exhausted replica has residents");
+            // Lowest-priority class first (largest class value), youngest
+            // within the class (largest admission-order index). With one
+            // class this is exactly the youngest resident.
+            let victim = *self.replicas[replica]
+                .residents
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, l)| {
+                    (self.leases[l.index()].expect("resident lease is live").class, *i)
+                })
+                .map(|(_, l)| l)
+                .expect("exhausted replica has residents");
             let released = self.release(victim);
             self.preemptions += 1;
             victims.push(Preemption { lease: victim, id: released.id });
             if victim == lease {
-                // The grower was the youngest: it preempted itself and must
-                // be recomputed; nothing grew.
+                // The grower was the selected victim: it evicted itself and
+                // must resume later; nothing grew.
                 return victims;
             }
         }
@@ -448,10 +474,21 @@ impl ContinuousBatchScheduler {
 mod tests {
     use super::*;
     use crate::policy::ShortestRemainingDecode;
+    use crate::queue::PriorityClass;
     use cent_compiler::Strategy;
 
     fn spec(id: u64, prompt: usize, decode: usize) -> RequestSpec {
-        RequestSpec { id: RequestId(id), arrival: Time::from_us(id), prompt, decode }
+        RequestSpec {
+            id: RequestId(id),
+            arrival: Time::from_us(id),
+            prompt,
+            decode,
+            class: PriorityClass::default(),
+        }
+    }
+
+    fn classed(id: u64, prompt: usize, decode: usize, class: u8) -> RequestSpec {
+        RequestSpec { class: PriorityClass(class), ..spec(id, prompt, decode) }
     }
 
     fn sched(replicas: usize, slots: usize, kv: u64) -> ContinuousBatchScheduler {
@@ -643,6 +680,51 @@ mod tests {
         q.preemptions = 1;
         s.requeue(q);
         assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn eviction_picks_lowest_class_before_youngest() {
+        // Three residents: an interactive elder, a *background* middle and
+        // an interactive youngest. Exhaustion must evict the background one
+        // even though it is not the youngest; the next eviction falls back
+        // to the youngest of the survivors.
+        let mut s = token_sched(1, 4, 30);
+        s.enqueue(classed(0, 10, 18, 0));
+        s.enqueue(classed(1, 10, 18, 1));
+        s.enqueue(classed(2, 10, 18, 0));
+        let adm = s.admit_ready(&ctx(0));
+        assert_eq!(adm.len(), 3);
+        assert_eq!(s.kv_reserved(0), 30);
+        let victims = s.grow(adm[0].lease);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].id, RequestId(1), "background resident evicted first");
+        // Fill the pool again and force another eviction: now the youngest
+        // interactive resident (request 2) goes.
+        for _ in 0..9 {
+            assert!(s.grow(adm[0].lease).is_empty());
+        }
+        let victims = s.grow(adm[0].lease);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].id, RequestId(2));
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn admission_serves_classes_before_policy_order() {
+        // A later-arriving interactive request overtakes an earlier
+        // background one; within a class FIFO order is preserved.
+        let mut s = sched(1, 1, u64::MAX);
+        s.enqueue(classed(0, 4, 4, 1));
+        s.enqueue(classed(1, 4, 4, 0));
+        s.enqueue(classed(2, 4, 4, 1));
+        let mut order = Vec::new();
+        for clock in 0..3 {
+            let adm = s.admit_ready(&ctx(clock));
+            assert_eq!(adm.len(), 1);
+            order.push(adm[0].req.spec.id.0);
+            s.complete(adm[0].lease);
+        }
+        assert_eq!(order, vec![1, 0, 2]);
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Workload generation: request arrival processes and length distributions.
+//! Workload generation: request arrival processes, length distributions and
+//! priority-class mixes.
 //!
 //! A [`Workload`] pairs an [`ArrivalProcess`] (when queries show up) with a
-//! [`LengthSampler`] (how long their prompts and generations are) and turns
-//! them into a concrete, reproducible trace of [`RequestSpec`]s for the
-//! serving simulator.
+//! [`LengthSampler`] (how long their prompts and generations are) and a
+//! [`ClassMix`] (which [`PriorityClass`] each request is tagged with) and
+//! turns them into a concrete, reproducible trace of [`RequestSpec`]s for
+//! the serving simulator. [`Workload::thin_trace`] derives lower-rate
+//! Poisson traces from one generated trace, so sweeps pay trace generation
+//! once per mix instead of once per operating point.
 
 use cent_types::{Rng64, Time};
 
-use crate::queue::{RequestId, RequestSpec};
+use crate::queue::{PriorityClass, RequestId, RequestSpec};
 
 /// When requests arrive at the serving frontend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,7 +151,54 @@ impl LengthSampler {
     }
 }
 
-/// A reproducible request workload: arrivals plus shapes.
+/// How requests are assigned [`PriorityClass`] tags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassMix {
+    /// Every request in one class. Consumes no randomness, so single-class
+    /// traces are bit-identical to the pre-class-aware generator's.
+    Single(PriorityClass),
+    /// Weighted random assignment: each request draws a class with
+    /// probability proportional to its weight.
+    Weighted(Vec<(PriorityClass, f64)>),
+}
+
+impl Default for ClassMix {
+    fn default() -> Self {
+        ClassMix::Single(PriorityClass::default())
+    }
+}
+
+impl ClassMix {
+    /// A conventional two-tier mix: `interactive_fraction` of traffic in
+    /// [`PriorityClass::INTERACTIVE`], the rest in [`PriorityClass::BATCH`].
+    pub fn two_tier(interactive_fraction: f64) -> Self {
+        ClassMix::Weighted(vec![
+            (PriorityClass::INTERACTIVE, interactive_fraction),
+            (PriorityClass::BATCH, 1.0 - interactive_fraction),
+        ])
+    }
+
+    /// Draws one class tag.
+    fn sample(&self, rng: &mut Rng64) -> PriorityClass {
+        match self {
+            ClassMix::Single(class) => *class,
+            ClassMix::Weighted(weights) => {
+                let total: f64 = weights.iter().map(|(_, w)| w.max(0.0)).sum();
+                assert!(total > 0.0, "class mix needs positive weight");
+                let mut draw = rng.next_f64() * total;
+                for &(class, w) in weights {
+                    draw -= w.max(0.0);
+                    if draw < 0.0 {
+                        return class;
+                    }
+                }
+                weights.last().expect("non-empty mix").0
+            }
+        }
+    }
+}
+
+/// A reproducible request workload: arrivals plus shapes plus class tags.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Arrival process.
@@ -156,6 +207,8 @@ pub struct Workload {
     pub lengths: LengthSampler,
     /// PRNG seed; identical seeds generate identical traces.
     pub seed: u64,
+    /// Priority-class assignment (default: everything in class 0).
+    pub classes: ClassMix,
 }
 
 impl Workload {
@@ -165,7 +218,14 @@ impl Workload {
             arrivals: ArrivalProcess::Poisson { rate_qps },
             lengths: LengthSampler::Chatbot,
             seed,
+            classes: ClassMix::default(),
         }
+    }
+
+    /// Replaces the class mix.
+    pub fn with_classes(mut self, classes: ClassMix) -> Self {
+        self.classes = classes;
+        self
     }
 
     /// Materialises the request trace over `[0, horizon)`.
@@ -179,9 +239,23 @@ impl Workload {
             .enumerate()
             .map(|(i, arrival)| {
                 let (prompt, decode) = self.lengths.sample(max_context, &mut rng);
-                RequestSpec { id: RequestId(i as u64), arrival, prompt, decode }
+                let class = self.classes.sample(&mut rng);
+                RequestSpec { id: RequestId(i as u64), arrival, prompt, decode, class }
             })
             .collect()
+    }
+
+    /// Deterministic Poisson thinning: keeps each request of `trace`
+    /// independently with probability `keep`. Thinning a rate-λ Poisson
+    /// trace yields an exact rate-`λ·keep` Poisson trace, so one max-rate
+    /// trace generated per sweep serves every lower operating point —
+    /// shapes, classes and relative arrival order are preserved, and
+    /// identical `(trace, keep, seed)` inputs always select the same
+    /// subset.
+    pub fn thin_trace(trace: &[RequestSpec], keep: f64, seed: u64) -> Vec<RequestSpec> {
+        assert!((0.0..=1.0).contains(&keep), "keep probability {keep} outside [0, 1]");
+        let mut rng = Rng64::seed(seed);
+        trace.iter().filter(|_| rng.next_f64() < keep).copied().collect()
     }
 }
 
@@ -220,6 +294,7 @@ mod tests {
             },
             lengths: LengthSampler::Chatbot,
             seed: 3,
+            classes: ClassMix::default(),
         };
         let reqs = w.generate(Time::from_secs_f64(200.0), 4096);
         let rate = reqs.len() as f64 / 200.0;
@@ -243,6 +318,7 @@ mod tests {
                 },
                 lengths: LengthSampler::Fixed { prompt: 4, decode: 4 },
                 seed,
+                classes: ClassMix::default(),
             };
             total += w.generate(Time::from_secs_f64(1.0), 4096).len();
         }
@@ -284,5 +360,56 @@ mod tests {
     fn chatbot_mix_matches_paper_shape() {
         let mut rng = Rng64::seed(0);
         assert_eq!(LengthSampler::Chatbot.sample(4096, &mut rng), (512, 3584));
+    }
+
+    #[test]
+    fn single_class_mix_leaves_traces_unchanged() {
+        // A single-class mix consumes no randomness, so the trace (ids,
+        // arrivals, shapes) is bit-identical regardless of which class it
+        // pins — only the tag differs.
+        let base = Workload::chatbot(20.0, 42);
+        let tagged = base.clone().with_classes(ClassMix::Single(PriorityClass::BATCH));
+        let a = base.generate(Time::from_secs_f64(10.0), 4096);
+        let b = tagged.generate(Time::from_secs_f64(10.0), 4096);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.id, x.arrival, x.prompt, x.decode),
+                (y.id, y.arrival, y.prompt, y.decode)
+            );
+            assert_eq!(x.class, PriorityClass::INTERACTIVE);
+            assert_eq!(y.class, PriorityClass::BATCH);
+        }
+    }
+
+    #[test]
+    fn weighted_mix_tracks_its_fractions() {
+        let w = Workload::chatbot(50.0, 7).with_classes(ClassMix::two_tier(0.25));
+        let trace = w.generate(Time::from_secs_f64(40.0), 4096);
+        let interactive =
+            trace.iter().filter(|s| s.class == PriorityClass::INTERACTIVE).count() as f64;
+        let fraction = interactive / trace.len() as f64;
+        assert!((fraction - 0.25).abs() < 0.07, "interactive fraction {fraction}");
+        // Reproducible tags.
+        let again = w.generate(Time::from_secs_f64(40.0), 4096);
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn thinning_preserves_subset_and_scales_rate() {
+        let w = Workload::chatbot(80.0, 9);
+        let trace = w.generate(Time::from_secs_f64(60.0), 4096);
+        let half = Workload::thin_trace(&trace, 0.5, 0xBEEF);
+        let rate = half.len() as f64 / trace.len() as f64;
+        assert!((rate - 0.5).abs() < 0.05, "kept fraction {rate}");
+        // Every survivor is an untouched member of the original, in order.
+        let mut cursor = trace.iter();
+        for kept in &half {
+            assert!(cursor.any(|orig| orig == kept), "{:?} not in order", kept.id);
+        }
+        // Determinism, and the degenerate endpoints.
+        assert_eq!(half, Workload::thin_trace(&trace, 0.5, 0xBEEF));
+        assert_eq!(Workload::thin_trace(&trace, 1.0, 1).len(), trace.len());
+        assert_eq!(Workload::thin_trace(&trace, 0.0, 1).len(), 0);
     }
 }

@@ -3,28 +3,34 @@
 //! The build environment has no external crates, so instead of `proptest`
 //! these run each property over seeded workloads drawn from the in-tree
 //! deterministic PRNG — same invariants, fixed seeds, reproducible
-//! failures. Four properties guard the KV and tick-engine refactors:
+//! failures. The properties guard the KV, tick-engine and swap-tier
+//! refactors:
 //!
 //! 1. the KV budget is never exceeded at any event (the scheduler asserts
 //!    it internally on every mutation; the runs here would panic);
-//! 2. every admitted request — including preempted-then-recomputed ones —
-//!    completes exactly once;
+//! 2. every admitted request — including evicted-then-resumed ones, whether
+//!    recomputed or swapped — completes exactly once;
 //! 3. full-reservation mode reproduces a closed-form reference
 //!    bit-for-bit on the same seed;
 //! 4. the phase-bucketed tick engine and the retained straight-line
 //!    per-token loop produce bit-identical reports across seeds × KV
-//!    modes × scheduling policies.
+//!    modes × scheduling policies × spill modes × class mixes;
+//! 5. the CXL host pool never exceeds its capacity, device+host accounting
+//!    conserves each resident's footprint, `RecomputeOnly` reproduces the
+//!    pre-swap reports bit-for-bit, and `CostDriven` dominates the worse
+//!    pure mode on the saturated chatbot mix.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use cent_cost::KvSwapCost;
 use cent_model::ModelConfig;
 use cent_serving::{
-    ArrivalProcess, DeadlineAware, KvBudget, KvMode, LatencyStats, LengthSampler, RequestRecord,
-    RequestSpec, SchedulerConfig, ServeOptions, ServingSystem, ShortestRemainingDecode, TickEngine,
-    Workload,
+    ArrivalProcess, ClassMix, DeadlineAware, KvBudget, KvMode, KvSpillConfig, KvSpillMode,
+    LatencyStats, LengthSampler, RequestRecord, RequestSpec, SchedulerConfig, ServeOptions,
+    ServingSystem, ShortestRemainingDecode, TickEngine, Workload,
 };
-use cent_types::{Time, TimeHistogram};
+use cent_types::{ByteSize, Time, TimeHistogram};
 
 /// Serving constants mirroring `ServingSystem::from_parts` inputs.
 #[derive(Clone, Copy)]
@@ -71,7 +77,15 @@ fn workload(seed: u64, rate: f64) -> Workload {
             decode_max: 90,
         },
         seed,
+        classes: ClassMix::default(),
     }
+}
+
+/// A fast-swap cost model: 4 KiB/token over the paper's host link, cheap
+/// against the test rigs' 2000 tok/s prefill so SwapOnly and CostDriven
+/// actually exercise the swap path.
+fn cheap_swap() -> KvSwapCost {
+    KvSwapCost::cent(ByteSize::kib(4))
 }
 
 /// The serving loop reimplemented in closed form: full reservation, FIFO
@@ -306,6 +320,176 @@ fn bucketed_engine_matches_per_token_reference_bit_for_bit() {
     }
     // The matrix must actually exercise the preemption machinery.
     assert!(preemptions_seen > 0, "expected KV pressure under the tight budgets");
+}
+
+/// The tentpole differential: across seeds × spill modes × class mixes
+/// (with preemption-tight budgets), the two engines stay bit-identical —
+/// including swap counters, stall totals, host-pool stats and the
+/// per-class breakdowns.
+#[test]
+fn engines_agree_bit_for_bit_across_spill_modes_and_classes() {
+    let mixes: [ClassMix; 2] = [ClassMix::default(), ClassMix::two_tier(0.5)];
+    let mut swaps_seen = 0u64;
+    let mut recomputes_seen = 0u64;
+    for seed in [1u64, 21, 0xCE27] {
+        for (budget, rate) in [(160u64, 30.0), (170, 40.0)] {
+            let c = Constants { budget, ..CONSTANTS };
+            let sys = system(c, KvMode::FullReservation);
+            for mix in &mixes {
+                let w = workload(seed, rate).with_classes(mix.clone());
+                let trace = w.generate(Time::from_secs_f64(6.0), 4096);
+                for mode in KvSpillMode::ALL {
+                    let spill =
+                        KvSpillConfig { mode, host_pool_tokens: 1500, swap_cost: cheap_swap() };
+                    let options = ServeOptions::token_granular().with_spill(spill);
+                    let bucketed = sys.serve_trace_with(
+                        &trace,
+                        rate,
+                        options.clone().with_engine(TickEngine::PhaseBucketed),
+                    );
+                    let reference = sys.serve_trace_with(
+                        &trace,
+                        rate,
+                        options.with_engine(TickEngine::PerTokenReference),
+                    );
+                    assert_eq!(
+                        bucketed, reference,
+                        "engines diverged: seed {seed}, budget {budget}, {mode:?}, {mix:?}"
+                    );
+                    assert_eq!(bucketed.completed, bucketed.submitted - bucketed.rejected);
+                    assert!(bucketed.host_kv_peak_tokens <= 1500, "host pool overcommitted");
+                    if mode == KvSpillMode::RecomputeOnly {
+                        assert_eq!(bucketed.swaps, 0);
+                    }
+                    swaps_seen += bucketed.swaps;
+                    recomputes_seen += bucketed.preemptions;
+                }
+            }
+        }
+    }
+    // The matrix must actually exercise both victim dispositions.
+    assert!(swaps_seen > 0, "expected the swap path under tight budgets");
+    assert!(recomputes_seen > 0, "expected the recompute path too");
+}
+
+/// Host-pool capacity is a hard bound, and the device+host split conserves
+/// each resident's footprint: when a run drains, the pool is empty, every
+/// swapped request completed exactly once, and a pool too small for any
+/// victim degrades to pure recompute.
+#[test]
+fn host_pool_bounded_and_swapped_requests_complete_exactly_once() {
+    for (seed, pool, rate) in [(3u64, 700u64, 30.0), (11, 150, 40.0), (5, 60, 45.0)] {
+        let sys = system(Constants { budget: 170, ..CONSTANTS }, KvMode::FullReservation);
+        let w = workload(seed, rate);
+        let trace = w.generate(Time::from_secs_f64(6.0), 4096);
+        let spill = KvSpillConfig::swap_only(pool, cheap_swap());
+        let report =
+            sys.serve_trace_with(&trace, rate, ServeOptions::token_granular().with_spill(spill));
+        // (1) pool bound held at every instant (the event loop asserts the
+        // running occupancy; the peak is reported here).
+        assert!(report.host_kv_peak_tokens <= pool, "seed {seed}: pool bound violated");
+        assert!(report.host_kv_utilization <= 1.0);
+        // (2) conservation: the run drained, so all swapped pages came back
+        // (the loop asserts host_used == 0 at drain) and every admitted
+        // request — swapped, recomputed or untouched — completed once.
+        assert_eq!(report.completed, report.submitted - report.rejected, "seed {seed}");
+        let expect_decode: u64 =
+            trace.iter().filter(|s| s.kv_tokens() <= 170).map(|s| s.decode as u64).sum();
+        assert_eq!(report.decode_tokens, expect_decode, "seed {seed}");
+        // (3) evictions split exactly between the two dispositions.
+        if pool >= 170 {
+            assert!(report.swaps > 0, "seed {seed}: roomy pool must swap");
+        }
+        if pool < 7 {
+            assert_eq!(report.swaps, 0, "seed {seed}: nothing fits a {pool}-token pool");
+        }
+    }
+}
+
+/// The new spill plumbing leaves the legacy path untouched: RecomputeOnly
+/// (the default) reproduces the pre-swap behaviour bit-for-bit, regardless
+/// of the (never-consulted) pool capacity and cost model, on both engines.
+#[test]
+fn recompute_only_reproduces_legacy_reports_bit_for_bit() {
+    let sys = system(Constants { budget: 170, ..CONSTANTS }, KvMode::FullReservation);
+    let w = workload(21, 40.0);
+    let trace = w.generate(Time::from_secs_f64(6.0), 4096);
+    for engine in [TickEngine::PhaseBucketed, TickEngine::PerTokenReference] {
+        let legacy =
+            sys.serve_trace_with(&trace, 40.0, ServeOptions::token_granular().with_engine(engine));
+        assert!(legacy.preemptions > 0, "operating point must churn");
+        assert_eq!(legacy.swaps, 0);
+        // Same mode with a huge pool and an extreme cost model: identical
+        // behaviour (config echo fields aside).
+        let spill = KvSpillConfig {
+            mode: KvSpillMode::RecomputeOnly,
+            host_pool_tokens: 0,
+            swap_cost: KvSwapCost::cent(ByteSize::gib(64)),
+        };
+        let explicit = sys.serve_trace_with(
+            &trace,
+            40.0,
+            ServeOptions::token_granular().with_spill(spill).with_engine(engine),
+        );
+        assert_eq!(legacy, explicit, "{engine:?}");
+    }
+}
+
+/// The acceptance criterion on the saturated chatbot mix: the cost-driven
+/// mode picks the cheaper disposition per victim, so it must dominate the
+/// *worse* of the two pure modes — at least its goodput, at most its
+/// eviction (preemption + swap) stall time.
+#[test]
+fn cost_driven_dominates_the_worse_pure_mode_on_chatbot() {
+    let c = Constants {
+        replicas: 1,
+        slots: 6,
+        budget: 2 * 4096 + 1024,
+        token_interval: Time(1_000_000_000),
+        prefill_rate: 50_000.0,
+        steady: 6000.0,
+    };
+    let sys = system(c, KvMode::FullReservation);
+    let slo = Time::from_secs_f64(2.0 * 3584.0 * 1e-3);
+    let w = Workload::chatbot(2.0, 0xCE27);
+    let trace = w.generate(Time::from_secs_f64(400.0), 4096);
+    let pool = 4 * 4096;
+    // Realistic footprint: Llama2-7B KV across all 32 blocks is 256 KiB per
+    // token; against a 50k tok/s prefill the comparator is genuinely
+    // contested (short contexts recompute, long ones swap).
+    let cost = KvSwapCost::cent(ByteSize::kib(256));
+    let run = |mode: KvSpillMode| {
+        let spill = KvSpillConfig { mode, host_pool_tokens: pool, swap_cost: cost };
+        sys.serve_trace_with(
+            &trace,
+            2.0,
+            ServeOptions::token_granular().with_spill(spill).with_slo(slo),
+        )
+    };
+    let recompute = run(KvSpillMode::RecomputeOnly);
+    let swap = run(KvSpillMode::SwapOnly);
+    let cost_driven = run(KvSpillMode::CostDriven);
+    assert!(
+        recompute.preemptions > 0 && swap.swaps > 0,
+        "operating point must evict under both pure modes \
+         ({} recomputes, {} swaps)",
+        recompute.preemptions,
+        swap.swaps
+    );
+    let worse_goodput = recompute.goodput_qps.min(swap.goodput_qps);
+    let worse_stall = recompute.eviction_stall().max(swap.eviction_stall());
+    assert!(
+        cost_driven.goodput_qps >= worse_goodput,
+        "cost-driven goodput {} < worse pure mode {}",
+        cost_driven.goodput_qps,
+        worse_goodput
+    );
+    assert!(
+        cost_driven.eviction_stall() <= worse_stall,
+        "cost-driven stall {} > worse pure mode {}",
+        cost_driven.eviction_stall(),
+        worse_stall
+    );
 }
 
 #[test]
