@@ -32,10 +32,13 @@
 //! * [`ServingSystem`] — the discrete-event loop, costed by the
 //!   steady-state block simulation (token cadence, prefill rate,
 //!   slot/replica structure), configured per run via [`ServeOptions`].
-//!   Two interchangeable event cores ([`TickEngine`]): the default
+//!   Three interchangeable event cores ([`TickEngine`]): the default
 //!   *phase-bucketed* engine advances every due resident of a replica in
 //!   one tick event (heap traffic scales with admissions, not generated
-//!   tokens) and the retained *per-token reference* loop, kept for
+//!   tokens); the *span-fast-forward* engine additionally jumps the clock
+//!   between external events in closed form, emitting whole deterministic
+//!   decode spans in one batch (heap traffic scales with external events
+//!   alone); and the retained *per-token reference* loop, kept for
 //!   differential testing and the `sim_perf` bench
 //!   ([`ServingSystem::serve_trace_instrumented`] exposes [`SimStats`]);
 //! * [`ServingReport`] — TTFT, per-token time-between-tokens and

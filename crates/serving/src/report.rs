@@ -62,6 +62,55 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
+/// Exact integral of a piecewise-constant (staircase) occupancy quantity
+/// over time, in integer `value · picosecond` units.
+///
+/// The event loops accumulate slot, device-KV and host-pool occupancy
+/// through this type. Because every operation is exact integer arithmetic,
+/// the final area is independent of how finely events subdivide time:
+/// advancing `value` over `[a, b)` in one step equals advancing it over
+/// any partition of `[a, b)` — which is what lets the span-fast-forward
+/// engine replace thousands of per-tick samples with one
+/// [`advance`](Self::advance) plus a closed-form
+/// [`add_area`](Self::add_area) correction and still match the per-tick
+/// engines bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StepIntegral {
+    area: u128,
+}
+
+impl StepIntegral {
+    /// Accumulates `value` held constant for `dt_ps` picoseconds.
+    pub(crate) fn advance(&mut self, value: u128, dt_ps: u64) {
+        self.area += value * u128::from(dt_ps);
+    }
+
+    /// Adds a pre-computed area (a closed-form span correction: the
+    /// integral of the staircase *delta* above the value that
+    /// [`advance`](Self::advance) already charged for the same window).
+    pub(crate) fn add_area(&mut self, area: u128) {
+        self.area += area;
+    }
+
+    /// The accumulated area in `value · ps` (tests only; the event loops
+    /// read the area through [`fraction_of`](Self::fraction_of)).
+    #[cfg(test)]
+    pub(crate) fn area(&self) -> u128 {
+        self.area
+    }
+
+    /// The area as a fraction of `capacity` held over `span_ps` (0.0 when
+    /// the denominator is empty).
+    pub(crate) fn fraction_of(&self, capacity: u128, span_ps: u64) -> f64 {
+        let total = capacity * u128::from(span_ps);
+        if total > 0 {
+            self.area as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Run-level counters gathered by the event loop, handed to
 /// [`ServingReport::from_records`] alongside the completed records.
 #[derive(Debug, Clone)]
@@ -382,6 +431,32 @@ impl std::fmt::Display for ServingReport {
 mod tests {
     use super::*;
     use crate::queue::{RequestId, RequestSpec};
+
+    #[test]
+    fn step_integral_is_partition_independent() {
+        // One advance over [0, 10) at value 7 equals any subdivision, and a
+        // staircase accumulated per segment equals the same staircase
+        // accumulated as base + closed-form delta area.
+        let mut whole = StepIntegral::default();
+        whole.advance(7, 10);
+        let mut split = StepIntegral::default();
+        split.advance(7, 3);
+        split.advance(7, 7);
+        assert_eq!(whole.area(), split.area());
+        // Staircase 5,6,7 over three unit segments...
+        let mut per_segment = StepIntegral::default();
+        per_segment.advance(5, 1);
+        per_segment.advance(6, 1);
+        per_segment.advance(7, 1);
+        // ...equals base value 5 over the window plus the delta area
+        // (0·1 + 1·1 + 2·1 = 3).
+        let mut spanned = StepIntegral::default();
+        spanned.advance(5, 3);
+        spanned.add_area(3);
+        assert_eq!(per_segment.area(), spanned.area());
+        assert!((spanned.fraction_of(9, 3) - 18.0 / 27.0).abs() < 1e-15);
+        assert_eq!(StepIntegral::default().fraction_of(0, 0), 0.0);
+    }
 
     #[test]
     fn stats_from_empty_are_zero() {

@@ -358,21 +358,26 @@ impl ContinuousBatchScheduler {
     /// admission). In token-granular mode, if the replica's pool is
     /// exhausted residents are evicted — lowest priority class first,
     /// youngest within the class — their accounting released here and
-    /// returned as [`Preemption`]s so the event loop can decide their fate
-    /// (recompute requeue or swap to the CXL host pool) — until the token
-    /// fits. If the growing request is itself the selected victim, it is in
-    /// the returned list and the token must not be emitted.
+    /// appended to `victims` as [`Preemption`]s so the event loop can
+    /// decide their fate (recompute requeue or swap to the CXL host pool)
+    /// — until the token fits. If the growing request is itself the
+    /// selected victim, it is in `victims` and the token must not be
+    /// emitted.
+    ///
+    /// `victims` is cleared first and is a caller-owned scratch buffer:
+    /// the event loops allocate it once per run and reuse it across every
+    /// growth call, so the per-token hot path never allocates.
     ///
     /// # Panics
     ///
     /// Panics if `lease` is not live.
-    pub fn grow(&mut self, lease: LeaseId) -> Vec<Preemption> {
+    pub fn grow(&mut self, lease: LeaseId, victims: &mut Vec<Preemption>) {
+        victims.clear();
         if matches!(self.cfg.kv, KvMode::FullReservation) {
             assert!(self.leases[lease.index()].is_some(), "growing a non-resident request");
-            return Vec::new();
+            return;
         }
         let replica = self.leases[lease.index()].expect("growing a non-resident request").replica;
-        let mut victims = Vec::new();
         while self.replicas[replica].kv_reserved + 1 > self.cfg.kv_budget.tokens {
             // Lowest-priority class first (largest class value), youngest
             // within the class (largest admission-order index). With one
@@ -392,7 +397,7 @@ impl ContinuousBatchScheduler {
             if victim == lease {
                 // The grower was the selected victim: it evicted itself and
                 // must resume later; nothing grew.
-                return victims;
+                return;
             }
         }
         let l = self.leases[lease.index()].as_mut().expect("grower survived");
@@ -402,7 +407,38 @@ impl ContinuousBatchScheduler {
         assert!(r.kv_reserved <= self.cfg.kv_budget.tokens, "growth overcommitted KV");
         self.peak_kv = self.peak_kv.max(r.kv_reserved);
         self.kv_total += 1;
-        victims
+    }
+
+    /// Extends a resident request's reservation by `n` generated tokens in
+    /// one batched update — the span-fast-forward equivalent of `n`
+    /// uneventful [`grow`](Self::grow) calls. The caller must have proven
+    /// headroom (via [`kv_headroom`](Self::kv_headroom) and its exhaustion
+    /// forecast): batched growth never preempts, and overcommitting the
+    /// budget panics. A no-op in full-reservation mode, like `grow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lease` is not live or the growth exceeds the budget.
+    pub fn grow_n(&mut self, lease: LeaseId, n: u64) {
+        if n == 0 || matches!(self.cfg.kv, KvMode::FullReservation) {
+            assert!(self.leases[lease.index()].is_some(), "growing a non-resident request");
+            return;
+        }
+        let l = self.leases[lease.index()].as_mut().expect("growing a non-resident request");
+        l.kv_now += n;
+        let r = &mut self.replicas[l.replica];
+        r.kv_reserved += n;
+        assert!(r.kv_reserved <= self.cfg.kv_budget.tokens, "batched growth overcommitted KV");
+        self.peak_kv = self.peak_kv.max(r.kv_reserved);
+        self.kv_total += n;
+    }
+
+    /// Tokens of growth `replica` can absorb before its next growth call
+    /// would preempt — the input to the span engine's exhaustion-time
+    /// forecast over the replica's resident list (residents grow one token
+    /// per step, so the forecast turns this headroom into an instant).
+    pub fn kv_headroom(&self, replica: usize) -> u64 {
+        self.cfg.kv_budget.tokens - self.replicas[replica].kv_reserved
     }
 
     /// Releases the slot and KV reservation of a finished request.
@@ -511,6 +547,14 @@ mod tests {
 
     fn ctx(us: u64) -> PolicyContext {
         PolicyContext { now: Time::from_us(us), token_interval: Time::from_us(1) }
+    }
+
+    /// Single-call growth with a throwaway scratch buffer (the event loops
+    /// reuse one buffer across calls; tests want the victims back).
+    fn grow(s: &mut ContinuousBatchScheduler, lease: LeaseId) -> Vec<Preemption> {
+        let mut victims = Vec::new();
+        s.grow(lease, &mut victims);
+        victims
     }
 
     #[test]
@@ -623,7 +667,7 @@ mod tests {
         assert_eq!(adm.len(), 1);
         assert_eq!(s.kv_reserved(0), 10, "only the prompt is reserved");
         for _ in 0..50 {
-            assert!(s.grow(adm[0].lease).is_empty());
+            assert!(grow(&mut s, adm[0].lease).is_empty());
         }
         assert_eq!(s.kv_reserved(0), 60);
         s.complete(adm[0].lease);
@@ -644,11 +688,11 @@ mod tests {
         assert_eq!(s.kv_reserved(0), 20);
         // Grow the elder to the budget.
         for _ in 0..10 {
-            assert!(s.grow(adm[0].lease).is_empty());
+            assert!(grow(&mut s, adm[0].lease).is_empty());
         }
         assert_eq!(s.kv_reserved(0), 30);
         // One more token must evict request 1 (the youngest).
-        let victims = s.grow(adm[0].lease);
+        let victims = grow(&mut s, adm[0].lease);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].id, RequestId(1));
         assert_eq!(victims[0].lease, adm[1].lease);
@@ -665,11 +709,11 @@ mod tests {
         let adm = s.admit_ready(&ctx(0));
         assert_eq!(adm.len(), 2);
         for _ in 0..5 {
-            assert!(s.grow(adm[0].lease).is_empty());
+            assert!(grow(&mut s, adm[0].lease).is_empty());
         }
         // Pool is full (25); the *younger* request asks for growth and must
         // sacrifice itself rather than evict its elder.
-        let victims = s.grow(adm[1].lease);
+        let victims = grow(&mut s, adm[1].lease);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].id, RequestId(1));
         assert_eq!(s.in_flight(), 1);
@@ -695,15 +739,15 @@ mod tests {
         let adm = s.admit_ready(&ctx(0));
         assert_eq!(adm.len(), 3);
         assert_eq!(s.kv_reserved(0), 30);
-        let victims = s.grow(adm[0].lease);
+        let victims = grow(&mut s, adm[0].lease);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].id, RequestId(1), "background resident evicted first");
         // Fill the pool again and force another eviction: now the youngest
         // interactive resident (request 2) goes.
         for _ in 0..9 {
-            assert!(s.grow(adm[0].lease).is_empty());
+            assert!(grow(&mut s, adm[0].lease).is_empty());
         }
-        let victims = s.grow(adm[0].lease);
+        let victims = grow(&mut s, adm[0].lease);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].id, RequestId(2));
         assert_eq!(s.in_flight(), 1);

@@ -18,24 +18,34 @@
 //! a query's first token emerges at the first step boundary after its
 //! prefill completes, and every later token one step apart.
 //!
-//! The grid alignment is what makes the default [`TickEngine`] fast:
-//! residents of a replica share tick phases
-//! (`next_token mod token_interval`), so one `Tick` heap entry per
-//! `(replica, phase)` bucket advances *every* due resident in admission
-//! order, and heap traffic scales with admissions instead of generated
-//! tokens (`O(admissions·log n)` vs `O(tokens·log n)` — roughly
-//! `slots_per_replica ×` fewer heap operations on the paper's PP
-//! mappings). With the zero-anchored step grid every first token lands on
-//! a multiple of the interval, so today each replica has exactly one
-//! phase (0) and one bucket; the buckets stay keyed by phase so
-//! off-grid cadences (e.g. chunked prefill interleaving, per-stage
-//! emission offsets) slot in without touching the event core. Resident state lives in a dense slab indexed by small
-//! handles, so the per-token hot path is an array walk, not a tree lookup.
-//! The pre-refactor one-heap-entry-per-token loop is retained as
-//! [`TickEngine::PerTokenReference`]; both engines produce bit-identical
-//! [`ServingReport`]s (enforced by differential tests), and
-//! [`ServingSystem::serve_trace_instrumented`] exposes [`SimStats`] so the
-//! `sim_perf` bench can chart the gap.
+//! The grid alignment is what makes the fast [`TickEngine`]s fast. The
+//! default *phase-bucketed* engine exploits it spatially: residents of a
+//! replica share tick phases (`next_token mod token_interval`), so one
+//! `Tick` heap entry per `(replica, phase)` bucket advances *every* due
+//! resident in admission order, and heap traffic scales with admissions
+//! instead of generated tokens (`O(admissions·log n)` vs
+//! `O(tokens·log n)` — roughly `slots_per_replica ×` fewer heap
+//! operations on the paper's PP mappings). With the zero-anchored step
+//! grid every first token lands on a multiple of the interval, so today
+//! each replica has exactly one phase (0) and one bucket; the buckets
+//! stay keyed by phase so off-grid cadences (e.g. chunked prefill
+//! interleaving, per-stage emission offsets) slot in without touching the
+//! event core. Resident state lives in a dense slab indexed by small
+//! handles, so the per-token hot path is an array walk, not a tree
+//! lookup.
+//!
+//! The *span-fast-forward* engine ([`TickEngine::SpanFastForward`])
+//! exploits the grid temporally as well: between external events
+//! (arrivals, completions, pool exhaustion) decode on the fixed cadence
+//! is fully deterministic, so each replica's next decision instant is
+//! solved in closed form and all intervening tokens are emitted as
+//! batched spans — heap traffic drops to `O(external events)`, i.e.
+//! `O(arrivals + completions + preemptions)`, independent of how many
+//! ticks the spans cover. The pre-refactor one-heap-entry-per-token loop
+//! is retained as [`TickEngine::PerTokenReference`]; all three engines
+//! produce bit-identical [`ServingReport`]s (enforced by differential
+//! tests), and [`ServingSystem::serve_trace_instrumented`] exposes
+//! [`SimStats`] so the `sim_perf` bench can chart the gaps.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -50,15 +60,18 @@ use crate::policy::{Fifo, PolicyContext, SchedulingPolicy};
 use crate::queue::{
     PriorityClass, QueuedRequest, RequestId, RequestRecord, RequestSpec, SwapState,
 };
-use crate::report::{RunTotals, ServingReport};
-use crate::scheduler::{ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, SchedulerConfig};
+use crate::report::{RunTotals, ServingReport, StepIntegral};
+use crate::scheduler::{
+    ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, Preemption, SchedulerConfig,
+};
 use crate::workload::Workload;
 
 /// Which event core advances resident queries through decode.
 ///
-/// Both engines implement the same serving semantics and produce
+/// All engines implement the same serving semantics and produce
 /// bit-identical [`ServingReport`]s for identical traces and options; they
-/// differ only in how much heap traffic the simulation itself pays.
+/// differ only in how much work the simulation itself pays per simulated
+/// token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TickEngine {
     /// Phase-bucketed replica ticks: one heap entry per `(replica, phase)`
@@ -70,6 +83,13 @@ pub enum TickEngine {
     /// token, residents in an id-keyed map. Retained as the differential
     /// reference and the `sim_perf` baseline.
     PerTokenReference,
+    /// Span fast-forward: between external events the decode cadence is
+    /// fully deterministic, so each replica's next *decision instant*
+    /// (earliest completion, KV-exhaustion forecast) is solved in closed
+    /// form and every intervening token is emitted as one batched span —
+    /// heap traffic scales with external events (arrivals, completions,
+    /// preemptions), not tick phases.
+    SpanFastForward,
 }
 
 impl TickEngine {
@@ -78,8 +98,13 @@ impl TickEngine {
         match self {
             TickEngine::PhaseBucketed => "bucketed",
             TickEngine::PerTokenReference => "reference",
+            TickEngine::SpanFastForward => "span",
         }
     }
+
+    /// All three engines, for differential tests and bench sweeps.
+    pub const ALL: [TickEngine; 3] =
+        [TickEngine::PerTokenReference, TickEngine::PhaseBucketed, TickEngine::SpanFastForward];
 }
 
 /// What happens to a KV-pressure eviction victim.
@@ -241,8 +266,9 @@ pub struct SimStats {
     pub heap_pushes: u64,
     /// Heap entries popped, stale entries included.
     pub heap_pops: u64,
-    /// Tick events that fired a `(replica, phase)` bucket (zero on the
-    /// per-token reference engine).
+    /// Tick events that fired a `(replica, phase)` bucket (bucketed
+    /// engine) or a solved per-replica decision instant (span engine);
+    /// zero on the per-token reference engine.
     pub tick_events: u64,
     /// Generated (decode) tokens driven through the event core.
     pub tokens: u64,
@@ -446,6 +472,7 @@ impl ServingSystem {
         match options.engine {
             TickEngine::PhaseBucketed => self.run_bucketed(trace, offered_qps, options),
             TickEngine::PerTokenReference => self.run_reference(trace, offered_qps, options),
+            TickEngine::SpanFastForward => self.run_span(trace, offered_qps, options),
         }
     }
 
@@ -466,6 +493,10 @@ impl ServingSystem {
         // Lease handle → slab handle, so preemption victims reported by the
         // scheduler resolve to residents without a map lookup.
         let mut lease_handle: Vec<u32> = Vec::new();
+        // Steady-state scratch buffers, allocated once per run: the due
+        // snapshot of each tick and the victims of each growth call.
+        let mut due: Vec<u32> = Vec::new();
+        let mut victims: Vec<Preemption> = Vec::new();
 
         while let Some(t) = heap.next_instant() {
             core.accumulate_to(t);
@@ -474,7 +505,7 @@ impl ServingSystem {
                 match event {
                     Event::Arrive(spec) => core.arrive(spec),
                     Event::Tick { replica, phase } => {
-                        let due: Vec<u32> = {
+                        {
                             let bucket = buckets[replica as usize]
                                 .get_mut(&phase)
                                 .expect("tick targets a known bucket");
@@ -487,14 +518,16 @@ impl ServingSystem {
                             core.tick_events += 1;
                             // Snapshot the due members (admission order);
                             // preemption may mutate the bucket mid-walk.
-                            bucket
-                                .members
-                                .iter()
-                                .copied()
-                                .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t))
-                                .collect()
-                        };
-                        for h in due {
+                            due.clear();
+                            due.extend(
+                                bucket
+                                    .members
+                                    .iter()
+                                    .copied()
+                                    .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t)),
+                            );
+                        }
+                        for &h in &due {
                             // An earlier grower this tick may have evicted
                             // this resident; its slot is then empty (no new
                             // residents are slabbed until the drain ends).
@@ -506,7 +539,8 @@ impl ServingSystem {
                             // Grow the KV reservation for this token; pool
                             // exhaustion preempts the youngest residents.
                             let mut self_preempted = false;
-                            for p in core.scheduler.grow(lease) {
+                            core.scheduler.grow(lease, &mut victims);
+                            for &p in &victims {
                                 let vh = lease_handle[p.lease.index()];
                                 let v = slab.remove(vh);
                                 debug_assert_eq!(v.q.spec.id, p.id, "slab and leases agree");
@@ -546,8 +580,8 @@ impl ServingSystem {
                             heap.push(next, Event::Tick { replica, phase });
                         }
                     }
-                    Event::Token { .. } => {
-                        unreachable!("bucketed engine schedules no per-token events")
+                    Event::Token { .. } | Event::Wake { .. } => {
+                        unreachable!("bucketed engine schedules only replica ticks")
                     }
                 }
             }
@@ -595,6 +629,8 @@ impl ServingSystem {
         let mut core = Core::new(self, options);
         let mut heap = EventHeap::with_arrivals(trace);
         let mut residents: BTreeMap<RequestId, RefResident> = BTreeMap::new();
+        // Growth-victim scratch buffer, allocated once per run.
+        let mut victims: Vec<Preemption> = Vec::new();
         // Token events order by admission epoch within an instant (offset
         // past the arrival sequence range), so simultaneous tokens resolve
         // in admission order — the same total order the bucketed engine's
@@ -615,7 +651,8 @@ impl ServingSystem {
                         }
                         let lease = residents.get(&id).expect("checked resident").lease;
                         let mut self_preempted = false;
-                        for p in core.scheduler.grow(lease) {
+                        core.scheduler.grow(lease, &mut victims);
+                        for &p in &victims {
                             let v = residents.remove(&p.id).expect("victim is resident");
                             if p.id == id {
                                 self_preempted = true;
@@ -638,8 +675,8 @@ impl ServingSystem {
                             );
                         }
                     }
-                    Event::Tick { .. } => {
-                        unreachable!("reference engine schedules no replica ticks")
+                    Event::Tick { .. } | Event::Wake { .. } => {
+                        unreachable!("reference engine schedules only per-token events")
                     }
                 }
             }
@@ -660,6 +697,158 @@ impl ServingSystem {
             }
         }
         debug_assert!(residents.is_empty(), "drained loop left residents behind");
+        core.into_report(trace.len(), offered_qps, &heap)
+    }
+
+    /// The span-fast-forward engine: between external events the decode
+    /// cadence is fully deterministic, so each replica's next *decision
+    /// instant* — the earlier of its earliest resident completion on the
+    /// step grid and (under token-granular accounting) the first tick whose
+    /// growth would exhaust the KV pool, as forecast from deterministic
+    /// one-token-per-step occupancy growth — is solved in closed form
+    /// ([`next_decision`]) and carried as one `Wake` heap entry per
+    /// replica. At every event instant, every replica batch-emits all its
+    /// intervening tokens in one span per resident
+    /// ([`Core::fast_forward_replica`]): per-resident token counts, TBT
+    /// mass via `TimeHistogram::record_n`, and the occupancy integral as a
+    /// closed-form arithmetic-series area — folded across replicas into
+    /// *one* [`StepIntegral::add_area`] per event. Heap traffic is
+    /// `O(arrivals + decision instants)` instead of `O(tick phases)`; the
+    /// decision tick itself walks due residents exactly like the bucketed
+    /// engine, so completions, exhaustion preemptions and spill
+    /// dispositions stay bit-identical.
+    fn run_span(
+        &self,
+        trace: &[RequestSpec],
+        offered_qps: f64,
+        options: ServeOptions,
+    ) -> (ServingReport, SimStats) {
+        let interval = self.token_interval;
+        let mut core = Core::new(self, options);
+        let mut heap = EventHeap::with_arrivals(trace);
+        let mut slab = Slab::default();
+        let replicas = self.scheduler_cfg.replicas;
+        let mut spans: Vec<ReplicaSpan> = vec![ReplicaSpan::default(); replicas];
+        // Lease handle → slab handle, so preemption victims reported by the
+        // scheduler resolve to residents without a map lookup.
+        let mut lease_handle: Vec<u32> = Vec::new();
+        // Steady-state scratch buffers, allocated once per run.
+        let mut due: Vec<u32> = Vec::new();
+        let mut victims: Vec<Preemption> = Vec::new();
+        let mut dirty: Vec<bool> = vec![false; replicas];
+
+        while let Some(t) = heap.next_instant() {
+            core.accumulate_to(t);
+            // Fast-forward every replica's deterministic emissions up to
+            // `t` — inclusive unless the replica's own decision fires at
+            // `t` (then the wake's tick walk handles the at-`t` tokens, so
+            // growth can preempt and final tokens can complete). The
+            // per-replica staircase areas fold into ONE integral update.
+            let mut span_area: u128 = 0;
+            for span in &spans {
+                let inclusive = span.scheduled != Some(t);
+                span_area += core.fast_forward_replica(&mut slab, &span.members, t, inclusive);
+            }
+            core.kv_integral.add_area(span_area);
+            // Drain every event at this instant, then admit once.
+            while let Some(event) = heap.pop_at(t) {
+                match event {
+                    Event::Arrive(spec) => core.arrive(spec),
+                    Event::Wake { replica } => {
+                        let replica = replica as usize;
+                        if spans[replica].scheduled != Some(t) {
+                            // Superseded by a re-solved decision: drop it.
+                            continue;
+                        }
+                        spans[replica].scheduled = None;
+                        dirty[replica] = true;
+                        core.tick_events += 1;
+                        // The decision tick: walk due residents in
+                        // admission order, exactly like a bucketed tick.
+                        due.clear();
+                        due.extend(
+                            spans[replica]
+                                .members
+                                .iter()
+                                .copied()
+                                .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t)),
+                        );
+                        for &h in &due {
+                            let Some(r) = slab.get(h) else { continue };
+                            if r.next_at != t {
+                                continue;
+                            }
+                            let lease = r.lease;
+                            let mut self_preempted = false;
+                            core.scheduler.grow(lease, &mut victims);
+                            for &p in &victims {
+                                let vh = lease_handle[p.lease.index()];
+                                let v = slab.remove(vh);
+                                debug_assert_eq!(v.q.spec.id, p.id, "slab and leases agree");
+                                remove_span_member(&mut spans[v.replica].members, vh);
+                                if p.lease == lease {
+                                    self_preempted = true;
+                                }
+                                core.preempt(v.q, v.replica);
+                            }
+                            if self_preempted {
+                                continue;
+                            }
+                            let r = slab.get_mut(h).expect("survived growth");
+                            if core.emit_token(&mut r.q, t) {
+                                core.scheduler.complete(lease);
+                                let r = slab.remove(h);
+                                remove_span_member(&mut spans[r.replica].members, h);
+                                core.finish(r.q, r.replica, t);
+                            } else {
+                                r.next_at = t + interval;
+                            }
+                        }
+                    }
+                    Event::Token { .. } | Event::Tick { .. } => {
+                        unreachable!("span engine schedules only replica wakes")
+                    }
+                }
+            }
+            if core.admission_dirty {
+                core.admission_dirty = false;
+                for p in core.admit(t) {
+                    let phase = p.first_token.as_ps() % interval.as_ps();
+                    let h = slab.insert(Resident {
+                        q: p.q,
+                        replica: p.replica,
+                        lease: p.lease,
+                        next_at: p.first_token,
+                        phase,
+                    });
+                    if lease_handle.len() <= p.lease.index() {
+                        lease_handle.resize(p.lease.index() + 1, u32::MAX);
+                    }
+                    lease_handle[p.lease.index()] = h;
+                    spans[p.replica].members.push(h);
+                    dirty[p.replica] = true;
+                }
+            }
+            // Re-solve the decision instant of every replica whose resident
+            // set or reservation headroom changed at this instant.
+            for (replica, changed) in dirty.iter_mut().enumerate() {
+                if !*changed {
+                    continue;
+                }
+                *changed = false;
+                let next = next_decision(&core, &slab, &spans[replica].members, interval, replica);
+                match next {
+                    Some(at) if spans[replica].scheduled != Some(at) => {
+                        debug_assert!(at > t, "decision must advance");
+                        spans[replica].scheduled = Some(at);
+                        heap.push(at, Event::Wake { replica: replica as u32 });
+                    }
+                    Some(_) => {}
+                    None => spans[replica].scheduled = None,
+                }
+            }
+        }
+        debug_assert!(slab.is_empty(), "drained loop left residents behind");
         core.into_report(trace.len(), offered_qps, &heap)
     }
 }
@@ -690,11 +879,13 @@ struct Core<'a> {
     host_pending: BinaryHeap<Reverse<(Time, u64)>>,
     /// Largest host-pool occupancy observed.
     host_peak: u64,
-    /// Occupancy integrals in exact integer units (slot·ps / token·ps),
-    /// so the result is independent of how finely events subdivide time.
-    busy_slot_ps: u128,
-    kv_reserved_ps: u128,
-    host_used_ps: u128,
+    /// Occupancy integrals in exact integer units (slot·ps / token·ps), so
+    /// the result is independent of how finely events subdivide time —
+    /// which is what lets the span engine accumulate whole windows at once
+    /// and add closed-form staircase corrections ([`StepIntegral`]).
+    busy_integral: StepIntegral,
+    kv_integral: StepIntegral,
+    host_integral: StepIntegral,
     tbt: TimeHistogram,
     /// Per-class TBT streams and arrival counts (keys are the classes seen).
     tbt_by_class: BTreeMap<PriorityClass, TimeHistogram>,
@@ -712,6 +903,10 @@ struct Core<'a> {
     /// preemption; skipping it on pure token-progress instants keeps the
     /// loop linear in generated tokens.
     admission_dirty: bool,
+    /// Whether the run grows reservations token by token — the span
+    /// engine's exhaustion forecast and integral corrections apply only
+    /// under token-granular accounting.
+    granular_kv: bool,
     slo: Option<Time>,
     tokens: u64,
     tick_events: u64,
@@ -740,9 +935,9 @@ impl<'a> Core<'a> {
             host_used: 0,
             host_pending: BinaryHeap::new(),
             host_peak: 0,
-            busy_slot_ps: 0,
-            kv_reserved_ps: 0,
-            host_used_ps: 0,
+            busy_integral: StepIntegral::default(),
+            kv_integral: StepIntegral::default(),
+            host_integral: StepIntegral::default(),
             tbt: TimeHistogram::new(),
             tbt_by_class: BTreeMap::new(),
             submitted_by_class: BTreeMap::new(),
@@ -753,6 +948,7 @@ impl<'a> Core<'a> {
             last_t: Time::ZERO,
             epoch: 0,
             admission_dirty: false,
+            granular_kv: matches!(options.kv, KvMode::TokenGranular { .. }),
             slo: options.slo,
             tokens: 0,
             tick_events: 0,
@@ -766,24 +962,23 @@ impl<'a> Core<'a> {
     /// instants *between* events (a page-in starting to drain the pool), so
     /// its integral is piecewise over the due releases.
     fn accumulate_to(&mut self, t: Time) {
-        let dt = u128::from(t.saturating_sub(self.last_t).as_ps());
-        self.busy_slot_ps += self.scheduler.in_flight() as u128 * dt;
-        self.kv_reserved_ps += u128::from(self.scheduler.total_kv_reserved()) * dt;
+        let dt = t.saturating_sub(self.last_t).as_ps();
+        self.busy_integral.advance(self.scheduler.in_flight() as u128, dt);
+        self.kv_integral.advance(u128::from(self.scheduler.total_kv_reserved()), dt);
         let mut cursor = self.last_t;
         while let Some(&Reverse((at, tokens))) = self.host_pending.peek() {
             if at > t {
                 break;
             }
             let at = at.max(cursor);
-            self.host_used_ps +=
-                u128::from(self.host_used) * u128::from(at.saturating_sub(cursor).as_ps());
+            self.host_integral
+                .advance(u128::from(self.host_used), at.saturating_sub(cursor).as_ps());
             cursor = at;
             self.host_used =
                 self.host_used.checked_sub(tokens).expect("host pool released more than it held");
             self.host_pending.pop();
         }
-        self.host_used_ps +=
-            u128::from(self.host_used) * u128::from(t.saturating_sub(cursor).as_ps());
+        self.host_integral.advance(u128::from(self.host_used), t.saturating_sub(cursor).as_ps());
         self.last_t = t;
     }
 
@@ -851,6 +1046,68 @@ impl<'a> Core<'a> {
             });
         }
         placed
+    }
+
+    /// Applies a batch of `count` grid-spaced tokens to `q`, the first at
+    /// `first` — the span-fast-forward equivalent of `count` uneventful
+    /// [`emit_token`](Self::emit_token) calls. The span must end strictly
+    /// before the request's final token (the caller's decision solver
+    /// guarantees it), so completion never needs checking here. The
+    /// time-between-tokens mass lands in one `record` (the resume gap, if
+    /// any) plus one `record_n` (the `count - 1` on-cadence gaps).
+    fn emit_span(&mut self, q: &mut QueuedRequest, first: Time, count: u64) {
+        self.tokens += count;
+        let interval = self.sys.token_interval;
+        let class = self.tbt_by_class.entry(q.spec.class).or_default();
+        if let Some(gap) = q.apply_token_span(first, interval, count) {
+            self.tbt.record(gap);
+            class.record(gap);
+        }
+        self.tbt.record_n(interval, count - 1);
+        class.record_n(interval, count - 1);
+    }
+
+    /// Fast-forwards one replica's residents (`members`, in admission
+    /// order) to instant `t`: every token due strictly before `t` — and,
+    /// when `inclusive` (the replica has no decision of its own scheduled
+    /// at `t`), exactly at `t` — is emitted as one batched span per
+    /// resident, with the scheduler's reservation grown in one call. The
+    /// caller's decision solver guarantees the window holds no completion
+    /// and no exhaustion, so every span is uneventful by construction.
+    ///
+    /// Returns the closed-form KV-integral correction area in token·ps:
+    /// the integral of the replica's reservation-growth staircase *above*
+    /// the base value that [`accumulate_to`](Self::accumulate_to) already
+    /// charged for the window ending at `t` (each of a resident's `count`
+    /// span tokens at instant `e` holds one extra token over `[e, t)`, so
+    /// its area is `Σ (t − e)` — an arithmetic series).
+    fn fast_forward_replica(
+        &mut self,
+        slab: &mut Slab,
+        members: &[u32],
+        t: Time,
+        inclusive: bool,
+    ) -> u128 {
+        let interval = self.sys.token_interval;
+        let step = interval.as_ps();
+        let mut area: u128 = 0;
+        for &h in members {
+            let r = slab.get_mut(h).expect("members are live");
+            if r.next_at > t || (!inclusive && r.next_at == t) {
+                continue;
+            }
+            let d = t.as_ps() - r.next_at.as_ps();
+            let count = if inclusive { d / step + 1 } else { d.div_ceil(step) };
+            self.scheduler.grow_n(r.lease, count);
+            if self.granular_kv {
+                area += u128::from(count) * u128::from(d)
+                    - u128::from(step) * (u128::from(count) * u128::from(count - 1) / 2);
+            }
+            let first = r.next_at;
+            r.next_at = first + interval.times(count);
+            self.emit_span(&mut r.q, first, count);
+        }
+        area
     }
 
     /// Applies one generated token to `q` at instant `t`; returns `true`
@@ -928,23 +1185,19 @@ impl<'a> Core<'a> {
         heap: &EventHeap,
     ) -> (ServingReport, SimStats) {
         let sys = self.sys;
-        let total_slot_ps = sys.total_slots() as u128 * u128::from(self.last_t.as_ps());
-        let slot_utilization =
-            if total_slot_ps > 0 { self.busy_slot_ps as f64 / total_slot_ps as f64 } else { 0.0 };
-        let total_kv_ps = u128::from(self.scheduler.kv_budget_tokens())
-            * sys.scheduler_cfg.replicas as u128
-            * u128::from(self.last_t.as_ps());
-        let kv_utilization =
-            if total_kv_ps > 0 { self.kv_reserved_ps as f64 / total_kv_ps as f64 } else { 0.0 };
+        let span_ps = self.last_t.as_ps();
+        let slot_utilization = self.busy_integral.fraction_of(sys.total_slots() as u128, span_ps);
+        let kv_utilization = self.kv_integral.fraction_of(
+            u128::from(self.scheduler.kv_budget_tokens()) * sys.scheduler_cfg.replicas as u128,
+            span_ps,
+        );
         let peak_kv_fraction = if self.scheduler.kv_budget_tokens() > 0 {
             self.scheduler.peak_kv_reserved() as f64 / self.scheduler.kv_budget_tokens() as f64
         } else {
             0.0
         };
-        let host_total_ps =
-            u128::from(self.spill.host_pool_tokens) * u128::from(self.last_t.as_ps());
         let host_kv_utilization =
-            if host_total_ps > 0 { self.host_used_ps as f64 / host_total_ps as f64 } else { 0.0 };
+            self.host_integral.fraction_of(u128::from(self.spill.host_pool_tokens), span_ps);
         // Releases scheduled past the final event (a page-in whose drain
         // starts after the last token) fire here; their tail occupancy is
         // not charged to the utilization integral, which ends at `last_t`.
@@ -1079,6 +1332,99 @@ fn remove_member(buckets: &mut BTreeMap<u64, Bucket>, phase: u64, h: u32) {
     bucket.members.remove(pos);
 }
 
+/// Per-replica state of the span engine: resident handles in admission
+/// order plus the fire instant of the replica's live `Wake` heap entry.
+#[derive(Debug, Clone, Default)]
+struct ReplicaSpan {
+    /// Resident handles in admission order (the order simultaneous token
+    /// events resolve in — identical to the bucketed engine's bucket walk).
+    members: Vec<u32>,
+    /// Fire instant of this replica's live `Wake` entry, if any. A popped
+    /// wake whose instant does not match was superseded by a re-solved
+    /// decision and is dropped, so stale entries retire without heap
+    /// surgery (the same lazy-invalidation scheme as [`Bucket`]).
+    scheduled: Option<Time>,
+}
+
+/// Removes a resident handle from a replica's span member list, preserving
+/// admission order.
+fn remove_span_member(members: &mut Vec<u32>, h: u32) {
+    let pos = members.iter().position(|&x| x == h).expect("resident is a span member");
+    members.remove(pos);
+}
+
+/// Solves one replica's next *decision instant* in closed form: the
+/// earliest instant at which something other than plain on-cadence token
+/// emission happens. That is the minimum of
+///
+/// * the earliest resident completion on the step grid
+///   (`next_at + (remaining − 1) · interval`), and
+/// * under token-granular accounting, the first tick whose deterministic
+///   growth — every resident reserves one more token per step from its
+///   `next_at` onward — would exceed the replica's KV headroom and so
+///   preempt ([`ContinuousBatchScheduler::kv_headroom`]).
+///
+/// Arrivals and swap-engine drains need no solving here: arrivals are heap
+/// events of their own, and swap/prefill timelines only matter at
+/// admission instants, which only follow arrivals, completions and
+/// preemptions. Returns `None` for an empty replica.
+///
+/// The exhaustion instant is found by bisecting the cumulative-emission
+/// step function `C(s) = Σᵢ ⌊(s − next_atᵢ)/interval⌋ + 1` (over residents
+/// with `next_atᵢ ≤ s`), which is monotone, so the minimal `s` with
+/// `C(s) > headroom` is exact — and it is only bisected at all when
+/// `C(earliest completion) > headroom` says the pool dies first.
+fn next_decision(
+    core: &Core<'_>,
+    slab: &Slab,
+    members: &[u32],
+    interval: Time,
+    replica: usize,
+) -> Option<Time> {
+    let step = interval.as_ps();
+    let mut completion = u64::MAX;
+    let mut earliest = u64::MAX;
+    for &h in members {
+        let r = slab.get(h).expect("members are live");
+        let remaining = (r.q.spec.decode - r.q.progress) as u64;
+        debug_assert!(remaining >= 1, "finished residents leave the slab");
+        completion = completion.min(r.next_at.as_ps() + (remaining - 1) * step);
+        earliest = earliest.min(r.next_at.as_ps());
+    }
+    if completion == u64::MAX {
+        return None;
+    }
+    if core.granular_kv {
+        let headroom = core.scheduler.kv_headroom(replica);
+        let count = |s: u64| -> u64 {
+            members
+                .iter()
+                .map(|&h| {
+                    let at = slab.get(h).expect("members are live").next_at.as_ps();
+                    if at <= s {
+                        (s - at) / step + 1
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        if count(completion) > headroom {
+            let (mut lo, mut hi) = (earliest, completion);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if count(mid) > headroom {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            return Some(Time::from_ps(lo));
+        }
+    }
+    Some(Time::from_ps(completion))
+}
+
 /// A scheduled event. Ordering (and equality) is by `(at, seq)` only — the
 /// payload never drives the heap — and `seq` is unique per entry, so the
 /// order is total and deterministic.
@@ -1102,6 +1448,12 @@ enum Event {
     Tick {
         replica: u32,
         phase: u64,
+    },
+    /// One firing of a replica's solved decision instant (span engine
+    /// only): the earliest completion or KV-exhaustion tick; every token
+    /// before it was batch-emitted by the fast-forward pass.
+    Wake {
+        replica: u32,
     },
 }
 
@@ -1467,13 +1819,39 @@ mod tests {
         let w = poisson(50.0, 7, 10, 90);
         let horizon = Time::from_secs_f64(5.0);
         let bucketed = sys.run_with(&w, horizon, ServeOptions::token_granular());
-        let reference = sys.run_with(
-            &w,
-            horizon,
-            ServeOptions::token_granular().with_engine(TickEngine::PerTokenReference),
+        for engine in [TickEngine::PerTokenReference, TickEngine::SpanFastForward] {
+            let other =
+                sys.run_with(&w, horizon, ServeOptions::token_granular().with_engine(engine));
+            assert!(bucketed.preemptions > 0);
+            assert_eq!(bucketed, other, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn span_engine_skips_tick_heap_traffic() {
+        // On a clean saturated shape the span engine must touch the heap
+        // only for arrivals and decision instants — far below even the
+        // bucketed engine's one-entry-per-step budget.
+        let sys = tiny_system();
+        let w = poisson(25.0, 11, 10, 490);
+        let trace = w.generate(Time::from_secs_f64(20.0), 4096);
+        let (bkt_report, bkt) = sys.serve_trace_instrumented(&trace, 25.0, ServeOptions::default());
+        let (span_report, span) = sys.serve_trace_instrumented(
+            &trace,
+            25.0,
+            ServeOptions::default().with_engine(TickEngine::SpanFastForward),
         );
-        assert!(bucketed.preemptions > 0);
-        assert_eq!(bucketed, reference);
+        assert_eq!(bkt_report, span_report);
+        assert_eq!(span.tokens, bkt.tokens);
+        assert!(
+            span.heap_events_per_token() < bkt.heap_events_per_token(),
+            "span {} vs bucketed {}",
+            span.heap_events_per_token(),
+            bkt.heap_events_per_token()
+        );
+        // Decision ticks are bounded by external events: every completion
+        // is one, plus at most one re-solved wake per admission.
+        assert!(span.tick_events <= 2 * span.admissions, "{} ticks", span.tick_events);
     }
 
     #[test]

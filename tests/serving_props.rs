@@ -12,13 +12,17 @@
 //!    recomputed or swapped — completes exactly once;
 //! 3. full-reservation mode reproduces a closed-form reference
 //!    bit-for-bit on the same seed;
-//! 4. the phase-bucketed tick engine and the retained straight-line
-//!    per-token loop produce bit-identical reports across seeds × KV
-//!    modes × scheduling policies × spill modes × class mixes;
+//! 4. all three event engines — the phase-bucketed tick engine, the
+//!    retained straight-line per-token loop and the span-fast-forward
+//!    engine — produce bit-identical reports across seeds × KV modes ×
+//!    scheduling policies × spill modes × class mixes;
 //! 5. the CXL host pool never exceeds its capacity, device+host accounting
 //!    conserves each resident's footprint, `RecomputeOnly` reproduces the
 //!    pre-swap reports bit-for-bit, and `CostDriven` dominates the worse
-//!    pure mode on the saturated chatbot mix.
+//!    pure mode on the saturated chatbot mix;
+//! 6. the span engine pays strictly fewer heap events per generated token
+//!    than the bucketed engine on the saturated chatbot mix, and repeated
+//!    runs are deterministic down to the event-core counters.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -271,14 +275,15 @@ fn full_reservation_matches_closed_form_reference_bit_for_bit() {
     }
 }
 
-/// The differential property behind the tick-engine refactor: the
-/// phase-bucketed engine and the retained straight-line per-token loop
-/// must produce **bit-identical** `ServingReport`s on the same trace, for
-/// every KV mode and scheduling policy, including preemption-heavy
-/// operating points (the 160/170-token budgets force constant eviction and
-/// recompute under token-granular accounting).
+/// The differential property behind the tick-engine refactors: the
+/// phase-bucketed engine, the retained straight-line per-token loop and
+/// the span-fast-forward engine must all produce **bit-identical**
+/// `ServingReport`s on the same trace, for every KV mode and scheduling
+/// policy, including preemption-heavy operating points (the 160/170-token
+/// budgets force constant eviction and recompute under token-granular
+/// accounting).
 #[test]
-fn bucketed_engine_matches_per_token_reference_bit_for_bit() {
+fn engines_match_bit_for_bit_across_kv_modes_and_policies() {
     let slo = Time::from_secs_f64(0.5);
     type MakeOptions = fn(Time) -> ServeOptions;
     let policies: [(&str, MakeOptions); 3] = [
@@ -303,15 +308,14 @@ fn bucketed_engine_matches_per_token_reference_bit_for_bit() {
                         rate,
                         options.clone().with_engine(TickEngine::PhaseBucketed),
                     );
-                    let reference = sys.serve_trace_with(
-                        &trace,
-                        rate,
-                        options.with_engine(TickEngine::PerTokenReference),
-                    );
-                    assert_eq!(
-                        bucketed, reference,
-                        "engines diverged: seed {seed}, budget {budget}, {kv:?}, {name}"
-                    );
+                    for engine in [TickEngine::PerTokenReference, TickEngine::SpanFastForward] {
+                        let other =
+                            sys.serve_trace_with(&trace, rate, options.clone().with_engine(engine));
+                        assert_eq!(
+                            bucketed, other,
+                            "{engine:?} diverged: seed {seed}, budget {budget}, {kv:?}, {name}"
+                        );
+                    }
                     assert_eq!(bucketed.completed, bucketed.submitted - bucketed.rejected);
                     preemptions_seen += bucketed.preemptions;
                 }
@@ -323,7 +327,7 @@ fn bucketed_engine_matches_per_token_reference_bit_for_bit() {
 }
 
 /// The tentpole differential: across seeds × spill modes × class mixes
-/// (with preemption-tight budgets), the two engines stay bit-identical —
+/// (with preemption-tight budgets), all three engines stay bit-identical —
 /// including swap counters, stall totals, host-pool stats and the
 /// per-class breakdowns.
 #[test]
@@ -347,15 +351,14 @@ fn engines_agree_bit_for_bit_across_spill_modes_and_classes() {
                         rate,
                         options.clone().with_engine(TickEngine::PhaseBucketed),
                     );
-                    let reference = sys.serve_trace_with(
-                        &trace,
-                        rate,
-                        options.with_engine(TickEngine::PerTokenReference),
-                    );
-                    assert_eq!(
-                        bucketed, reference,
-                        "engines diverged: seed {seed}, budget {budget}, {mode:?}, {mix:?}"
-                    );
+                    for engine in [TickEngine::PerTokenReference, TickEngine::SpanFastForward] {
+                        let other =
+                            sys.serve_trace_with(&trace, rate, options.clone().with_engine(engine));
+                        assert_eq!(
+                            bucketed, other,
+                            "{engine:?} diverged: seed {seed}, budget {budget}, {mode:?}, {mix:?}"
+                        );
+                    }
                     assert_eq!(bucketed.completed, bucketed.submitted - bucketed.rejected);
                     assert!(bucketed.host_kv_peak_tokens <= 1500, "host pool overcommitted");
                     if mode == KvSpillMode::RecomputeOnly {
@@ -414,7 +417,7 @@ fn recompute_only_reproduces_legacy_reports_bit_for_bit() {
     let sys = system(Constants { budget: 170, ..CONSTANTS }, KvMode::FullReservation);
     let w = workload(21, 40.0);
     let trace = w.generate(Time::from_secs_f64(6.0), 4096);
-    for engine in [TickEngine::PhaseBucketed, TickEngine::PerTokenReference] {
+    for engine in TickEngine::ALL {
         let legacy =
             sys.serve_trace_with(&trace, 40.0, ServeOptions::token_granular().with_engine(engine));
         assert!(legacy.preemptions > 0, "operating point must churn");
@@ -490,6 +493,57 @@ fn cost_driven_dominates_the_worse_pure_mode_on_chatbot() {
         cost_driven.eviction_stall(),
         worse_stall
     );
+}
+
+/// The span engine's perf property on the acceptance shape: on the
+/// saturated 512/3584 chatbot mix it must pay strictly fewer heap events
+/// per generated token than the bucketed engine — under both KV modes,
+/// with and without preemption churn — while reporting bit-identically,
+/// and repeated runs must be deterministic down to the event-core
+/// counters.
+#[test]
+fn span_engine_beats_bucketed_heap_traffic_on_saturated_chatbot() {
+    let c = Constants {
+        replicas: 1,
+        slots: 6,
+        budget: 2 * 4096 + 1024,
+        token_interval: Time(1_000_000_000),
+        prefill_rate: 50_000.0,
+        steady: 6000.0,
+    };
+    let sys = system(c, KvMode::FullReservation);
+    let w = Workload::chatbot(2.0, 0xCE27);
+    let trace = w.generate(Time::from_secs_f64(400.0), 4096);
+    for options in [ServeOptions::default(), ServeOptions::token_granular()] {
+        let (bkt_report, bkt) = sys.serve_trace_instrumented(
+            &trace,
+            2.0,
+            options.clone().with_engine(TickEngine::PhaseBucketed),
+        );
+        let (span_report, span) = sys.serve_trace_instrumented(
+            &trace,
+            2.0,
+            options.clone().with_engine(TickEngine::SpanFastForward),
+        );
+        assert_eq!(bkt_report, span_report);
+        assert_eq!(span.tokens, bkt.tokens);
+        assert!(span.tokens > 0);
+        assert!(
+            span.heap_events_per_token() < bkt.heap_events_per_token(),
+            "span {:.4} must beat bucketed {:.4} heap events/token",
+            span.heap_events_per_token(),
+            bkt.heap_events_per_token()
+        );
+        // Determinism: a repeated run reproduces the report AND the
+        // event-core counters exactly.
+        let (again_report, again) = sys.serve_trace_instrumented(
+            &trace,
+            2.0,
+            options.clone().with_engine(TickEngine::SpanFastForward),
+        );
+        assert_eq!(span_report, again_report);
+        assert_eq!(span, again);
+    }
 }
 
 #[test]
