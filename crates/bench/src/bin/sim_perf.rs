@@ -17,7 +17,11 @@
 //! swap-to-CXL spill tier, one multi-replica under token-granular
 //! pressure), skips the slow planner sweeps, and fails if the fast engines
 //! do not beat the reference on heap traffic (deterministic) and
-//! wall-clock (with noise slack). `--engines all` (the default) runs the
+//! wall-clock (with noise slack). Both modes end with a cluster shape —
+//! a 64-group fleet of the paper's PP/8 deployment under a diurnal
+//! chatbot load — timing the epoch-driven fleet driver against per-group
+//! reference replays and asserting the merged `FleetReport` is
+//! bit-identical across worker-thread counts. `--engines all` (the default) runs the
 //! full three-engine cross-check in one process; a comma list (e.g.
 //! `--engines bucketed,span`) restricts the measured set — the reference
 //! loop is always included as the ratio baseline.
@@ -41,11 +45,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cent_bench::results_dir;
+use cent_cluster::{simulate_fleet_instrumented, FleetOptions, PowerOfTwoChoices};
 use cent_cost::KvSwapCost;
 use cent_model::ModelConfig;
 use cent_serving::{
-    ArrivalProcess, ClassMix, KvBudget, KvMode, KvSpillConfig, LengthSampler, RequestSpec,
-    SchedulerConfig, ServeOptions, ServingSystem, SimStats, TickEngine, Workload,
+    ArrivalProcess, ClassMix, KvBudget, KvMode, KvSpillConfig, LengthSampler, LoadCurve,
+    RequestSpec, SchedulerConfig, ServeOptions, ServingSystem, SimStats, TickEngine, Workload,
 };
 use cent_types::{ByteSize, Time};
 
@@ -236,6 +241,152 @@ fn full_shapes() -> Vec<Shape> {
         options: ServeOptions::token_granular().with_spill(spill),
     });
     shapes
+}
+
+/// The fleet smoke shape: a 64-group cluster of the paper's PP/8
+/// deployment under a diurnal chatbot load, routed by seeded power-of-two
+/// choices. The timed pair is (a) the epoch-driven fleet driver —
+/// `GroupSim`'s incremental span engine inside `simulate_fleet` — and
+/// (b) the per-token reference loop replaying each group's routed
+/// sub-trace, so the baseline's `span_wall_speedup` row covers the fleet
+/// path end to end. Along the way the fleet report is asserted
+/// bit-identical across 1 vs 2 worker threads and every group's
+/// incremental report bit-identical to its batch reference run.
+fn measure_cluster(smoke: bool) -> (String, GateRow) {
+    const GROUPS: usize = 64;
+    let name = "cluster-64xpp8-chatbot-diurnal";
+    let cfg = ModelConfig::llama2_7b();
+    let system = ServingSystem::plan(&cfg, 8, cent_compiler::Strategy::PipelineParallel, 4096)
+        .expect("planning Llama2-7B on 8 devices");
+    let horizon_s = if smoke { 60.0 } else { 600.0 };
+    let rate = 0.9 * GROUPS as f64 * system.capacity_qps(512, 3584);
+    let curve = LoadCurve::diurnal(horizon_s, 0.5, 1.5);
+    let w = Workload::chatbot(rate, 0xCE29);
+    let trace = w.generate_modulated(Time::from_secs_f64(horizon_s), 4096, &curve, 7);
+    let opts = FleetOptions::new(GROUPS).with_epoch(Time::from_secs_f64(0.25));
+
+    let fleet_run = |threads: usize| {
+        let mut router = PowerOfTwoChoices::seeded(0xD1CE);
+        let opts = opts.clone().with_threads(threads);
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let fleet = simulate_fleet_instrumented(&system, &trace, rate, &mut router, &opts);
+        let wall_s = start.elapsed().as_secs_f64();
+        (fleet, wall_s, ALLOCATIONS.load(Ordering::Relaxed) - allocs_before)
+    };
+    let (fleet, span_wall, span_allocs) = fleet_run(1);
+    let (threaded, _, _) = fleet_run(2);
+    assert_eq!(
+        fleet.report, threaded.report,
+        "{name}: fleet report must be bit-identical across worker-thread counts"
+    );
+    let mut span_stats = SimStats::default();
+    for o in &fleet.groups {
+        span_stats.heap_pushes += o.stats.heap_pushes;
+        span_stats.heap_pops += o.stats.heap_pops;
+        span_stats.tick_events += o.stats.tick_events;
+        span_stats.tokens += o.stats.tokens;
+        span_stats.admissions += o.stats.admissions;
+    }
+
+    // The reference run: each group's routed sub-trace through the
+    // per-token loop, reports cross-checked group by group.
+    let mut sub: Vec<Vec<RequestSpec>> = vec![Vec::new(); GROUPS];
+    for (spec, &g) in trace.iter().zip(&fleet.routed) {
+        sub[g].push(*spec);
+    }
+    let per_group_qps = rate / GROUPS as f64;
+    let ref_options = ServeOptions::default().with_engine(TickEngine::PerTokenReference);
+    let mut ref_stats = SimStats::default();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for (g, group_trace) in sub.iter().enumerate() {
+        let (report, stats) =
+            system.serve_trace_instrumented(group_trace, per_group_qps, ref_options.clone());
+        assert_eq!(
+            report, fleet.groups[g].report,
+            "{name}: group {g} fleet run must report identically to the reference loop"
+        );
+        ref_stats.heap_pushes += stats.heap_pushes;
+        ref_stats.heap_pops += stats.heap_pops;
+        ref_stats.tick_events += stats.tick_events;
+        ref_stats.tokens += stats.tokens;
+        ref_stats.admissions += stats.admissions;
+    }
+    let ref_wall = start.elapsed().as_secs_f64();
+    let ref_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+
+    let reference = Measurement { wall_s: ref_wall, stats: ref_stats, allocations: ref_allocs };
+    let span = Measurement { wall_s: span_wall, stats: span_stats, allocations: span_allocs };
+    // The fleet run is two orders of magnitude faster than the reference
+    // replay, so its wall clock is a few milliseconds — too short for a
+    // ±20% gate. Clamp the *recorded* speedup at 20x: the gate then
+    // compares saturated values (stable), and any regression big enough to
+    // matter pulls the true ratio under the cap and trips it.
+    let speedup = (reference.wall_s / span.wall_s.max(1e-9)).min(20.0);
+    let heap_ratio =
+        reference.stats.heap_events_per_token() / span.stats.heap_events_per_token().max(1e-9);
+    println!(
+        "{:>28} {:>9} {:>9.3}s {:>10} {:>9.3} {:>11} {:>9.4} {:>11}",
+        name,
+        "reference",
+        reference.wall_s,
+        "1.00x",
+        reference.stats.heap_events_per_token(),
+        "1.00x",
+        reference.allocations_per_token(),
+        reference.stats.tokens,
+    );
+    println!(
+        "{:>28} {:>9} {:>9.3}s {:>9.2}x {:>9.3} {:>10.2}x {:>9.4} {:>11}",
+        "",
+        "span",
+        span.wall_s,
+        speedup,
+        span.stats.heap_events_per_token(),
+        heap_ratio,
+        span.allocations_per_token(),
+        span.stats.tokens,
+    );
+    // The same deterministic heap-traffic floor the single-system shapes
+    // carry: incremental epoch driving must not reintroduce per-token heap
+    // events. Wall-clock only gates in smoke mode (same noise argument).
+    let churn = fleet.report.preemptions + fleet.report.swaps > 0;
+    let floor = if churn { 3.0 } else { 5.0 };
+    assert!(
+        heap_ratio >= floor,
+        "{name}: fleet heap-event ratio {heap_ratio:.2} < {floor}x vs the reference loop"
+    );
+    if smoke {
+        assert!(
+            span.wall_s <= 1.25 * reference.wall_s,
+            "{name}: fleet run slower than the per-group reference ({:.3}s vs {:.3}s)",
+            span.wall_s,
+            reference.wall_s
+        );
+    }
+    let row = format!(
+        "    {{\"name\": \"{name}\", \"groups\": {GROUPS}, \"replicas_per_group\": {}, \
+         \"slots_per_replica\": {}, \"sim_tokens\": {}, \"preemptions\": {}, \"swaps\": {},\n     \
+         \"reference\": {},\n     \"span\": {},\n     \"span_wall_speedup\": {:.3}, \
+         \"span_heap_ratio\": {:.3}, \"reports_identical\": true, \"threads_invariant\": true}}",
+        system.replicas(),
+        system.slots_per_replica(),
+        reference.stats.tokens,
+        fleet.report.preemptions,
+        fleet.report.swaps,
+        json_engine(&reference),
+        json_engine(&span),
+        speedup,
+        heap_ratio,
+    );
+    let gate = GateRow {
+        name: name.to_string(),
+        engine: "span",
+        heap_events_per_token: span.stats.heap_events_per_token(),
+        wall_speedup: speedup,
+    };
+    (row, gate)
 }
 
 fn json_engine(m: &Measurement) -> String {
@@ -495,6 +646,13 @@ fn main() {
             flat.join(", "),
         ));
     }
+
+    // The fleet shape rides the same artifact and gate: its row carries a
+    // "span" engine block and a span_wall_speedup, so --check-against
+    // covers the cluster path with no parser changes.
+    let (cluster_row, cluster_gate) = measure_cluster(smoke);
+    rows.push(cluster_row);
+    gate_rows.push(cluster_gate);
 
     let json = format!(
         "{{\n  \"id\": \"BENCH_serving_sim\",\n  \"mode\": \"{}\",\n  \"shapes\": [\n{}\n  ]\n}}\n",

@@ -1,0 +1,298 @@
+//! The sharded fleet driver: epoch-based routing over N replica groups,
+//! fanned out across `std::thread::scope` workers inside one simulation.
+//!
+//! # Determinism contract
+//!
+//! The trace is partitioned into fixed-width time *epochs*. At each epoch
+//! boundary the driver advances every group to the boundary instant,
+//! refreshes the per-group [`GroupLoad`] index from true scheduler state,
+//! and then routes every arrival of the epoch against that snapshot
+//! (bumping the index optimistically per assignment). Routing therefore
+//! depends only on (trace, router state, epoch length) — never on worker
+//! interleaving — and each group's simulation is single-threaded and
+//! deterministic, so the merged [`FleetReport`] is bit-identical across
+//! worker-thread counts. Epochs with no arrivals are coalesced: refreshing
+//! a load snapshot nobody reads is a no-op, so jumping straight to the
+//! next arrival's epoch is observationally identical and makes sparse
+//! multi-hour traces cheap.
+
+use cent_serving::{GroupOutcome, GroupSim, RequestSpec, ServeOptions, ServingSystem};
+use cent_types::Time;
+
+use crate::report::FleetReport;
+use crate::router::{GroupLoad, RoutingPolicy};
+
+/// Fleet-level knobs: group count, worker threads, epoch width and the
+/// per-group serving options.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Independent replica groups behind the router.
+    pub groups: usize,
+    /// Worker threads sharding the groups (1 = fully inline). Any value
+    /// yields the same [`FleetReport`]; this only trades wall-clock.
+    pub threads: usize,
+    /// Epoch width: the granularity at which the router's load index is
+    /// refreshed from true group state. Smaller epochs mean fresher load
+    /// signals and more synchronization barriers.
+    pub epoch: Time,
+    /// Serving options applied to every group.
+    pub serve: ServeOptions,
+}
+
+impl FleetOptions {
+    /// `groups` groups, one worker thread, a 100 ms epoch and default
+    /// serving options.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "a fleet needs at least one group");
+        FleetOptions {
+            groups,
+            threads: 1,
+            epoch: Time::from_secs_f64(0.1),
+            serve: ServeOptions::default(),
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the epoch width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    pub fn with_epoch(mut self, epoch: Time) -> Self {
+        assert!(epoch > Time::ZERO, "epoch must be positive");
+        self.epoch = epoch;
+        self
+    }
+
+    /// Sets the per-group serving options.
+    pub fn with_serve(mut self, serve: ServeOptions) -> Self {
+        self.serve = serve;
+        self
+    }
+}
+
+/// Everything one fleet run produced: the merged report, the per-group
+/// outcomes (in group order) and the routing decision per trace entry.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The merged fleet-wide report.
+    pub report: FleetReport,
+    /// Per-group outcomes, indexed by group.
+    pub groups: Vec<GroupOutcome>,
+    /// Group index each trace entry was routed to, aligned with the trace.
+    pub routed: Vec<usize>,
+}
+
+/// Simulates `trace` over a fleet of identical replica groups and returns
+/// the merged fleet report. See the module docs for the determinism
+/// contract; `trace` must be sorted by arrival time (as
+/// [`Workload::generate`](cent_serving::Workload::generate) produces).
+pub fn simulate_fleet(
+    system: &ServingSystem,
+    trace: &[RequestSpec],
+    offered_qps: f64,
+    router: &mut dyn RoutingPolicy,
+    options: &FleetOptions,
+) -> FleetReport {
+    simulate_fleet_instrumented(system, trace, offered_qps, router, options).report
+}
+
+/// [`simulate_fleet`], additionally returning per-group outcomes and the
+/// per-request routing decisions (property tests and router studies).
+pub fn simulate_fleet_instrumented(
+    system: &ServingSystem,
+    trace: &[RequestSpec],
+    offered_qps: f64,
+    router: &mut dyn RoutingPolicy,
+    options: &FleetOptions,
+) -> FleetOutcome {
+    let epoch_ps = options.epoch.as_ps().max(1);
+    let mut sims: Vec<GroupSim> =
+        (0..options.groups).map(|_| GroupSim::new(system, options.serve.clone())).collect();
+    let mut loads = vec![GroupLoad::default(); options.groups];
+    let mut routed = Vec::with_capacity(trace.len());
+    let mut cursor = 0;
+    while cursor < trace.len() {
+        let arrival = trace[cursor].arrival;
+        debug_assert!(
+            cursor == 0 || trace[cursor - 1].arrival <= arrival,
+            "trace must be sorted by arrival"
+        );
+        // Coalesced jump to the epoch holding the next arrival.
+        let epoch_start = Time::from_ps((arrival.as_ps() / epoch_ps) * epoch_ps);
+        let epoch_end = Time::from_ps(epoch_start.as_ps().saturating_add(epoch_ps));
+        advance_groups(&mut sims, epoch_start, options.threads);
+        for (load, sim) in loads.iter_mut().zip(&sims) {
+            *load = GroupLoad { outstanding: sim.outstanding(), kv_tokens: sim.kv_reserved() };
+        }
+        // Route the whole epoch against the boundary snapshot, bumping the
+        // index optimistically so intra-epoch bursts still spread.
+        while cursor < trace.len() && trace[cursor].arrival < epoch_end {
+            let spec = trace[cursor];
+            let g = router.route(&spec, &loads);
+            assert!(g < options.groups, "router chose group {g} of {}", options.groups);
+            sims[g].push_arrival(spec);
+            loads[g].outstanding += 1;
+            loads[g].kv_tokens += spec.kv_tokens();
+            routed.push(g);
+            cursor += 1;
+        }
+    }
+    let per_group_qps = offered_qps / options.groups as f64;
+    let outcomes = finish_groups(sims, per_group_qps, options.threads);
+    let report = FleetReport::from_outcomes(offered_qps, &outcomes);
+    FleetOutcome { report, groups: outcomes, routed }
+}
+
+/// Advances every group to `limit`, sharding contiguous chunks across
+/// worker threads. Groups are independent, so any sharding computes the
+/// same per-group state.
+fn advance_groups(sims: &mut [GroupSim], limit: Time, threads: usize) {
+    if threads <= 1 || sims.len() <= 1 {
+        for sim in sims.iter_mut() {
+            sim.advance_to(limit);
+        }
+        return;
+    }
+    let chunk = sims.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in sims.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for sim in part {
+                    sim.advance_to(limit);
+                }
+            });
+        }
+    });
+}
+
+/// Drains every group to completion and collects outcomes in group order.
+fn finish_groups(sims: Vec<GroupSim>, qps: f64, threads: usize) -> Vec<GroupOutcome> {
+    let mut sims: Vec<Option<GroupSim>> = sims.into_iter().map(Some).collect();
+    let mut out: Vec<Option<GroupOutcome>> = sims.iter().map(|_| None).collect();
+    if threads <= 1 || sims.len() <= 1 {
+        for (sim, slot) in sims.iter_mut().zip(out.iter_mut()) {
+            *slot = Some(sim.take().expect("group not yet finished").finish(qps));
+        }
+    } else {
+        let chunk = sims.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (sim_part, out_part) in sims.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (sim, slot) in sim_part.iter_mut().zip(out_part.iter_mut()) {
+                        *slot = Some(sim.take().expect("group not yet finished").finish(qps));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|o| o.expect("every group finished")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{JoinShortestQueue, PowerOfTwoChoices, RoundRobin};
+    use cent_model::ModelConfig;
+    use cent_serving::{KvBudget, KvMode, SchedulerConfig, Workload};
+
+    fn tiny_system() -> ServingSystem {
+        ServingSystem::from_parts(
+            &ModelConfig::llama2_7b(),
+            SchedulerConfig {
+                replicas: 1,
+                slots_per_replica: 4,
+                kv_budget: KvBudget::tokens(4000),
+                kv: KvMode::FullReservation,
+            },
+            Time::from_us(1000),
+            1000.0,
+            4000.0,
+        )
+    }
+
+    fn trace(qps: f64, seed: u64, horizon_s: f64) -> Vec<RequestSpec> {
+        let w = Workload {
+            lengths: cent_serving::LengthSampler::Fixed { prompt: 10, decode: 40 },
+            ..Workload::chatbot(qps, seed)
+        };
+        w.generate(Time::from_secs_f64(horizon_s), 4096)
+    }
+
+    #[test]
+    fn fleet_of_one_matches_the_single_system_run() {
+        // With one group every router is the identity, so the group's
+        // outcome must equal a direct ServingSystem run bit for bit.
+        let sys = tiny_system();
+        let trace = trace(30.0, 11, 2.0);
+        let (solo, _) = sys.serve_trace_instrumented(&trace, 30.0, ServeOptions::default());
+        let mut router = JoinShortestQueue;
+        let fleet =
+            simulate_fleet_instrumented(&sys, &trace, 30.0, &mut router, &FleetOptions::new(1));
+        assert_eq!(fleet.groups[0].report, solo);
+        assert_eq!(fleet.report.completed, solo.completed);
+        assert_eq!(fleet.report.ttft, solo.ttft);
+        assert_eq!(fleet.report.query_latency, solo.query_latency);
+        assert!(fleet.routed.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once() {
+        let sys = tiny_system();
+        let trace = trace(100.0, 3, 2.0);
+        for router in [
+            &mut RoundRobin::default() as &mut dyn RoutingPolicy,
+            &mut JoinShortestQueue,
+            &mut PowerOfTwoChoices::seeded(5),
+        ] {
+            let fleet = simulate_fleet_instrumented(
+                &sys,
+                &trace,
+                100.0,
+                router,
+                &FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05)),
+            );
+            assert_eq!(fleet.routed.len(), trace.len());
+            assert_eq!(fleet.report.submitted, trace.len());
+            assert_eq!(fleet.report.completed, trace.len());
+            let mut ids: Vec<u64> =
+                fleet.groups.iter().flat_map(|o| o.records.iter().map(|r| r.spec.id.0)).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..trace.len() as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jsq_balances_better_than_round_robin_never_worse() {
+        let sys = tiny_system();
+        let trace = trace(120.0, 9, 3.0);
+        let opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.02));
+        let jsq = simulate_fleet(&sys, &trace, 120.0, &mut JoinShortestQueue, &opts);
+        assert!(jsq.imbalance.max_share < 1.5, "JSQ spread {:?}", jsq.imbalance);
+        assert!(jsq.imbalance.min_share > 0.5);
+    }
+
+    #[test]
+    fn epoch_width_changes_routing_but_not_accounting() {
+        // Different epochs may route differently (fresher load signals),
+        // but conservation holds and the report stays self-consistent.
+        let sys = tiny_system();
+        let trace = trace(80.0, 21, 2.0);
+        for epoch_s in [0.01, 0.1, 1.0] {
+            let fleet = simulate_fleet(
+                &sys,
+                &trace,
+                80.0,
+                &mut JoinShortestQueue,
+                &FleetOptions::new(3).with_epoch(Time::from_secs_f64(epoch_s)),
+            );
+            assert_eq!(fleet.completed, trace.len(), "epoch {epoch_s}");
+            assert_eq!(fleet.per_group.iter().map(|g| g.submitted).sum::<usize>(), trace.len());
+        }
+    }
+}

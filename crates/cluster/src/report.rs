@@ -1,0 +1,352 @@
+//! Fleet-wide SLO reporting: the deterministic merge of per-group serving
+//! outcomes into one [`FleetReport`].
+//!
+//! The merge is pure bookkeeping over [`GroupOutcome`]s in fixed group
+//! order — latency populations are concatenated and re-sorted, streamed
+//! histograms are folded with the order-independent
+//! [`TimeHistogram::merge`], counters are summed — so the report is a
+//! function of the per-group outcomes alone, never of how many worker
+//! threads produced them.
+
+use cent_serving::{ClassReport, GroupOutcome, LatencyStats, PriorityClass};
+use cent_types::{SortedSamples, Time, TimeHistogram};
+
+/// Spread of a per-group utilization metric across the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UtilizationSpread {
+    /// Least-utilized group.
+    pub min: f64,
+    /// Unweighted mean across groups.
+    pub mean: f64,
+    /// Most-utilized group.
+    pub max: f64,
+}
+
+impl UtilizationSpread {
+    fn over(values: impl Iterator<Item = f64> + Clone) -> Self {
+        let mut n = 0usize;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            return UtilizationSpread::default();
+        }
+        UtilizationSpread { min, mean: sum / n as f64, max }
+    }
+}
+
+/// How unevenly the router spread arrivals over the fleet, as each group's
+/// share of the mean per-group arrival count. A perfect balance is
+/// `min_share = max_share = 1.0`; a group that received double its fair
+/// share shows `max_share = 2.0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouterImbalance {
+    /// Smallest per-group submitted count over the fleet mean.
+    pub min_share: f64,
+    /// Largest per-group submitted count over the fleet mean.
+    pub max_share: f64,
+}
+
+/// One group's row in the fleet report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroupRow {
+    /// Requests the router sent to this group.
+    pub submitted: usize,
+    /// Requests the group served to completion.
+    pub completed: usize,
+    /// Time-weighted fraction of the group's decode slots occupied.
+    pub slot_utilization: f64,
+    /// Time-weighted mean KV reservation as a fraction of the budget.
+    pub kv_utilization: f64,
+    /// Largest wait-queue depth the group observed.
+    pub peak_queue_depth: usize,
+}
+
+/// The result of one fleet simulation: fleet-wide SLO metrics plus the
+/// per-group spread the router is judged by.
+///
+/// Deliberately carries no record of the worker-thread count: two runs
+/// that differ only in `threads` produce `==` reports (enforced by
+/// `tests/cluster_props.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Replica groups behind the router.
+    pub groups: usize,
+    /// Mean offered load across the fleet, queries/second.
+    pub offered_qps: f64,
+    /// Requests that arrived within the horizon, fleet-wide.
+    pub submitted: usize,
+    /// Requests served to completion, fleet-wide.
+    pub completed: usize,
+    /// Requests rejected up front (footprint exceeds a replica's budget).
+    pub rejected: usize,
+    /// First arrival to last completion anywhere in the fleet.
+    pub makespan: Time,
+    /// Total generated (decode) tokens.
+    pub decode_tokens: u64,
+    /// Total prompt (prefill) tokens processed.
+    pub prefill_tokens: u64,
+    /// Achieved fleet decode throughput over the makespan, tokens/second.
+    pub tokens_per_s: f64,
+    /// Fleet-wide time-to-first-token distribution.
+    pub ttft: LatencyStats,
+    /// Fleet-wide end-to-end query latency distribution.
+    pub query_latency: LatencyStats,
+    /// Fleet-wide queue-wait distribution.
+    pub queue_wait: LatencyStats,
+    /// Fleet-wide time-between-tokens distribution (merged histograms).
+    pub tbt: LatencyStats,
+    /// Per-class fleet metrics, sorted by class.
+    pub classes: Vec<ClassReport>,
+    /// Recompute evictions across the fleet.
+    pub preemptions: u64,
+    /// Swap evictions across the fleet.
+    pub swaps: u64,
+    /// Largest wait-queue depth observed on any group.
+    pub peak_queue_depth: usize,
+    /// Spread of per-group slot utilization.
+    pub slot_utilization: UtilizationSpread,
+    /// Spread of per-group time-weighted KV utilization.
+    pub kv_utilization: UtilizationSpread,
+    /// Router arrival-count imbalance.
+    pub imbalance: RouterImbalance,
+    /// One row per group, in group order.
+    pub per_group: Vec<GroupRow>,
+}
+
+impl FleetReport {
+    /// Folds per-group outcomes (in group order) into the fleet view.
+    pub fn from_outcomes(offered_qps: f64, outcomes: &[GroupOutcome]) -> Self {
+        let submitted: usize = outcomes.iter().map(|o| o.report.submitted).sum();
+        let completed: usize = outcomes.iter().map(|o| o.report.completed).sum();
+        let rejected: usize = outcomes.iter().map(|o| o.report.rejected).sum();
+        let records = || outcomes.iter().flat_map(|o| o.records.iter());
+        let first_arrival = records().map(|r| r.spec.arrival).min().unwrap_or(Time::ZERO);
+        let last_finish = records().map(|r| r.finished).max().unwrap_or(Time::ZERO);
+        let makespan = last_finish.saturating_sub(first_arrival);
+        let decode_tokens: u64 = records().map(|r| r.spec.decode as u64).sum();
+        let prefill_tokens: u64 = records().map(|r| r.spec.prompt as u64).sum();
+        let tokens_per_s =
+            if makespan > Time::ZERO { decode_tokens as f64 / makespan.as_secs() } else { 0.0 };
+        let ttfts = SortedSamples::new(records().map(|r| r.ttft()).collect());
+        let latencies = SortedSamples::new(records().map(|r| r.query_latency()).collect());
+        let waits = SortedSamples::new(records().map(|r| r.queue_wait()).collect());
+        let mut tbt = TimeHistogram::new();
+        for o in outcomes {
+            tbt.merge(&o.tbt);
+        }
+
+        // Per-class fleet rows: counters and histograms merge per class
+        // key; the latency populations come from the concatenated records.
+        let mut class_keys: Vec<PriorityClass> =
+            outcomes.iter().flat_map(|o| o.submitted_by_class.iter().map(|&(c, _)| c)).collect();
+        class_keys.sort_unstable();
+        class_keys.dedup();
+        let classes = class_keys
+            .iter()
+            .map(|&class| {
+                let submitted = outcomes
+                    .iter()
+                    .flat_map(|o| &o.submitted_by_class)
+                    .filter(|(c, _)| *c == class)
+                    .map(|(_, n)| n)
+                    .sum();
+                let of_class = || records().filter(move |r| r.spec.class == class);
+                let ttfts = SortedSamples::new(of_class().map(|r| r.ttft()).collect());
+                let lats = SortedSamples::new(of_class().map(|r| r.query_latency()).collect());
+                let mut class_tbt = TimeHistogram::new();
+                for o in outcomes {
+                    if let Some((_, h)) = o.tbt_by_class.iter().find(|(c, _)| *c == class) {
+                        class_tbt.merge(h);
+                    }
+                }
+                let row = |o: &GroupOutcome| {
+                    o.report.classes.iter().find(|c| c.class == class).map(|c| c.deadline_hits)
+                };
+                let deadline_hits: usize = outcomes.iter().filter_map(row).sum();
+                ClassReport {
+                    class,
+                    submitted,
+                    completed: of_class().count(),
+                    ttft: LatencyStats::from_sorted(&ttfts),
+                    query_latency: LatencyStats::from_sorted(&lats),
+                    tbt: LatencyStats::from_histogram(&class_tbt),
+                    deadline_hits,
+                    goodput_qps: if makespan > Time::ZERO {
+                        deadline_hits as f64 / makespan.as_secs()
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        let per_group: Vec<GroupRow> = outcomes
+            .iter()
+            .map(|o| GroupRow {
+                submitted: o.report.submitted,
+                completed: o.report.completed,
+                slot_utilization: o.report.slot_utilization,
+                kv_utilization: o.report.kv_utilization,
+                peak_queue_depth: o.report.peak_queue_depth,
+            })
+            .collect();
+        let mean_share = submitted as f64 / outcomes.len().max(1) as f64;
+        let imbalance = if mean_share > 0.0 {
+            RouterImbalance {
+                min_share: per_group.iter().map(|g| g.submitted).min().unwrap_or(0) as f64
+                    / mean_share,
+                max_share: per_group.iter().map(|g| g.submitted).max().unwrap_or(0) as f64
+                    / mean_share,
+            }
+        } else {
+            RouterImbalance::default()
+        };
+
+        FleetReport {
+            groups: outcomes.len(),
+            offered_qps,
+            submitted,
+            completed,
+            rejected,
+            makespan,
+            decode_tokens,
+            prefill_tokens,
+            tokens_per_s,
+            ttft: LatencyStats::from_sorted(&ttfts),
+            query_latency: LatencyStats::from_sorted(&latencies),
+            queue_wait: LatencyStats::from_sorted(&waits),
+            tbt: LatencyStats::from_histogram(&tbt),
+            classes,
+            preemptions: outcomes.iter().map(|o| o.report.preemptions).sum(),
+            swaps: outcomes.iter().map(|o| o.report.swaps).sum(),
+            peak_queue_depth: outcomes.iter().map(|o| o.report.peak_queue_depth).max().unwrap_or(0),
+            slot_utilization: UtilizationSpread::over(
+                outcomes.iter().map(|o| o.report.slot_utilization),
+            ),
+            kv_utilization: UtilizationSpread::over(
+                outcomes.iter().map(|o| o.report.kv_utilization),
+            ),
+            imbalance,
+            per_group,
+        }
+    }
+
+    /// Serialises the report as one JSON object (schema documented in the
+    /// README's "Cluster simulation" section). Times are seconds.
+    pub fn to_json(&self) -> String {
+        fn stats(s: &LatencyStats) -> String {
+            format!(
+                "{{\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                s.mean.as_secs(),
+                s.p50.as_secs(),
+                s.p95.as_secs(),
+                s.p99.as_secs(),
+                s.max.as_secs()
+            )
+        }
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\":{},\"submitted\":{},\"completed\":{},\"ttft\":{},\
+                     \"latency\":{},\"tbt\":{},\"deadline_hits\":{},\"goodput_qps\":{}}}",
+                    c.class.0,
+                    c.submitted,
+                    c.completed,
+                    stats(&c.ttft),
+                    stats(&c.query_latency),
+                    stats(&c.tbt),
+                    c.deadline_hits,
+                    c.goodput_qps
+                )
+            })
+            .collect();
+        let per_group: Vec<String> = self
+            .per_group
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"submitted\":{},\"completed\":{},\"slot_utilization\":{},\
+                     \"kv_utilization\":{},\"peak_queue_depth\":{}}}",
+                    g.submitted,
+                    g.completed,
+                    g.slot_utilization,
+                    g.kv_utilization,
+                    g.peak_queue_depth
+                )
+            })
+            .collect();
+        format!(
+            "{{\"groups\":{},\"offered_qps\":{},\"submitted\":{},\"completed\":{},\
+             \"rejected\":{},\"makespan_s\":{},\"decode_tokens\":{},\"prefill_tokens\":{},\
+             \"tokens_per_s\":{},\"ttft_s\":{},\"latency_s\":{},\"queue_wait_s\":{},\
+             \"tbt_s\":{},\"preemptions\":{},\"swaps\":{},\"peak_queue_depth\":{},\
+             \"slot_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
+             \"kv_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
+             \"imbalance\":{{\"min_share\":{},\"max_share\":{}}},\
+             \"classes\":[{}],\"per_group\":[{}]}}",
+            self.groups,
+            self.offered_qps,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.makespan.as_secs(),
+            self.decode_tokens,
+            self.prefill_tokens,
+            self.tokens_per_s,
+            stats(&self.ttft),
+            stats(&self.query_latency),
+            stats(&self.queue_wait),
+            stats(&self.tbt),
+            self.preemptions,
+            self.swaps,
+            self.peak_queue_depth,
+            self.slot_utilization.min,
+            self.slot_utilization.mean,
+            self.slot_utilization.max,
+            self.kv_utilization.min,
+            self.kv_utilization.mean,
+            self.kv_utilization.max,
+            self.imbalance.min_share,
+            self.imbalance.max_share,
+            classes.join(","),
+            per_group.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet of {} groups | offered {:.2} q/s | served {}/{} ({} rejected) over {}",
+            self.groups,
+            self.offered_qps,
+            self.completed,
+            self.submitted,
+            self.rejected,
+            self.makespan
+        )?;
+        writeln!(
+            f,
+            "decode {:.0} tok/s | slots {:.0}–{:.0}% busy (mean {:.0}%) | arrivals/group \
+             {:.2}–{:.2}× fair share | peak queue {}",
+            self.tokens_per_s,
+            100.0 * self.slot_utilization.min,
+            100.0 * self.slot_utilization.max,
+            100.0 * self.slot_utilization.mean,
+            self.imbalance.min_share,
+            self.imbalance.max_share,
+            self.peak_queue_depth,
+        )?;
+        writeln!(f, "TTFT:    {}", self.ttft)?;
+        writeln!(f, "latency: {}", self.query_latency)?;
+        write!(f, "TBT:     {}", self.tbt)
+    }
+}

@@ -1,0 +1,219 @@
+//! Cluster-level request routing across replica groups.
+//!
+//! The router sits in front of the per-group continuous-batching schedulers
+//! and assigns each arriving request to one group, using only the O(1)
+//! per-group [`GroupLoad`] index the fleet driver maintains. Policies are
+//! deliberately *stateful objects* (`&mut self`) so round-robin counters
+//! and seeded PRNG draws are part of the policy, not hidden globals — two
+//! runs with equal seeds make identical decisions.
+
+use cent_serving::RequestSpec;
+use cent_types::Rng64;
+
+/// O(1)-maintained load index of one replica group, as the router sees it.
+///
+/// During an epoch the fleet driver bumps these optimistically at every
+/// assignment (outstanding + full KV footprint) and re-reads the true
+/// scheduler state at the next epoch boundary, so routing never inspects —
+/// and never depends on — mid-epoch simulation progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupLoad {
+    /// Requests routed to the group and not yet finished.
+    pub outstanding: u64,
+    /// KV tokens reserved on the group (plus the full footprint of
+    /// requests routed this epoch).
+    pub kv_tokens: u64,
+}
+
+impl GroupLoad {
+    /// Total order used by load-comparing policies: outstanding requests
+    /// first, KV pressure second, group index last (so ties are stable).
+    fn key(&self, idx: usize) -> (u64, u64, usize) {
+        (self.outstanding, self.kv_tokens, idx)
+    }
+}
+
+/// Assigns arriving requests to replica groups.
+///
+/// `route` must return an index `< loads.len()`. Policies may keep state;
+/// the fleet driver calls them from a single thread in arrival order, so
+/// determinism only requires that the policy itself is deterministic.
+pub trait RoutingPolicy: std::fmt::Debug + Send {
+    /// Short human-readable name (used in sweep tables and benches).
+    fn name(&self) -> &'static str;
+
+    /// Picks the group for `spec` given the current load index.
+    fn route(&mut self, spec: &RequestSpec, loads: &[GroupLoad]) -> usize;
+}
+
+/// Join-shortest-queue: the group with the fewest outstanding requests
+/// (ties broken by KV pressure, then group index). The strongest
+/// load-balancer here, at the cost of reading every group's load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl RoutingPolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[GroupLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| l.key(*i))
+            .map(|(i, _)| i)
+            .expect("route over a non-empty fleet")
+    }
+}
+
+/// Power-of-two-choices: sample two distinct groups with the in-tree
+/// SplitMix64 PRNG and send the request to the less loaded of the pair —
+/// the classic two-probe balancer that gets most of JSQ's tail benefit
+/// with O(1) probes. Seeded, so a run is reproducible.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoChoices {
+    rng: Rng64,
+}
+
+impl PowerOfTwoChoices {
+    /// A router whose probe sequence is fully determined by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        PowerOfTwoChoices { rng: Rng64::seed(seed) }
+    }
+}
+
+impl RoutingPolicy for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "p2c"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[GroupLoad]) -> usize {
+        let n = loads.len() as u64;
+        assert!(n > 0, "route over a non-empty fleet");
+        if n == 1 {
+            return 0;
+        }
+        let a = self.rng.next_below(n) as usize;
+        // Second probe over the remaining n-1 groups, shifted past the
+        // first so the pair is always distinct.
+        let b = self.rng.next_below(n - 1) as usize;
+        let b = if b >= a { b + 1 } else { b };
+        if loads[b].key(b) < loads[a].key(a) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Round-robin: groups in cyclic order, ignoring load. The baseline the
+/// load-aware policies are judged against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[GroupLoad]) -> usize {
+        let g = self.next % loads.len();
+        self.next = (g + 1) % loads.len();
+        g
+    }
+}
+
+/// Session affinity: a pure hash of [`RequestSpec::session`] onto the
+/// fleet, so every request of a session lands on the same group and its
+/// KV prefix could be reused there. Load-blind by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionAffinity;
+
+impl RoutingPolicy for SessionAffinity {
+    fn name(&self) -> &'static str {
+        "session"
+    }
+
+    fn route(&mut self, spec: &RequestSpec, loads: &[GroupLoad]) -> usize {
+        // One SplitMix64 scramble of the session key is a high-quality
+        // stateless hash; `next_below` maps it onto the fleet without
+        // modulo bias.
+        Rng64::seed(spec.session.0).next_below(loads.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cent_serving::{PriorityClass, RequestId, SessionId};
+    use cent_types::Time;
+
+    fn spec(id: u64, session: u64) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: Time::from_us(id),
+            prompt: 8,
+            decode: 8,
+            class: PriorityClass::default(),
+            session: SessionId(session),
+        }
+    }
+
+    fn loads(outstanding: &[u64]) -> Vec<GroupLoad> {
+        outstanding.iter().map(|&o| GroupLoad { outstanding: o, kv_tokens: 0 }).collect()
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_stable_ties() {
+        let mut jsq = JoinShortestQueue;
+        assert_eq!(jsq.route(&spec(0, 0), &loads(&[3, 1, 2])), 1);
+        assert_eq!(jsq.route(&spec(1, 0), &loads(&[2, 2, 2])), 0, "ties break on index");
+        let mut l = loads(&[1, 1]);
+        l[0].kv_tokens = 500;
+        assert_eq!(jsq.route(&spec(2, 0), &l), 1, "ties break on KV pressure");
+    }
+
+    #[test]
+    fn round_robin_cycles_through_groups() {
+        let mut rr = RoundRobin::default();
+        let l = loads(&[0, 0, 0]);
+        let picks: Vec<usize> = (0..7).map(|i| rr.route(&spec(i, 0), &l)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn p2c_is_deterministic_per_seed_and_never_repeats_a_probe() {
+        let l = loads(&[5, 5, 5, 5, 5, 5, 5, 5]);
+        let run = |seed: u64| -> Vec<usize> {
+            let mut p = PowerOfTwoChoices::seeded(seed);
+            (0..200).map(|i| p.route(&spec(i, 0), &l)).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+        // The pair is distinct, so on a two-group fleet with one group
+        // heavily loaded every pick lands on the light one.
+        let skew = loads(&[1_000, 0]);
+        let mut p = PowerOfTwoChoices::seeded(3);
+        for i in 0..50 {
+            assert_eq!(p.route(&spec(i, 0), &skew), 1);
+        }
+    }
+
+    #[test]
+    fn session_affinity_is_pure_and_load_blind() {
+        let mut s = SessionAffinity;
+        let light = loads(&[0, 0, 0, 0]);
+        let heavy = loads(&[9, 9, 9, 9]);
+        for session in 0..64 {
+            let g = s.route(&spec(0, session), &light);
+            assert_eq!(g, s.route(&spec(1, session), &heavy), "load must not move a session");
+            assert!(g < 4);
+        }
+        // Different sessions spread (not all on one group).
+        let picks: Vec<usize> = (0..64).map(|k| s.route(&spec(0, k), &light)).collect();
+        assert!(picks.iter().any(|&g| g != picks[0]));
+    }
+}

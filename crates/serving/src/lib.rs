@@ -33,13 +33,14 @@
 //!   steady-state block simulation (token cadence, prefill rate,
 //!   slot/replica structure), configured per run via [`ServeOptions`].
 //!   Three interchangeable event cores ([`TickEngine`]): the default
-//!   *phase-bucketed* engine advances every due resident of a replica in
-//!   one tick event (heap traffic scales with admissions, not generated
-//!   tokens); the *span-fast-forward* engine additionally jumps the clock
-//!   between external events in closed form, emitting whole deterministic
-//!   decode spans in one batch (heap traffic scales with external events
-//!   alone); and the retained *per-token reference* loop, kept for
-//!   differential testing and the `sim_perf` bench
+//!   *span-fast-forward* engine jumps the clock between external events in
+//!   closed form, emitting whole deterministic decode spans in one batch
+//!   (heap traffic scales with external events alone) — it also backs the
+//!   resumable [`GroupSim`] form the cluster simulator drives epoch by
+//!   epoch; the *phase-bucketed* engine advances every due resident of a
+//!   replica in one tick event (heap traffic scales with admissions, not
+//!   generated tokens); and the retained *per-token reference* loop, kept
+//!   for differential testing and the `sim_perf` bench
 //!   ([`ServingSystem::serve_trace_instrumented`] exposes [`SimStats`]);
 //! * [`ServingReport`] — TTFT, per-token time-between-tokens and
 //!   query-latency distributions (p50/p95/p99), tokens/s against the
@@ -82,11 +83,15 @@ mod workload;
 
 pub use policy::{DeadlineAware, Fifo, PolicyContext, SchedulingPolicy, ShortestRemainingDecode};
 pub use queue::{
-    PriorityClass, QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec, SwapState,
+    PriorityClass, QueuedRequest, RequestId, RequestQueue, RequestRecord, RequestSpec, SessionId,
+    SwapState,
 };
 pub use report::{ClassReport, LatencyStats, ServingReport};
 pub use scheduler::{
     Admission, ContinuousBatchScheduler, KvBudget, KvMode, LeaseId, Preemption, SchedulerConfig,
 };
-pub use sim::{KvSpillConfig, KvSpillMode, ServeOptions, ServingSystem, SimStats, TickEngine};
-pub use workload::{ArrivalProcess, ClassMix, LengthSampler, Workload};
+pub use sim::{
+    GroupOutcome, GroupSim, KvSpillConfig, KvSpillMode, ServeOptions, ServingSystem, SimStats,
+    TickEngine,
+};
+pub use workload::{ArrivalProcess, ClassMix, LengthSampler, LoadCurve, Workload};

@@ -39,6 +39,13 @@ pub struct PolicyContext {
 /// operating points out across threads, and boxed policies are [`Clone`]
 /// (via [`clone_box`](Self::clone_box)) so one
 /// [`ServeOptions`](crate::ServeOptions) can be reused across points.
+///
+/// Priorities must be *stable between admission instants*: a request's key
+/// may depend on its own state (arrival, remaining work) and on constants
+/// from the context, but not on `ctx.now` itself. The scheduler's blocked-
+/// head fast path relies on this — a pick that lost the capacity race is
+/// assumed to stay the front-runner until a lease is released or a
+/// better-keyed request arrives.
 pub trait SchedulingPolicy: std::fmt::Debug + Send + Sync {
     /// Short human-readable name (used in sweep tables).
     fn name(&self) -> &'static str;
@@ -137,6 +144,7 @@ mod tests {
             prompt: 16,
             decode,
             class: PriorityClass::default(),
+            session: crate::queue::SessionId(id),
         });
         q.progress = progress;
         q

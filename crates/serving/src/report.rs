@@ -482,6 +482,7 @@ mod tests {
                 prompt: 8,
                 decode: 4,
                 class: PriorityClass(class),
+                session: crate::queue::SessionId(id),
             },
             admitted: Time::from_us(arrival_us),
             first_token: Time::from_us(arrival_us + 10),

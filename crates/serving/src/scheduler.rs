@@ -41,7 +41,7 @@ use cent_types::consts::CHANNEL_CAPACITY;
 use cent_types::Time;
 
 use crate::policy::{Fifo, PolicyContext, SchedulingPolicy};
-use crate::queue::{QueuedRequest, RequestId, RequestQueue, RequestSpec};
+use crate::queue::{PriorityClass, QueuedRequest, RequestId, RequestQueue, RequestSpec};
 
 /// KV-cache capacity of one pipeline replica, in context tokens.
 ///
@@ -173,6 +173,22 @@ struct Lease {
     class: u8,
 }
 
+/// Snapshot of a failed head-of-line admission, so the next
+/// [`admit_ready`](ContinuousBatchScheduler::admit_ready) call can skip the
+/// full selection scan when nothing that matters has changed. Valid while
+/// the release epoch is unchanged (no capacity freed) and only *new*
+/// arrivals were pushed behind `seen_len`; any queue removal goes through
+/// an admission, which consumes the cache.
+#[derive(Debug, Clone, Copy)]
+struct BlockedHead {
+    /// Total admission-order key of the blocked head pick.
+    key: (PriorityClass, i128, Time, RequestId),
+    /// Queue length already scanned; only the suffix beyond it is new.
+    seen_len: usize,
+    /// [`ContinuousBatchScheduler::release_epoch`] at the failed attempt.
+    release_epoch: u64,
+}
+
 /// Policy-driven continuous-batching scheduler over replicated pipelines.
 #[derive(Debug)]
 pub struct ContinuousBatchScheduler {
@@ -191,6 +207,11 @@ pub struct ContinuousBatchScheduler {
     peak_kv: u64,
     admissions: u64,
     preemptions: u64,
+    /// Bumped by every [`release`](Self::release) (completion or
+    /// preemption) — the only events that can unblock a stuck head.
+    release_epoch: u64,
+    /// Cached head-of-line block from the last failed admission attempt.
+    blocked: Option<BlockedHead>,
 }
 
 impl ContinuousBatchScheduler {
@@ -214,6 +235,8 @@ impl ContinuousBatchScheduler {
             peak_kv: 0,
             admissions: 0,
             preemptions: 0,
+            release_epoch: 0,
+            blocked: None,
             cfg,
         }
     }
@@ -292,6 +315,7 @@ impl ContinuousBatchScheduler {
         self.busy_total -= 1;
         self.kv_total -= l.kv_now;
         self.free_leases.push(lease);
+        self.release_epoch += 1;
         l
     }
 
@@ -303,7 +327,30 @@ impl ContinuousBatchScheduler {
     /// interactive traffic at admission; the policy orders within a class.
     /// Head-of-line blocking on that order is deliberate: it is what makes
     /// saturation fair.
+    ///
+    /// Overload fast path: when the head pick could not be placed and no
+    /// lease has been released since (same `release_epoch`, bumped by
+    /// every completion/preemption), the head is still blocked — only the
+    /// *new* arrivals pushed since the failed attempt need scanning, and
+    /// only to check whether one of them outranks the cached head. On
+    /// saturated shapes this turns every queue re-walk between releases
+    /// into O(new arrivals) instead of O(queue depth). Correct because
+    /// in-tree policies order on request state only (not `ctx.now`), so a
+    /// key that lost stays losing until capacity frees up.
     pub fn admit_ready(&mut self, ctx: &PolicyContext) -> Vec<Admission> {
+        if let Some(b) = self.blocked.take() {
+            if b.release_epoch == self.release_epoch {
+                let policy = &self.policy;
+                let outranked = self.queue.iter().skip(b.seen_len).any(|q| {
+                    (q.spec.class, policy.priority(q, ctx), q.spec.arrival, q.spec.id) < b.key
+                });
+                if !outranked {
+                    // Same capacity, no better pick: still blocked.
+                    self.blocked = Some(BlockedHead { seen_len: self.queue.len(), ..b });
+                    return Vec::new();
+                }
+            }
+        }
         let mut admitted = Vec::new();
         loop {
             let policy = &self.policy;
@@ -325,7 +372,15 @@ impl ContinuousBatchScheduler {
                         && (r.kv_reserved + need <= limit || r.kv_reserved == 0)
                 })
                 .min_by_key(|(i, r)| (r.busy_slots, r.kv_reserved, *i));
-            let Some((ridx, _)) = slot else { break };
+            let Some((ridx, _)) = slot else {
+                let q = self.queue.get(idx);
+                self.blocked = Some(BlockedHead {
+                    key: (q.spec.class, policy.priority(q, ctx), q.spec.arrival, q.spec.id),
+                    seen_len: self.queue.len(),
+                    release_epoch: self.release_epoch,
+                });
+                break;
+            };
             let req = self.queue.remove(idx);
             let lease = self.alloc_lease(Lease {
                 id: req.spec.id,
@@ -520,6 +575,7 @@ mod tests {
             prompt,
             decode,
             class: PriorityClass::default(),
+            session: crate::queue::SessionId(id),
         }
     }
 
@@ -806,6 +862,57 @@ mod tests {
         assert!(s.admit_ready(&ctx(1)).is_empty());
         s.complete(adm[0].lease);
         assert_eq!(s.admit_ready(&ctx(2)).len(), 1);
+    }
+
+    #[test]
+    fn blocked_head_cache_preserves_admission_order() {
+        // One slot, occupied: every admission attempt blocks. The cached
+        // blocked head must not change what gets admitted — later arrivals
+        // that outrank the cached head (lower class) still win once
+        // capacity frees up, and same-class arrivals stay behind it.
+        let mut s = sched(1, 1, u64::MAX);
+        s.enqueue(classed(0, 4, 4, 0));
+        let first = s.admit_ready(&ctx(0));
+        assert_eq!(first.len(), 1);
+        s.enqueue(classed(1, 4, 4, 1));
+        assert!(s.admit_ready(&ctx(1)).is_empty(), "slot is busy");
+        // Re-poll without any release: the fast path answers.
+        assert!(s.admit_ready(&ctx(2)).is_empty());
+        assert!(s.admit_ready(&ctx(3)).is_empty());
+        // A higher-class (interactive) arrival outranks the cached head;
+        // still no capacity, but the cache must now track the new head.
+        s.enqueue(classed(2, 4, 4, 0));
+        assert!(s.admit_ready(&ctx(4)).is_empty());
+        // Capacity frees: the interactive request is admitted first even
+        // though the background one was cached as the head earlier.
+        s.complete(first[0].lease);
+        let adm = s.admit_ready(&ctx(5));
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].req.spec.id, RequestId(2));
+        s.complete(adm[0].lease);
+        let adm = s.admit_ready(&ctx(6));
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].req.spec.id, RequestId(1));
+    }
+
+    #[test]
+    fn blocked_head_cache_survives_same_rank_arrivals() {
+        // New arrivals behind a blocked head (same class, later FIFO order)
+        // must neither unblock it nor get admitted out of order.
+        let mut s = sched(1, 1, u64::MAX);
+        s.enqueue(spec(0, 4, 4));
+        let first = s.admit_ready(&ctx(0));
+        assert_eq!(first.len(), 1);
+        s.enqueue(spec(1, 4, 4));
+        assert!(s.admit_ready(&ctx(1)).is_empty());
+        for i in 2..20 {
+            s.enqueue(spec(i, 4, 4));
+            assert!(s.admit_ready(&ctx(i)).is_empty());
+        }
+        s.complete(first[0].lease);
+        let adm = s.admit_ready(&ctx(20));
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].req.spec.id, RequestId(1), "FIFO head admitted after release");
     }
 
     #[test]

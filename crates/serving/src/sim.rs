@@ -19,7 +19,7 @@
 //! prefill completes, and every later token one step apart.
 //!
 //! The grid alignment is what makes the fast [`TickEngine`]s fast. The
-//! default *phase-bucketed* engine exploits it spatially: residents of a
+//! *phase-bucketed* engine exploits it spatially: residents of a
 //! replica share tick phases (`next_token mod token_interval`), so one
 //! `Tick` heap entry per `(replica, phase)` bucket advances *every* due
 //! resident in admission order, and heap traffic scales with admissions
@@ -34,8 +34,8 @@
 //! handles, so the per-token hot path is an array walk, not a tree
 //! lookup.
 //!
-//! The *span-fast-forward* engine ([`TickEngine::SpanFastForward`])
-//! exploits the grid temporally as well: between external events
+//! The *span-fast-forward* engine ([`TickEngine::SpanFastForward`], the
+//! default) exploits the grid temporally as well: between external events
 //! (arrivals, completions, pool exhaustion) decode on the fixed cadence
 //! is fully deterministic, so each replica's next decision instant is
 //! solved in closed form and all intervening tokens are emitted as
@@ -46,6 +46,15 @@
 //! produce bit-identical [`ServingReport`]s (enforced by differential
 //! tests), and [`ServingSystem::serve_trace_instrumented`] exposes
 //! [`SimStats`] so the `sim_perf` bench can chart the gaps.
+//!
+//! The span engine's state lives in [`GroupSim`], a *resumable* form of
+//! the event loop: arrivals can be injected incrementally
+//! ([`GroupSim::push_arrival`]) and the simulation advanced through
+//! bounded windows ([`GroupSim::advance_to`]), which is what lets
+//! `cent-cluster` drive many independent replica groups through shared
+//! time epochs across worker threads. Batch serving
+//! ([`ServingSystem::serve_trace_with`]) runs on the very same code path,
+//! so the differential tests cover the incremental engine too.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -76,8 +85,7 @@ use crate::workload::Workload;
 pub enum TickEngine {
     /// Phase-bucketed replica ticks: one heap entry per `(replica, phase)`
     /// bucket advances every due resident, and residents live in a dense
-    /// slab. The default.
-    #[default]
+    /// slab.
     PhaseBucketed,
     /// The straight-line pre-refactor loop: one heap entry per generated
     /// token, residents in an id-keyed map. Retained as the differential
@@ -88,7 +96,8 @@ pub enum TickEngine {
     /// (earliest completion, KV-exhaustion forecast) is solved in closed
     /// form and every intervening token is emitted as one batched span —
     /// heap traffic scales with external events (arrivals, completions,
-    /// preemptions), not tick phases.
+    /// preemptions), not tick phases. The fastest engine, and the default.
+    #[default]
     SpanFastForward,
 }
 
@@ -192,7 +201,7 @@ impl KvSpillConfig {
 /// target and event core.
 ///
 /// The default is the conservative regime — full reservation under FIFO
-/// with no SLO on the phase-bucketed engine, recompute-only spill; sweeps
+/// with no SLO on the span-fast-forward engine, recompute-only spill; sweeps
 /// opt into token-granular accounting, the CXL swap tier and alternative
 /// policies through [`ServingSystem::run_with`]. Options are `Clone`, so
 /// sweeps build them once and reuse them across operating points.
@@ -241,7 +250,7 @@ impl ServeOptions {
         self
     }
 
-    /// Selects the event core (default: [`TickEngine::PhaseBucketed`]).
+    /// Selects the event core (default: [`TickEngine::SpanFastForward`]).
     pub fn with_engine(mut self, engine: TickEngine) -> Self {
         self.engine = engine;
         self
@@ -723,142 +732,294 @@ impl ServingSystem {
         offered_qps: f64,
         options: ServeOptions,
     ) -> (ServingReport, SimStats) {
-        let interval = self.token_interval;
-        let mut core = Core::new(self, options);
-        let mut heap = EventHeap::with_arrivals(trace);
-        let mut slab = Slab::default();
-        let replicas = self.scheduler_cfg.replicas;
-        let mut spans: Vec<ReplicaSpan> = vec![ReplicaSpan::default(); replicas];
-        // Lease handle → slab handle, so preemption victims reported by the
-        // scheduler resolve to residents without a map lookup.
-        let mut lease_handle: Vec<u32> = Vec::new();
-        // Steady-state scratch buffers, allocated once per run.
-        let mut due: Vec<u32> = Vec::new();
-        let mut victims: Vec<Preemption> = Vec::new();
-        let mut dirty: Vec<bool> = vec![false; replicas];
-
-        while let Some(t) = heap.next_instant() {
-            core.accumulate_to(t);
-            // Fast-forward every replica's deterministic emissions up to
-            // `t` — inclusive unless the replica's own decision fires at
-            // `t` (then the wake's tick walk handles the at-`t` tokens, so
-            // growth can preempt and final tokens can complete). The
-            // per-replica staircase areas fold into ONE integral update.
-            let mut span_area: u128 = 0;
-            for span in &spans {
-                let inclusive = span.scheduled != Some(t);
-                span_area += core.fast_forward_replica(&mut slab, &span.members, t, inclusive);
-            }
-            core.kv_integral.add_area(span_area);
-            // Drain every event at this instant, then admit once.
-            while let Some(event) = heap.pop_at(t) {
-                match event {
-                    Event::Arrive(spec) => core.arrive(spec),
-                    Event::Wake { replica } => {
-                        let replica = replica as usize;
-                        if spans[replica].scheduled != Some(t) {
-                            // Superseded by a re-solved decision: drop it.
-                            continue;
-                        }
-                        spans[replica].scheduled = None;
-                        dirty[replica] = true;
-                        core.tick_events += 1;
-                        // The decision tick: walk due residents in
-                        // admission order, exactly like a bucketed tick.
-                        due.clear();
-                        due.extend(
-                            spans[replica]
-                                .members
-                                .iter()
-                                .copied()
-                                .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t)),
-                        );
-                        for &h in &due {
-                            let Some(r) = slab.get(h) else { continue };
-                            if r.next_at != t {
-                                continue;
-                            }
-                            let lease = r.lease;
-                            let mut self_preempted = false;
-                            core.scheduler.grow(lease, &mut victims);
-                            for &p in &victims {
-                                let vh = lease_handle[p.lease.index()];
-                                let v = slab.remove(vh);
-                                debug_assert_eq!(v.q.spec.id, p.id, "slab and leases agree");
-                                remove_span_member(&mut spans[v.replica].members, vh);
-                                if p.lease == lease {
-                                    self_preempted = true;
-                                }
-                                core.preempt(v.q, v.replica);
-                            }
-                            if self_preempted {
-                                continue;
-                            }
-                            let r = slab.get_mut(h).expect("survived growth");
-                            if core.emit_token(&mut r.q, t) {
-                                core.scheduler.complete(lease);
-                                let r = slab.remove(h);
-                                remove_span_member(&mut spans[r.replica].members, h);
-                                core.finish(r.q, r.replica, t);
-                            } else {
-                                r.next_at = t + interval;
-                            }
-                        }
-                    }
-                    Event::Token { .. } | Event::Tick { .. } => {
-                        unreachable!("span engine schedules only replica wakes")
-                    }
-                }
-            }
-            if core.admission_dirty {
-                core.admission_dirty = false;
-                for p in core.admit(t) {
-                    let phase = p.first_token.as_ps() % interval.as_ps();
-                    let h = slab.insert(Resident {
-                        q: p.q,
-                        replica: p.replica,
-                        lease: p.lease,
-                        next_at: p.first_token,
-                        phase,
-                    });
-                    if lease_handle.len() <= p.lease.index() {
-                        lease_handle.resize(p.lease.index() + 1, u32::MAX);
-                    }
-                    lease_handle[p.lease.index()] = h;
-                    spans[p.replica].members.push(h);
-                    dirty[p.replica] = true;
-                }
-            }
-            // Re-solve the decision instant of every replica whose resident
-            // set or reservation headroom changed at this instant.
-            for (replica, changed) in dirty.iter_mut().enumerate() {
-                if !*changed {
-                    continue;
-                }
-                *changed = false;
-                let next = next_decision(&core, &slab, &spans[replica].members, interval, replica);
-                match next {
-                    Some(at) if spans[replica].scheduled != Some(at) => {
-                        debug_assert!(at > t, "decision must advance");
-                        spans[replica].scheduled = Some(at);
-                        heap.push(at, Event::Wake { replica: replica as u32 });
-                    }
-                    Some(_) => {}
-                    None => spans[replica].scheduled = None,
-                }
-            }
+        // Batch serving is incremental serving with every arrival pushed up
+        // front: seeding an empty heap in trace order assigns the same
+        // `(at, seq)` keys as `EventHeap::with_arrivals`, so this path and
+        // the cluster's epoch-resumed path are bit-identical by
+        // construction.
+        let mut sim = GroupSim::new(self, options);
+        for spec in trace {
+            sim.push_arrival(*spec);
         }
-        debug_assert!(slab.is_empty(), "drained loop left residents behind");
-        core.into_report(trace.len(), offered_qps, &heap)
+        let outcome = sim.finish(offered_qps);
+        (outcome.report, outcome.stats)
     }
 }
 
-/// Event-loop state shared by both engines: the scheduler, the occupancy
+/// One replica group's span-fast-forward event loop in resumable form.
+///
+/// [`ServingSystem::serve_trace_with`] drives it to completion in one call;
+/// the cluster simulator instead interleaves [`push_arrival`] and
+/// [`advance_to`] to step many groups through bounded time epochs (possibly
+/// on different worker threads — the type is `Send`), reading the O(1) load
+/// probes ([`outstanding`], [`kv_reserved`]) between epochs for routing.
+/// Both drivers traverse identical event sequences, so a trace served
+/// incrementally produces the same [`GroupOutcome`] bit for bit as the
+/// batch path — provided arrivals are pushed in trace order and never
+/// behind the advanced horizon.
+///
+/// [`push_arrival`]: GroupSim::push_arrival
+/// [`advance_to`]: GroupSim::advance_to
+/// [`outstanding`]: GroupSim::outstanding
+/// [`kv_reserved`]: GroupSim::kv_reserved
+#[derive(Debug)]
+pub struct GroupSim {
+    interval: Time,
+    core: Core,
+    heap: EventHeap,
+    slab: Slab,
+    spans: Vec<ReplicaSpan>,
+    /// Lease handle → slab handle, so preemption victims reported by the
+    /// scheduler resolve to residents without a map lookup.
+    lease_handle: Vec<u32>,
+    /// Steady-state scratch buffers, allocated once per run.
+    due: Vec<u32>,
+    victims: Vec<Preemption>,
+    dirty: Vec<bool>,
+    /// Requests pushed so far (the report's `submitted` denominator).
+    submitted: usize,
+    /// Horizon `advance_to` has consumed; arrivals must not land behind it.
+    advanced_to: Time,
+}
+
+impl GroupSim {
+    /// A fresh, empty group over `sys`'s serving constants.
+    ///
+    /// The group always runs the span-fast-forward core;
+    /// `options.engine` is ignored (the other engines exist only as
+    /// batch-mode differential references).
+    pub fn new(sys: &ServingSystem, options: ServeOptions) -> Self {
+        assert!(sys.token_interval > Time::ZERO, "token interval must be positive");
+        let replicas = sys.scheduler_cfg.replicas;
+        GroupSim {
+            interval: sys.token_interval,
+            core: Core::new(sys, options),
+            heap: EventHeap::new(),
+            slab: Slab::default(),
+            spans: vec![ReplicaSpan::default(); replicas],
+            lease_handle: Vec::new(),
+            due: Vec::new(),
+            victims: Vec::new(),
+            dirty: vec![false; replicas],
+            submitted: 0,
+            advanced_to: Time::ZERO,
+        }
+    }
+
+    /// Injects one arriving request.
+    ///
+    /// Arrivals must be pushed in trace order (simultaneous arrivals
+    /// resolve in push order) and must not land behind the horizon already
+    /// consumed by [`advance_to`](Self::advance_to).
+    pub fn push_arrival(&mut self, spec: RequestSpec) {
+        assert!(
+            spec.arrival >= self.advanced_to,
+            "arrival at {} behind the advanced horizon {}",
+            spec.arrival,
+            self.advanced_to
+        );
+        self.submitted += 1;
+        self.heap.push(spec.arrival, Event::Arrive(spec));
+    }
+
+    /// Processes every pending event strictly before `limit`, leaving the
+    /// group ready for arrivals in `[limit, …)` — epochs are half-open, so
+    /// an event exactly at `limit` belongs to the next window.
+    pub fn advance_to(&mut self, limit: Time) {
+        while let Some(t) = self.heap.next_instant() {
+            if t >= limit {
+                break;
+            }
+            self.step(t);
+        }
+        self.advanced_to = self.advanced_to.max(limit);
+    }
+
+    /// Requests currently in the group (waiting or resident) — the
+    /// router's queue-depth load probe, maintained in O(1).
+    pub fn outstanding(&self) -> u64 {
+        (self.core.scheduler.in_flight() + self.core.scheduler.queue_len()) as u64
+    }
+
+    /// KV tokens currently reserved across the group's replicas — the
+    /// router's memory-pressure load probe, maintained in O(1).
+    pub fn kv_reserved(&self) -> u64 {
+        self.core.scheduler.total_kv_reserved()
+    }
+
+    /// Requests pushed into the group so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Drains every remaining event and assembles the group's outcome.
+    pub fn finish(mut self, offered_qps: f64) -> GroupOutcome {
+        while let Some(t) = self.heap.next_instant() {
+            self.step(t);
+        }
+        debug_assert!(self.slab.is_empty(), "drained loop left residents behind");
+        self.core.into_outcome(self.submitted, offered_qps, &self.heap)
+    }
+
+    /// One event instant of the span engine: fast-forward, drain, admit,
+    /// re-solve — see [`ServingSystem::serve_trace_with`] for the
+    /// semantics.
+    fn step(&mut self, t: Time) {
+        let interval = self.interval;
+        let GroupSim { core, heap, slab, spans, lease_handle, due, victims, dirty, .. } = self;
+        core.accumulate_to(t);
+        // Fast-forward every replica's deterministic emissions up to
+        // `t` — inclusive unless the replica's own decision fires at
+        // `t` (then the wake's tick walk handles the at-`t` tokens, so
+        // growth can preempt and final tokens can complete). The
+        // per-replica staircase areas fold into ONE integral update.
+        let mut span_area: u128 = 0;
+        for span in spans.iter() {
+            let inclusive = span.scheduled != Some(t);
+            span_area += core.fast_forward_replica(slab, &span.members, t, inclusive);
+        }
+        core.kv_integral.add_area(span_area);
+        // Drain every event at this instant, then admit once.
+        while let Some(event) = heap.pop_at(t) {
+            match event {
+                Event::Arrive(spec) => core.arrive(spec),
+                Event::Wake { replica } => {
+                    let replica = replica as usize;
+                    if spans[replica].scheduled != Some(t) {
+                        // Superseded by a re-solved decision: drop it.
+                        continue;
+                    }
+                    spans[replica].scheduled = None;
+                    dirty[replica] = true;
+                    core.tick_events += 1;
+                    // The decision tick: walk due residents in
+                    // admission order, exactly like a bucketed tick.
+                    due.clear();
+                    due.extend(
+                        spans[replica]
+                            .members
+                            .iter()
+                            .copied()
+                            .filter(|&h| slab.get(h).is_some_and(|r| r.next_at == t)),
+                    );
+                    for &h in due.iter() {
+                        let Some(r) = slab.get(h) else { continue };
+                        if r.next_at != t {
+                            continue;
+                        }
+                        let lease = r.lease;
+                        let mut self_preempted = false;
+                        core.scheduler.grow(lease, victims);
+                        for &p in victims.iter() {
+                            let vh = lease_handle[p.lease.index()];
+                            let v = slab.remove(vh);
+                            debug_assert_eq!(v.q.spec.id, p.id, "slab and leases agree");
+                            remove_span_member(&mut spans[v.replica].members, vh);
+                            if p.lease == lease {
+                                self_preempted = true;
+                            }
+                            core.preempt(v.q, v.replica);
+                        }
+                        if self_preempted {
+                            continue;
+                        }
+                        let r = slab.get_mut(h).expect("survived growth");
+                        if core.emit_token(&mut r.q, t) {
+                            core.scheduler.complete(lease);
+                            let r = slab.remove(h);
+                            remove_span_member(&mut spans[r.replica].members, h);
+                            core.finish(r.q, r.replica, t);
+                        } else {
+                            r.next_at = t + interval;
+                        }
+                    }
+                }
+                Event::Token { .. } | Event::Tick { .. } => {
+                    unreachable!("span engine schedules only replica wakes")
+                }
+            }
+        }
+        if core.admission_dirty {
+            core.admission_dirty = false;
+            for p in core.admit(t) {
+                let phase = p.first_token.as_ps() % interval.as_ps();
+                let h = slab.insert(Resident {
+                    q: p.q,
+                    replica: p.replica,
+                    lease: p.lease,
+                    next_at: p.first_token,
+                    phase,
+                });
+                if lease_handle.len() <= p.lease.index() {
+                    lease_handle.resize(p.lease.index() + 1, u32::MAX);
+                }
+                lease_handle[p.lease.index()] = h;
+                spans[p.replica].members.push(h);
+                dirty[p.replica] = true;
+            }
+        }
+        // Re-solve the decision instant of every replica whose resident
+        // set or reservation headroom changed at this instant.
+        for (replica, changed) in dirty.iter_mut().enumerate() {
+            if !*changed {
+                continue;
+            }
+            *changed = false;
+            let next = next_decision(core, slab, &spans[replica].members, interval, replica);
+            match next {
+                Some(at) if spans[replica].scheduled != Some(at) => {
+                    debug_assert!(at > t, "decision must advance");
+                    spans[replica].scheduled = Some(at);
+                    heap.push(at, Event::Wake { replica: replica as u32 });
+                }
+                Some(_) => {}
+                None => spans[replica].scheduled = None,
+            }
+        }
+    }
+}
+
+/// Everything a finished group exposes: the per-group [`ServingReport`] and
+/// [`SimStats`], plus the raw populations (completion records, TBT
+/// histograms, per-class counters) the cluster's deterministic merge folds
+/// into a fleet-wide report.
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    /// The group's own serving report.
+    pub report: ServingReport,
+    /// Event-core counters of the group's run.
+    pub stats: SimStats,
+    /// Completion records sorted by request id.
+    pub records: Vec<RequestRecord>,
+    /// The group's time-between-tokens stream.
+    pub tbt: TimeHistogram,
+    /// Per-class TBT streams (keyed by the classes seen, ascending).
+    pub tbt_by_class: Vec<(PriorityClass, TimeHistogram)>,
+    /// Per-class submission counts (same key order).
+    pub submitted_by_class: Vec<(PriorityClass, usize)>,
+}
+
+/// Event-loop state shared by every engine: the scheduler, the occupancy
 /// integrals, the serial prefill front-ends and the run counters. Keeping
 /// admission, token accounting and report assembly here guarantees the
 /// engines can only differ in *event mechanics*, never in semantics.
-struct Core<'a> {
-    sys: &'a ServingSystem,
+///
+/// The core copies the handful of serving constants it needs out of the
+/// [`ServingSystem`] instead of borrowing it, so [`GroupSim`] (which owns a
+/// core) is self-contained and `Send` — fleet workers move whole groups
+/// across `std::thread::scope` boundaries.
+#[derive(Debug)]
+struct Core {
+    /// Interval between a resident query's tokens (pipeline round trip).
+    token_interval: Time,
+    /// Prefill token rate of one replica, tokens/second.
+    prefill_rate: f64,
+    /// Decode slots across all replicas.
+    total_slots: usize,
+    /// Independent pipeline replicas.
+    replicas: usize,
+    /// Steady-state system decode throughput from the oracle.
+    steady_state_tokens_per_s: f64,
     scheduler: ContinuousBatchScheduler,
     records: Vec<RequestRecord>,
     /// Each replica has one prefill front-end: prompts of back-to-back
@@ -922,11 +1083,15 @@ struct Placed {
     epoch: u64,
 }
 
-impl<'a> Core<'a> {
-    fn new(sys: &'a ServingSystem, options: ServeOptions) -> Self {
+impl Core {
+    fn new(sys: &ServingSystem, options: ServeOptions) -> Self {
         let cfg = SchedulerConfig { kv: options.kv, ..sys.scheduler_cfg };
         Core {
-            sys,
+            token_interval: sys.token_interval,
+            prefill_rate: sys.prefill_rate,
+            total_slots: sys.total_slots(),
+            replicas: sys.scheduler_cfg.replicas,
+            steady_state_tokens_per_s: sys.steady_state_tokens_per_s,
             scheduler: ContinuousBatchScheduler::new(cfg).with_policy(options.policy),
             records: Vec::new(),
             prefill_free: vec![Time::ZERO; sys.scheduler_cfg.replicas],
@@ -994,14 +1159,14 @@ impl<'a> Core<'a> {
     /// the first token of a query whose prefill finished at `t` at the end
     /// of the step in progress.
     fn next_step(&self, t: Time) -> Time {
-        let step = self.sys.token_interval.as_ps();
+        let step = self.token_interval.as_ps();
         Time::from_ps((t.as_ps() / step + 1) * step)
     }
 
     /// Runs admission at instant `t` and computes each admitted request's
     /// service timeline (prefill or swap-in) and first-token instant.
     fn admit(&mut self, t: Time) -> Vec<Placed> {
-        let ctx = PolicyContext { now: t, token_interval: self.sys.token_interval };
+        let ctx = PolicyContext { now: t, token_interval: self.token_interval };
         let admitted = self.scheduler.admit_ready(&ctx);
         let mut placed = Vec::with_capacity(admitted.len());
         for admission in admitted {
@@ -1027,7 +1192,7 @@ impl<'a> Core<'a> {
                 // path, the whole context (prompt + generated so far) —
                 // streams through the replica's serial prefill front-end.
                 let context_tokens = q.spec.prompt + q.progress;
-                let prefill = Time::from_secs_f64(context_tokens as f64 / self.sys.prefill_rate);
+                let prefill = Time::from_secs_f64(context_tokens as f64 / self.prefill_rate);
                 let start = t.max(self.prefill_free[admission.replica]);
                 let done = start + prefill;
                 self.prefill_free[admission.replica] = done;
@@ -1057,7 +1222,7 @@ impl<'a> Core<'a> {
     /// any) plus one `record_n` (the `count - 1` on-cadence gaps).
     fn emit_span(&mut self, q: &mut QueuedRequest, first: Time, count: u64) {
         self.tokens += count;
-        let interval = self.sys.token_interval;
+        let interval = self.token_interval;
         let class = self.tbt_by_class.entry(q.spec.class).or_default();
         if let Some(gap) = q.apply_token_span(first, interval, count) {
             self.tbt.record(gap);
@@ -1088,7 +1253,7 @@ impl<'a> Core<'a> {
         t: Time,
         inclusive: bool,
     ) -> u128 {
-        let interval = self.sys.token_interval;
+        let interval = self.token_interval;
         let step = interval.as_ps();
         let mut area: u128 = 0;
         for &h in members {
@@ -1154,7 +1319,7 @@ impl<'a> Core<'a> {
             KvSpillMode::RecomputeOnly => false,
             KvSpillMode::SwapOnly => pool_fits,
             KvSpillMode::CostDriven => {
-                pool_fits && self.spill.swap_cost.swap_is_cheaper(tokens, self.sys.prefill_rate)
+                pool_fits && self.spill.swap_cost.swap_is_cheaper(tokens, self.prefill_rate)
             }
         };
         if swap {
@@ -1179,16 +1344,27 @@ impl<'a> Core<'a> {
 
     /// Assembles the [`ServingReport`] and [`SimStats`] of the finished run.
     fn into_report(
-        mut self,
+        self,
         submitted: usize,
         offered_qps: f64,
         heap: &EventHeap,
     ) -> (ServingReport, SimStats) {
-        let sys = self.sys;
+        let outcome = self.into_outcome(submitted, offered_qps, heap);
+        (outcome.report, outcome.stats)
+    }
+
+    /// Assembles the full [`GroupOutcome`] of the finished run: the report
+    /// and counters plus the raw populations the cluster merge consumes.
+    fn into_outcome(
+        mut self,
+        submitted: usize,
+        offered_qps: f64,
+        heap: &EventHeap,
+    ) -> GroupOutcome {
         let span_ps = self.last_t.as_ps();
-        let slot_utilization = self.busy_integral.fraction_of(sys.total_slots() as u128, span_ps);
+        let slot_utilization = self.busy_integral.fraction_of(self.total_slots as u128, span_ps);
         let kv_utilization = self.kv_integral.fraction_of(
-            u128::from(self.scheduler.kv_budget_tokens()) * sys.scheduler_cfg.replicas as u128,
+            u128::from(self.scheduler.kv_budget_tokens()) * self.replicas as u128,
             span_ps,
         );
         let peak_kv_fraction = if self.scheduler.kv_budget_tokens() > 0 {
@@ -1219,13 +1395,21 @@ impl<'a> Core<'a> {
             tokens: self.tokens,
             admissions: self.scheduler.admissions(),
         };
+        // The merge-facing populations are cloned out before RunTotals
+        // consumes them: per-group histograms must survive in the outcome
+        // so the cluster can fold them order-independently.
+        let tbt = self.tbt.clone();
+        let submitted_by_class: Vec<(PriorityClass, usize)> =
+            self.submitted_by_class.into_iter().collect();
+        let tbt_by_class: Vec<(PriorityClass, TimeHistogram)> =
+            self.tbt_by_class.into_iter().collect();
         let report = ServingReport::from_records(
             &self.records,
             RunTotals {
                 offered_qps,
                 submitted,
                 rejected: self.scheduler.rejected().len(),
-                steady_state_tokens_per_s: sys.steady_state_tokens_per_s,
+                steady_state_tokens_per_s: self.steady_state_tokens_per_s,
                 slot_utilization,
                 peak_kv_fraction,
                 kv_utilization,
@@ -1238,12 +1422,12 @@ impl<'a> Core<'a> {
                 host_kv_peak_tokens: self.host_peak,
                 host_kv_utilization,
                 tbt: self.tbt,
-                submitted_by_class: self.submitted_by_class.into_iter().collect(),
-                tbt_by_class: self.tbt_by_class.into_iter().collect(),
+                submitted_by_class: submitted_by_class.clone(),
+                tbt_by_class: tbt_by_class.clone(),
                 slo: self.slo,
             },
         );
-        (report, stats)
+        GroupOutcome { report, stats, records: self.records, tbt, tbt_by_class, submitted_by_class }
     }
 }
 
@@ -1375,7 +1559,7 @@ fn remove_span_member(members: &mut Vec<u32>, h: u32) {
 /// `C(s) > headroom` is exact — and it is only bisected at all when
 /// `C(earliest completion) > headroom` says the pool dies first.
 fn next_decision(
-    core: &Core<'_>,
+    core: &Core,
     slab: &Slab,
     members: &[u32],
     interval: Time,
@@ -1480,6 +1664,7 @@ impl PartialOrd for HeapEntry {
 /// The event heap plus push/pop counters: arrivals are seeded with the
 /// trace order sequence numbers, so simultaneous arrivals resolve in trace
 /// order ahead of any tick or token event.
+#[derive(Debug)]
 struct EventHeap {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     next_seq: u64,
@@ -1488,6 +1673,13 @@ struct EventHeap {
 }
 
 impl EventHeap {
+    /// An empty heap; pushing arrivals one by one in trace order assigns
+    /// the same `(at, seq)` keys [`with_arrivals`](Self::with_arrivals)
+    /// would.
+    fn new() -> Self {
+        EventHeap { heap: BinaryHeap::new(), next_seq: 0, pushes: 0, pops: 0 }
+    }
+
     fn with_arrivals(trace: &[RequestSpec]) -> Self {
         let mut heap = BinaryHeap::with_capacity(trace.len() + 64);
         for (i, spec) in trace.iter().enumerate() {
@@ -1585,6 +1777,7 @@ mod tests {
             prompt: 100,
             decode: 10,
             class: PriorityClass::default(),
+            session: crate::queue::SessionId(0),
         }];
         let report = sys.serve_trace(&trace, 1.0);
         assert_eq!(report.completed, 1);
@@ -1611,6 +1804,7 @@ mod tests {
                 prompt,
                 decode: 5,
                 class: PriorityClass::default(),
+                session: crate::queue::SessionId(0),
             }];
             let report = sys.serve_trace(&trace, 1.0);
             let first_token = report.ttft.p50 + Time::from_us(arrival_us);
@@ -1818,7 +2012,11 @@ mod tests {
         let sys = tiny_system().with_kv_budget(KvBudget::tokens(150));
         let w = poisson(50.0, 7, 10, 90);
         let horizon = Time::from_secs_f64(5.0);
-        let bucketed = sys.run_with(&w, horizon, ServeOptions::token_granular());
+        let bucketed = sys.run_with(
+            &w,
+            horizon,
+            ServeOptions::token_granular().with_engine(TickEngine::PhaseBucketed),
+        );
         for engine in [TickEngine::PerTokenReference, TickEngine::SpanFastForward] {
             let other =
                 sys.run_with(&w, horizon, ServeOptions::token_granular().with_engine(engine));
@@ -1835,7 +2033,11 @@ mod tests {
         let sys = tiny_system();
         let w = poisson(25.0, 11, 10, 490);
         let trace = w.generate(Time::from_secs_f64(20.0), 4096);
-        let (bkt_report, bkt) = sys.serve_trace_instrumented(&trace, 25.0, ServeOptions::default());
+        let (bkt_report, bkt) = sys.serve_trace_instrumented(
+            &trace,
+            25.0,
+            ServeOptions::default().with_engine(TickEngine::PhaseBucketed),
+        );
         let (span_report, span) = sys.serve_trace_instrumented(
             &trace,
             25.0,
@@ -1873,8 +2075,11 @@ mod tests {
         );
         let w = poisson(100.0, 3, 10, 200);
         let trace = w.generate(Time::from_secs_f64(5.0), 4096);
-        let (bucketed_report, bucketed) =
-            sys.serve_trace_instrumented(&trace, 100.0, ServeOptions::default());
+        let (bucketed_report, bucketed) = sys.serve_trace_instrumented(
+            &trace,
+            100.0,
+            ServeOptions::default().with_engine(TickEngine::PhaseBucketed),
+        );
         let (reference_report, reference) = sys.serve_trace_instrumented(
             &trace,
             100.0,
@@ -1887,6 +2092,61 @@ mod tests {
         assert!(ratio >= 5.0, "heap-event ratio only {ratio:.2}");
         assert!(bucketed.tick_events < bucketed.tokens / 4, "ticks should batch residents");
         assert_eq!(reference.tick_events, 0);
+    }
+
+    #[test]
+    fn incremental_group_sim_matches_batch_serving() {
+        // Epoch-resumed serving (push arrivals window by window, advance
+        // between windows) must reproduce the batch path bit for bit —
+        // including under KV pressure, where preemption requeues interleave
+        // with arrivals inside one instant.
+        let sys = tiny_system().with_kv_budget(KvBudget::tokens(150));
+        let w = poisson(50.0, 7, 10, 90);
+        let trace = w.generate(Time::from_secs_f64(5.0), 4096);
+        let (batch, batch_stats) =
+            sys.serve_trace_instrumented(&trace, 50.0, ServeOptions::token_granular());
+        for epoch_us in [1_000u64, 250_000, 10_000_000] {
+            let epoch = Time::from_us(epoch_us);
+            let mut sim = GroupSim::new(&sys, ServeOptions::token_granular());
+            let mut cursor = 0;
+            let mut limit = epoch;
+            while cursor < trace.len() {
+                while cursor < trace.len() && trace[cursor].arrival < limit {
+                    sim.push_arrival(trace[cursor]);
+                    cursor += 1;
+                }
+                assert!(sim.outstanding() <= sim.submitted() as u64);
+                sim.advance_to(limit);
+                limit += epoch;
+            }
+            let outcome = sim.finish(50.0);
+            assert_eq!(outcome.report, batch, "epoch {epoch_us} us");
+            assert_eq!(outcome.stats, batch_stats, "epoch {epoch_us} us");
+            assert_eq!(outcome.records.len(), batch.completed);
+        }
+    }
+
+    #[test]
+    fn group_load_probes_track_scheduler_state() {
+        let sys = tiny_system();
+        let mut sim = GroupSim::new(&sys, ServeOptions::default());
+        assert_eq!(sim.outstanding(), 0);
+        assert_eq!(sim.kv_reserved(), 0);
+        // Well above the ~66 q/s capacity of the tiny system, so the group
+        // is demonstrably loaded at the mid-trace probe instant.
+        for spec in poisson(200.0, 3, 10, 50).generate(Time::from_secs_f64(1.0), 4096) {
+            sim.push_arrival(spec);
+        }
+        let submitted = sim.submitted() as u64;
+        assert!(submitted > 0);
+        // Nothing processed yet: arrivals sit in the heap, not the queue.
+        assert_eq!(sim.outstanding(), 0);
+        sim.advance_to(Time::from_secs_f64(0.5));
+        // Mid-trace the group holds live requests and KV reservations.
+        assert!(sim.outstanding() > 0);
+        assert!(sim.kv_reserved() > 0);
+        let outcome = sim.finish(200.0);
+        assert_eq!(outcome.report.completed, submitted as usize);
     }
 
     #[test]

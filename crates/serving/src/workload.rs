@@ -11,7 +11,7 @@
 
 use cent_types::{Rng64, Time};
 
-use crate::queue::{PriorityClass, RequestId, RequestSpec};
+use crate::queue::{PriorityClass, RequestId, RequestSpec, SessionId};
 
 /// When requests arrive at the serving frontend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +42,25 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { rate_qps } => rate_qps,
             // Equal mean dwell in both states → rates average evenly.
             ArrivalProcess::Bursty { base_qps, burst_qps, .. } => 0.5 * (base_qps + burst_qps),
+        }
+    }
+
+    /// The same process with every rate multiplied by `factor` (dwell
+    /// times are unchanged). Used by [`Workload::generate_modulated`] to
+    /// over-generate at a [`LoadCurve`]'s peak before thinning.
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor {factor} must be positive");
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => {
+                ArrivalProcess::Poisson { rate_qps: rate_qps * factor }
+            }
+            ArrivalProcess::Bursty { base_qps, burst_qps, mean_dwell_s } => {
+                ArrivalProcess::Bursty {
+                    base_qps: base_qps * factor,
+                    burst_qps: burst_qps * factor,
+                    mean_dwell_s,
+                }
+            }
         }
     }
 
@@ -198,6 +217,135 @@ impl ClassMix {
     }
 }
 
+/// A piecewise-linear rate multiplier over simulated time, for layering
+/// diurnal (or any slow) load variation on top of an [`ArrivalProcess`].
+///
+/// The curve maps seconds to a non-negative multiplier; between vertices
+/// the multiplier interpolates linearly, outside the vertex span it holds
+/// the nearest endpoint (periodic curves wrap instead).
+/// [`Workload::generate_modulated`] applies a curve by generating at the
+/// curve's peak rate and thinning each arrival with probability
+/// `multiplier(t) / peak` — the exact inhomogeneous-Poisson construction,
+/// sharing its determinism contract with [`Workload::thin_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCurve {
+    /// `(seconds, multiplier)` vertices, strictly increasing in time.
+    points: Vec<(f64, f64)>,
+    /// For periodic curves, the wrap period in seconds.
+    period_s: Option<f64>,
+}
+
+impl LoadCurve {
+    /// A curve from `(seconds, multiplier)` vertices; before the first and
+    /// after the last vertex the multiplier is held constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, times are not finite / non-negative /
+    /// strictly increasing, or any multiplier is negative or non-finite.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "load curve needs at least one vertex");
+        for pair in points.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "load curve times must strictly increase");
+        }
+        for &(t, m) in &points {
+            assert!(t.is_finite() && t >= 0.0, "load curve time {t} invalid");
+            assert!(m.is_finite() && m >= 0.0, "load curve multiplier {m} invalid");
+        }
+        LoadCurve { points, period_s: None }
+    }
+
+    /// A periodic curve: the vertex span must cover exactly `[0, period_s]`
+    /// (first vertex at 0, last at `period_s`) and query times wrap modulo
+    /// the period.
+    pub fn periodic(points: Vec<(f64, f64)>, period_s: f64) -> Self {
+        let mut curve = Self::new(points);
+        assert!(period_s > 0.0 && period_s.is_finite(), "period {period_s} invalid");
+        let first = curve.points.first().expect("non-empty").0;
+        let last = curve.points.last().expect("non-empty").0;
+        assert!(
+            first == 0.0 && last == period_s,
+            "periodic curve must span [0, {period_s}] exactly (got [{first}, {last}])"
+        );
+        curve.period_s = Some(period_s);
+        curve
+    }
+
+    /// A triangle-wave diurnal cycle: the multiplier starts at `trough`,
+    /// peaks at `peak` half way through `period_s`, and returns to `trough`
+    /// at the period boundary, repeating forever.
+    pub fn diurnal(period_s: f64, trough: f64, peak: f64) -> Self {
+        Self::periodic(vec![(0.0, trough), (0.5 * period_s, peak), (period_s, trough)], period_s)
+    }
+
+    /// The multiplier at `t_s` seconds.
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        let t = match self.period_s {
+            Some(p) => t_s.rem_euclid(p),
+            None => t_s,
+        };
+        if t <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for pair in self.points.windows(2) {
+            let ((t0, v0), (t1, v1)) = (pair[0], pair[1]);
+            if t <= t1 {
+                return v0 + (v1 - v0) * ((t - t0) / (t1 - t0));
+            }
+        }
+        self.points.last().expect("non-empty").1
+    }
+
+    /// The curve's maximum multiplier (piecewise-linear curves attain their
+    /// maximum at a vertex).
+    pub fn max_multiplier(&self) -> f64 {
+        self.points.iter().map(|&(_, m)| m).fold(0.0, f64::max)
+    }
+
+    /// Mean multiplier over `[0, horizon_s]` (exact trapezoid integral).
+    pub fn mean_multiplier(&self, horizon_s: f64) -> f64 {
+        assert!(horizon_s > 0.0 && horizon_s.is_finite(), "horizon {horizon_s} invalid");
+        match self.period_s {
+            None => polyline_integral(&self.points, horizon_s) / horizon_s,
+            Some(p) => {
+                let full = (horizon_s / p).floor();
+                let rem = horizon_s - full * p;
+                let one = polyline_integral(&self.points, p);
+                (full * one + polyline_integral(&self.points, rem)) / horizon_s
+            }
+        }
+    }
+}
+
+/// Integral over `[0, b]` of the polyline through `points`, with constant
+/// extension before the first and after the last vertex.
+fn polyline_integral(points: &[(f64, f64)], b: f64) -> f64 {
+    if b <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let (first_t, first_v) = points[0];
+    if first_t > 0.0 {
+        acc += first_t.min(b) * first_v;
+    }
+    for pair in points.windows(2) {
+        let ((t0, v0), (t1, v1)) = (pair[0], pair[1]);
+        let lo = t0.max(0.0).min(b);
+        let hi = t1.max(0.0).min(b);
+        if hi <= lo {
+            continue;
+        }
+        let vl = v0 + (v1 - v0) * ((lo - t0) / (t1 - t0));
+        let vh = v0 + (v1 - v0) * ((hi - t0) / (t1 - t0));
+        acc += 0.5 * (vl + vh) * (hi - lo);
+    }
+    let (last_t, last_v) = *points.last().expect("non-empty");
+    if b > last_t {
+        acc += (b - last_t) * last_v;
+    }
+    acc
+}
+
 /// A reproducible request workload: arrivals plus shapes plus class tags.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -240,9 +388,50 @@ impl Workload {
             .map(|(i, arrival)| {
                 let (prompt, decode) = self.lengths.sample(max_context, &mut rng);
                 let class = self.classes.sample(&mut rng);
-                RequestSpec { id: RequestId(i as u64), arrival, prompt, decode, class }
+                // One session per request (no extra randomness), so traces
+                // predating the session key are bit-identical; see
+                // `assign_sessions` for multi-turn pools.
+                let id = RequestId(i as u64);
+                RequestSpec { id, arrival, prompt, decode, class, session: SessionId(i as u64) }
             })
             .collect()
+    }
+
+    /// Materialises a trace whose arrival rate follows `curve`: the
+    /// workload is generated at `curve.max_multiplier()` times its base
+    /// rate, then each arrival at `t` is kept with probability
+    /// `curve.multiplier_at(t) / peak` — the exact thinning construction
+    /// of an inhomogeneous Poisson process. Identical `(workload, curve,
+    /// thin_seed)` inputs always produce the same trace; survivors keep
+    /// their ids from the peak-rate trace (like [`Workload::thin_trace`]).
+    pub fn generate_modulated(
+        &self,
+        horizon: Time,
+        max_context: usize,
+        curve: &LoadCurve,
+        thin_seed: u64,
+    ) -> Vec<RequestSpec> {
+        let peak = curve.max_multiplier();
+        assert!(peak > 0.0, "load curve must be positive somewhere");
+        let scaled = Workload { arrivals: self.arrivals.scaled(peak), ..self.clone() };
+        let trace = scaled.generate(horizon, max_context);
+        let mut rng = Rng64::seed(thin_seed);
+        trace
+            .into_iter()
+            .filter(|spec| rng.next_f64() * peak < curve.multiplier_at(spec.arrival.as_secs()))
+            .collect()
+    }
+
+    /// Retags a trace in place with a pool of `sessions` long-lived
+    /// conversations: each request joins a uniformly drawn session.
+    /// Deterministic per `(trace order, sessions, seed)`; arrival times,
+    /// shapes and classes are untouched.
+    pub fn assign_sessions(trace: &mut [RequestSpec], sessions: u64, seed: u64) {
+        assert!(sessions > 0, "session pool must be non-empty");
+        let mut rng = Rng64::seed(seed);
+        for spec in trace.iter_mut() {
+            spec.session = SessionId(rng.next_below(sessions));
+        }
     }
 
     /// Deterministic Poisson thinning: keeps each request of `trace`
@@ -392,6 +581,89 @@ mod tests {
         assert!((fraction - 0.25).abs() < 0.07, "interactive fraction {fraction}");
         // Reproducible tags.
         let again = w.generate(Time::from_secs_f64(40.0), 4096);
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn load_curve_interpolates_and_integrates() {
+        let curve = LoadCurve::new(vec![(10.0, 1.0), (20.0, 3.0)]);
+        assert_eq!(curve.multiplier_at(0.0), 1.0); // held before first vertex
+        assert_eq!(curve.multiplier_at(15.0), 2.0);
+        assert_eq!(curve.multiplier_at(99.0), 3.0); // held after last vertex
+        assert_eq!(curve.max_multiplier(), 3.0);
+        // [0,10]: 1.0·10; [10,20]: trapezoid 2.0·10; [20,30]: 3.0·10.
+        let mean = curve.mean_multiplier(30.0);
+        assert!((mean - 2.0).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_curve_wraps_periodically() {
+        let curve = LoadCurve::diurnal(100.0, 0.5, 2.0);
+        assert_eq!(curve.multiplier_at(0.0), 0.5);
+        assert_eq!(curve.multiplier_at(50.0), 2.0);
+        assert_eq!(curve.multiplier_at(150.0), 2.0); // next period's peak
+        assert_eq!(curve.multiplier_at(100.0), 0.5);
+        // Triangle wave averages (trough + peak) / 2 over whole periods.
+        let mean = curve.mean_multiplier(300.0);
+        assert!((mean - 1.25).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn modulated_trace_tracks_the_curve() {
+        let w = Workload::chatbot(100.0, 21);
+        let curve = LoadCurve::diurnal(100.0, 0.2, 1.0);
+        let horizon = Time::from_secs_f64(200.0);
+        let trace = w.generate_modulated(horizon, 4096, &curve, 0xD1A);
+        // Overall rate ≈ base rate × mean multiplier (0.6).
+        let rate = trace.len() as f64 / 200.0;
+        assert!((rate - 60.0).abs() / 60.0 < 0.1, "rate {rate}");
+        // The trough quarter of each period sees far fewer arrivals than
+        // the peak quarter.
+        let in_window = |lo: f64, hi: f64| {
+            trace
+                .iter()
+                .filter(|s| {
+                    let t = s.arrival.as_secs() % 100.0;
+                    t >= lo && t < hi
+                })
+                .count() as f64
+        };
+        let trough = in_window(0.0, 12.5) + in_window(87.5, 100.0);
+        let peak = in_window(37.5, 62.5);
+        assert!(peak > 2.0 * trough, "peak {peak} vs trough {trough}");
+        // Deterministic.
+        assert_eq!(trace, w.generate_modulated(horizon, 4096, &curve, 0xD1A));
+        // A flat curve at 1.0 reproduces the unmodulated trace exactly.
+        let flat = LoadCurve::new(vec![(0.0, 1.0)]);
+        let base = w.generate(horizon, 4096);
+        assert_eq!(w.generate_modulated(horizon, 4096, &flat, 7), base);
+    }
+
+    #[test]
+    fn sessions_default_per_request_and_pool_assignment_is_uniform() {
+        let w = Workload::chatbot(50.0, 5);
+        let mut trace = w.generate(Time::from_secs_f64(20.0), 4096);
+        for spec in &trace {
+            assert_eq!(spec.session.0, spec.id.0, "default is one session per request");
+        }
+        let before: Vec<_> =
+            trace.iter().map(|s| (s.id, s.arrival, s.prompt, s.decode, s.class)).collect();
+        Workload::assign_sessions(&mut trace, 8, 99);
+        let after: Vec<_> =
+            trace.iter().map(|s| (s.id, s.arrival, s.prompt, s.decode, s.class)).collect();
+        assert_eq!(before, after, "retagging must not disturb the trace");
+        let mut counts = [0usize; 8];
+        for spec in &trace {
+            assert!(spec.session.0 < 8);
+            counts[spec.session.0 as usize] += 1;
+        }
+        let expected = trace.len() / 8;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > expected / 3 && c < expected * 3, "session {s} got {c} of ~{expected}");
+        }
+        // Deterministic retag.
+        let mut again = w.generate(Time::from_secs_f64(20.0), 4096);
+        Workload::assign_sessions(&mut again, 8, 99);
         assert_eq!(trace, again);
     }
 

@@ -94,7 +94,7 @@ const BUCKETS: usize = 64 * SUB_BUCKETS as usize;
 
 /// A constant-memory histogram of [`Time`] samples with logarithmic buckets
 /// (16 sub-buckets per power of two, ≲ 4.5% relative quantile error).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -324,6 +324,46 @@ mod tests {
         assert_eq!(a.max(), Time::from_ns(100));
         let median = a.quantile(0.5).as_ns();
         assert!((median - 50.0).abs() / 50.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        // The cluster simulator folds per-group histograms in group order;
+        // bit-identity across thread counts needs merge to commute (and a
+        // merged histogram to equal the directly-recorded population).
+        let streams: Vec<Vec<u64>> =
+            vec![vec![3, 17, 90], vec![], vec![1_000_000, 5], vec![42; 20]];
+        let mut per_stream: Vec<TimeHistogram> = streams
+            .iter()
+            .map(|s| {
+                let mut h = TimeHistogram::new();
+                for &ns in s {
+                    h.record(Time::from_ns(ns));
+                }
+                h
+            })
+            .collect();
+        let mut forward = TimeHistogram::new();
+        for h in &per_stream {
+            forward.merge(h);
+        }
+        let mut backward = TimeHistogram::new();
+        per_stream.reverse();
+        for h in &per_stream {
+            backward.merge(h);
+        }
+        let mut direct = TimeHistogram::new();
+        for s in &streams {
+            for &ns in s {
+                direct.record(Time::from_ns(ns));
+            }
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward, direct);
+        // Merging an empty histogram is the identity.
+        let before = forward.clone();
+        forward.merge(&TimeHistogram::new());
+        assert_eq!(forward, before);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Cluster routing head-to-head: join-shortest-queue vs power-of-two
+//! choices vs round-robin tail latency on a diurnal 256-group fleet.
+//!
+//! Each group is one PP/8 Llama-2 7B deployment (the paper's pipeline
+//! mapping); a cluster router in front dispatches every arrival using only
+//! the O(1) per-group load index. The offered load follows a triangle-wave
+//! diurnal curve — trough half the mean, peak 1.5× — so the fleet spends
+//! part of the day saturated, which is exactly where routing quality shows
+//! up in the tail: round-robin ignores load and pays p99, two random
+//! probes recover most of the gap, full JSQ sets the floor.
+//!
+//! Run with: `cargo run --release --example fleet_serving`
+use cent::cluster::{
+    simulate_fleet, FleetOptions, FleetReport, JoinShortestQueue, PowerOfTwoChoices, RoundRobin,
+    RoutingPolicy,
+};
+use cent::serving::{LengthSampler, LoadCurve, ServingSystem, Workload};
+use cent::{ModelConfig, Strategy, Time};
+
+fn main() -> Result<(), cent::CentError> {
+    let cfg = ModelConfig::llama2_7b();
+    let groups = 256;
+    println!("planning {} on 8 CENT devices (pipeline parallel) x{groups} groups...", cfg.name);
+    let system = ServingSystem::plan(&cfg, 8, Strategy::PipelineParallel, 4096)?;
+
+    // ShareGPT-like heterogeneous lengths (heavy decode tail): with
+    // variable request sizes, blind equal-count spreading leaves some
+    // groups holding several elephants — that is the gap load-aware
+    // routing closes. The diurnal peak reaches ~0.9x fleet capacity, busy
+    // enough for queues to form, below the knee so they drain.
+    let (mean_prompt, mean_decode) = (160, 210);
+    let fleet_capacity = groups as f64 * system.capacity_qps(mean_prompt, mean_decode);
+    let base_qps = 0.6 * fleet_capacity;
+    let horizon = Time::from_secs_f64(1800.0);
+    let curve = LoadCurve::diurnal(1800.0, 0.5, 1.5);
+    let workload =
+        Workload { lengths: LengthSampler::ShareGpt, ..Workload::chatbot(base_qps, 0xF1EE7) };
+    let trace = workload.generate_modulated(horizon, 4096, &curve, 99);
+    println!(
+        "fleet capacity {fleet_capacity:.0} q/s | base load {base_qps:.0} q/s, diurnal 0.5-1.5x \
+         | {} requests over {horizon}\n",
+        trace.len(),
+    );
+
+    let mut routers: Vec<Box<dyn RoutingPolicy>> = vec![
+        Box::new(JoinShortestQueue),
+        Box::new(PowerOfTwoChoices::seeded(0xD1CE)),
+        Box::new(RoundRobin::default()),
+    ];
+    let opts = FleetOptions::new(groups)
+        .with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .with_epoch(Time::from_secs_f64(0.25));
+    let mut rows: Vec<(&'static str, FleetReport)> = Vec::new();
+    for router in routers.iter_mut() {
+        let start = std::time::Instant::now();
+        let report = simulate_fleet(&system, &trace, base_qps, router.as_mut(), &opts);
+        println!(
+            "{:>8}: simulated in {:.2?} | imbalance {:.2}-{:.2}x | peak queue {}",
+            router.name(),
+            start.elapsed(),
+            report.imbalance.min_share,
+            report.imbalance.max_share,
+            report.peak_queue_depth,
+        );
+        rows.push((router.name(), report));
+    }
+
+    println!("\nrouter   | TTFT p50    p95      p99      | latency p99 | slots mean");
+    println!("---------+-------------------------------+-------------+-----------");
+    for (name, r) in &rows {
+        println!(
+            "{name:>8} | {:>9} {:>8} {:>8} | {:>11} | {:>8.1}%",
+            format!("{}", r.ttft.p50),
+            format!("{}", r.ttft.p95),
+            format!("{}", r.ttft.p99),
+            format!("{}", r.query_latency.p99),
+            100.0 * r.slot_utilization.mean,
+        );
+    }
+    let p99 =
+        |name: &str| rows.iter().find(|(n, _)| *n == name).map(|(_, r)| r.ttft.p99).expect("row");
+    if p99("rr") > p99("jsq") {
+        println!(
+            "\nround-robin pays {} TTFT p99 vs {} under JSQ: load-aware routing is what \
+             keeps the diurnal peak out of the tail.",
+            p99("rr"),
+            p99("jsq"),
+        );
+    }
+    Ok(())
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub use cent_baselines as baselines;
+pub use cent_cluster as cluster;
 pub use cent_compiler as compiler;
 pub use cent_core as core_api;
 pub use cent_cost as cost;
@@ -25,6 +26,7 @@ pub use cent_serving as serving;
 pub use cent_sim as sim;
 pub use cent_types as types;
 
+pub use cent_cluster::{simulate_fleet, FleetOptions, FleetReport, RoutingPolicy};
 pub use cent_compiler::{Strategy, SystemMapping};
 pub use cent_core::{verify_block, CentSystem, VerifyReport};
 pub use cent_device::LatencyBreakdown;

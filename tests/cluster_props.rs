@@ -1,0 +1,197 @@
+//! Property-style tests for the cluster-level fleet simulator.
+//!
+//! No external crates, so properties run over seeded workloads from the
+//! in-tree deterministic PRNG. They pin the determinism contract of
+//! `cent_cluster::simulate_fleet`:
+//!
+//! 1. the merged `FleetReport` is **bit-identical across worker-thread
+//!    counts** (1 / 2 / 8) for the same seed — including the acceptance
+//!    shape, a 1000-group diurnal hour with over a million requests;
+//! 2. session-affinity routing never splits a session across groups;
+//! 3. power-of-two-choices routing is fully determined by its seed;
+//! 4. the merged fleet histogram equals the concatenation of the
+//!    per-group populations, in any merge order, and the fleet latency
+//!    distributions equal those recomputed from the concatenated records.
+
+use cent_cluster::{
+    simulate_fleet, simulate_fleet_instrumented, FleetOptions, JoinShortestQueue,
+    PowerOfTwoChoices, RoundRobin, RoutingPolicy, SessionAffinity,
+};
+use cent_model::ModelConfig;
+use cent_serving::{
+    KvBudget, KvMode, LatencyStats, LengthSampler, LoadCurve, RequestSpec, SchedulerConfig,
+    ServingSystem, Workload,
+};
+use cent_types::{SortedSamples, Time, TimeHistogram};
+
+/// One pipeline group: 4 decode slots, 1 ms token cadence, 1000 tok/s
+/// prefill — the serving crate's reference toy deployment.
+fn group_system() -> ServingSystem {
+    ServingSystem::from_parts(
+        &ModelConfig::llama2_7b(),
+        SchedulerConfig {
+            replicas: 1,
+            slots_per_replica: 4,
+            kv_budget: KvBudget::tokens(4000),
+            kv: KvMode::FullReservation,
+        },
+        Time::from_us(1000),
+        1000.0,
+        4000.0,
+    )
+}
+
+fn fixed_trace(
+    qps: f64,
+    seed: u64,
+    horizon_s: f64,
+    prompt: usize,
+    decode: usize,
+) -> Vec<RequestSpec> {
+    let w = Workload {
+        lengths: LengthSampler::Fixed { prompt, decode },
+        ..Workload::chatbot(qps, seed)
+    };
+    w.generate(Time::from_secs_f64(horizon_s), 4096)
+}
+
+fn run_threads(
+    trace: &[RequestSpec],
+    qps: f64,
+    groups: usize,
+    epoch: Time,
+    threads: usize,
+    mut router: Box<dyn RoutingPolicy>,
+) -> cent_cluster::FleetReport {
+    simulate_fleet(
+        &group_system(),
+        trace,
+        qps,
+        router.as_mut(),
+        &FleetOptions::new(groups).with_threads(threads).with_epoch(epoch),
+    )
+}
+
+#[test]
+fn fleet_report_is_bit_identical_across_worker_threads() {
+    let trace = fixed_trace(200.0, 17, 30.0, 16, 32);
+    let epoch = Time::from_secs_f64(0.05);
+    let routers: Vec<fn() -> Box<dyn RoutingPolicy>> = vec![
+        || Box::new(JoinShortestQueue),
+        || Box::new(PowerOfTwoChoices::seeded(42)),
+        || Box::new(RoundRobin::default()),
+        || Box::new(SessionAffinity),
+    ];
+    for make in routers {
+        let base = run_threads(&trace, 200.0, 32, epoch, 1, make());
+        assert_eq!(base.completed, trace.len());
+        for threads in [2, 8] {
+            let other = run_threads(&trace, 200.0, 32, epoch, threads, make());
+            assert_eq!(base, other, "threads {threads} diverged from 1");
+        }
+    }
+}
+
+/// The ISSUE acceptance shape: a 1000-group fleet serving a diurnal hour
+/// with over a million requests, bit-identical across 1/2/8 workers.
+#[test]
+fn thousand_group_diurnal_hour_is_thread_count_invariant() {
+    let workload = Workload {
+        lengths: LengthSampler::Fixed { prompt: 32, decode: 64 },
+        ..Workload::chatbot(290.0, 4242)
+    };
+    let curve = LoadCurve::diurnal(3600.0, 0.5, 1.5);
+    let trace = workload.generate_modulated(Time::from_secs_f64(3600.0), 4096, &curve, 77);
+    assert!(trace.len() >= 1_000_000, "only {} requests", trace.len());
+    let epoch = Time::from_secs_f64(1.0);
+    let run = |threads: usize| {
+        let mut router = PowerOfTwoChoices::seeded(9);
+        simulate_fleet(
+            &group_system(),
+            &trace,
+            290.0,
+            &mut router,
+            &FleetOptions::new(1000).with_threads(threads).with_epoch(epoch),
+        )
+    };
+    let base = run(1);
+    assert_eq!(base.submitted, trace.len());
+    assert_eq!(base.completed, trace.len());
+    assert_eq!(base.groups, 1000);
+    for threads in [2, 8] {
+        assert_eq!(base, run(threads), "threads {threads} diverged from 1");
+    }
+}
+
+#[test]
+fn session_affinity_never_splits_a_session() {
+    let mut trace = fixed_trace(150.0, 23, 20.0, 16, 32);
+    Workload::assign_sessions(&mut trace, 40, 5);
+    let mut router = SessionAffinity;
+    let fleet = simulate_fleet_instrumented(
+        &group_system(),
+        &trace,
+        150.0,
+        &mut router,
+        &FleetOptions::new(16).with_epoch(Time::from_secs_f64(0.1)),
+    );
+    // Routing decisions: one group per session.
+    let mut session_group = std::collections::HashMap::new();
+    for (spec, &g) in trace.iter().zip(&fleet.routed) {
+        let prior = session_group.entry(spec.session).or_insert(g);
+        assert_eq!(*prior, g, "session {:?} split across groups", spec.session);
+    }
+    // And the served records agree: every record of a session lives in
+    // that session's group outcome.
+    for (g, outcome) in fleet.groups.iter().enumerate() {
+        for r in &outcome.records {
+            assert_eq!(session_group[&r.spec.session], g);
+        }
+    }
+    assert!(session_group.len() <= 40);
+}
+
+#[test]
+fn power_of_two_routing_is_deterministic_per_seed() {
+    let trace = fixed_trace(150.0, 31, 15.0, 16, 32);
+    let opts = FleetOptions::new(24).with_epoch(Time::from_secs_f64(0.1));
+    let routed = |seed: u64| {
+        let mut router = PowerOfTwoChoices::seeded(seed);
+        simulate_fleet_instrumented(&group_system(), &trace, 150.0, &mut router, &opts).routed
+    };
+    assert_eq!(routed(1), routed(1), "same seed must reproduce every decision");
+    assert_ne!(routed(1), routed(2), "different seeds should diverge");
+}
+
+#[test]
+fn merged_fleet_histogram_equals_concatenated_populations() {
+    let trace = fixed_trace(220.0, 53, 20.0, 16, 32);
+    let mut router = JoinShortestQueue;
+    let fleet = simulate_fleet_instrumented(
+        &group_system(),
+        &trace,
+        220.0,
+        &mut router,
+        &FleetOptions::new(8).with_epoch(Time::from_secs_f64(0.05)),
+    );
+    // Histogram merge is order-independent and equals the concatenation.
+    let mut forward = TimeHistogram::new();
+    for o in &fleet.groups {
+        forward.merge(&o.tbt);
+    }
+    let mut backward = TimeHistogram::new();
+    for o in fleet.groups.iter().rev() {
+        backward.merge(&o.tbt);
+    }
+    assert_eq!(forward, backward);
+    assert_eq!(fleet.report.tbt, LatencyStats::from_histogram(&forward));
+    assert_eq!(forward.count(), fleet.groups.iter().map(|o| o.tbt.count()).sum::<u64>());
+    // Fleet latency distributions equal those recomputed from the
+    // concatenated per-group record populations.
+    let all: Vec<_> = fleet.groups.iter().flat_map(|o| o.records.iter()).collect();
+    let ttfts = SortedSamples::new(all.iter().map(|r| r.ttft()).collect());
+    let lats = SortedSamples::new(all.iter().map(|r| r.query_latency()).collect());
+    assert_eq!(fleet.report.ttft, LatencyStats::from_sorted(&ttfts));
+    assert_eq!(fleet.report.query_latency, LatencyStats::from_sorted(&lats));
+    assert_eq!(fleet.report.completed, all.len());
+}
