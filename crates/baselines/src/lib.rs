@@ -12,7 +12,7 @@
 //! * [`sharegpt_lengths`] — the synthetic ShareGPT-like length distribution
 //!   for the NeuPIM comparison.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod gpu;
 mod pim_systems;

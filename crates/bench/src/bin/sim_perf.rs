@@ -40,6 +40,11 @@
 //! are not comparable across runners, the engines' ratio on the same
 //! machine is).
 
+// The counting global allocator below must implement the unsafe
+// `GlobalAlloc` trait; this is the workspace's one sanctioned use of
+// `unsafe` (every library crate carries `#![forbid(unsafe_code)]`).
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;

@@ -4,7 +4,7 @@
 //! Each binary prints the paper-style rows to stdout and appends a JSON
 //! record under `results/` so EXPERIMENTS.md can cite the measured values.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::PathBuf;

@@ -64,7 +64,7 @@
 //! println!("{report}");
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod fleet;
 mod report;

@@ -10,7 +10,7 @@
 //! * the attention `1/sqrt(head_dim)` scale is folded into `Wq`, so scores
 //!   come out of the MAC trees pre-scaled.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cent_types::{BankId, Beat, Bf16, ChannelId, ColAddr, RowAddr, ZERO_BEAT};
 
@@ -36,7 +36,9 @@ pub struct BankWrite {
 
 #[derive(Default)]
 struct ImageBuilder {
-    beats: HashMap<(ChannelId, BankId, RowAddr, ColAddr), Beat>,
+    // BTreeMap: `finish` emits writes in key order without a sort, and the
+    // image is deterministic by construction.
+    beats: BTreeMap<(ChannelId, BankId, RowAddr, ColAddr), Beat>,
 }
 
 impl ImageBuilder {

@@ -11,7 +11,7 @@
 //! * [`SystemMapping`] — PP / TP / hybrid / DP distribution across CXL
 //!   devices with the paper's placement rules.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod block;
 mod builder;

@@ -10,7 +10,7 @@
 //!
 //! Re-exports give downstream code one import surface for the common types.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod system;
 mod verify;

@@ -6,7 +6,7 @@
 //! CENT library provides Python APIs to allocate memory space and load model
 //! parameters according to the model mapping strategy."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cent_compiler::{compile_decode_step, weight_image, BlockPlacement, Strategy, SystemMapping};
 use cent_cxl::{CommunicationEngine, FabricConfig};
@@ -38,7 +38,9 @@ use cent_types::{Bf16, CentError, CentResult, ChannelId, DeviceId, SbSlot, Time}
 pub struct CentSystem {
     cfg: ModelConfig,
     mapping: SystemMapping,
-    devices: HashMap<DeviceId, CxlDevice>,
+    // DeviceId-ordered: `elapsed`/`breakdown`/`init_constant_slots` sweep
+    // the values, so iteration order must be deterministic.
+    devices: BTreeMap<DeviceId, CxlDevice>,
     comm: CommunicationEngine,
     /// Placement of every block, indexed by block id.
     placements: Vec<(DeviceId, BlockPlacement)>,
@@ -74,7 +76,7 @@ impl CentSystem {
         functional: bool,
     ) -> CentResult<Self> {
         let mapping = SystemMapping::plan(cfg, devices, strategy)?;
-        let mut dev_map = HashMap::new();
+        let mut dev_map = BTreeMap::new();
         let mut placements = Vec::with_capacity(cfg.layers);
         // Build per-block placements from the mapping's device assignments.
         let mut block_home: Vec<Option<(DeviceId, usize)>> = vec![None; cfg.layers];

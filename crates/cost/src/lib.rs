@@ -3,7 +3,7 @@
 //! comparator ([`KvSwapCost`]) behind the serving simulator's spill-to-CXL
 //! tier.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use cent_cxl::FabricConfig;
 use cent_types::{Bandwidth, ByteSize, Dollars, Power, Time};

@@ -9,7 +9,7 @@
 //! transfers contend realistically, and charges the Req/DRS & RWD/NDR
 //! round trips the CXL port architecture implies (Figure 6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cent_types::consts::cxl;
 use cent_types::{Bandwidth, ByteSize, CentError, CentResult, DeviceId, Time};
@@ -136,14 +136,16 @@ pub struct Transfer {
 #[derive(Debug, Clone)]
 pub struct CxlFabric {
     config: FabricConfig,
-    links: HashMap<NodeId, LinkState>,
-    stats: HashMap<NodeId, LinkStats>,
+    // Keyed by NodeId's total order: deterministic iteration wherever a
+    // sweep (Debug, future aggregation) walks the links.
+    links: BTreeMap<NodeId, LinkState>,
+    stats: BTreeMap<NodeId, LinkStats>,
 }
 
 impl CxlFabric {
     /// Creates a fabric with all links idle.
     pub fn new(config: FabricConfig) -> Self {
-        CxlFabric { config, links: HashMap::new(), stats: HashMap::new() }
+        CxlFabric { config, links: BTreeMap::new(), stats: BTreeMap::new() }
     }
 
     /// The configuration in use.

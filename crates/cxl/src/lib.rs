@@ -14,7 +14,7 @@
 //!   real Shared Buffer payloads, matching the blocking semantics of
 //!   `RECV_CXL` and the non-blocking `SEND_CXL`/`BCAST_CXL`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod fabric;
 mod flit;

@@ -12,7 +12,7 @@
 //!   message satisfies it, making gather order-insensitive;
 //! * a send/receive pair constitutes one CXL write transaction.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cent_types::{Beat, ByteSize, CentError, CentResult, DeviceId, SbSlot, Time};
 
@@ -60,13 +60,13 @@ impl Message {
 #[derive(Debug, Clone)]
 pub struct CommunicationEngine {
     fabric: CxlFabric,
-    inboxes: HashMap<DeviceId, VecDeque<Message>>,
+    inboxes: BTreeMap<DeviceId, VecDeque<Message>>,
 }
 
 impl CommunicationEngine {
     /// Creates the engine over a fresh fabric.
     pub fn new(config: crate::fabric::FabricConfig) -> Self {
-        CommunicationEngine { fabric: CxlFabric::new(config), inboxes: HashMap::new() }
+        CommunicationEngine { fabric: CxlFabric::new(config), inboxes: BTreeMap::new() }
     }
 
     /// Access to the underlying timing fabric (stats, raw transfers).

@@ -8,7 +8,7 @@
 //! (DRAM command timing + PNM unit pipelines), and produces the per-unit
 //! [`LatencyBreakdown`] used for Figure 14(c) of the paper.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod breakdown;
 mod device;

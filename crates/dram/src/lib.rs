@@ -33,7 +33,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod channel;
 mod command;

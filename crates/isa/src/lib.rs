@@ -13,7 +13,7 @@
 //! * [`analyze`] — trace statistics incl. the MAC-FLOP fraction behind the
 //!   paper's hierarchical PIM-PNM design argument.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod encode;
 mod expand;

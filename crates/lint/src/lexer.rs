@@ -1,0 +1,444 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the determinism
+//! rules, in the repo's in-tree-everything idiom (no `syn`, no `proc-macro2`).
+//!
+//! The lexer produces a flat token stream with line numbers, plus the line
+//! comments as a side channel (pragmas like `// cent-lint: allow(...)` live
+//! in comments, which rule matching must otherwise ignore). It understands
+//! the lexical shapes that would confuse a naive scanner: nested block
+//! comments, raw strings with `#` fences, byte/char literals versus
+//! lifetimes, and numeric literals with type suffixes.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#type`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String literal (cooked, raw or byte); the *cooked content* is kept so
+    /// rules can recognise e.g. the bare `expect("")`.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal, verbatim (so rules can spot float seeds in `fold`).
+    Num(String),
+    /// Any single punctuation character (`.`, `:`, `<`, `{`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-indexed line number.
+    pub line: u32,
+}
+
+/// A `//` comment (the text after the slashes) and the line it sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text, without the leading `//`.
+    pub text: String,
+    /// 1-indexed line number.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Token>,
+    /// All `//` line comments (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. The lexer is total: unrecognised bytes become `Punct`
+/// tokens rather than errors, so a partially weird file still gets linted.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Counts newlines in b[from..to] into `line`.
+    fn count_lines(b: &[u8], from: usize, to: usize, line: &mut u32) {
+        for &c in &b[from..to] {
+            if c == b'\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments
+                    .push(Comment { text: String::from_utf8_lossy(&b[start..j]).into(), line });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count_lines(b, i, j, &mut line);
+                i = j;
+            }
+            b'"' => {
+                let (content, j) = cooked_string(b, i + 1);
+                out.tokens.push(Token { tok: Tok::Str(content), line });
+                count_lines(b, i, j, &mut line);
+                i = j;
+            }
+            b'r' | b'b' | b'c' if starts_string_prefix(b, i) => {
+                let (tok, j) = prefixed_string(b, i);
+                out.tokens.push(Token { tok, line });
+                count_lines(b, i, j, &mut line);
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'\...'` and `'x'` are chars;
+                // `'ident` (not followed by a closing quote) is a lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let j = char_literal_end(b, i + 1);
+                    out.tokens.push(Token { tok: Tok::Char, line });
+                    i = j;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    out.tokens.push(Token { tok: Tok::Char, line });
+                    i += 3;
+                } else if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    // A multi-char quoted literal like 'ab' is invalid Rust;
+                    // treat a trailing quote as part of a (weird) char token.
+                    if j < b.len() && b[j] == b'\'' {
+                        out.tokens.push(Token { tok: Tok::Char, line });
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token { tok: Tok::Lifetime, line });
+                        i = j;
+                    }
+                } else {
+                    out.tokens.push(Token { tok: Tok::Punct('\''), line });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (text, j) = number(b, i);
+                out.tokens.push(Token { tok: Tok::Num(text), line });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                let mut text: String = String::from_utf8_lossy(&b[i..j]).into();
+                // Raw identifiers: `r#type` lexes as ident "type".
+                if text == "r" && j + 1 < b.len() && b[j] == b'#' && is_ident_start(b[j + 1]) {
+                    let mut k = j + 1;
+                    while k < b.len() && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    text = String::from_utf8_lossy(&b[j + 1..k]).into();
+                    j = k;
+                }
+                out.tokens.push(Token { tok: Tok::Ident(text), line });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token { tok: Tok::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// True when `b[i..]` starts a raw/byte/C string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, `c"`, ...) rather than a plain identifier.
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `cr`).
+    while j < b.len() && j - i < 2 && matches!(b[j], b'r' | b'b' | b'c') {
+        j += 1;
+    }
+    if j >= b.len() {
+        return false;
+    }
+    match b[j] {
+        b'"' => true,
+        // `r#"` raw fence — but NOT `r#ident` (raw identifier).
+        b'#' => {
+            let mut k = j;
+            while k < b.len() && b[k] == b'#' {
+                k += 1;
+            }
+            k < b.len() && b[k] == b'"'
+        }
+        _ => false,
+    }
+}
+
+/// Lexes the prefixed string starting at `i`; returns (token, end index).
+fn prefixed_string(b: &[u8], i: usize) -> (Tok, usize) {
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && matches!(b[j], b'r' | b'b' | b'c') {
+        if b[j] == b'r' {
+            raw = true;
+        }
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        // b[j] == b'"' guaranteed by starts_string_prefix.
+        j += 1;
+        let start = j;
+        loop {
+            if j >= b.len() {
+                return (Tok::Str(String::from_utf8_lossy(&b[start..]).into()), b.len());
+            }
+            if b[j] == b'"'
+                && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+            {
+                let content = String::from_utf8_lossy(&b[start..j]).into();
+                return (Tok::Str(content), j + 1 + hashes);
+            }
+            j += 1;
+        }
+    } else {
+        // Byte/C string: cooked rules.
+        let (content, end) = cooked_string(b, j + 1);
+        (Tok::Str(content), end)
+    }
+}
+
+/// Lexes a cooked (escaped) string whose opening quote is at `start - 1`;
+/// returns (content, index just past the closing quote).
+fn cooked_string(b: &[u8], start: usize) -> (String, usize) {
+    let mut j = start;
+    let mut content = String::new();
+    while j < b.len() {
+        match b[j] {
+            b'"' => return (content, j + 1),
+            b'\\' if j + 1 < b.len() => {
+                content.push('\\');
+                content.push(b[j + 1] as char);
+                j += 2;
+            }
+            c => {
+                content.push(c as char);
+                j += 1;
+            }
+        }
+    }
+    (content, b.len())
+}
+
+/// Index just past a char literal whose backslash is at `i` (opening quote at
+/// `i - 1`).
+fn char_literal_end(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Lexes a numeric literal starting at `i`; returns (text, end index).
+fn number(b: &[u8], i: usize) -> (String, usize) {
+    let mut j = i;
+    let hex = i + 1 < b.len() && b[i] == b'0' && matches!(b[i + 1], b'x' | b'X' | b'o' | b'b');
+    if hex {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (String::from_utf8_lossy(&b[i..j]).into(), j);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fraction — but not the `..` of a range expression.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    } else if j < b.len() && b[j] == b'.' && (j + 1 >= b.len() || b[j + 1] != b'.') {
+        // Trailing-dot float like `1.` (not followed by another dot or ident,
+        // which would be a range or a method call on an integer).
+        if j + 1 >= b.len() || !is_ident_start(b[j + 1]) {
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < b.len() && matches!(b[j], b'e' | b'E') {
+        let mut k = j + 1;
+        if k < b.len() && matches!(b[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f32, u64, usize, ...).
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (String::from_utf8_lossy(&b[i..j]).into(), j)
+}
+
+/// True when a numeric literal text denotes a float (`0.5`, `1e9`, `2f64`).
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || (text.contains(['e', 'E'])
+            && !text.contains(|c: char| c.is_ascii_alphabetic() && !matches!(c, 'e' | 'E')))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("let a = 1;\n// cent-lint: allow(d1) -- because\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("cent-lint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_chars_and_strings() {
+        let lexed = lex(r#"let c = '\n'; let q = '\''; let s = "a\"b";"#);
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("a") && s.contains("b"))));
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0xff"));
+        assert!(!is_float_literal("3usize"));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let lexed = lex("for i in 0..10 {}");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0", "10"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let lexed = lex("let a = \"line\none\";\nlet b = 2;");
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "b"))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(3));
+    }
+}

@@ -1,0 +1,210 @@
+//! `cent-lint` — a zero-dependency static-analysis pass enforcing CENT's
+//! determinism & correctness contract across the workspace.
+//!
+//! The simulator's core guarantee — `ServingReport`/`FleetReport` bit-identical
+//! across engines, seeds and worker-thread counts — is enforced dynamically by
+//! the differential suites in `tests/`. This crate makes the *preconditions*
+//! of that guarantee machine-checked: every Rust source in the workspace is
+//! tokenized with a hand-rolled lexer (the same in-tree-everything idiom as
+//! the SplitMix64 PRNG and the hand-rolled JSON) and matched against five
+//! named rules:
+//!
+//! | rule | slug | contract |
+//! |------|------|----------|
+//! | D1 | `no-hash-collections` | no `HashMap`/`HashSet` where iteration order can reach results |
+//! | D2 | `no-wall-clock` | no `Instant`/`SystemTime` outside `crates/bench` |
+//! | D3 | `no-ambient-entropy` | all randomness through the seeded SplitMix64 |
+//! | D4 | `unordered-float-reduction` | merge/report float reductions only via the approved helpers |
+//! | D5 | `no-unwrap` | no `unwrap()` / bare `expect("")` in library code |
+//!
+//! Justified exceptions carry a pragma with a mandatory reason:
+//!
+//! ```text
+//! // cent-lint: allow(no-hash-collections) -- key-only lookups, never iterated
+//! ```
+//!
+//! Run it as `cargo run -p cent-lint -- --check` (human diagnostics,
+//! `file:line:rule`) or `--check --json` (machine-readable). The pass lints
+//! itself; `crates/lint/tests/fixtures/` (the seeded rule violations used by
+//! the fixture tests) is the only tree it skips.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lexer::{lex, Comment, Lexed, Tok, Token};
+pub use rules::{classify, lint_source, Diagnostic, FileClass, Rule};
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files examined, workspace-relative, in sorted order.
+    pub files: Vec<String>,
+    /// All findings, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable JSON (hand-rolled, like everything else in-tree).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_checked\": {},\n", self.files.len()));
+        s.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                escape(&d.path),
+                d.line,
+                d.rule.slug(),
+                escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "results"];
+
+/// The one tree of intentional violations: the lint's own rule fixtures.
+const FIXTURE_DIR: &str = "crates/lint/tests/fixtures";
+
+/// Collects every `.rs` file under `root` (skipping build output, VCS
+/// metadata and the lint fixtures), workspace-relative with forward slashes,
+/// sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = relative(root, &path);
+            if entry.file_type()?.is_dir() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if SKIP_DIRS.contains(&name.as_ref()) || rel == FIXTURE_DIR {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(rel);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates file-read I/O errors.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut report = Report { files: files.clone(), diagnostics: Vec::new() };
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        report.diagnostics.extend(lint_source(rel, &src));
+    }
+    report.diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` (the repo root). Returns `start` itself when no workspace
+/// manifest is found, so explicit `--root` stays optional.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let report = Report {
+            files: vec!["a.rs".into()],
+            diagnostics: vec![Diagnostic {
+                path: "a\"b.rs".into(),
+                line: 3,
+                rule: Rule::D1NoHashCollections,
+                message: "x\ny".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_checked\": 1"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("x\\ny"));
+        assert!(json.contains("\"rule\": \"no-hash-collections\""));
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        assert!(report.to_json().contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here);
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.ends_with("repo") || root.join("crates/lint").exists());
+    }
+}

@@ -1,0 +1,108 @@
+//! CLI for `cent-lint`: `cargo run -p cent-lint -- --check [--json] [paths]`.
+//!
+//! * `--check` — lint the workspace (or explicit `paths`), print one
+//!   `file:line:rule message` diagnostic per finding, exit 1 when any fired.
+//! * `--json` — machine-readable report on stdout instead of the line form.
+//! * `--root <dir>` — workspace root; auto-discovered from the current
+//!   directory when omitted.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cent_lint::{check_workspace, find_workspace_root, lint_source, Report};
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    paths: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { json: false, root: None, paths: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // --check is the only mode; accepted for CI-invocation clarity.
+            "--check" => {}
+            "--json" => args.json = true,
+            "--root" => match it.next() {
+                Some(dir) => args.root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory".into()),
+            },
+            "--help" | "-h" => {
+                return Err("usage: cent-lint --check [--json] [--root DIR] [paths...]".into())
+            }
+            p if !p.starts_with('-') => args.paths.push(p.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<Report, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_workspace_root(&cwd),
+    };
+    if args.paths.is_empty() {
+        return check_workspace(&root).map_err(|e| format!("workspace walk failed: {e}"));
+    }
+    // Explicit paths: lint each file under its workspace-relative name so
+    // classification matches what the workspace walk would decide.
+    let mut report = Report::default();
+    for p in &args.paths {
+        let abs = if Path::new(p).is_absolute() { PathBuf::from(p) } else { cwd.join(p) };
+        let rel = abs
+            .strip_prefix(&root)
+            .unwrap_or(abs.as_path())
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&abs).map_err(|e| format!("{p}: {e}"))?;
+        report.files.push(rel.clone());
+        report.diagnostics.extend(lint_source(&rel, &src));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("cent-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            if args.json {
+                print!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{}", d.render());
+                }
+                if report.is_clean() {
+                    println!(
+                        "cent-lint: {} files clean (determinism contract D1-D5)",
+                        report.files.len()
+                    );
+                }
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("cent-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The determinism & correctness rules (D1–D5) and the machinery they share:
+//! file classification, `#[cfg(test)]` region masking, and allow-pragmas.
+//!
+//! Rule semantics are documented on [`Rule`]; the README "Determinism
+//! contract" section is the user-facing statement of the same rules.
+
+use crate::lexer::{is_float_literal, lex, Comment, Tok, Token};
+
+/// The named rules of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1 `no-hash-collections`: no `HashMap`/`HashSet` in result-affecting
+    /// code — their iteration order varies per process (seeded
+    /// `RandomState`), so any sweep over one can change simulation output.
+    /// Use `BTreeMap`/`BTreeSet`, a slab, or sorted-key iteration. Key-only
+    /// lookups may be pragma-allowed.
+    D1NoHashCollections,
+    /// D2 `no-wall-clock`: no `Instant`/`SystemTime` outside `crates/bench`
+    /// — simulated time comes from the event core, never the host clock.
+    D2NoWallClock,
+    /// D3 `no-ambient-entropy`: all randomness flows through the seeded
+    /// `cent_types` SplitMix64; `thread_rng`-style generators and
+    /// hasher-seeded entropy (`DefaultHasher`, `RandomState`) are banned
+    /// everywhere, tests included.
+    D3NoAmbientEntropy,
+    /// D4 `unordered-float-reduction`: float reductions in the merge/report
+    /// crates (`serving`, `cluster`) must go through the order-independent
+    /// helpers (`StepIntegral`, `TimeHistogram`, `SortedSamples`) —
+    /// ad-hoc float sums reassociate differently under re-ordering.
+    /// Min/max folds are exempt (order-independent by construction).
+    D4UnorderedFloatReduction,
+    /// D5 `no-unwrap`: no `unwrap()` and no bare `expect("")` in library
+    /// code — errors surface as `CentResult`; a panic on an invariant must
+    /// carry a message documenting the invariant.
+    D5NoUnwrap,
+    /// Meta-rule: a `cent-lint:` pragma that is malformed, names an unknown
+    /// rule, or is missing its `-- reason` trailer.
+    BadPragma,
+}
+
+impl Rule {
+    /// The stable diagnostic slug (what `file:line:rule` prints).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::D1NoHashCollections => "no-hash-collections",
+            Rule::D2NoWallClock => "no-wall-clock",
+            Rule::D3NoAmbientEntropy => "no-ambient-entropy",
+            Rule::D4UnorderedFloatReduction => "unordered-float-reduction",
+            Rule::D5NoUnwrap => "no-unwrap",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// The short id (`d1`..`d5`) accepted by pragmas alongside the slug.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1NoHashCollections => "d1",
+            Rule::D2NoWallClock => "d2",
+            Rule::D3NoAmbientEntropy => "d3",
+            Rule::D4UnorderedFloatReduction => "d4",
+            Rule::D5NoUnwrap => "d5",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Parses a pragma rule name (id or slug).
+    pub fn parse(name: &str) -> Option<Rule> {
+        let all = [
+            Rule::D1NoHashCollections,
+            Rule::D2NoWallClock,
+            Rule::D3NoAmbientEntropy,
+            Rule::D4UnorderedFloatReduction,
+            Rule::D5NoUnwrap,
+        ];
+        all.into_iter().find(|r| r.id() == name || r.slug() == name)
+    }
+}
+
+/// How a file participates in the determinism contract, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/<name>/src/**` or the root facade `src/**`: full contract.
+    Library {
+        /// The crate directory name (`serving`, `cxl`, ... or `cent` for
+        /// the root facade).
+        crate_name: String,
+    },
+    /// Integration tests, examples and benches: determinism rules D1–D3
+    /// apply (tests must be as deterministic as the code they pin down),
+    /// but D4/D5 do not — asserts and unwraps are the idiom there.
+    TestOrExample,
+    /// `crates/bench/**`: measures wall-clock by design; only D3 applies.
+    Bench,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(path: &str) -> FileClass {
+    let p = path.trim_start_matches("./");
+    if p.starts_with("crates/bench/") {
+        return FileClass::Bench;
+    }
+    let segs: Vec<&str> = p.split('/').collect();
+    if segs.iter().any(|s| *s == "tests" || *s == "examples" || *s == "benches") {
+        return FileClass::TestOrExample;
+    }
+    if segs.len() >= 3 && segs[0] == "crates" && segs[2] == "src" {
+        return FileClass::Library { crate_name: segs[1].to_string() };
+    }
+    if segs.first() == Some(&"src") {
+        return FileClass::Library { crate_name: "cent".to_string() };
+    }
+    FileClass::TestOrExample
+}
+
+/// Crates whose result-merge/report paths are subject to D4.
+const MERGE_CRATES: [&str; 2] = ["serving", "cluster"];
+
+/// One `file:line:rule` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the canonical `file:line:rule message` form.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{} {}", self.path, self.line, self.rule.slug(), self.message)
+    }
+}
+
+/// A parsed `// cent-lint: allow(<rules>) -- <reason>` pragma.
+#[derive(Debug)]
+struct Pragma {
+    line: u32,
+    rules: Vec<Rule>,
+}
+
+/// Parses pragmas out of the comment stream. Malformed pragmas produce
+/// `bad-pragma` diagnostics instead of silently allowing nothing.
+fn parse_pragmas(path: &str, comments: &[Comment], diags: &mut Vec<Diagnostic>) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("cent-lint:") else { continue };
+        let rest = rest.trim();
+        let bad = |diags: &mut Vec<Diagnostic>, msg: &str| {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: c.line,
+                rule: Rule::BadPragma,
+                message: msg.to_string(),
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad(diags, "pragma must be `allow(<rule>[, <rule>]) -- <reason>`");
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad(diags, "unclosed `allow(`");
+            continue;
+        };
+        let (names, tail) = args.split_at(close);
+        let tail = tail[1..].trim();
+        let reason_ok = tail.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            bad(diags, "pragma needs a justification: `-- <reason>`");
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut all_known = true;
+        for name in names.split(',') {
+            let name = name.trim();
+            match Rule::parse(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    bad(diags, &format!("unknown rule `{name}` in allow()"));
+                    all_known = false;
+                }
+            }
+        }
+        if all_known && !rules.is_empty() {
+            pragmas.push(Pragma { line: c.line, rules });
+        }
+    }
+    pragmas
+}
+
+/// True when `rule` is suppressed at `line` — a pragma applies to its own
+/// line and to the line directly below it (so it can trail the code or sit
+/// on its own line above it).
+fn allowed(pragmas: &[Pragma], rule: Rule, line: u32) -> bool {
+    pragmas.iter().any(|p| p.rules.contains(&rule) && (p.line == line || p.line + 1 == line))
+}
+
+/// Computes, per token, whether it sits inside a `#[cfg(test)]`-gated item
+/// (attribute included). `#![cfg(test)]` marks the whole file.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].tok == Tok::Punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].tok != Tok::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` and look for `cfg` ... `test` inside.
+        let attr_start = j;
+        let mut depth = 0i32;
+        let mut is_cfg = false;
+        let mut mentions_test = false;
+        let mut mentions_not = false;
+        let mut k = j;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) => {
+                    if k == attr_start + 1 && s == "cfg" {
+                        is_cfg = true;
+                    }
+                    if s == "test" {
+                        mentions_test = true;
+                    }
+                    // `#[cfg(not(test))]` gates NON-test code; be
+                    // conservative and never mask when `not` appears.
+                    if s == "not" {
+                        mentions_not = true;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let attr_end = k; // index of `]`
+        if !(is_cfg && mentions_test && !mentions_not) {
+            i = attr_end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        // Mask the attribute itself, any stacked attributes, and the item
+        // that follows (up to `;` before any brace, or the matching `}`).
+        let mut end = attr_end + 1;
+        // Skip further attributes on the same item.
+        while end < tokens.len() && tokens[end].tok == Tok::Punct('#') {
+            let mut d = 0i32;
+            let mut m = end + 1;
+            while m < tokens.len() {
+                match tokens[m].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            end = m + 1;
+        }
+        let mut brace = 0i32;
+        let mut saw_brace = false;
+        while end < tokens.len() {
+            match tokens[end].tok {
+                Tok::Punct('{') => {
+                    brace += 1;
+                    saw_brace = true;
+                }
+                Tok::Punct('}') => {
+                    brace -= 1;
+                    if saw_brace && brace == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !saw_brace => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = (end + 1).min(tokens.len());
+        for m in &mut mask[i..end] {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Lints one file's source under its path-derived [`FileClass`].
+///
+/// `path` is only used for classification and diagnostics; the source is
+/// taken from `src`, which makes the function directly testable on fixture
+/// files relocated to arbitrary virtual paths.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let class = classify(path);
+    let lexed = lex(src);
+    let mut diags = Vec::new();
+    let pragmas = parse_pragmas(path, &lexed.comments, &mut diags);
+    let mask = test_mask(&lexed.tokens);
+    let toks = &lexed.tokens;
+
+    let d1 = !matches!(class, FileClass::Bench);
+    let d2 = !matches!(class, FileClass::Bench);
+    let d4 = matches!(&class, FileClass::Library { crate_name } if MERGE_CRATES.contains(&crate_name.as_str()));
+    let d5 = matches!(class, FileClass::Library { .. });
+
+    let push = |diags: &mut Vec<Diagnostic>, rule: Rule, line: u32, msg: String| {
+        if !allowed(&pragmas, rule, line) {
+            diags.push(Diagnostic { path: path.to_string(), line, rule, message: msg });
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        match name.as_str() {
+            "HashMap" | "HashSet" if d1 => push(
+                &mut diags,
+                Rule::D1NoHashCollections,
+                t.line,
+                format!(
+                    "{name} has per-process iteration order; use BTreeMap/BTreeSet, a slab, \
+                     or sorted-key sweeps"
+                ),
+            ),
+            "Instant" | "SystemTime" if d2 => push(
+                &mut diags,
+                Rule::D2NoWallClock,
+                t.line,
+                format!("{name} reads the host clock; simulated time comes from the event core"),
+            ),
+            "thread_rng" | "ThreadRng" | "DefaultHasher" | "RandomState" | "OsRng"
+            | "from_entropy" | "getrandom" => push(
+                &mut diags,
+                Rule::D3NoAmbientEntropy,
+                t.line,
+                format!("{name} draws ambient entropy; use the seeded cent_types SplitMix64"),
+            ),
+            "unwrap"
+                if d5
+                    && is_method_call(toks, i)
+                    && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(')')) =>
+            {
+                push(
+                    &mut diags,
+                    Rule::D5NoUnwrap,
+                    t.line,
+                    "unwrap() in library code; return CentResult or expect(\"<invariant>\")"
+                        .to_string(),
+                );
+            }
+            "expect"
+                if d5
+                    && is_method_call(toks, i)
+                    && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Str(s)) if s.is_empty()) =>
+            {
+                push(
+                    &mut diags,
+                    Rule::D5NoUnwrap,
+                    t.line,
+                    "bare expect(\"\"); the message must document the invariant".to_string(),
+                );
+            }
+            "sum" if d4 && is_method_call(toks, i) && turbofish_float(toks, i) => push(
+                &mut diags,
+                Rule::D4UnorderedFloatReduction,
+                t.line,
+                "float sum in a merge/report path; use StepIntegral/TimeHistogram/SortedSamples"
+                    .to_string(),
+            ),
+            "fold" if d4 && is_method_call(toks, i) && float_seeded_fold(toks, i) => push(
+                &mut diags,
+                Rule::D4UnorderedFloatReduction,
+                t.line,
+                "float-seeded fold in a merge/report path; use the order-independent helpers"
+                    .to_string(),
+            ),
+            "let" if d4 => {
+                if let Some(line) = float_typed_sum_stmt(toks, i) {
+                    push(
+                        &mut diags,
+                        Rule::D4UnorderedFloatReduction,
+                        line,
+                        "float-typed .sum() in a merge/report path; use the order-independent \
+                         helpers"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+/// True when token `i` is preceded by `.` (a method call, not a free fn).
+fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i > 0 && toks[i - 1].tok == Tok::Punct('.')
+}
+
+/// Matches `sum::<f32>` / `sum::<f64>` starting at the `sum` ident.
+fn turbofish_float(toks: &[Token], i: usize) -> bool {
+    let pat = [Tok::Punct(':'), Tok::Punct(':'), Tok::Punct('<')];
+    if toks.len() <= i + 4 {
+        return false;
+    }
+    for (k, p) in pat.iter().enumerate() {
+        if &toks[i + 1 + k].tok != p {
+            return false;
+        }
+    }
+    matches!(&toks[i + 4].tok, Tok::Ident(s) if s == "f32" || s == "f64")
+}
+
+/// Matches `fold(<float>, ...)` — except min/max combiners, which are
+/// order-independent (`.fold(0.0, f64::max)`).
+fn float_seeded_fold(toks: &[Token], i: usize) -> bool {
+    if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return false;
+    }
+    let seed_is_float =
+        matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num(n)) if is_float_literal(n));
+    if !seed_is_float {
+        return false;
+    }
+    // `, f64::max)` / `, f32::min)` combiner → order-independent.
+    let comb: Vec<&Tok> = toks[i + 3..].iter().take(5).map(|t| &t.tok).collect();
+    if let [Tok::Punct(','), Tok::Ident(ty), Tok::Punct(':'), Tok::Punct(':'), Tok::Ident(f)] =
+        comb[..]
+    {
+        if (ty == "f32" || ty == "f64") && (f == "max" || f == "min") {
+            return false;
+        }
+    }
+    true
+}
+
+/// Matches a `let _: f32/f64 = ... .sum() ... ;` statement starting at the
+/// `let` ident; returns the line of the `.sum()` call.
+fn float_typed_sum_stmt(toks: &[Token], i: usize) -> Option<u32> {
+    let mut float_typed = false;
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    // Bounded scan to the statement's `;` at bracket depth 0.
+    let limit = (i + 256).min(toks.len());
+    while j < limit {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(';') if depth <= 0 => return None,
+            Tok::Ident(s) if (s == "f32" || s == "f64") && !float_typed => {
+                // `: f64 =` type ascription on the binding.
+                let prev = j >= 1 && toks[j - 1].tok == Tok::Punct(':');
+                let next = toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('='));
+                if prev && next {
+                    float_typed = true;
+                }
+            }
+            Tok::Ident(s) if s == "sum" && float_typed => {
+                let call = is_method_call(toks, j)
+                    && toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(j + 2).map(|t| &t.tok) == Some(&Tok::Punct(')'));
+                if call {
+                    return Some(toks[j].line);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/serving/src/x.rs";
+
+    fn slugs(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|d| d.rule.slug()).collect()
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify("crates/serving/src/sim.rs"),
+            FileClass::Library { crate_name: "serving".into() }
+        );
+        assert_eq!(classify("src/lib.rs"), FileClass::Library { crate_name: "cent".into() });
+        assert_eq!(classify("tests/proptests.rs"), FileClass::TestOrExample);
+        assert_eq!(classify("crates/lint/tests/fixtures/d1.rs"), FileClass::TestOrExample);
+        assert_eq!(classify("examples/serving_sim.rs"), FileClass::TestOrExample);
+        assert_eq!(classify("crates/bench/src/bin/sim_perf.rs"), FileClass::Bench);
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "
+            use std::collections::BTreeMap;
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn f() { let _ = HashMap::<u32, u32>::new(); }
+            }
+        ";
+        assert!(slugs(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn_and_use() {
+        let src = "
+            #[cfg(test)]
+            use std::collections::HashMap;
+            #[cfg(any(test, feature = \"x\"))]
+            fn helper() { let _: HashMap<u8, u8> = HashMap::new(); }
+            fn real() { let _ = HashSet::<u8>::new(); }
+        ";
+        assert_eq!(slugs(LIB, src), ["no-hash-collections"]);
+    }
+
+    #[test]
+    fn pragma_same_line_and_line_above() {
+        let src = "
+            fn f() {
+                let a: HashMap<u8, u8> = HashMap::new(); // cent-lint: allow(d1) -- key-only lookups
+                // cent-lint: allow(no-hash-collections) -- key-only lookups
+                let b: HashMap<u8, u8> = HashMap::new();
+                let c: HashMap<u8, u8> = HashMap::new();
+            }
+        ";
+        // a + b suppressed (two idents each), c fires twice.
+        assert_eq!(slugs(LIB, src), ["no-hash-collections", "no-hash-collections"]);
+    }
+
+    #[test]
+    fn pragma_requires_reason() {
+        let src = "// cent-lint: allow(d1)\nfn f() {}\n";
+        assert_eq!(slugs(LIB, src), ["bad-pragma"]);
+        let src = "// cent-lint: allow(d9) -- what\nfn f() {}\n";
+        assert_eq!(slugs(LIB, src), ["bad-pragma"]);
+    }
+
+    #[test]
+    fn d5_distinguishes_bare_expect() {
+        let src = "
+            fn f(x: Option<u8>) -> u8 {
+                let a = x.unwrap();
+                let b = x.expect(\"\");
+                let c = x.expect(\"slot filled at admission\");
+                a + b + c
+            }
+        ";
+        assert_eq!(slugs("crates/core/src/x.rs", src), ["no-unwrap", "no-unwrap"]);
+        // Tests and bench are exempt from D5.
+        assert!(slugs("tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d4_patterns() {
+        let src = "
+            fn f(v: &[f64]) -> f64 {
+                let a = v.iter().sum::<f64>();
+                let b = v.iter().fold(0.0, |x, y| x + y);
+                let c = v.iter().copied().fold(0.0, f64::max);
+                let d: f64 = v.iter().sum();
+                let e: u64 = v.iter().map(|_| 1u64).sum();
+                a + b + c + d + e as f64
+            }
+        ";
+        assert_eq!(
+            slugs(LIB, src),
+            ["unordered-float-reduction", "unordered-float-reduction", "unordered-float-reduction"]
+        );
+        // Non-merge crates are exempt from D4.
+        assert!(slugs("crates/model/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_d3_fire_by_class() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(slugs(LIB, src), ["no-wall-clock"]);
+        assert!(slugs("crates/bench/src/lib.rs", src).is_empty());
+        let src = "fn f() { let h = DefaultHasher::new(); }";
+        assert_eq!(slugs("crates/bench/src/lib.rs", src), ["no-ambient-entropy"]);
+        assert_eq!(slugs("tests/x.rs", src), ["no-ambient-entropy"]);
+    }
+
+    #[test]
+    fn renders_file_line_rule() {
+        let d = &lint_source(LIB, "fn f() { let m = HashMap::<u8, u8>::new(); }")[0];
+        assert!(d.render().starts_with("crates/serving/src/x.rs:1:no-hash-collections "));
+    }
+}

@@ -1,0 +1,90 @@
+//! Fixture coverage for every rule: one positive, one negative and one
+//! allow-pragma case per rule, run through [`cent_lint::lint_source`] under
+//! a virtual library path so classification matches real workspace files.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cent_lint::{lint_source, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints fixture `name` as if it lived at `virtual_path`, returning the
+/// fired rules in order.
+fn fire(name: &str, virtual_path: &str) -> Vec<Rule> {
+    lint_source(virtual_path, &fixture(name)).into_iter().map(|d| d.rule).collect()
+}
+
+/// Library path for most rules; D4 needs a merge/report crate.
+const LIB: &str = "crates/core/src/fixture.rs";
+const MERGE: &str = "crates/serving/src/fixture.rs";
+
+#[test]
+fn d1_positive_negative_allowed() {
+    let fired = fire("d1_positive.rs", LIB);
+    assert!(!fired.is_empty() && fired.iter().all(|r| *r == Rule::D1NoHashCollections));
+    assert!(fire("d1_negative.rs", LIB).is_empty());
+    assert!(fire("d1_allowed.rs", LIB).is_empty());
+}
+
+#[test]
+fn d2_positive_negative_allowed() {
+    let fired = fire("d2_positive.rs", LIB);
+    assert!(!fired.is_empty() && fired.iter().all(|r| *r == Rule::D2NoWallClock));
+    assert!(fire("d2_negative.rs", LIB).is_empty());
+    assert!(fire("d2_allowed.rs", LIB).is_empty());
+    // D2 is scoped: the same source is fine inside crates/bench.
+    assert!(fire("d2_positive.rs", "crates/bench/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn d3_positive_negative_allowed() {
+    let fired = fire("d3_positive.rs", LIB);
+    assert!(!fired.is_empty() && fired.iter().all(|r| *r == Rule::D3NoAmbientEntropy));
+    // D3 applies even in bench and test paths.
+    assert!(!fire("d3_positive.rs", "crates/bench/src/fixture.rs").is_empty());
+    assert!(!fire("d3_positive.rs", "tests/fixture.rs").is_empty());
+    assert!(fire("d3_negative.rs", LIB).is_empty());
+    assert!(fire("d3_allowed.rs", LIB).is_empty());
+}
+
+#[test]
+fn d4_positive_negative_allowed() {
+    let fired = fire("d4_positive.rs", MERGE);
+    assert_eq!(fired.len(), 3, "turbofish sum, float fold and typed sum: {fired:?}");
+    assert!(fired.iter().all(|r| *r == Rule::D4UnorderedFloatReduction));
+    assert!(fire("d4_negative.rs", MERGE).is_empty());
+    assert!(fire("d4_allowed.rs", MERGE).is_empty());
+    // D4 only covers the merge/report crates.
+    assert!(fire("d4_positive.rs", LIB).is_empty());
+}
+
+#[test]
+fn d5_positive_negative_allowed() {
+    let fired = fire("d5_positive.rs", LIB);
+    assert_eq!(fired, [Rule::D5NoUnwrap, Rule::D5NoUnwrap]);
+    assert!(fire("d5_negative.rs", LIB).is_empty());
+    assert!(fire("d5_allowed.rs", LIB).is_empty());
+    // Unwrap-happy test code is the idiom, not a violation.
+    assert!(fire("d5_positive.rs", "tests/fixture.rs").is_empty());
+}
+
+#[test]
+fn diagnostics_carry_file_line_rule() {
+    let diags = lint_source(LIB, &fixture("d5_positive.rs"));
+    let rendered = diags[0].render();
+    assert!(
+        rendered.starts_with("crates/core/src/fixture.rs:3:no-unwrap "),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn pragma_without_reason_is_its_own_finding() {
+    let diags = lint_source(LIB, "// cent-lint: allow(d1)\nfn f() {}\n");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::BadPragma);
+}

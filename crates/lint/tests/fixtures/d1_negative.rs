@@ -1,0 +1,10 @@
+//! D1 negative: ordered map, deterministic sweeps.
+use std::collections::BTreeMap;
+
+pub struct Stats {
+    pub per_device: BTreeMap<u32, u64>,
+}
+
+pub fn total(s: &Stats) -> u64 {
+    s.per_device.values().sum()
+}

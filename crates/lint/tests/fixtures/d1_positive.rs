@@ -1,0 +1,10 @@
+//! D1 positive: unordered map state in result-affecting code.
+use std::collections::HashMap;
+
+pub struct Stats {
+    pub per_device: HashMap<u32, u64>,
+}
+
+pub fn total(s: &Stats) -> u64 {
+    s.per_device.values().sum()
+}

@@ -1,0 +1,9 @@
+//! D2 allow-pragma: progress logging that never reaches sim state.
+// cent-lint: allow(d2) -- operator progress logging, not simulation input
+use std::time::Instant;
+
+// cent-lint: allow(no-wall-clock) -- operator progress logging only
+pub fn log_start() -> Instant {
+    // cent-lint: allow(d2) -- operator progress logging only
+    Instant::now()
+}

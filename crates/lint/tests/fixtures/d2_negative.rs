@@ -1,0 +1,4 @@
+//! D2 negative: simulated time only.
+pub fn advance(now_ps: u64, step_ps: u64) -> u64 {
+    now_ps + step_ps
+}

@@ -1,0 +1,6 @@
+//! D2 positive: wall-clock time reachable from non-bench code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,5 @@
+//! D3 allow-pragma: naming the banned symbol in a diagnostic shim.
+// cent-lint: allow(d3) -- compat shim name, draws no entropy
+pub fn thread_rng() -> u64 {
+    7
+}

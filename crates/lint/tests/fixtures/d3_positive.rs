@@ -1,0 +1,8 @@
+//! D3 positive: hasher-seeded ambient entropy.
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+pub fn entropy_bits() -> u64 {
+    let h = DefaultHasher::new();
+    h.finish()
+}

@@ -1,0 +1,5 @@
+//! D4 allow-pragma: reduction over a fixed-order slice.
+pub fn weighted_total(weights: &[f64]) -> f64 {
+    // cent-lint: allow(d4) -- slice iteration order is fixed
+    weights.iter().sum::<f64>()
+}

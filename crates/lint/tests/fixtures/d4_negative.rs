@@ -1,0 +1,8 @@
+//! D4 negative: integer-domain accumulation and order-independent folds.
+pub fn merge_areas(parts: &[u128]) -> u128 {
+    parts.iter().sum()
+}
+
+pub fn peak(parts: &[f64]) -> f64 {
+    parts.iter().copied().fold(0.0, f64::max)
+}

@@ -1,0 +1,11 @@
+//! D4 positive: ad-hoc float reductions in a merge path.
+pub fn merge_means(parts: &[f64]) -> f64 {
+    let total = parts.iter().sum::<f64>();
+    let biased = parts.iter().fold(0.5, |a, b| a + b);
+    total + biased
+}
+
+pub fn merge_typed(parts: &[f64]) -> f64 {
+    let total: f64 = parts.iter().copied().sum();
+    total
+}

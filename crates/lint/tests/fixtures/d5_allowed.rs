@@ -1,0 +1,5 @@
+//! D5 allow-pragma: a justified unwrap.
+pub fn always(v: Option<u32>) -> u32 {
+    // cent-lint: allow(d5) -- value installed unconditionally two lines up
+    v.unwrap()
+}

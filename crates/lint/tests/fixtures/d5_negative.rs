@@ -1,0 +1,15 @@
+//! D5 negative: errors surface; invariant panics carry their invariant.
+pub fn first(v: &[u32]) -> Result<u32, String> {
+    let a = v.first().ok_or_else(|| "empty input".to_string())?;
+    let b = v.last().expect("non-empty checked above");
+    Ok(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u32];
+        assert_eq!(v.first().unwrap(), &1);
+    }
+}

@@ -1,0 +1,6 @@
+//! D5 positive: unwrap and bare expect in library code.
+pub fn first(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("");
+    a + b
+}

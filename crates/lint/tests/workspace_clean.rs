@@ -1,0 +1,32 @@
+//! The contract on the contract: the workspace itself lints clean, so a
+//! regression in any crate fails `cargo test` as well as the CI lint job.
+
+use std::path::Path;
+
+use cent_lint::{check_workspace, find_workspace_root};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let report = check_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files.len() > 50,
+        "walk found only {} files — wrong root {}?",
+        report.files.len(),
+        root.display()
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(rendered.is_empty(), "determinism contract violations:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn walk_skips_fixtures_and_target() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let report = check_workspace(&root).expect("workspace walk succeeds");
+    assert!(report.files.iter().all(|f| !f.contains("lint/tests/fixtures/")));
+    assert!(report.files.iter().all(|f| !f.starts_with("target/")));
+    // And it does see the important trees.
+    assert!(report.files.iter().any(|f| f == "crates/serving/src/sim.rs"));
+    assert!(report.files.iter().any(|f| f == "src/lib.rs"));
+    assert!(report.files.iter().any(|f| f == "crates/lint/src/lib.rs"));
+}

@@ -10,7 +10,7 @@
 //! * [`BlockWeights`]/[`KvCache`] — deterministic random weights and cache
 //!   state for verification runs.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod reference;

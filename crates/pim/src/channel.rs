@@ -10,7 +10,7 @@
 //! PIM controller would generate, so one code path produces verified values
 //! and cycle counts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cent_dram::{ActivityCounters, DramCommand, PimChannelTiming};
 use cent_types::consts::{BANKS_PER_CHANNEL, COLS_PER_ROW, LANES_PER_BEAT, ROWS_PER_BANK};
@@ -41,7 +41,9 @@ const ELEMS_PER_ROW: usize = COLS_PER_ROW * LANES_PER_BEAT;
 /// weights only touch a fraction of the 32 MB in small tests.
 #[derive(Debug, Clone, Default)]
 struct BankStorage {
-    rows: HashMap<u32, Box<[Bf16]>>,
+    // Row-ordered: lazily allocated, and any future sweep (dump, checksum)
+    // must see rows in address order, not hasher order.
+    rows: BTreeMap<u32, Box<[Bf16]>>,
 }
 
 impl BankStorage {
@@ -121,7 +123,8 @@ pub struct PimChannel {
     global_buffer: Vec<Beat>,
     open_row: Option<RowAddr>,
     timing: PimChannelTiming,
-    luts: HashMap<u8, AfLut>,
+    // Keyed by activation-function id; BTreeMap keeps any sweep ordered.
+    luts: BTreeMap<u8, AfLut>,
 }
 
 impl PimChannel {
@@ -144,7 +147,7 @@ impl PimChannel {
             global_buffer: vec![ZERO_BEAT; cent_types::consts::GLOBAL_BUFFER_SLOTS],
             open_row: None,
             timing: PimChannelTiming::new(),
-            luts: HashMap::new(),
+            luts: BTreeMap::new(),
         }
     }
 

@@ -14,7 +14,7 @@
 //! and advances the `cent-dram` timing model, so correctness and latency come
 //! from one code path. See [`PimChannel`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod af;
 mod channel;

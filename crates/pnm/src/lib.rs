@@ -12,7 +12,7 @@
 //! * [`PnmCore`] — one RISC-V core with its 64 KB local buffer;
 //! * [`programs`] — the canned PNM routines.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod core;
 pub mod programs;

@@ -9,7 +9,7 @@
 //! 30.2% in activate/precharge (§7.2) — the calibration is documented in
 //! DESIGN.md.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use cent_dram::ActivityCounters;
 use cent_pnm::PnmStats;

@@ -7,7 +7,7 @@
 //! buffer (matching how the host initialises the buffers through CXL writes,
 //! §4.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cent_types::{CentError, CentResult};
 
@@ -215,7 +215,7 @@ struct PendingInst<'a> {
 /// ```
 pub fn assemble(source: &str) -> CentResult<Vec<u32>> {
     // Pass 1: strip comments, collect labels, expand pseudo sizes.
-    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut labels: BTreeMap<&str, u32> = BTreeMap::new();
     let mut insts: Vec<PendingInst> = Vec::new();
     let mut addr: u32 = 0;
 
@@ -272,7 +272,7 @@ pub fn assemble(source: &str) -> CentResult<Vec<u32>> {
 
 fn resolve_target(
     token: &str,
-    labels: &HashMap<&str, u32>,
+    labels: &BTreeMap<&str, u32>,
     pc: u32,
     line_no: usize,
 ) -> CentResult<i64> {
@@ -285,7 +285,7 @@ fn resolve_target(
 
 fn encode_inst(
     inst: &PendingInst<'_>,
-    labels: &HashMap<&str, u32>,
+    labels: &BTreeMap<&str, u32>,
     out: &mut Vec<u32>,
 ) -> CentResult<()> {
     let n = inst.line_no;

@@ -37,7 +37,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod asm;
 mod cpu;

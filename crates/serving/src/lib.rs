@@ -72,7 +72,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod policy;
 mod queue;

@@ -202,6 +202,7 @@ impl ClassMix {
         match self {
             ClassMix::Single(class) => *class,
             ClassMix::Weighted(weights) => {
+                // cent-lint: allow(d4) -- slice iteration order is fixed
                 let total: f64 = weights.iter().map(|(_, w)| w.max(0.0)).sum();
                 assert!(total > 0.0, "class mix needs positive weight");
                 let mut draw = rng.next_f64() * total;

@@ -11,7 +11,7 @@
 //! * [`qos_sweep`] — the PP↔TP spectrum of Figure 14(b);
 //! * [`scalability_sweep`] — the device-count scaling of Figure 19.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod block_sim;
 mod perf;

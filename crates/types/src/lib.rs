@@ -26,7 +26,7 @@
 //! assert_eq!(x.to_f32(), 0.75);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod bf16;
 pub mod consts;

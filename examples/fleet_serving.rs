@@ -52,6 +52,7 @@ fn main() -> Result<(), cent::CentError> {
         .with_epoch(Time::from_secs_f64(0.25));
     let mut rows: Vec<(&'static str, FleetReport)> = Vec::new();
     for router in routers.iter_mut() {
+        // cent-lint: allow(d2) -- wall-clock printout only, never reaches sim state
         let start = std::time::Instant::now();
         let report = simulate_fleet(&system, &trace, base_qps, router.as_mut(), &opts);
         println!(

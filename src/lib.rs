@@ -6,7 +6,7 @@
 //! downstream users can write `use cent::{CentSystem, ModelConfig, ...}` or
 //! reach into a substrate via `cent::sim`, `cent::serving`, and so on.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use cent_baselines as baselines;
 pub use cent_cluster as cluster;

@@ -136,7 +136,7 @@ fn session_affinity_never_splits_a_session() {
         &FleetOptions::new(16).with_epoch(Time::from_secs_f64(0.1)),
     );
     // Routing decisions: one group per session.
-    let mut session_group = std::collections::HashMap::new();
+    let mut session_group = std::collections::BTreeMap::new();
     for (spec, &g) in trace.iter().zip(&fleet.routed) {
         let prior = session_group.entry(spec.session).or_insert(g);
         assert_eq!(*prior, g, "session {:?} split across groups", spec.session);

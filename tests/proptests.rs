@@ -144,7 +144,7 @@ fn gemv_layout_no_aliasing() {
         let chans = 1 + rng.next_below(3) as u16;
         let channels: Vec<ChannelId> = (0..chans).map(ChannelId).collect();
         let layout = GemvLayout::plan(channels, RowAddr(0), m, n).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in (0..m).step_by(3) {
             for e in (0..n).step_by(7) {
                 let loc = layout.element_location(r, e);
