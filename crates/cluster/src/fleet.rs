@@ -127,18 +127,23 @@ pub fn simulate_fleet_instrumented(
         let epoch_start = Time::from_ps((arrival.as_ps() / epoch_ps) * epoch_ps);
         let epoch_end = Time::from_ps(epoch_start.as_ps().saturating_add(epoch_ps));
         advance_groups(&mut sims, epoch_start, options.threads);
-        for (load, sim) in loads.iter_mut().zip(&sims) {
-            *load = GroupLoad { outstanding: sim.outstanding(), kv_tokens: sim.kv_reserved() };
+        for (g, (load, sim)) in loads.iter_mut().zip(&sims).enumerate() {
+            *load = GroupLoad {
+                group: g,
+                outstanding: sim.outstanding(),
+                kv_tokens: sim.kv_reserved(),
+            };
         }
         // Route the whole epoch against the boundary snapshot, bumping the
         // index optimistically so intra-epoch bursts still spread.
         while cursor < trace.len() && trace[cursor].arrival < epoch_end {
             let spec = trace[cursor];
-            let g = router.route(&spec, &loads);
-            assert!(g < options.groups, "router chose group {g} of {}", options.groups);
+            let pos = router.route(&spec, &loads);
+            assert!(pos < loads.len(), "router chose position {pos} of {}", loads.len());
+            let g = loads[pos].group;
             sims[g].push_arrival(spec);
-            loads[g].outstanding += 1;
-            loads[g].kv_tokens += spec.kv_tokens();
+            loads[pos].outstanding += 1;
+            loads[pos].kv_tokens += spec.kv_tokens();
             routed.push(g);
             cursor += 1;
         }

@@ -16,8 +16,16 @@ use cent_types::Rng64;
 /// assignment (outstanding + full KV footprint) and re-reads the true
 /// scheduler state at the next epoch boundary, so routing never inspects —
 /// and never depends on — mid-epoch simulation progress.
+///
+/// `group` is the group's fleet-wide identity. The slice handed to
+/// [`RoutingPolicy::route`] may cover only the *healthy subset* of the
+/// fleet (dead groups leave the index while they are down), so a load's
+/// position in the slice and its group id are distinct things: policies
+/// hash and tie-break on `group`, never on slice position.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GroupLoad {
+    /// Fleet-wide identity of the group this load describes.
+    pub group: usize,
     /// Requests routed to the group and not yet finished.
     pub outstanding: u64,
     /// KV tokens reserved on the group (plus the full footprint of
@@ -27,22 +35,28 @@ pub struct GroupLoad {
 
 impl GroupLoad {
     /// Total order used by load-comparing policies: outstanding requests
-    /// first, KV pressure second, group index last (so ties are stable).
-    fn key(&self, idx: usize) -> (u64, u64, usize) {
-        (self.outstanding, self.kv_tokens, idx)
+    /// first, KV pressure second, group identity last (so ties are stable
+    /// for any healthy subset the slice covers).
+    fn key(&self) -> (u64, u64, usize) {
+        (self.outstanding, self.kv_tokens, self.group)
     }
 }
 
 /// Assigns arriving requests to replica groups.
 ///
-/// `route` must return an index `< loads.len()`. Policies may keep state;
-/// the fleet driver calls them from a single thread in arrival order, so
-/// determinism only requires that the policy itself is deterministic.
+/// `route` returns a *position* into `loads` (`< loads.len()`); the caller
+/// maps it to a group id through [`GroupLoad::group`]. The slice may cover
+/// only the healthy subset of the fleet, so policies must key any hashing
+/// or tie-breaking on `GroupLoad::group`, not on slice position. Policies
+/// may keep state; the fleet driver calls them from a single thread in
+/// arrival order, so determinism only requires that the policy itself is
+/// deterministic.
 pub trait RoutingPolicy: std::fmt::Debug + Send {
     /// Short human-readable name (used in sweep tables and benches).
     fn name(&self) -> &'static str;
 
-    /// Picks the group for `spec` given the current load index.
+    /// Picks the position in `loads` for `spec` given the current load
+    /// index.
     fn route(&mut self, spec: &RequestSpec, loads: &[GroupLoad]) -> usize;
 }
 
@@ -61,7 +75,7 @@ impl RoutingPolicy for JoinShortestQueue {
         loads
             .iter()
             .enumerate()
-            .min_by_key(|(i, l)| l.key(*i))
+            .min_by_key(|(_, l)| l.key())
             .map(|(i, _)| i)
             .expect("route over a non-empty fleet")
     }
@@ -99,7 +113,7 @@ impl RoutingPolicy for PowerOfTwoChoices {
         // first so the pair is always distinct.
         let b = self.rng.next_below(n - 1) as usize;
         let b = if b >= a { b + 1 } else { b };
-        if loads[b].key(b) < loads[a].key(a) {
+        if loads[b].key() < loads[a].key() {
             b
         } else {
             a
@@ -129,8 +143,24 @@ impl RoutingPolicy for RoundRobin {
 /// Session affinity: a pure hash of [`RequestSpec::session`] onto the
 /// fleet, so every request of a session lands on the same group and its
 /// KV prefix could be reused there. Load-blind by construction.
+///
+/// Uses rendezvous (highest-random-weight) hashing over
+/// [`GroupLoad::group`]: each live group is scored with a stateless
+/// SplitMix64 hash of `(session, group)` and the maximum wins. A session
+/// therefore keeps its home group under *any* healthy subset that still
+/// contains it, and when the home group dies the session re-hashes
+/// deterministically onto a survivor — hashing the session straight onto
+/// `loads.len()` would instead reshuffle every session whenever the
+/// subset shrinks.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SessionAffinity;
+
+/// Stateless rendezvous weight of `(session, group)`: one SplitMix64
+/// scramble of the two keys mixed with the generator's own increment, so
+/// nearby sessions and groups decorrelate fully.
+fn rendezvous_weight(session: u64, group: usize) -> u64 {
+    Rng64::seed(session ^ (group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
 
 impl RoutingPolicy for SessionAffinity {
     fn name(&self) -> &'static str {
@@ -138,10 +168,19 @@ impl RoutingPolicy for SessionAffinity {
     }
 
     fn route(&mut self, spec: &RequestSpec, loads: &[GroupLoad]) -> usize {
-        // One SplitMix64 scramble of the session key is a high-quality
-        // stateless hash; `next_below` maps it onto the fleet without
-        // modulo bias.
-        Rng64::seed(spec.session.0).next_below(loads.len() as u64) as usize
+        assert!(!loads.is_empty(), "route over a non-empty fleet");
+        let mut best = 0usize;
+        let mut best_w = rendezvous_weight(spec.session.0, loads[0].group);
+        for (pos, l) in loads.iter().enumerate().skip(1) {
+            let w = rendezvous_weight(spec.session.0, l.group);
+            // Strict `>` keeps ties on the earlier slice position, which
+            // is the smaller group id (the driver lists groups in order).
+            if w > best_w {
+                best = pos;
+                best_w = w;
+            }
+        }
+        best
     }
 }
 
@@ -163,7 +202,11 @@ mod tests {
     }
 
     fn loads(outstanding: &[u64]) -> Vec<GroupLoad> {
-        outstanding.iter().map(|&o| GroupLoad { outstanding: o, kv_tokens: 0 }).collect()
+        outstanding
+            .iter()
+            .enumerate()
+            .map(|(g, &o)| GroupLoad { group: g, outstanding: o, kv_tokens: 0 })
+            .collect()
     }
 
     #[test]
@@ -215,5 +258,47 @@ mod tests {
         // Different sessions spread (not all on one group).
         let picks: Vec<usize> = (0..64).map(|k| s.route(&spec(0, k), &light)).collect();
         assert!(picks.iter().any(|&g| g != picks[0]));
+    }
+
+    #[test]
+    fn session_affinity_survives_subset_restriction() {
+        let mut s = SessionAffinity;
+        let full = loads(&[0; 8]);
+        for session in 0..256 {
+            let home = full[s.route(&spec(0, session), &full)].group;
+            // Removing any *other* group never moves a pinned session.
+            for dead in (0..8).filter(|&d| d != home) {
+                let subset: Vec<GroupLoad> =
+                    full.iter().copied().filter(|l| l.group != dead).collect();
+                let g = subset[s.route(&spec(1, session), &subset)].group;
+                assert_eq!(g, home, "session {session} moved when group {dead} died");
+            }
+            // Removing the home group re-hashes onto a deterministic
+            // survivor.
+            let survivors: Vec<GroupLoad> =
+                full.iter().copied().filter(|l| l.group != home).collect();
+            let a = survivors[s.route(&spec(2, session), &survivors)].group;
+            let b = survivors[s.route(&spec(3, session), &survivors)].group;
+            assert_eq!(a, b);
+            assert_ne!(a, home);
+        }
+    }
+
+    #[test]
+    fn session_affinity_orphans_spread_over_survivors() {
+        // Kill one group and check its orphaned sessions do not all pile
+        // onto a single survivor (the modulus-over-subset failure mode).
+        let mut s = SessionAffinity;
+        let full = loads(&[0; 8]);
+        let dead = 3usize;
+        let survivors: Vec<GroupLoad> = full.iter().copied().filter(|l| l.group != dead).collect();
+        let orphans: Vec<u64> =
+            (0..512).filter(|&k| full[s.route(&spec(0, k), &full)].group == dead).collect();
+        assert!(orphans.len() > 16, "hash should spread sessions over 8 groups");
+        let mut landed: Vec<usize> =
+            orphans.iter().map(|&k| survivors[s.route(&spec(1, k), &survivors)].group).collect();
+        landed.sort_unstable();
+        landed.dedup();
+        assert!(landed.len() > 3, "orphans landed on only {landed:?}");
     }
 }
