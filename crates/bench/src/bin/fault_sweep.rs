@@ -1,0 +1,177 @@
+//! Fault-injection sweep: fleet availability, retries and failover tails
+//! vs crash rate × routing policy on a fleet of the paper's PP/8
+//! deployments.
+//!
+//! For each crash rate a seeded [`FaultPlan::chaos`] schedule (crashes with
+//! ten-second mean outages, occasional host-link degradation windows, a few
+//! stragglers) is compiled once and shared by every router, so the policies
+//! face *identical* failures and the comparison isolates routing. Rate zero
+//! runs the empty schedule — the healthy driver, bit-for-bit.
+//!
+//! Prints the degraded-operation table and writes
+//! `results/BENCH_faults.json`. Run with
+//! `cargo run --release -p cent-bench --bin fault_sweep`; pass `--smoke`
+//! for the CI mode (16 groups, two crash rates), which also asserts the
+//! conservation invariant (`completed + rejected + dropped = offered`) and
+//! that failover actually engaged (orphans retried, availability dented).
+
+use cent_bench::Report;
+use cent_cluster::{
+    simulate_fleet, ChaosRates, FaultPlan, FaultSchedule, FleetOptions, FleetReport,
+    JoinShortestQueue, PowerOfTwoChoices, RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
+};
+use cent_model::ModelConfig;
+use cent_serving::{LengthSampler, LoadCurve, ServingSystem, Workload};
+use cent_types::Time;
+
+/// Router factories: each sweep point gets a fresh router so per-point
+/// results never depend on sweep order.
+fn routers() -> Vec<(&'static str, Box<dyn RoutingPolicy>)> {
+    vec![
+        ("jsq", Box::new(JoinShortestQueue)),
+        ("p2c", Box::new(PowerOfTwoChoices::seeded(0xD1CE))),
+        ("rr", Box::new(RoundRobin::default())),
+        ("affinity", Box::new(SessionAffinity)),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let cfg = ModelConfig::llama2_7b();
+    let system = ServingSystem::plan(&cfg, 8, cent_compiler::Strategy::PipelineParallel, 4096)
+        .expect("planning Llama2-7B on 8 devices");
+    let (groups, horizon_s) = if smoke { (16, 120.0) } else { (64, 600.0) };
+    // Crashes per group-second; 0 is the healthy reference point.
+    let crash_rates: &[f64] =
+        if smoke { &[0.0, 1.0 / 60.0] } else { &[0.0, 1.0 / 400.0, 1.0 / 200.0, 1.0 / 100.0] };
+
+    // ShareGPT-like lengths at a moderate 0.55x load: headroom is what
+    // failover spends — survivors must absorb the victims' work — and the
+    // diurnal peak (1.5x of base) stays under fleet capacity, so the tails
+    // measure failover, not steady-state overload.
+    let (mean_prompt, mean_decode) = (160, 210);
+    let fleet_capacity = groups as f64 * system.capacity_qps(mean_prompt, mean_decode);
+    let offered = 0.55 * fleet_capacity;
+    let horizon = Time::from_secs_f64(horizon_s);
+    let curve = LoadCurve::diurnal(horizon_s, 0.5, 1.5);
+    let workload =
+        Workload { lengths: LengthSampler::ShareGpt, ..Workload::chatbot(offered, 0xFA117) };
+    let mut trace = workload.generate_modulated(horizon, 4096, &curve, 55);
+    Workload::assign_sessions(&mut trace, groups as u64 * 8, 0xBEEF);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let retry = RetryPolicy { max_attempts: 4, backoff: Time::from_us(50_000) };
+    println!(
+        "{groups}-group fleet | capacity {fleet_capacity:.0} q/s | {} requests at 0.55x | \
+         retry {} attempts\n",
+        trace.len(),
+        retry.max_attempts
+    );
+
+    let mut results: Vec<(&'static str, Vec<(String, FleetReport)>)> =
+        routers().into_iter().map(|(name, _)| (name, Vec::new())).collect();
+    for &rate in crash_rates {
+        // One schedule per rate, shared by all routers: identical failures,
+        // different routing.
+        let faults = if rate > 0.0 {
+            FaultPlan::chaos(
+                0xC4A5 ^ rate.to_bits(),
+                groups,
+                horizon,
+                &ChaosRates { crash_rate: rate, ..ChaosRates::default() },
+            )
+        } else {
+            FaultSchedule::empty()
+        };
+        let label = if rate > 0.0 { format!("1/{:.0}s", 1.0 / rate) } else { "none".to_string() };
+        for (slot, (name, mut router)) in results.iter_mut().zip(routers()) {
+            let opts = FleetOptions::new(groups)
+                .with_threads(threads)
+                .with_epoch(Time::from_secs_f64(0.25))
+                .with_faults(faults.clone())
+                .with_retry(retry);
+            let start = std::time::Instant::now();
+            let report = simulate_fleet(&system, &trace, offered, router.as_mut(), &opts);
+            let (avail, retries, drops) = report
+                .degraded
+                .as_ref()
+                .map_or((1.0, 0, 0), |d| (d.availability, d.retries, d.drops));
+            println!(
+                "crash {label:>7} {name:>8}: availability {:.4} | {} retries, {} drops | \
+                 TTFT p99 {} | {:.2?}",
+                avail,
+                retries,
+                drops,
+                report.ttft.p99,
+                start.elapsed(),
+            );
+            assert_eq!(slot.0, name);
+            if smoke {
+                assert_eq!(
+                    report.completed + report.rejected + drops,
+                    trace.len(),
+                    "{name} crash {label}: requests leaked from the conservation invariant"
+                );
+                if rate > 0.0 {
+                    let d = report.degraded.as_ref().expect("chaos run reports degraded mode");
+                    assert!(d.availability < 1.0, "{name}: crashes must dent availability");
+                    assert!(d.retries > 0, "{name}: failover must redispatch orphans");
+                }
+            }
+            slot.1.push((label.clone(), report));
+        }
+    }
+
+    let mut report = Report::new(
+        "BENCH_faults",
+        if smoke {
+            "Fault-injection sweep (smoke): 16-group PP/8 fleet, chaos crash schedules"
+        } else {
+            "Fault-injection sweep: 64-group PP/8 fleet, chaos crash schedules"
+        },
+        "degraded-mode serving beyond the paper: seeded group crashes, bounded retries and \
+         health-aware routing — availability and failover tails vs crash rate, per policy",
+    );
+    for (name, rows) in &results {
+        let series = |f: &dyn Fn(&FleetReport) -> f64| -> Vec<(String, f64)> {
+            rows.iter().map(|(x, r)| (x.clone(), f(r))).collect()
+        };
+        report.push_series(
+            &format!("{name} availability"),
+            "fraction of group-seconds up",
+            &series(&|r| r.degraded.as_ref().map_or(1.0, |d| d.availability)),
+        );
+        report.push_series(
+            &format!("{name} retries"),
+            "redispatches",
+            &series(&|r| r.degraded.as_ref().map_or(0.0, |d| d.retries as f64)),
+        );
+        report.push_series(
+            &format!("{name} drops"),
+            "requests",
+            &series(&|r| r.degraded.as_ref().map_or(0.0, |d| d.drops as f64)),
+        );
+        report.push_series(
+            &format!("{name} failover p99"),
+            "s",
+            &series(&|r| r.degraded.as_ref().map_or(0.0, |d| d.failover_latency.p99.as_secs())),
+        );
+        report.push_series(
+            &format!("{name} clean goodput"),
+            "q/s outside outages",
+            &series(&|r| {
+                r.degraded.as_ref().map_or_else(
+                    || {
+                        if r.makespan > Time::ZERO {
+                            r.completed as f64 / r.makespan.as_secs()
+                        } else {
+                            0.0
+                        }
+                    },
+                    |d| d.goodput_clean_qps,
+                )
+            }),
+        );
+        report.push_series(&format!("{name} TTFT p99"), "s", &series(&|r| r.ttft.p99.as_secs()));
+    }
+    report.emit();
+}

@@ -50,7 +50,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cent_bench::results_dir;
-use cent_cluster::{simulate_fleet_instrumented, FleetOptions, PowerOfTwoChoices};
+use cent_cluster::{
+    simulate_fleet_instrumented, ChaosRates, FaultPlan, FleetOptions, PowerOfTwoChoices,
+    RetryPolicy,
+};
 use cent_cost::KvSwapCost;
 use cent_model::ModelConfig;
 use cent_serving::{
@@ -257,7 +260,17 @@ fn full_shapes() -> Vec<Shape> {
 /// path end to end. Along the way the fleet report is asserted
 /// bit-identical across 1 vs 2 worker threads and every group's
 /// incremental report bit-identical to its batch reference run.
-fn measure_cluster(smoke: bool) -> (String, GateRow) {
+///
+/// A second row — `cluster-crash-recovery` — reruns the same trace under
+/// a seeded [`FaultPlan::chaos`] schedule with a bounded retry policy:
+/// crashes orphan in-flight work onto survivors, degradation windows
+/// shift the spill cost model, and the driver still must stay epochal.
+/// The row asserts thread-count invariance *under faults*, the
+/// `completed + rejected + dropped = offered` conservation invariant,
+/// that availability was actually dented and retries engaged, and rides
+/// the same `--check-against` gate (its reference is the healthy
+/// per-token replay, so the speedup row catches a fault-path slowdown).
+fn measure_cluster(smoke: bool) -> (Vec<String>, Vec<GateRow>) {
     const GROUPS: usize = 64;
     let name = "cluster-64xpp8-chatbot-diurnal";
     let cfg = ModelConfig::llama2_7b();
@@ -391,7 +404,121 @@ fn measure_cluster(smoke: bool) -> (String, GateRow) {
         heap_events_per_token: span.stats.heap_events_per_token(),
         wall_speedup: speedup,
     };
-    (row, gate)
+
+    // The crash-recovery shape: the identical fleet and trace under a
+    // seeded chaos schedule (default rates: a crash per ~200 group-seconds
+    // with ~10 s outages, host-link brownouts, stragglers) with bounded
+    // retries. Same clamp rationale as above — the healthy per-token
+    // replay is the baseline, so a fault-path slowdown large enough to
+    // matter pulls the saturated ratio under the cap and trips the gate.
+    let fname = "cluster-crash-recovery";
+    let fault_opts = opts
+        .with_faults(FaultPlan::chaos(
+            0xFA01,
+            GROUPS,
+            Time::from_secs_f64(horizon_s),
+            &ChaosRates::default(),
+        ))
+        .with_retry(RetryPolicy { max_attempts: 4, backoff: Time::from_us(50_000) });
+    let fault_run = |threads: usize| {
+        let mut router = PowerOfTwoChoices::seeded(0xD1CE);
+        let opts = fault_opts.clone().with_threads(threads);
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let fleet = simulate_fleet_instrumented(&system, &trace, rate, &mut router, &opts);
+        let wall_s = start.elapsed().as_secs_f64();
+        (fleet, wall_s, ALLOCATIONS.load(Ordering::Relaxed) - allocs_before)
+    };
+    let (faulted, fault_wall, fault_allocs) = fault_run(1);
+    let (threaded, _, _) = fault_run(2);
+    assert_eq!(
+        faulted.report, threaded.report,
+        "{fname}: faulted fleet report must be bit-identical across worker-thread counts"
+    );
+    let degraded = faulted.report.degraded.as_ref().expect("chaos run reports degraded mode");
+    assert!(degraded.availability < 1.0, "{fname}: crashes must dent availability");
+    assert!(degraded.retries > 0, "{fname}: failover must redispatch orphans");
+    assert_eq!(
+        faulted.report.completed + faulted.report.rejected + degraded.drops,
+        trace.len(),
+        "{fname}: requests leaked from the conservation invariant"
+    );
+    let mut fault_stats = SimStats::default();
+    for o in &faulted.groups {
+        fault_stats.heap_pushes += o.stats.heap_pushes;
+        fault_stats.heap_pops += o.stats.heap_pops;
+        fault_stats.tick_events += o.stats.tick_events;
+        fault_stats.tokens += o.stats.tokens;
+        fault_stats.admissions += o.stats.admissions;
+    }
+    let fault_span =
+        Measurement { wall_s: fault_wall, stats: fault_stats, allocations: fault_allocs };
+    let fault_speedup = (reference.wall_s / fault_span.wall_s.max(1e-9)).min(20.0);
+    let fault_heap_ratio = reference.stats.heap_events_per_token()
+        / fault_span.stats.heap_events_per_token().max(1e-9);
+    println!(
+        "{:>28} {:>9} {:>9.3}s {:>10} {:>9.3} {:>11} {:>9.4} {:>11}",
+        fname,
+        "reference",
+        reference.wall_s,
+        "1.00x",
+        reference.stats.heap_events_per_token(),
+        "1.00x",
+        reference.allocations_per_token(),
+        reference.stats.tokens,
+    );
+    println!(
+        "{:>28} {:>9} {:>9.3}s {:>9.2}x {:>9.3} {:>10.2}x {:>9.4} {:>11}",
+        "",
+        "span",
+        fault_span.wall_s,
+        fault_speedup,
+        fault_span.stats.heap_events_per_token(),
+        fault_heap_ratio,
+        fault_span.allocations_per_token(),
+        fault_span.stats.tokens,
+    );
+    // Retried work means re-admissions, so the churn floor applies — but
+    // crash recovery must not reintroduce per-token heap traffic either.
+    assert!(
+        fault_heap_ratio >= 3.0,
+        "{fname}: faulted fleet heap-event ratio {fault_heap_ratio:.2} < 3x vs the reference loop"
+    );
+    if smoke {
+        assert!(
+            fault_span.wall_s <= 1.25 * reference.wall_s,
+            "{fname}: faulted fleet run slower than the per-group reference ({:.3}s vs {:.3}s)",
+            fault_span.wall_s,
+            reference.wall_s
+        );
+    }
+    let fault_row = format!(
+        "    {{\"name\": \"{fname}\", \"groups\": {GROUPS}, \"replicas_per_group\": {}, \
+         \"slots_per_replica\": {}, \"sim_tokens\": {}, \"crashes\": {}, \"recoveries\": {}, \
+         \"retries\": {}, \"drops\": {}, \"availability\": {:.4},\n     \
+         \"reference\": {},\n     \"span\": {},\n     \"span_wall_speedup\": {:.3}, \
+         \"span_heap_ratio\": {:.3}, \"reports_identical\": true, \"threads_invariant\": true, \
+         \"conservation\": true}}",
+        system.replicas(),
+        system.slots_per_replica(),
+        fault_span.stats.tokens,
+        degraded.crashes,
+        degraded.recoveries,
+        degraded.retries,
+        degraded.drops,
+        degraded.availability,
+        json_engine(&reference),
+        json_engine(&fault_span),
+        fault_speedup,
+        fault_heap_ratio,
+    );
+    let fault_gate = GateRow {
+        name: fname.to_string(),
+        engine: "span",
+        heap_events_per_token: fault_span.stats.heap_events_per_token(),
+        wall_speedup: fault_speedup,
+    };
+    (vec![row, fault_row], vec![gate, fault_gate])
 }
 
 fn json_engine(m: &Measurement) -> String {
@@ -652,12 +779,13 @@ fn main() {
         ));
     }
 
-    // The fleet shape rides the same artifact and gate: its row carries a
-    // "span" engine block and a span_wall_speedup, so --check-against
-    // covers the cluster path with no parser changes.
-    let (cluster_row, cluster_gate) = measure_cluster(smoke);
-    rows.push(cluster_row);
-    gate_rows.push(cluster_gate);
+    // The fleet shapes (healthy diurnal + crash-recovery) ride the same
+    // artifact and gate: each row carries a "span" engine block and a
+    // span_wall_speedup, so --check-against covers the cluster path — and
+    // the fault path — with no parser changes.
+    let (cluster_rows, cluster_gates) = measure_cluster(smoke);
+    rows.extend(cluster_rows);
+    gate_rows.extend(cluster_gates);
 
     let json = format!(
         "{{\n  \"id\": \"BENCH_serving_sim\",\n  \"mode\": \"{}\",\n  \"shapes\": [\n{}\n  ]\n}}\n",

@@ -1,0 +1,330 @@
+//! Deterministic fault injection for the fleet: crash/recover windows,
+//! host-link degradation and stragglers, plus the seeded chaos generator.
+//!
+//! A [`FaultSchedule`] is plain data — a validated list of [`FaultSpec`]s —
+//! consumed by the epoch driver in [`fleet`](crate::fleet): every fault
+//! instant is aligned to the driver's epoch grid and applied from a single
+//! thread in a fixed order, so a schedule perturbs *what* the fleet
+//! simulates, never the determinism contract (bit-identical
+//! [`FleetReport`](crate::FleetReport) across worker-thread counts).
+//! [`FaultPlan::chaos`] draws a schedule from the in-tree SplitMix64, so a
+//! `(seed, rates)` pair names one reproducible bad day.
+
+use cent_types::{Rng64, Time};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// Group `group` dies at `at`: its device KV (and any pages it parked
+    /// in the host pool) is lost, in-flight and queued requests are
+    /// orphaned back to the router, and the group leaves the load index.
+    /// With `recover_after = Some(d)` it rejoins — empty and cold — `d`
+    /// later; `None` is a permanent failure.
+    GroupCrash {
+        /// Fleet-wide group index.
+        group: usize,
+        /// Crash instant (aligned up to the next epoch boundary).
+        at: Time,
+        /// Outage duration before the group rejoins; `None` never rejoins.
+        recover_after: Option<Time>,
+    },
+    /// The CXL host link degrades fleet-wide for `duration`:
+    /// `bandwidth_factor` multiplies the healthy link bandwidth (0.25 =
+    /// four times slower), which shifts the `CostDriven` spill comparator
+    /// toward recompute for the window. Overlapping windows apply the most
+    /// severe factor.
+    HostLinkDegrade {
+        /// Window start (aligned up to the next epoch boundary).
+        at: Time,
+        /// Window length (at least one epoch once aligned).
+        duration: Time,
+        /// Multiplier on the healthy host-link bandwidth, in `(0, 1]`.
+        bandwidth_factor: f64,
+    },
+    /// Group `group` runs `slowdown`× slower for the whole run (thermal
+    /// throttling, a flaky device retrying): token interval stretched,
+    /// prefill and steady-state rates divided.
+    Straggler {
+        /// Fleet-wide group index.
+        group: usize,
+        /// Uniform slowdown factor, at least `1.0`.
+        slowdown: f64,
+    },
+}
+
+/// A validated list of [`FaultSpec`]s for one fleet run.
+///
+/// Construction checks every spec once so the driver can consume them
+/// unchecked; specs need no particular order (the driver compiles them
+/// onto the epoch grid and sorts deterministically).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults: the driver degenerates to the healthy
+    /// path bit for bit.
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Wraps and validates a list of fault specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash recovers after a non-positive delay, a degrade
+    /// window is empty or its factor outside `(0, 1]`, or a straggler
+    /// slowdown is below `1.0` (or any factor is non-finite).
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        for spec in &specs {
+            match *spec {
+                FaultSpec::GroupCrash { recover_after, .. } => {
+                    if let Some(d) = recover_after {
+                        assert!(d > Time::ZERO, "recovery delay must be positive");
+                    }
+                }
+                FaultSpec::HostLinkDegrade { duration, bandwidth_factor, .. } => {
+                    assert!(duration > Time::ZERO, "degrade window must be non-empty");
+                    assert!(
+                        bandwidth_factor.is_finite()
+                            && bandwidth_factor > 0.0
+                            && bandwidth_factor <= 1.0,
+                        "bandwidth factor must lie in (0, 1], got {bandwidth_factor}"
+                    );
+                }
+                FaultSpec::Straggler { slowdown, .. } => {
+                    assert!(
+                        slowdown.is_finite() && slowdown >= 1.0,
+                        "straggler slowdown must be >= 1.0, got {slowdown}"
+                    );
+                }
+            }
+        }
+        FaultSchedule { specs }
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The validated specs, in construction order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Largest group index any spec references, if any spec does.
+    pub fn max_group(&self) -> Option<usize> {
+        self.specs
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::GroupCrash { group, .. } | FaultSpec::Straggler { group, .. } => {
+                    Some(group)
+                }
+                FaultSpec::HostLinkDegrade { .. } => None,
+            })
+            .max()
+    }
+}
+
+/// Bounded deterministic redispatch policy for crash orphans.
+///
+/// A request's first dispatch counts as attempt one; each crash that
+/// orphans it consumes one attempt, and once `max_attempts` dispatches
+/// have been burned the request is reported dropped instead of retried.
+/// The `n`-th redispatch is delayed by `n × backoff` from the crash
+/// instant (then aligned up to the epoch grid), so retry storms after a
+/// mass failure spread out deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total dispatches a request may consume (the original dispatch
+    /// included) before it is dropped. At least 1.
+    pub max_attempts: u32,
+    /// Linear backoff unit: the `n`-th redispatch waits `n × backoff`.
+    pub backoff: Time,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff: Time::ZERO }
+    }
+}
+
+/// Event rates for [`FaultPlan::chaos`]. All processes are Poisson with
+/// exponential durations, drawn from the in-tree SplitMix64.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosRates {
+    /// Mean crashes per group per simulated second (0 disables crashes).
+    pub crash_rate: f64,
+    /// Mean outage before a crashed group rejoins, seconds.
+    pub mean_outage_s: f64,
+    /// Mean fleet-wide host-link degradations per second (0 disables).
+    pub degrade_rate: f64,
+    /// Mean degradation-window length, seconds.
+    pub mean_degrade_s: f64,
+    /// Bandwidth factor applied inside a degradation window, in `(0, 1]`.
+    pub degrade_factor: f64,
+    /// Probability each group is a straggler for the whole run.
+    pub straggler_probability: f64,
+    /// Slowdown applied to straggler groups, at least `1.0`.
+    pub straggler_slowdown: f64,
+}
+
+impl Default for ChaosRates {
+    /// A plausible bad hour: a group crashes about every 200 s of
+    /// group-time and stays down ~10 s, the host link loses 3/4 of its
+    /// bandwidth about once a minute for ~5 s, and one group in sixteen
+    /// runs 30% slow.
+    fn default() -> Self {
+        ChaosRates {
+            crash_rate: 1.0 / 200.0,
+            mean_outage_s: 10.0,
+            degrade_rate: 1.0 / 60.0,
+            mean_degrade_s: 5.0,
+            degrade_factor: 0.25,
+            straggler_probability: 1.0 / 16.0,
+            straggler_slowdown: 1.3,
+        }
+    }
+}
+
+/// Namespace for fault-schedule generators.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan;
+
+/// Stream-splitting constant (the SplitMix64 golden-gamma), so per-group
+/// chaos streams decorrelate from each other and from the degrade stream.
+const STREAM_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FaultPlan {
+    /// Draws a chaos schedule over `groups` groups and `[0, horizon)`.
+    ///
+    /// Each group gets its own SplitMix64 stream derived from `seed`, so
+    /// the schedule for group `g` does not change when `groups` grows.
+    /// Crash windows are sequential per group (a group cannot crash while
+    /// it is already down); degrade windows are a single fleet-wide
+    /// sequential process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate or factor is out of range (via
+    /// [`FaultSchedule::new`]) or `horizon` is zero.
+    pub fn chaos(seed: u64, groups: usize, horizon: Time, rates: &ChaosRates) -> FaultSchedule {
+        assert!(horizon > Time::ZERO, "chaos needs a positive horizon");
+        let horizon_s = horizon.as_secs();
+        let mut specs = Vec::new();
+        for group in 0..groups {
+            let mut rng = Rng64::seed(seed ^ (group as u64 + 1).wrapping_mul(STREAM_GAMMA));
+            if rates.crash_rate > 0.0 {
+                let mut t = rng.exponential(rates.crash_rate);
+                while t < horizon_s {
+                    let outage = rng.exponential(1.0 / rates.mean_outage_s).max(1e-6);
+                    specs.push(FaultSpec::GroupCrash {
+                        group,
+                        at: Time::from_secs_f64(t),
+                        recover_after: Some(Time::from_secs_f64(outage)),
+                    });
+                    t += outage + rng.exponential(rates.crash_rate);
+                }
+            }
+            if rates.straggler_probability > 0.0
+                && rng.next_f64() < rates.straggler_probability
+                && rates.straggler_slowdown > 1.0
+            {
+                specs.push(FaultSpec::Straggler { group, slowdown: rates.straggler_slowdown });
+            }
+        }
+        if rates.degrade_rate > 0.0 {
+            let mut rng = Rng64::seed(seed.wrapping_add(STREAM_GAMMA));
+            let mut t = rng.exponential(rates.degrade_rate);
+            while t < horizon_s {
+                let duration = rng.exponential(1.0 / rates.mean_degrade_s).max(1e-6);
+                specs.push(FaultSpec::HostLinkDegrade {
+                    at: Time::from_secs_f64(t),
+                    duration: Time::from_secs_f64(duration),
+                    bandwidth_factor: rates.degrade_factor,
+                });
+                t += duration + rng.exponential(rates.degrade_rate);
+            }
+        }
+        FaultSchedule::new(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_is_deterministic_and_respects_group_streams() {
+        let rates = ChaosRates::default();
+        let horizon = Time::from_secs_f64(600.0);
+        let a = FaultPlan::chaos(42, 8, horizon, &rates);
+        let b = FaultPlan::chaos(42, 8, horizon, &rates);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, FaultPlan::chaos(43, 8, horizon, &rates), "seeds diverge");
+        // Growing the fleet only appends faults for the new groups: the
+        // per-group streams of the first 8 groups are untouched.
+        let wider = FaultPlan::chaos(42, 16, horizon, &rates);
+        let of_first_8 = |s: &FaultSchedule| -> Vec<FaultSpec> {
+            s.specs()
+                .iter()
+                .filter(|f| match **f {
+                    FaultSpec::GroupCrash { group, .. } | FaultSpec::Straggler { group, .. } => {
+                        group < 8
+                    }
+                    FaultSpec::HostLinkDegrade { .. } => true,
+                })
+                .copied()
+                .collect()
+        };
+        assert_eq!(of_first_8(&a), of_first_8(&wider));
+    }
+
+    #[test]
+    fn chaos_crash_windows_do_not_overlap_per_group() {
+        let rates =
+            ChaosRates { crash_rate: 1.0 / 20.0, mean_outage_s: 15.0, ..Default::default() };
+        let schedule = FaultPlan::chaos(7, 4, Time::from_secs_f64(1200.0), &rates);
+        for group in 0..4 {
+            let mut windows: Vec<(Time, Time)> = schedule
+                .specs()
+                .iter()
+                .filter_map(|s| match *s {
+                    FaultSpec::GroupCrash { group: g, at, recover_after } if g == group => {
+                        Some((at, at + recover_after.expect("chaos always recovers")))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(!windows.is_empty(), "20 s crash rate over 20 min must fire");
+            windows.sort_unstable();
+            for pair in windows.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "group {group} crashed while down: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_specs() {
+        let bad = [
+            FaultSpec::HostLinkDegrade {
+                at: Time::ZERO,
+                duration: Time::from_secs_f64(1.0),
+                bandwidth_factor: 1.5,
+            },
+            FaultSpec::Straggler { group: 0, slowdown: 0.5 },
+            FaultSpec::GroupCrash { group: 0, at: Time::ZERO, recover_after: Some(Time::ZERO) },
+        ];
+        for spec in bad {
+            let result = std::panic::catch_unwind(|| FaultSchedule::new(vec![spec]));
+            assert!(result.is_err(), "{spec:?} must be rejected");
+        }
+        assert!(FaultSchedule::empty().is_empty());
+        assert_eq!(
+            FaultSchedule::new(vec![FaultSpec::Straggler { group: 5, slowdown: 2.0 }]).max_group(),
+            Some(5)
+        );
+    }
+}

@@ -1,29 +1,48 @@
 //! The sharded fleet driver: epoch-based routing over N replica groups,
-//! fanned out across `std::thread::scope` workers inside one simulation.
+//! fanned out across `std::thread::scope` workers inside one simulation —
+//! with deterministic fault injection, failover and retry on top.
 //!
 //! # Determinism contract
 //!
-//! The trace is partitioned into fixed-width time *epochs*. At each epoch
-//! boundary the driver advances every group to the boundary instant,
-//! refreshes the per-group [`GroupLoad`] index from true scheduler state,
-//! and then routes every arrival of the epoch against that snapshot
-//! (bumping the index optimistically per assignment). Routing therefore
-//! depends only on (trace, router state, epoch length) — never on worker
+//! The trace is partitioned into fixed-width time *epochs*. The driver
+//! stops at epoch-grid instants — the epoch holding the next arrival, the
+//! next fault event (crash/recover/degrade instants are aligned up to the
+//! grid), or the next retry-ready instant. At each stop it advances every
+//! group to the stop instant, applies due fault events from a single
+//! thread in a fixed `(instant, kind, group)` order, refreshes the
+//! per-group [`GroupLoad`] index from true scheduler state (dead groups
+//! leave the index), and then routes redispatches and the epoch's arrivals
+//! against that snapshot (bumping the index optimistically per
+//! assignment). Routing and fault handling therefore depend only on
+//! (trace, fault schedule, router state, epoch length) — never on worker
 //! interleaving — and each group's simulation is single-threaded and
 //! deterministic, so the merged [`FleetReport`] is bit-identical across
-//! worker-thread counts. Epochs with no arrivals are coalesced: refreshing
-//! a load snapshot nobody reads is a no-op, so jumping straight to the
-//! next arrival's epoch is observationally identical and makes sparse
-//! multi-hour traces cheap.
+//! worker-thread counts *for any fault schedule*. Epochs with no work are
+//! coalesced: the driver jumps straight to the next stop.
+//!
+//! # Failure semantics
+//!
+//! A [`GroupCrash`](FaultSpec::GroupCrash) tears the group down: its
+//! in-flight and queued requests are orphaned (device KV and host-pool
+//! pages are lost, so a redispatch re-prefills from scratch while TTFT
+//! keeps running from the original arrival), and the [`RetryPolicy`]
+//! decides whether each orphan is redispatched — onto the healthy subset,
+//! after its backoff — or dropped. Recovered groups rejoin empty and cold.
+//! While *no* group is alive, arrivals are deferred and dispatched at the
+//! next recovery; if the fleet never recovers they are dropped.
 
-use cent_serving::{GroupOutcome, GroupSim, RequestSpec, ServeOptions, ServingSystem};
+use std::collections::BTreeMap;
+
+use cent_serving::ServingSystem;
+use cent_serving::{GroupOutcome, GroupSim, PriorityClass, RequestId, RequestSpec, ServeOptions};
 use cent_types::Time;
 
+use crate::fault::{FaultSchedule, FaultSpec, RetryPolicy};
 use crate::report::FleetReport;
 use crate::router::{GroupLoad, RoutingPolicy};
 
-/// Fleet-level knobs: group count, worker threads, epoch width and the
-/// per-group serving options.
+/// Fleet-level knobs: group count, worker threads, epoch width, the
+/// per-group serving options, and the fault schedule and retry policy.
 #[derive(Debug, Clone)]
 pub struct FleetOptions {
     /// Independent replica groups behind the router.
@@ -32,16 +51,22 @@ pub struct FleetOptions {
     /// yields the same [`FleetReport`]; this only trades wall-clock.
     pub threads: usize,
     /// Epoch width: the granularity at which the router's load index is
-    /// refreshed from true group state. Smaller epochs mean fresher load
-    /// signals and more synchronization barriers.
+    /// refreshed from true group state (and onto which fault events are
+    /// aligned). Smaller epochs mean fresher load signals and more
+    /// synchronization barriers.
     pub epoch: Time,
     /// Serving options applied to every group.
     pub serve: ServeOptions,
+    /// Faults injected into the run (empty = the healthy path, bit for
+    /// bit).
+    pub faults: FaultSchedule,
+    /// Redispatch policy for crash orphans.
+    pub retry: RetryPolicy,
 }
 
 impl FleetOptions {
-    /// `groups` groups, one worker thread, a 100 ms epoch and default
-    /// serving options.
+    /// `groups` groups, one worker thread, a 100 ms epoch, default serving
+    /// options, no faults.
     pub fn new(groups: usize) -> Self {
         assert!(groups > 0, "a fleet needs at least one group");
         FleetOptions {
@@ -49,6 +74,8 @@ impl FleetOptions {
             threads: 1,
             epoch: Time::from_secs_f64(0.1),
             serve: ServeOptions::default(),
+            faults: FaultSchedule::empty(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -74,18 +101,145 @@ impl FleetOptions {
         self.serve = serve;
         self
     }
+
+    /// Sets the fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry policy for crash orphans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry.max_attempts` is zero.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts > 0, "a request needs at least one attempt");
+        self.retry = retry;
+        self
+    }
+}
+
+/// What the fault machinery did during one fleet run — the raw material
+/// for the report's degraded-mode section, exposed for property tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    /// Crash events applied (a crash aligned into an existing outage is
+    /// skipped, not double-counted).
+    pub crashes: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+    /// Per-group outage windows `(group, down_from, up_at)`; `None` means
+    /// the group never rejoined.
+    pub down_windows: Vec<(usize, Time, Option<Time>)>,
+    /// One entry per orphaning: the request and the crash instant that
+    /// evicted it (a request appears once per crash it survives).
+    pub orphaned: Vec<(RequestId, Time)>,
+    /// Redispatches of crash orphans (deferred first dispatches of
+    /// arrivals that found no live group are not retries).
+    pub retries: u64,
+    /// Redispatch counts per priority class.
+    pub retries_by_class: Vec<(PriorityClass, u64)>,
+    /// Requests dropped — out of attempts, or undispatchable because the
+    /// fleet never recovered.
+    pub dropped: Vec<(RequestId, PriorityClass)>,
+    /// Last offered arrival — the availability horizon extends at least
+    /// this far even if the fleet died long before serving it.
+    pub horizon: Time,
 }
 
 /// Everything one fleet run produced: the merged report, the per-group
-/// outcomes (in group order) and the routing decision per trace entry.
+/// outcomes (in group order), the routing decision per trace entry and the
+/// fault log.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
     /// The merged fleet-wide report.
     pub report: FleetReport,
     /// Per-group outcomes, indexed by group.
     pub groups: Vec<GroupOutcome>,
-    /// Group index each trace entry was routed to, aligned with the trace.
+    /// Group index each trace entry was *first* dispatched to, aligned
+    /// with the trace (`usize::MAX` for requests dropped before any
+    /// dispatch — only possible when the whole fleet is down on arrival).
     pub routed: Vec<usize>,
+    /// What the fault machinery did (empty for a fault-free schedule).
+    pub faults: FaultLog,
+}
+
+/// A fault event compiled onto the epoch grid. At one instant, recoveries
+/// apply before degrade-window edges before crashes (rank order), and
+/// within a kind events apply in compiled order — a fixed, thread-free
+/// total order.
+#[derive(Debug, Clone, Copy)]
+struct CompiledFault {
+    at: Time,
+    rank: u8,
+    group: usize,
+    kind: CompiledKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CompiledKind {
+    Recover,
+    DegradeEnd { factor: f64 },
+    DegradeStart { factor: f64 },
+    Crash,
+}
+
+/// Aligns `t` up to the next epoch-grid instant.
+fn epoch_ceil(t: Time, epoch_ps: u64) -> Time {
+    Time::from_ps(t.as_ps().div_ceil(epoch_ps).saturating_mul(epoch_ps))
+}
+
+/// Compiles the schedule onto the epoch grid: every instant is aligned up,
+/// every window spans at least one epoch, and the result is sorted by
+/// `(instant, rank, group)` with compiled order breaking residual ties
+/// (stable sort).
+fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault> {
+    let mut events = Vec::new();
+    for spec in schedule.specs() {
+        match *spec {
+            FaultSpec::GroupCrash { group, at, recover_after } => {
+                let crash_at = epoch_ceil(at, epoch_ps);
+                events.push(CompiledFault {
+                    at: crash_at,
+                    rank: 3,
+                    group,
+                    kind: CompiledKind::Crash,
+                });
+                if let Some(d) = recover_after {
+                    let floor = Time::from_ps(crash_at.as_ps().saturating_add(epoch_ps));
+                    let recover_at = epoch_ceil(at + d, epoch_ps).max(floor);
+                    events.push(CompiledFault {
+                        at: recover_at,
+                        rank: 0,
+                        group,
+                        kind: CompiledKind::Recover,
+                    });
+                }
+            }
+            FaultSpec::HostLinkDegrade { at, duration, bandwidth_factor } => {
+                let start = epoch_ceil(at, epoch_ps);
+                let floor = Time::from_ps(start.as_ps().saturating_add(epoch_ps));
+                let end = epoch_ceil(at + duration, epoch_ps).max(floor);
+                events.push(CompiledFault {
+                    at: start,
+                    rank: 2,
+                    group: 0,
+                    kind: CompiledKind::DegradeStart { factor: bandwidth_factor },
+                });
+                events.push(CompiledFault {
+                    at: end,
+                    rank: 1,
+                    group: 0,
+                    kind: CompiledKind::DegradeEnd { factor: bandwidth_factor },
+                });
+            }
+            // Stragglers are construction-time, not events.
+            FaultSpec::Straggler { .. } => {}
+        }
+    }
+    events.sort_by_key(|e| (e.at, e.rank, e.group));
+    events
 }
 
 /// Simulates `trace` over a fleet of identical replica groups and returns
@@ -102,8 +256,9 @@ pub fn simulate_fleet(
     simulate_fleet_instrumented(system, trace, offered_qps, router, options).report
 }
 
-/// [`simulate_fleet`], additionally returning per-group outcomes and the
-/// per-request routing decisions (property tests and router studies).
+/// [`simulate_fleet`], additionally returning per-group outcomes, the
+/// per-request routing decisions and the fault log (property tests,
+/// router and failover studies).
 pub fn simulate_fleet_instrumented(
     system: &ServingSystem,
     trace: &[RequestSpec],
@@ -112,46 +267,241 @@ pub fn simulate_fleet_instrumented(
     options: &FleetOptions,
 ) -> FleetOutcome {
     let epoch_ps = options.epoch.as_ps().max(1);
-    let mut sims: Vec<GroupSim> =
-        (0..options.groups).map(|_| GroupSim::new(system, options.serve.clone())).collect();
-    let mut loads = vec![GroupLoad::default(); options.groups];
-    let mut routed = Vec::with_capacity(trace.len());
-    let mut cursor = 0;
-    while cursor < trace.len() {
-        let arrival = trace[cursor].arrival;
+    if let Some(g) = options.faults.max_group() {
+        assert!(
+            g < options.groups,
+            "fault schedule names group {g} of a {}-group fleet",
+            options.groups
+        );
+    }
+    assert!(options.retry.max_attempts > 0, "a request needs at least one attempt");
+
+    // Stragglers are a property of the group, not an event: build the
+    // affected groups from a uniformly slowed system (worst slowdown wins
+    // if a group is named twice).
+    let mut slowdowns = vec![1.0f64; options.groups];
+    for spec in options.faults.specs() {
+        if let FaultSpec::Straggler { group, slowdown } = *spec {
+            slowdowns[group] = slowdowns[group].max(slowdown);
+        }
+    }
+    let mut sims: Vec<GroupSim> = slowdowns
+        .iter()
+        .map(|&s| {
+            if s > 1.0 {
+                GroupSim::new(&system.slowed(s), options.serve.clone())
+            } else {
+                GroupSim::new(system, options.serve.clone())
+            }
+        })
+        .collect();
+
+    let events = compile_faults(&options.faults, epoch_ps);
+    let faulty = !options.faults.is_empty();
+    let mut next_event = 0usize;
+    let mut alive = vec![true; options.groups];
+    let mut down_since: Vec<Option<Time>> = vec![None; options.groups];
+    let mut active_degrades: Vec<f64> = Vec::new();
+    let mut effective_factor = 1.0f64;
+    let mut log = FaultLog::default();
+    let mut retries_by_class: BTreeMap<PriorityClass, u64> = BTreeMap::new();
+
+    // Dispatch bookkeeping, touched only on the faulty path: attempts per
+    // request id, the pending set keyed by `(ready, arrival, id)` (the
+    // deterministic redispatch order), and the id → trace-index map that
+    // backfills `routed` for out-of-order dispatches.
+    let mut attempts: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut pending: BTreeMap<(Time, Time, u64), RequestSpec> = BTreeMap::new();
+    let id_to_index: BTreeMap<u64, usize> = if faulty {
+        trace.iter().enumerate().map(|(i, s)| (s.id.0, i)).collect()
+    } else {
+        BTreeMap::new()
+    };
+
+    let mut loads: Vec<GroupLoad> = Vec::with_capacity(options.groups);
+    let mut routed = vec![usize::MAX; trace.len()];
+    let mut cursor = 0usize;
+    loop {
         debug_assert!(
-            cursor == 0 || trace[cursor - 1].arrival <= arrival,
+            cursor == 0
+                || cursor >= trace.len()
+                || trace[cursor - 1].arrival <= trace[cursor].arrival,
             "trace must be sorted by arrival"
         );
-        // Coalesced jump to the epoch holding the next arrival.
-        let epoch_start = Time::from_ps((arrival.as_ps() / epoch_ps) * epoch_ps);
-        let epoch_end = Time::from_ps(epoch_start.as_ps().saturating_add(epoch_ps));
-        advance_groups(&mut sims, epoch_start, options.threads);
-        for (g, (load, sim)) in loads.iter_mut().zip(&sims).enumerate() {
-            *load = GroupLoad {
-                group: g,
-                outstanding: sim.outstanding(),
-                kv_tokens: sim.kv_reserved(),
-            };
+        // Candidate stops, all on the epoch grid. Retry-ready instants
+        // only count while some group is alive — while the whole fleet is
+        // down, only a recovery (a fault stop) can unblock them.
+        let arrival_stop =
+            trace.get(cursor).map(|s| Time::from_ps((s.arrival.as_ps() / epoch_ps) * epoch_ps));
+        let fault_stop = events.get(next_event).map(|e| e.at);
+        let retry_stop = if alive.iter().any(|&a| a) {
+            pending.keys().next().map(|&(ready, _, _)| epoch_ceil(ready, epoch_ps))
+        } else {
+            None
+        };
+        let Some(t) = [arrival_stop, fault_stop, retry_stop].into_iter().flatten().min() else {
+            break;
+        };
+        advance_groups(&mut sims, t, options.threads);
+
+        // Fault phase: apply every event due at this stop, in compiled
+        // order, from this single thread.
+        while next_event < events.len() && events[next_event].at == t {
+            let e = events[next_event];
+            next_event += 1;
+            match e.kind {
+                CompiledKind::Crash => {
+                    if !alive[e.group] {
+                        // Grid alignment folded this crash into an outage
+                        // already in progress.
+                        continue;
+                    }
+                    alive[e.group] = false;
+                    down_since[e.group] = Some(t);
+                    log.crashes += 1;
+                    for spec in sims[e.group].crash(t) {
+                        log.orphaned.push((spec.id, t));
+                        let n = *attempts.get(&spec.id.0).expect("orphan was dispatched");
+                        if n >= options.retry.max_attempts {
+                            log.dropped.push((spec.id, spec.class));
+                        } else {
+                            let ready = t + options.retry.backoff.times(u64::from(n));
+                            pending.insert((ready, spec.arrival, spec.id.0), spec);
+                        }
+                    }
+                }
+                CompiledKind::Recover => {
+                    if alive[e.group] {
+                        continue;
+                    }
+                    alive[e.group] = true;
+                    log.recoveries += 1;
+                    let start = down_since[e.group].take().expect("recovering group was down");
+                    log.down_windows.push((e.group, start, Some(t)));
+                }
+                CompiledKind::DegradeStart { factor } => {
+                    active_degrades.push(factor);
+                    let eff = active_degrades.iter().copied().fold(1.0, f64::min);
+                    if eff != effective_factor {
+                        effective_factor = eff;
+                        for sim in sims.iter_mut() {
+                            sim.set_host_link_factor(eff);
+                        }
+                    }
+                }
+                CompiledKind::DegradeEnd { factor } => {
+                    let pos = active_degrades
+                        .iter()
+                        .position(|&f| f == factor)
+                        .expect("degrade window was active");
+                    active_degrades.swap_remove(pos);
+                    let eff = active_degrades.iter().copied().fold(1.0, f64::min);
+                    if eff != effective_factor {
+                        effective_factor = eff;
+                        for sim in sims.iter_mut() {
+                            sim.set_host_link_factor(eff);
+                        }
+                    }
+                }
+            }
         }
-        // Route the whole epoch against the boundary snapshot, bumping the
-        // index optimistically so intra-epoch bursts still spread.
+
+        // Load snapshot over the healthy subset, in group order.
+        loads.clear();
+        for (g, sim) in sims.iter().enumerate() {
+            if alive[g] {
+                loads.push(GroupLoad {
+                    group: g,
+                    outstanding: sim.outstanding(),
+                    kv_tokens: sim.kv_reserved(),
+                });
+            }
+        }
+
+        // Redispatch phase: pending requests whose ready instant has
+        // aligned to this stop (or earlier), in `(ready, arrival, id)`
+        // order, routed over the healthy subset.
+        if !loads.is_empty() {
+            while let Some((&key, _)) = pending.iter().next() {
+                if epoch_ceil(key.0, epoch_ps) > t {
+                    break;
+                }
+                let spec = pending.remove(&key).expect("peeked entry exists");
+                let pos = router.route(&spec, &loads);
+                assert!(pos < loads.len(), "router chose position {pos} of {}", loads.len());
+                let g = loads[pos].group;
+                sims[g].push_redispatch(spec, t);
+                loads[pos].outstanding += 1;
+                loads[pos].kv_tokens += spec.kv_tokens();
+                let n = attempts.entry(spec.id.0).or_insert(0);
+                if *n > 0 {
+                    log.retries += 1;
+                    *retries_by_class.entry(spec.class).or_insert(0) += 1;
+                }
+                *n += 1;
+                let idx = *id_to_index.get(&spec.id.0).expect("pending spec is in the trace");
+                if routed[idx] == usize::MAX {
+                    routed[idx] = g;
+                }
+            }
+        }
+
+        // Arrival phase: route every arrival of the epoch starting at `t`
+        // against the boundary snapshot, bumping the index optimistically
+        // so intra-epoch bursts still spread. With no live group the
+        // arrivals are deferred until the next recovery.
+        let epoch_end = Time::from_ps(t.as_ps().saturating_add(epoch_ps));
         while cursor < trace.len() && trace[cursor].arrival < epoch_end {
             let spec = trace[cursor];
+            let idx = cursor;
+            cursor += 1;
+            if loads.is_empty() {
+                pending.insert((spec.arrival, spec.arrival, spec.id.0), spec);
+                continue;
+            }
             let pos = router.route(&spec, &loads);
             assert!(pos < loads.len(), "router chose position {pos} of {}", loads.len());
             let g = loads[pos].group;
             sims[g].push_arrival(spec);
             loads[pos].outstanding += 1;
             loads[pos].kv_tokens += spec.kv_tokens();
-            routed.push(g);
-            cursor += 1;
+            routed[idx] = g;
+            if faulty {
+                *attempts.entry(spec.id.0).or_insert(0) += 1;
+            }
         }
     }
+    // Anything still pending is undispatchable: the fleet died and never
+    // recovered.
+    for (_, spec) in pending {
+        log.dropped.push((spec.id, spec.class));
+    }
+    for (g, since) in down_since.iter().enumerate() {
+        if let Some(start) = *since {
+            log.down_windows.push((g, start, None));
+        }
+    }
+    log.retries_by_class = retries_by_class.into_iter().collect();
+    if faulty {
+        log.horizon = trace.last().map(|s| s.arrival).unwrap_or(Time::ZERO);
+    }
+
     let per_group_qps = offered_qps / options.groups as f64;
     let outcomes = finish_groups(sims, per_group_qps, options.threads);
-    let report = FleetReport::from_outcomes(offered_qps, &outcomes);
-    FleetOutcome { report, groups: outcomes, routed }
+    let report = if faulty {
+        FleetReport::from_outcomes_faulted(offered_qps, &outcomes, &log)
+    } else {
+        FleetReport::from_outcomes(offered_qps, &outcomes)
+    };
+    debug_assert!(
+        !faulty || report.completed + report.rejected + log.dropped.len() == trace.len(),
+        "conservation: {} completed + {} rejected + {} dropped != {} offered",
+        report.completed,
+        report.rejected,
+        log.dropped.len(),
+        trace.len()
+    );
+    FleetOutcome { report, groups: outcomes, routed, faults: log }
 }
 
 /// Advances every group to `limit`, sharding contiguous chunks across
@@ -229,6 +579,16 @@ mod tests {
         w.generate(Time::from_secs_f64(horizon_s), 4096)
     }
 
+    /// Long-decode trace: ~half-second service times keep every group
+    /// busy, so a mid-run crash is guaranteed to strand in-flight work.
+    fn heavy_trace(qps: f64, seed: u64, horizon_s: f64) -> Vec<RequestSpec> {
+        let w = Workload {
+            lengths: cent_serving::LengthSampler::Fixed { prompt: 10, decode: 400 },
+            ..Workload::chatbot(qps, seed)
+        };
+        w.generate(Time::from_secs_f64(horizon_s), 4096)
+    }
+
     #[test]
     fn fleet_of_one_matches_the_single_system_run() {
         // With one group every router is the identity, so the group's
@@ -244,6 +604,8 @@ mod tests {
         assert_eq!(fleet.report.ttft, solo.ttft);
         assert_eq!(fleet.report.query_latency, solo.query_latency);
         assert!(fleet.routed.iter().all(|&g| g == 0));
+        assert_eq!(fleet.faults, FaultLog::default());
+        assert_eq!(fleet.report.degraded, None);
     }
 
     #[test]
@@ -299,5 +661,95 @@ mod tests {
             assert_eq!(fleet.completed, trace.len(), "epoch {epoch_s}");
             assert_eq!(fleet.per_group.iter().map(|g| g.submitted).sum::<usize>(), trace.len());
         }
+    }
+
+    #[test]
+    fn crash_orphans_are_retried_on_survivors() {
+        let sys = tiny_system();
+        let trace = heavy_trace(60.0, 13, 2.0);
+        let faults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+            group: 0,
+            at: Time::from_secs_f64(0.5),
+            recover_after: Some(Time::from_secs_f64(0.8)),
+        }]);
+        let opts = FleetOptions::new(3).with_epoch(Time::from_secs_f64(0.05)).with_faults(faults);
+        let fleet = simulate_fleet_instrumented(&sys, &trace, 60.0, &mut JoinShortestQueue, &opts);
+        assert_eq!(fleet.faults.crashes, 1);
+        assert_eq!(fleet.faults.recoveries, 1);
+        assert!(!fleet.faults.orphaned.is_empty(), "a loaded group must have had work");
+        assert_eq!(fleet.faults.retries, fleet.faults.orphaned.len() as u64);
+        assert!(fleet.faults.dropped.is_empty(), "one crash cannot exhaust 3 attempts");
+        // Every request still completes exactly once.
+        assert_eq!(fleet.report.completed, trace.len());
+        let mut ids: Vec<u64> =
+            fleet.groups.iter().flat_map(|o| o.records.iter().map(|r| r.spec.id.0)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..trace.len() as u64).collect::<Vec<_>>());
+        let degraded = fleet.report.degraded.as_ref().expect("faulted run reports degraded mode");
+        assert!(degraded.availability < 1.0);
+        assert!(degraded.availability > 0.0);
+        assert_eq!(degraded.retries, fleet.faults.retries);
+    }
+
+    #[test]
+    fn permanent_fleet_death_drops_requests() {
+        // Both groups die early and never recover: everything not already
+        // completed is dropped, and conservation still holds.
+        let sys = tiny_system();
+        let trace = trace(40.0, 17, 2.0);
+        let faults = FaultSchedule::new(
+            (0..2)
+                .map(|g| FaultSpec::GroupCrash {
+                    group: g,
+                    at: Time::from_secs_f64(0.3),
+                    recover_after: None,
+                })
+                .collect(),
+        );
+        let opts = FleetOptions::new(2).with_epoch(Time::from_secs_f64(0.05)).with_faults(faults);
+        let fleet = simulate_fleet_instrumented(&sys, &trace, 40.0, &mut JoinShortestQueue, &opts);
+        assert_eq!(fleet.faults.crashes, 2);
+        assert_eq!(fleet.faults.recoveries, 0);
+        assert!(!fleet.faults.dropped.is_empty());
+        assert_eq!(
+            fleet.report.completed + fleet.report.rejected + fleet.faults.dropped.len(),
+            trace.len()
+        );
+        // Down windows stay open.
+        assert!(fleet.faults.down_windows.iter().all(|&(_, _, up)| up.is_none()));
+        let degraded = fleet.report.degraded.as_ref().expect("degraded section present");
+        assert_eq!(degraded.drops, fleet.faults.dropped.len());
+        assert!(degraded.availability < 1.0);
+    }
+
+    #[test]
+    fn straggler_group_attracts_less_jsq_traffic() {
+        let sys = tiny_system();
+        let trace = trace(100.0, 23, 3.0);
+        let faults = FaultSchedule::new(vec![FaultSpec::Straggler { group: 0, slowdown: 3.0 }]);
+        let opts = FleetOptions::new(3).with_epoch(Time::from_secs_f64(0.02)).with_faults(faults);
+        let fleet = simulate_fleet_instrumented(&sys, &trace, 100.0, &mut JoinShortestQueue, &opts);
+        assert_eq!(fleet.report.completed, trace.len());
+        let slow = fleet.report.per_group[0].submitted;
+        let healthy = fleet.report.per_group[1].submitted.min(fleet.report.per_group[2].submitted);
+        assert!(slow < healthy, "JSQ should shed load off the 3x straggler: {slow} vs {healthy}");
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical_to_the_healthy_path() {
+        let sys = tiny_system();
+        let trace = trace(90.0, 29, 2.0);
+        let base = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+        let healthy =
+            simulate_fleet_instrumented(&sys, &trace, 90.0, &mut JoinShortestQueue, &base);
+        let scheduled = simulate_fleet_instrumented(
+            &sys,
+            &trace,
+            90.0,
+            &mut JoinShortestQueue,
+            &base.clone().with_faults(FaultSchedule::empty()),
+        );
+        assert_eq!(healthy.report, scheduled.report);
+        assert_eq!(healthy.routed, scheduled.routed);
     }
 }

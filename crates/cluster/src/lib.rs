@@ -20,7 +20,13 @@
 //!   bit-identical across worker-thread counts;
 //! * [`FleetReport`] — fleet-wide p50/p95/p99 TTFT/TBT/latency, per-class
 //!   rows, per-group utilization spread and router-imbalance metrics,
-//!   with a stable JSON serialisation ([`FleetReport::to_json`]).
+//!   with a stable JSON serialisation ([`FleetReport::to_json`]);
+//! * [`FaultSchedule`] / [`FaultPlan::chaos`] — deterministic fault
+//!   injection: seeded group crashes (KV state lost, in-flight requests
+//!   redispatched under a bounded [`RetryPolicy`]), host-link degradation
+//!   windows that rescale spill costs mid-run, and per-group stragglers;
+//!   degraded-mode metrics (availability, failover latency, goodput in
+//!   and out of outage windows) land in [`DegradedReport`].
 //!
 //! Pair with [`LoadCurve`](cent_serving::LoadCurve) diurnal modulation
 //! (`Workload::generate_modulated`) for multi-hour fleet traces; a
@@ -66,12 +72,16 @@
 
 #![forbid(unsafe_code)]
 
+mod fault;
 mod fleet;
 mod report;
 mod router;
 
-pub use fleet::{simulate_fleet, simulate_fleet_instrumented, FleetOptions, FleetOutcome};
-pub use report::{FleetReport, GroupRow, RouterImbalance, UtilizationSpread};
+pub use fault::{ChaosRates, FaultPlan, FaultSchedule, FaultSpec, RetryPolicy};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_instrumented, FaultLog, FleetOptions, FleetOutcome,
+};
+pub use report::{DegradedReport, FleetReport, GroupRow, RouterImbalance, UtilizationSpread};
 pub use router::{
     GroupLoad, JoinShortestQueue, PowerOfTwoChoices, RoundRobin, RoutingPolicy, SessionAffinity,
 };

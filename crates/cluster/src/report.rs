@@ -8,8 +8,12 @@
 //! function of the per-group outcomes alone, never of how many worker
 //! threads produced them.
 
+use std::collections::BTreeMap;
+
 use cent_serving::{ClassReport, GroupOutcome, LatencyStats, PriorityClass};
 use cent_types::{SortedSamples, Time, TimeHistogram};
+
+use crate::fleet::FaultLog;
 
 /// Spread of a per-group utilization metric across the fleet.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -66,6 +70,45 @@ pub struct GroupRow {
     pub peak_queue_depth: usize,
 }
 
+/// Degraded-mode metrics of a fleet run under a fault schedule.
+///
+/// Present on [`FleetReport::degraded`] whenever the run carried a
+/// non-empty [`FaultSchedule`](crate::FaultSchedule) — even one whose
+/// faults never fired, in which case availability is `1.0` and every
+/// counter zero. Availability is measured in group-time over `[0,
+/// max(last completion, last offered arrival)]`; goodput is completions
+/// per second of makespan, with the
+/// `clean` variant excluding completions (and wall-clock) inside the union
+/// of the fleet's outage windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReport {
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+    /// Group-seconds up over total group-seconds, in `[0, 1]`.
+    pub availability: f64,
+    /// Total group-seconds of outage (clipped to the run).
+    pub down_group_seconds: f64,
+    /// Orphaning events (one per request per crash it was evicted by).
+    pub orphaned: usize,
+    /// Redispatches of crash orphans.
+    pub retries: u64,
+    /// Requests dropped (out of attempts, or the fleet never recovered).
+    pub drops: usize,
+    /// Redispatch counts per priority class, sorted by class.
+    pub retries_by_class: Vec<(PriorityClass, u64)>,
+    /// Drop counts per priority class, sorted by class.
+    pub drops_by_class: Vec<(PriorityClass, usize)>,
+    /// Failover latency: crash instant to the victim's first token on its
+    /// new group, over orphaning events whose request completed.
+    pub failover_latency: LatencyStats,
+    /// Completions per second over the whole makespan.
+    pub goodput_qps: f64,
+    /// Completions per second outside the fleet's outage windows.
+    pub goodput_clean_qps: f64,
+}
+
 /// The result of one fleet simulation: fleet-wide SLO metrics plus the
 /// per-group spread the router is judged by.
 ///
@@ -116,6 +159,9 @@ pub struct FleetReport {
     pub imbalance: RouterImbalance,
     /// One row per group, in group order.
     pub per_group: Vec<GroupRow>,
+    /// Degraded-mode section; `None` iff the run carried no fault
+    /// schedule, so fault-free reports compare equal to pre-fault ones.
+    pub degraded: Option<DegradedReport>,
 }
 
 impl FleetReport {
@@ -233,7 +279,104 @@ impl FleetReport {
             ),
             imbalance,
             per_group,
+            degraded: None,
         }
+    }
+
+    /// [`from_outcomes`](Self::from_outcomes) plus the degraded-mode
+    /// section derived from the driver's [`FaultLog`]. Used whenever the
+    /// run carried a fault schedule, even one that never fired.
+    pub fn from_outcomes_faulted(
+        offered_qps: f64,
+        outcomes: &[GroupOutcome],
+        log: &FaultLog,
+    ) -> Self {
+        let mut report = Self::from_outcomes(offered_qps, outcomes);
+        let records = || outcomes.iter().flat_map(|o| o.records.iter());
+        // The run extends at least to the last offered arrival: a fleet
+        // that died early and served nothing afterwards was still *down*
+        // while requests kept arriving.
+        let last_finish =
+            records().map(|r| r.finished).max().unwrap_or(Time::ZERO).max(log.horizon);
+
+        // Outage windows, clipped to the run. Group-time accounting uses
+        // every window; wall-clock accounting uses their union.
+        let mut down_group_seconds = 0.0;
+        let mut clipped: Vec<(Time, Time)> = Vec::new();
+        for &(_, start, end) in &log.down_windows {
+            let end = end.unwrap_or(last_finish).min(last_finish);
+            let start = start.min(end);
+            down_group_seconds += end.saturating_sub(start).as_secs();
+            if end > start {
+                clipped.push((start, end));
+            }
+        }
+        let total_group_seconds = outcomes.len() as f64 * last_finish.as_secs();
+        let availability = if total_group_seconds > 0.0 {
+            (1.0 - down_group_seconds / total_group_seconds).max(0.0)
+        } else {
+            1.0
+        };
+        clipped.sort_unstable();
+        let mut union: Vec<(Time, Time)> = Vec::new();
+        for (start, end) in clipped {
+            match union.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => union.push((start, end)),
+            }
+        }
+        let mut union_seconds = 0.0;
+        for &(start, end) in &union {
+            union_seconds += end.saturating_sub(start).as_secs();
+        }
+
+        // Failover latency: for each orphaning event whose request later
+        // completed, the crash instant to the first token on the new home.
+        let mut first_tokens: Vec<(u64, Time)> =
+            records().map(|r| (r.spec.id.0, r.first_token)).collect();
+        first_tokens.sort_unstable_by_key(|&(id, _)| id);
+        let mut failover_samples = Vec::with_capacity(log.orphaned.len());
+        for &(id, crash_t) in &log.orphaned {
+            if let Ok(pos) = first_tokens.binary_search_by_key(&id.0, |&(i, _)| i) {
+                let first = first_tokens[pos].1;
+                if first >= crash_t {
+                    failover_samples.push(first.saturating_sub(crash_t));
+                }
+            }
+        }
+        let failover_latency = LatencyStats::from_sorted(&SortedSamples::new(failover_samples));
+
+        let makespan_s = report.makespan.as_secs();
+        let goodput_qps = if makespan_s > 0.0 { report.completed as f64 / makespan_s } else { 0.0 };
+        let in_outage = |t: Time| -> bool {
+            let pos = union.partition_point(|&(start, _)| start <= t);
+            pos > 0 && union[pos - 1].1 > t
+        };
+        let clean_completed = records().filter(|r| !in_outage(r.finished)).count();
+        let clean_seconds = (last_finish.as_secs() - union_seconds).max(0.0);
+        let goodput_clean_qps =
+            if clean_seconds > 0.0 { clean_completed as f64 / clean_seconds } else { 0.0 };
+
+        let mut drops_by_class: BTreeMap<PriorityClass, usize> = BTreeMap::new();
+        for &(_, class) in &log.dropped {
+            *drops_by_class.entry(class).or_insert(0) += 1;
+        }
+
+        report.degraded = Some(DegradedReport {
+            crashes: log.crashes,
+            recoveries: log.recoveries,
+            availability,
+            down_group_seconds,
+            orphaned: log.orphaned.len(),
+            retries: log.retries,
+            drops: log.dropped.len(),
+            retries_by_class: log.retries_by_class.clone(),
+            drops_by_class: drops_by_class.into_iter().collect(),
+            failover_latency,
+            goodput_qps,
+            goodput_clean_qps,
+        });
+        report
     }
 
     /// Serialises the report as one JSON object (schema documented in the
@@ -282,6 +425,39 @@ impl FleetReport {
                 )
             })
             .collect();
+        let degraded = match &self.degraded {
+            None => String::new(),
+            Some(d) => {
+                let retries_by_class: Vec<String> = d
+                    .retries_by_class
+                    .iter()
+                    .map(|(c, n)| format!("{{\"class\":{},\"retries\":{}}}", c.0, n))
+                    .collect();
+                let drops_by_class: Vec<String> = d
+                    .drops_by_class
+                    .iter()
+                    .map(|(c, n)| format!("{{\"class\":{},\"drops\":{}}}", c.0, n))
+                    .collect();
+                format!(
+                    ",\"degraded\":{{\"crashes\":{},\"recoveries\":{},\"availability\":{},\
+                     \"down_group_seconds\":{},\"orphaned\":{},\"retries\":{},\"drops\":{},\
+                     \"retries_by_class\":[{}],\"drops_by_class\":[{}],\"failover_s\":{},\
+                     \"goodput_qps\":{},\"goodput_clean_qps\":{}}}",
+                    d.crashes,
+                    d.recoveries,
+                    d.availability,
+                    d.down_group_seconds,
+                    d.orphaned,
+                    d.retries,
+                    d.drops,
+                    retries_by_class.join(","),
+                    drops_by_class.join(","),
+                    stats(&d.failover_latency),
+                    d.goodput_qps,
+                    d.goodput_clean_qps
+                )
+            }
+        };
         format!(
             "{{\"groups\":{},\"offered_qps\":{},\"submitted\":{},\"completed\":{},\
              \"rejected\":{},\"makespan_s\":{},\"decode_tokens\":{},\"prefill_tokens\":{},\
@@ -290,7 +466,7 @@ impl FleetReport {
              \"slot_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
              \"kv_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
              \"imbalance\":{{\"min_share\":{},\"max_share\":{}}},\
-             \"classes\":[{}],\"per_group\":[{}]}}",
+             \"classes\":[{}],\"per_group\":[{}]{}}}",
             self.groups,
             self.offered_qps,
             self.submitted,
@@ -316,7 +492,8 @@ impl FleetReport {
             self.imbalance.min_share,
             self.imbalance.max_share,
             classes.join(","),
-            per_group.join(",")
+            per_group.join(","),
+            degraded
         )
     }
 }
@@ -347,6 +524,26 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(f, "TTFT:    {}", self.ttft)?;
         writeln!(f, "latency: {}", self.query_latency)?;
-        write!(f, "TBT:     {}", self.tbt)
+        write!(f, "TBT:     {}", self.tbt)?;
+        if let Some(d) = &self.degraded {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "degraded: availability {:.3}% | {} crashes / {} recoveries | {} orphaned, {} \
+                 retried, {} dropped",
+                100.0 * d.availability,
+                d.crashes,
+                d.recoveries,
+                d.orphaned,
+                d.retries,
+                d.drops,
+            )?;
+            write!(
+                f,
+                "failover: {} | goodput {:.2} q/s ({:.2} q/s outside outages)",
+                d.failover_latency, d.goodput_qps, d.goodput_clean_qps
+            )?;
+        }
+        Ok(())
     }
 }

@@ -255,6 +255,19 @@ impl KvSwapCost {
         Self::from_host_link(bytes_per_token, &FabricConfig::cent(1))
     }
 
+    /// The same comparator with the host-link bandwidth scaled by
+    /// `factor` — the degraded-link view of the fabric during a
+    /// `HostLinkDegrade` fault window (`factor` < 1 slows transfers, so
+    /// the cost-driven disposition shifts toward recompute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn with_bandwidth_factor(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth factor must be positive");
+        KvSwapCost { bandwidth: self.bandwidth.scale(factor), ..*self }
+    }
+
     /// Bytes `tokens` KV tokens occupy on the wire.
     pub fn bytes_for(&self, tokens: u64) -> ByteSize {
         ByteSize::bytes(self.bytes_per_token.as_bytes() * tokens)
@@ -350,6 +363,26 @@ mod tests {
             );
         }
         assert_eq!(cost.round_trip_time(4096), cost.transfer_time(4096).times(2));
+    }
+
+    #[test]
+    fn bandwidth_factor_matches_degraded_fabric() {
+        let per_token = ByteSize::kib(320);
+        let fabric = FabricConfig::cent(32);
+        let scaled = KvSwapCost::from_host_link(per_token, &fabric).with_bandwidth_factor(0.25);
+        let rebuilt = KvSwapCost::from_host_link(per_token, &fabric.with_host_link_factor(0.25));
+        for tokens in [1u64, 600, 4096] {
+            let a = scaled.transfer_time(tokens).as_secs();
+            let b = rebuilt.transfer_time(tokens).as_secs();
+            assert!((a - b).abs() <= 1e-9 * a.max(1e-12), "{tokens} tokens: {a} vs {b}");
+        }
+        // A degraded link flips the cost-driven disposition toward
+        // recompute: at 40k tok/s prefill the healthy round trip (~46 ms
+        // for 4096 tokens) beats the ~102 ms recompute, the 4×-slower
+        // one (~182 ms) loses to it.
+        let healthy = KvSwapCost::cent(per_token);
+        assert!(healthy.swap_is_cheaper(4096, 40_000.0));
+        assert!(!healthy.with_bandwidth_factor(0.25).swap_is_cheaper(4096, 40_000.0));
     }
 
     #[test]

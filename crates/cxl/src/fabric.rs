@@ -72,6 +72,23 @@ impl FabricConfig {
         self.host_link_bw.scale(derate * self.flit_efficiency)
     }
 
+    /// The same fabric with the host x16 link's bandwidth scaled by
+    /// `factor` — the degraded-link view used by fault injection
+    /// (`HostLinkDegrade`): [`host_transfer_time`] of any payload scales
+    /// by `1/factor` in its serialization term while the hop latency is
+    /// unchanged, so spill-cost comparators re-derived from the degraded
+    /// fabric shift toward recompute.
+    ///
+    /// [`host_transfer_time`]: FabricConfig::host_transfer_time
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn with_host_link_factor(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "host-link factor must be positive");
+        FabricConfig { host_link_bw: self.host_link_bw.scale(factor), ..*self }
+    }
+
     /// Uncontended one-way transfer time of `bytes` over the host x16 link:
     /// one switch hop plus serialization at [`host_bulk_bandwidth`]. This is
     /// the swap-tier cost helper (KV pages spilled to CXL host memory, §4.1
@@ -461,6 +478,18 @@ mod tests {
         // The baseline switch moves the same payload twice as fast.
         let plain = FabricConfig::without_multicast(32);
         assert!(plain.host_transfer_time(ByteSize::gib(1)).as_ms() < t.as_ms() / 1.9);
+    }
+
+    #[test]
+    fn host_link_degrade_scales_serialization_not_latency() {
+        let cfg = FabricConfig::cent(32);
+        let slow = cfg.with_host_link_factor(0.25);
+        assert_eq!(slow.hop_latency(), cfg.hop_latency());
+        assert_eq!(slow.host_transfer_time(ByteSize::ZERO), cfg.host_transfer_time(ByteSize::ZERO));
+        let base = cfg.host_transfer_time(ByteSize::gib(1)).as_secs();
+        let degraded = slow.host_transfer_time(ByteSize::gib(1)).as_secs();
+        // Serialization dominates at 1 GiB, so the ratio is ~4×.
+        assert!((3.9..4.1).contains(&(degraded / base)), "ratio {}", degraded / base);
     }
 
     #[test]

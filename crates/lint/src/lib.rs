@@ -6,7 +6,7 @@
 //! the differential suites in `tests/`. This crate makes the *preconditions*
 //! of that guarantee machine-checked: every Rust source in the workspace is
 //! tokenized with a hand-rolled lexer (the same in-tree-everything idiom as
-//! the SplitMix64 PRNG and the hand-rolled JSON) and matched against five
+//! the SplitMix64 PRNG and the hand-rolled JSON) and matched against six
 //! named rules:
 //!
 //! | rule | slug | contract |
@@ -16,6 +16,7 @@
 //! | D3 | `no-ambient-entropy` | all randomness through the seeded SplitMix64 |
 //! | D4 | `unordered-float-reduction` | merge/report float reductions only via the approved helpers |
 //! | D5 | `no-unwrap` | no `unwrap()` / bare `expect("")` in library code |
+//! | D6 | `sort-non-total-comparator` | no `sort_by`/`min_by`/`max_by` through `partial_cmp` in library code |
 //!
 //! Justified exceptions carry a pragma with a mandatory reason:
 //!
@@ -38,7 +39,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use lexer::{lex, Comment, Lexed, Tok, Token};
-pub use rules::{classify, lint_source, Diagnostic, FileClass, Rule};
+pub use rules::{classify, lint_source, lint_source_with, Diagnostic, FileClass, Rule};
 
 /// The outcome of linting a file set.
 #[derive(Debug, Default)]
@@ -137,17 +138,99 @@ fn relative(root: &Path, path: &Path) -> String {
     rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// Detects the crates whose result-merge/report paths fall under rule D4,
+/// from the workspace manifests instead of a hardcoded list. A crate is a
+/// merge crate when its manifest satisfies any of:
+///
+/// * its `[package] name` is `cent-serving` — the crate that defines the
+///   order-independent merge helpers;
+/// * its `[dependencies]` include `cent-serving` — it merges or reports
+///   serving results (bench/test file classes stay exempt via
+///   [`classify`]);
+/// * it carries an explicit `# cent-lint: merge-crate` marker comment.
+///
+/// Returned names are crate *directory* names as [`classify`] reports them
+/// (`serving`, `cluster`, ... and `cent` for the root facade), sorted.
+///
+/// # Errors
+///
+/// Propagates manifest-read I/O errors.
+pub fn detect_merge_crates(root: &Path) -> io::Result<Vec<String>> {
+    let mut manifests: Vec<(String, PathBuf)> = vec![("cent".to_string(), root.join("Cargo.toml"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push((entry.file_name().to_string_lossy().into_owned(), manifest));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (name, manifest) in manifests {
+        let text = fs::read_to_string(&manifest)?;
+        if manifest_is_merge_crate(&text) {
+            out.push(name);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Manifest-level predicate behind [`detect_merge_crates`]: a minimal TOML
+/// scan (section headers + `key = value` lines), enough for Cargo
+/// manifests without pulling in a TOML parser.
+fn manifest_is_merge_crate(toml: &str) -> bool {
+    if toml.lines().any(|l| l.trim() == "# cent-lint: merge-crate") {
+        return true;
+    }
+    let mut section = String::new();
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            if line.starts_with("[dependencies.cent-serving") {
+                return true;
+            }
+            section = line.to_string();
+            continue;
+        }
+        match section.as_str() {
+            "[package]" => {
+                let is_name = line
+                    .strip_prefix("name")
+                    .map(str::trim_start)
+                    .is_some_and(|r| r.starts_with('='));
+                if is_name && line.contains("\"cent-serving\"") {
+                    return true;
+                }
+            }
+            "[dependencies]" if line.starts_with("cent-serving") => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Lints the whole workspace rooted at `root`, scoping rule D4 to the
+/// merge crates detected by [`detect_merge_crates`].
 ///
 /// # Errors
 ///
 /// Propagates file-read I/O errors.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let merge = detect_merge_crates(root)?;
+    let merge_refs: Vec<&str> = merge.iter().map(String::as_str).collect();
     let files = workspace_files(root)?;
     let mut report = Report { files: files.clone(), diagnostics: Vec::new() };
     for rel in &files {
         let src = fs::read_to_string(root.join(rel))?;
-        report.diagnostics.extend(lint_source(rel, &src));
+        report.diagnostics.extend(lint_source_with(rel, &src, &merge_refs));
     }
     report.diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(report)
@@ -198,6 +281,32 @@ mod tests {
         let report = Report::default();
         assert!(report.is_clean());
         assert!(report.to_json().contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn merge_crate_manifest_predicate() {
+        assert!(manifest_is_merge_crate("[package]\nname = \"cent-serving\"\n"));
+        assert!(manifest_is_merge_crate(
+            "[package]\nname = \"cent-cluster\"\n[dependencies]\ncent-serving = { path = \"../serving\" }\n"
+        ));
+        assert!(manifest_is_merge_crate("[dependencies.cent-serving]\npath = \"../serving\"\n"));
+        assert!(manifest_is_merge_crate("# cent-lint: merge-crate\n[package]\nname = \"x\"\n"));
+        assert!(!manifest_is_merge_crate(
+            "[package]\nname = \"cent-model\"\n[dependencies]\ncent-types = { path = \"../types\" }\n"
+        ));
+        // A dev-dependency on cent-serving does not make a merge crate.
+        assert!(!manifest_is_merge_crate(
+            "[package]\nname = \"cent-x\"\n[dev-dependencies]\ncent-serving = { path = \"../serving\" }\n"
+        ));
+    }
+
+    #[test]
+    fn detects_this_workspaces_merge_crates() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here);
+        let merge = detect_merge_crates(&root).expect("workspace manifests readable");
+        assert!(merge.iter().any(|c| c == "serving"), "helper-defining crate: {merge:?}");
+        assert!(merge.iter().any(|c| c == "cluster"), "fleet merge paths: {merge:?}");
     }
 
     #[test]

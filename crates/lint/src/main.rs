@@ -13,7 +13,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cent_lint::{check_workspace, find_workspace_root, lint_source, Report};
+use cent_lint::{
+    check_workspace, detect_merge_crates, find_workspace_root, lint_source_with, Report,
+};
 
 struct Args {
     json: bool,
@@ -54,6 +56,8 @@ fn run(args: &Args) -> Result<Report, String> {
     }
     // Explicit paths: lint each file under its workspace-relative name so
     // classification matches what the workspace walk would decide.
+    let merge = detect_merge_crates(&root).map_err(|e| format!("manifest scan failed: {e}"))?;
+    let merge_refs: Vec<&str> = merge.iter().map(String::as_str).collect();
     let mut report = Report::default();
     for p in &args.paths {
         let abs = if Path::new(p).is_absolute() { PathBuf::from(p) } else { cwd.join(p) };
@@ -66,7 +70,7 @@ fn run(args: &Args) -> Result<Report, String> {
             .join("/");
         let src = std::fs::read_to_string(&abs).map_err(|e| format!("{p}: {e}"))?;
         report.files.push(rel.clone());
-        report.diagnostics.extend(lint_source(&rel, &src));
+        report.diagnostics.extend(lint_source_with(&rel, &src, &merge_refs));
     }
     Ok(report)
 }
@@ -89,7 +93,7 @@ fn main() -> ExitCode {
                 }
                 if report.is_clean() {
                     println!(
-                        "cent-lint: {} files clean (determinism contract D1-D5)",
+                        "cent-lint: {} files clean (determinism contract D1-D6)",
                         report.files.len()
                     );
                 }

@@ -1,4 +1,4 @@
-//! The determinism & correctness rules (D1–D5) and the machinery they share:
+//! The determinism & correctness rules (D1–D6) and the machinery they share:
 //! file classification, `#[cfg(test)]` region masking, and allow-pragmas.
 //!
 //! Rule semantics are documented on [`Rule`]; the README "Determinism
@@ -24,15 +24,25 @@ pub enum Rule {
     /// everywhere, tests included.
     D3NoAmbientEntropy,
     /// D4 `unordered-float-reduction`: float reductions in the merge/report
-    /// crates (`serving`, `cluster`) must go through the order-independent
-    /// helpers (`StepIntegral`, `TimeHistogram`, `SortedSamples`) —
-    /// ad-hoc float sums reassociate differently under re-ordering.
-    /// Min/max folds are exempt (order-independent by construction).
+    /// crates (auto-detected from the workspace manifests — `cent-serving`,
+    /// which defines the helpers, plus every crate depending on it; see
+    /// [`crate::detect_merge_crates`]) must go through the
+    /// order-independent helpers (`StepIntegral`, `TimeHistogram`,
+    /// `SortedSamples`) — ad-hoc float sums reassociate differently under
+    /// re-ordering. Min/max folds are exempt (order-independent by
+    /// construction).
     D4UnorderedFloatReduction,
     /// D5 `no-unwrap`: no `unwrap()` and no bare `expect("")` in library
     /// code — errors surface as `CentResult`; a panic on an invariant must
     /// carry a message documenting the invariant.
     D5NoUnwrap,
+    /// D6 `sort-non-total-comparator`: no `sort_by`/`sort_unstable_by`/
+    /// `min_by`/`max_by` whose comparator goes through `partial_cmp` in
+    /// library code — `partial_cmp().unwrap()` panics on NaN and
+    /// `unwrap_or(Equal)` silently breaks comparator totality (a non-total
+    /// order makes sort results input-order-dependent). Use `f64::total_cmp`
+    /// or compare on an integral key.
+    D6SortNonTotalComparator,
     /// Meta-rule: a `cent-lint:` pragma that is malformed, names an unknown
     /// rule, or is missing its `-- reason` trailer.
     BadPragma,
@@ -47,11 +57,12 @@ impl Rule {
             Rule::D3NoAmbientEntropy => "no-ambient-entropy",
             Rule::D4UnorderedFloatReduction => "unordered-float-reduction",
             Rule::D5NoUnwrap => "no-unwrap",
+            Rule::D6SortNonTotalComparator => "sort-non-total-comparator",
             Rule::BadPragma => "bad-pragma",
         }
     }
 
-    /// The short id (`d1`..`d5`) accepted by pragmas alongside the slug.
+    /// The short id (`d1`..`d6`) accepted by pragmas alongside the slug.
     pub fn id(self) -> &'static str {
         match self {
             Rule::D1NoHashCollections => "d1",
@@ -59,6 +70,7 @@ impl Rule {
             Rule::D3NoAmbientEntropy => "d3",
             Rule::D4UnorderedFloatReduction => "d4",
             Rule::D5NoUnwrap => "d5",
+            Rule::D6SortNonTotalComparator => "d6",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -71,6 +83,7 @@ impl Rule {
             Rule::D3NoAmbientEntropy,
             Rule::D4UnorderedFloatReduction,
             Rule::D5NoUnwrap,
+            Rule::D6SortNonTotalComparator,
         ];
         all.into_iter().find(|r| r.id() == name || r.slug() == name)
     }
@@ -113,8 +126,11 @@ pub fn classify(path: &str) -> FileClass {
     FileClass::TestOrExample
 }
 
-/// Crates whose result-merge/report paths are subject to D4.
-const MERGE_CRATES: [&str; 2] = ["serving", "cluster"];
+/// Fallback D4 scope when no manifest detection is in play (fixture tests
+/// and single-source callers of [`lint_source`]): the crates known to hold
+/// result-merge/report paths. The workspace walk replaces this with
+/// [`crate::detect_merge_crates`] output.
+const DEFAULT_MERGE_CRATES: [&str; 2] = ["serving", "cluster"];
 
 /// One `file:line:rule` finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -314,12 +330,20 @@ fn test_mask(tokens: &[Token]) -> Vec<bool> {
     mask
 }
 
-/// Lints one file's source under its path-derived [`FileClass`].
+/// Lints one file's source under its path-derived [`FileClass`], with the
+/// built-in default merge-crate scope (`serving`, `cluster`) for rule D4.
 ///
 /// `path` is only used for classification and diagnostics; the source is
 /// taken from `src`, which makes the function directly testable on fixture
 /// files relocated to arbitrary virtual paths.
 pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source_with(path, src, &DEFAULT_MERGE_CRATES)
+}
+
+/// Lints one file's source like [`lint_source`], but with an explicit set
+/// of merge-crate names scoping rule D4 (as produced by
+/// [`crate::detect_merge_crates`]).
+pub fn lint_source_with(path: &str, src: &str, merge_crates: &[&str]) -> Vec<Diagnostic> {
     let class = classify(path);
     let lexed = lex(src);
     let mut diags = Vec::new();
@@ -329,8 +353,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
 
     let d1 = !matches!(class, FileClass::Bench);
     let d2 = !matches!(class, FileClass::Bench);
-    let d4 = matches!(&class, FileClass::Library { crate_name } if MERGE_CRATES.contains(&crate_name.as_str()));
+    let d4 = matches!(&class, FileClass::Library { crate_name } if merge_crates.contains(&crate_name.as_str()));
     let d5 = matches!(class, FileClass::Library { .. });
+    let d6 = matches!(class, FileClass::Library { .. });
 
     let push = |diags: &mut Vec<Diagnostic>, rule: Rule, line: u32, msg: String| {
         if !allowed(&pragmas, rule, line) {
@@ -407,6 +432,19 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 "float-seeded fold in a merge/report path; use the order-independent helpers"
                     .to_string(),
             ),
+            "sort_by" | "sort_unstable_by" | "min_by" | "max_by"
+                if d6 && is_method_call(toks, i) && partial_cmp_comparator(toks, i) =>
+            {
+                push(
+                    &mut diags,
+                    Rule::D6SortNonTotalComparator,
+                    t.line,
+                    format!(
+                        "{name} with a partial_cmp comparator is not a total order (NaN); \
+                         use total_cmp or an integral sort key"
+                    ),
+                );
+            }
             "let" if d4 => {
                 if let Some(line) = float_typed_sum_stmt(toks, i) {
                     push(
@@ -466,6 +504,30 @@ fn float_seeded_fold(toks: &[Token], i: usize) -> bool {
         }
     }
     true
+}
+
+/// True when the balanced-paren argument of the call at token `i` (the
+/// method ident; `i + 1` must open the argument list) mentions
+/// `partial_cmp` — the signature of a comparator that is not a total order.
+fn partial_cmp_comparator(toks: &[Token], i: usize) -> bool {
+    if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return false;
+    }
+    let mut depth = 0i32;
+    for t in &toks[i + 1..] {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(s) if s == "partial_cmp" => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// Matches a `let _: f32/f64 = ... .sum() ... ;` statement starting at the
@@ -607,6 +669,31 @@ mod tests {
         );
         // Non-merge crates are exempt from D4.
         assert!(slugs("crates/model/src/x.rs", src).is_empty());
+        // ... unless the caller's detected merge set says otherwise.
+        let custom = lint_source_with("crates/model/src/x.rs", src, &["model"]);
+        assert_eq!(custom.len(), 3);
+        assert!(custom.iter().all(|d| d.rule == Rule::D4UnorderedFloatReduction));
+    }
+
+    #[test]
+    fn d6_patterns() {
+        let src = "
+            fn f(v: &mut [f64]) -> Option<f64> {
+                v.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN in samples\"));
+                v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                let m = v.iter().max_by(|a, b| a.partial_cmp(b).expect(\"no NaN\"));
+                v.sort_by(f64::total_cmp);
+                v.iter().copied().min_by(f64::total_cmp)?;
+                m.copied()
+            }
+        ";
+        assert_eq!(
+            slugs(LIB, src),
+            ["sort-non-total-comparator", "sort-non-total-comparator", "sort-non-total-comparator"]
+        );
+        // Tests/examples and bench keep their unwrap-happy idiom.
+        assert!(slugs("tests/x.rs", src).is_empty());
+        assert!(slugs("crates/bench/src/lib.rs", src).is_empty());
     }
 
     #[test]

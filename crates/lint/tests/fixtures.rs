@@ -73,6 +73,18 @@ fn d5_positive_negative_allowed() {
 }
 
 #[test]
+fn d6_positive_negative_allowed() {
+    let fired = fire("d6_positive.rs", LIB);
+    assert_eq!(fired.len(), 4, "sort_by, sort_unstable_by, max_by, min_by: {fired:?}");
+    assert!(fired.iter().all(|r| *r == Rule::D6SortNonTotalComparator));
+    assert!(fire("d6_negative.rs", LIB).is_empty());
+    assert!(fire("d6_allowed.rs", LIB).is_empty());
+    // Unwrap-happy comparators stay fine in tests and bench code.
+    assert!(fire("d6_positive.rs", "tests/fixture.rs").is_empty());
+    assert!(fire("d6_positive.rs", "crates/bench/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn diagnostics_carry_file_line_rule() {
     let diags = lint_source(LIB, &fixture("d5_positive.rs"));
     let rendered = diags[0].render();

@@ -1,0 +1,5 @@
+//! D6 allow-pragma: a justified partial_cmp comparator.
+pub fn rank(scores: &mut [f64]) {
+    // cent-lint: allow(d6) -- inputs validated NaN-free at the API boundary
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("validated NaN-free"));
+}

@@ -1,0 +1,13 @@
+//! D6 negative: total-order comparators and integral sort keys.
+pub fn rank(scores: &mut [f64]) {
+    scores.sort_by(f64::total_cmp);
+    scores.sort_unstable_by(|a, b| a.total_cmp(b));
+}
+
+pub fn best(scores: &[f64]) -> Option<f64> {
+    scores.iter().copied().max_by(f64::total_cmp)
+}
+
+pub fn by_key(items: &mut [(u64, f64)]) {
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+}

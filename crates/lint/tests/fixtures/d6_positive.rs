@@ -1,0 +1,13 @@
+//! D6 positive: sorts and extrema through non-total `partial_cmp` comparators.
+pub fn rank(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are never NaN"));
+    scores.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn best(scores: &[f64]) -> Option<f64> {
+    scores.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}
+
+pub fn worst(scores: &[f64]) -> Option<f64> {
+    scores.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}

@@ -505,6 +505,16 @@ impl ContinuousBatchScheduler {
         self.release(lease);
     }
 
+    /// Removes and returns the entire waiting set — crash teardown. The
+    /// caller is responsible for releasing in-flight leases separately
+    /// (via [`complete`](Self::complete)); this only empties the queue and
+    /// invalidates the blocked-head cache, which may point at a drained
+    /// request.
+    pub fn drain_waiting(&mut self) -> Vec<QueuedRequest> {
+        self.blocked = None;
+        self.queue.drain()
+    }
+
     /// Requests currently waiting in the queue.
     pub fn queue_len(&self) -> usize {
         self.queue.len()

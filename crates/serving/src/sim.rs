@@ -372,6 +372,24 @@ impl ServingSystem {
         self
     }
 
+    /// A uniformly slowed copy of this system: token interval stretched by
+    /// `factor`, prefill and steady-state rates divided by it. Models a
+    /// straggler group (thermal throttling, a flaky device retrying) whose
+    /// capacity is degraded but whose shape is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` — a straggler only slows down.
+    pub fn slowed(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler slowdown must be >= 1.0");
+        let mut sys = self.clone();
+        let interval_ps = (self.token_interval.as_ps() as f64 * factor).round() as u64;
+        sys.token_interval = Time::from_ps(interval_ps.max(1));
+        sys.prefill_rate = self.prefill_rate / factor;
+        sys.steady_state_tokens_per_s = self.steady_state_tokens_per_s / factor;
+        sys
+    }
+
     /// The steady-state decode throughput of the deployment, tokens/s.
     pub fn steady_state_tokens_per_s(&self) -> f64 {
         self.steady_state_tokens_per_s
@@ -780,6 +798,10 @@ pub struct GroupSim {
     submitted: usize,
     /// Horizon `advance_to` has consumed; arrivals must not land behind it.
     advanced_to: Time,
+    /// Healthy swap-cost model, kept so a host-link degradation window can
+    /// be applied and later lifted without drift
+    /// ([`set_host_link_factor`](Self::set_host_link_factor)).
+    base_swap_cost: KvSwapCost,
 }
 
 impl GroupSim {
@@ -791,8 +813,10 @@ impl GroupSim {
     pub fn new(sys: &ServingSystem, options: ServeOptions) -> Self {
         assert!(sys.token_interval > Time::ZERO, "token interval must be positive");
         let replicas = sys.scheduler_cfg.replicas;
+        let base_swap_cost = options.spill.swap_cost;
         GroupSim {
             interval: sys.token_interval,
+            base_swap_cost,
             core: Core::new(sys, options),
             heap: EventHeap::new(),
             slab: Slab::default(),
@@ -850,6 +874,118 @@ impl GroupSim {
     /// Requests pushed into the group so far.
     pub fn submitted(&self) -> usize {
         self.submitted
+    }
+
+    /// Re-injects a request that lost its group to a crash, dispatching it
+    /// at `at`. The spec's original `arrival` is untouched, so TTFT and
+    /// latency keep running from the user-visible arrival instant; only the
+    /// service restart is delayed. Counts as a fresh submission on this
+    /// group (the fleet layer reports trace-level conservation separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies behind the horizon already consumed by
+    /// [`advance_to`](Self::advance_to).
+    pub fn push_redispatch(&mut self, spec: RequestSpec, at: Time) {
+        assert!(
+            at >= self.advanced_to,
+            "redispatch at {} behind the advanced horizon {}",
+            at,
+            self.advanced_to
+        );
+        debug_assert!(at >= spec.arrival, "redispatch cannot precede arrival");
+        self.submitted += 1;
+        self.heap.push(at, Event::Arrive(spec));
+    }
+
+    /// Rescales the swap-cost model for a host-link degradation window:
+    /// `factor` multiplies the healthy link bandwidth (0.25 = four times
+    /// slower), shifting the `CostDriven` spill comparator toward recompute
+    /// for the duration. `factor == 1.0` restores the healthy model
+    /// *exactly* (no float round trip), so lifting a window leaves the
+    /// group bit-identical to one that never degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn set_host_link_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "host-link factor must be positive");
+        self.core.spill.swap_cost = if factor == 1.0 {
+            self.base_swap_cost
+        } else {
+            self.base_swap_cost.with_bandwidth_factor(factor)
+        };
+    }
+
+    /// Tears the group down at instant `at` — a crash. Every in-flight and
+    /// queued request is returned as an orphaned spec, sorted by
+    /// `(arrival, id)`; their device KV (and any pages parked in the host
+    /// pool) is lost, so a redispatch re-prefills from scratch while the
+    /// TTFT clock keeps running from the original arrival. Completions
+    /// recorded before the crash survive in the group's outcome. The group
+    /// itself stays usable: it rejoins empty and cold (front-end pipelines
+    /// reset) when the driver routes to it again after recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies behind the horizon already consumed by
+    /// [`advance_to`](Self::advance_to).
+    pub fn crash(&mut self, at: Time) -> Vec<RequestSpec> {
+        assert!(
+            at >= self.advanced_to,
+            "crash at {} behind the advanced horizon {}",
+            at,
+            self.advanced_to
+        );
+        let GroupSim { core, heap, slab, spans, dirty, .. } = self;
+        // Charge occupancy up to the crash instant first, so the integrals
+        // reflect the work the group really did.
+        core.accumulate_to(at);
+        let mut orphans: Vec<RequestSpec> = Vec::new();
+        // In-flight residents: release their leases and reclaim the specs.
+        // Progress is discarded — the KV pages died with the group.
+        for span in spans.iter_mut() {
+            for &h in span.members.iter() {
+                let r = slab.remove(h);
+                core.scheduler.complete(r.lease);
+                orphans.push(r.q.spec);
+            }
+            span.members.clear();
+            span.scheduled = None;
+        }
+        // Pending events: redispatched or not-yet-absorbed arrivals become
+        // orphans again; wakes die with the spans that scheduled them.
+        while let Some(t) = heap.next_instant() {
+            while let Some(event) = heap.pop_at(t) {
+                match event {
+                    Event::Arrive(spec) => orphans.push(spec),
+                    Event::Wake { .. } => {}
+                    Event::Token { .. } | Event::Tick { .. } => {
+                        unreachable!("span engine schedules only replica wakes")
+                    }
+                }
+            }
+        }
+        // The waiting queue loses its resume state too: swapped victims'
+        // pages lived in the crashed group's pool.
+        for q in core.scheduler.drain_waiting() {
+            orphans.push(q.spec);
+        }
+        core.host_pending.clear();
+        core.host_used = 0;
+        for free in core.prefill_free.iter_mut() {
+            *free = Time::ZERO;
+        }
+        for free in core.swap_free.iter_mut() {
+            *free = Time::ZERO;
+        }
+        core.admission_dirty = false;
+        for d in dirty.iter_mut() {
+            *d = false;
+        }
+        orphans.sort_unstable_by_key(|s| (s.arrival, s.id));
+        self.advanced_to = self.advanced_to.max(at);
+        orphans
     }
 
     /// Drains every remaining event and assembles the group's outcome.

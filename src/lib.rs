@@ -26,7 +26,9 @@ pub use cent_serving as serving;
 pub use cent_sim as sim;
 pub use cent_types as types;
 
-pub use cent_cluster::{simulate_fleet, FleetOptions, FleetReport, RoutingPolicy};
+pub use cent_cluster::{
+    simulate_fleet, FaultPlan, FaultSchedule, FleetOptions, FleetReport, RetryPolicy, RoutingPolicy,
+};
 pub use cent_compiler::{Strategy, SystemMapping};
 pub use cent_core::{verify_block, CentSystem, VerifyReport};
 pub use cent_device::LatencyBreakdown;

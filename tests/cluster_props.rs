@@ -11,11 +11,17 @@
 //! 3. power-of-two-choices routing is fully determined by its seed;
 //! 4. the merged fleet histogram equals the concatenation of the
 //!    per-group populations, in any merge order, and the fleet latency
-//!    distributions equal those recomputed from the concatenated records.
+//!    distributions equal those recomputed from the concatenated records;
+//! 5. under fault injection: every request completes exactly once or is
+//!    dropped after `max_attempts`, crash re-decode work never double
+//!    counts completions, a seeded chaos schedule stays bit-identical
+//!    across worker-thread counts, and a zero-fault schedule reproduces
+//!    the faultless driver exactly.
 
 use cent_cluster::{
-    simulate_fleet, simulate_fleet_instrumented, FleetOptions, JoinShortestQueue,
-    PowerOfTwoChoices, RoundRobin, RoutingPolicy, SessionAffinity,
+    simulate_fleet, simulate_fleet_instrumented, ChaosRates, FaultPlan, FaultSchedule, FaultSpec,
+    FleetOptions, JoinShortestQueue, PowerOfTwoChoices, RetryPolicy, RoundRobin, RoutingPolicy,
+    SessionAffinity,
 };
 use cent_model::ModelConfig;
 use cent_serving::{
@@ -194,4 +200,158 @@ fn merged_fleet_histogram_equals_concatenated_populations() {
     assert_eq!(fleet.report.ttft, LatencyStats::from_sorted(&ttfts));
     assert_eq!(fleet.report.query_latency, LatencyStats::from_sorted(&lats));
     assert_eq!(fleet.report.completed, all.len());
+}
+
+#[test]
+fn faulted_requests_complete_exactly_once_or_drop_after_max_attempts() {
+    // Rolling crashes with a tight retry budget: every request either
+    // completes on exactly one group or is dropped once its attempts are
+    // exhausted — never both, never twice.
+    let trace = fixed_trace(60.0, 71, 2.0, 10, 400);
+    let specs: Vec<FaultSpec> = (0..4)
+        .map(|k| FaultSpec::GroupCrash {
+            group: k % 2,
+            at: Time::from_secs_f64(0.3 + 0.4 * k as f64),
+            recover_after: Some(Time::from_secs_f64(0.25)),
+        })
+        .collect();
+    let retry = RetryPolicy { max_attempts: 2, backoff: Time::from_us(10_000) };
+    let opts = FleetOptions::new(2)
+        .with_epoch(Time::from_secs_f64(0.05))
+        .with_faults(FaultSchedule::new(specs))
+        .with_retry(retry);
+    let mut router = JoinShortestQueue;
+    let fleet = simulate_fleet_instrumented(&group_system(), &trace, 60.0, &mut router, &opts);
+    assert!(fleet.faults.crashes >= 1);
+    assert!(fleet.faults.retries > 0, "rolling crashes under load must orphan work");
+    // Exactly-once: completion records carry unique request ids.
+    let mut ids: Vec<u64> =
+        fleet.groups.iter().flat_map(|o| o.records.iter().map(|r| r.spec.id.0)).collect();
+    ids.sort_unstable();
+    let mut unique = ids.clone();
+    unique.dedup();
+    assert_eq!(ids, unique, "a request completed on more than one group");
+    // Conservation: completed + rejected + dropped covers the trace.
+    assert_eq!(
+        fleet.report.completed + fleet.report.rejected + fleet.faults.dropped.len(),
+        trace.len()
+    );
+    // Dropped requests never also appear as completions.
+    for (id, _) in &fleet.faults.dropped {
+        assert!(ids.binary_search(&id.0).is_err(), "dropped {id:?} also completed");
+    }
+    // The retry budget is a hard cap on dispatches, so no request can be
+    // orphaned more often than max_attempts.
+    let mut orphan_counts = std::collections::BTreeMap::new();
+    for (id, _) in &fleet.faults.orphaned {
+        *orphan_counts.entry(id.0).or_insert(0u32) += 1;
+    }
+    assert!(orphan_counts.values().all(|&n| n <= retry.max_attempts));
+}
+
+#[test]
+fn crash_redecode_repeats_work_but_never_completions() {
+    // A crash loses the group's KV state: orphans re-prefill and re-decode
+    // from scratch on the victim's survivors, so generated-token *work*
+    // exceeds what the completions alone need — while the completion
+    // records (the metrics population) still count each request once, with
+    // TTFT measured from the original arrival across the failover.
+    let trace = fixed_trace(60.0, 13, 2.0, 10, 400);
+    let faults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+        group: 0,
+        at: Time::from_secs_f64(0.5),
+        recover_after: Some(Time::from_secs_f64(0.8)),
+    }]);
+    let opts = FleetOptions::new(3).with_epoch(Time::from_secs_f64(0.05)).with_faults(faults);
+    let mut router = JoinShortestQueue;
+    let fleet = simulate_fleet_instrumented(&group_system(), &trace, 60.0, &mut router, &opts);
+    assert!(!fleet.faults.orphaned.is_empty(), "a loaded group must strand work");
+    assert_eq!(fleet.report.completed, trace.len());
+    // `stats.tokens` is the live event-core counter (every generated
+    // token, pre-crash progress included); `decode_tokens` is rebuilt from
+    // the completion records. Work exceeds the record population, and the
+    // records never double count.
+    let work: u64 = fleet.groups.iter().map(|o| o.stats.tokens).sum();
+    let useful: u64 =
+        fleet.groups.iter().flat_map(|o| o.records.iter()).map(|r| r.spec.decode as u64).sum();
+    assert_eq!(useful, 400 * trace.len() as u64);
+    assert_eq!(useful, fleet.groups.iter().map(|o| o.report.decode_tokens).sum::<u64>());
+    assert!(work > useful, "pre-crash decode progress is real work: {work} vs {useful}");
+    // Every orphaned-then-completed request restarted after its crash and
+    // kept its TTFT clock running from the original arrival.
+    let records: std::collections::BTreeMap<u64, _> =
+        fleet.groups.iter().flat_map(|o| o.records.iter().map(|r| (r.spec.id.0, r))).collect();
+    for (id, at) in &fleet.faults.orphaned {
+        let r = records[&id.0];
+        assert!(r.first_token >= *at, "completion predates the crash that orphaned it");
+        assert!(r.ttft() >= at.saturating_sub(r.spec.arrival));
+    }
+}
+
+/// The ISSUE acceptance shape for fault injection: a seeded chaos schedule
+/// over a 64-group diurnal fleet is bit-identical across 1/2/8 workers and
+/// visibly degraded (availability below one, retries engaged, nonzero
+/// failover percentiles).
+#[test]
+fn chaos_on_a_diurnal_fleet_is_thread_count_invariant() {
+    let workload = Workload {
+        lengths: LengthSampler::Fixed { prompt: 32, decode: 64 },
+        ..Workload::chatbot(512.0, 909)
+    };
+    let curve = LoadCurve::diurnal(60.0, 0.5, 1.5);
+    let trace = workload.generate_modulated(Time::from_secs_f64(60.0), 4096, &curve, 33);
+    let faults = FaultPlan::chaos(7, 64, Time::from_secs_f64(60.0), &ChaosRates::default());
+    assert!(!faults.is_empty(), "default chaos rates must inject something in a minute");
+    let run = |threads: usize| {
+        let mut router = PowerOfTwoChoices::seeded(5);
+        simulate_fleet(
+            &group_system(),
+            &trace,
+            512.0,
+            &mut router,
+            &FleetOptions::new(64)
+                .with_threads(threads)
+                .with_epoch(Time::from_secs_f64(0.05))
+                .with_faults(faults.clone())
+                .with_retry(RetryPolicy { max_attempts: 4, backoff: Time::from_us(20_000) }),
+        )
+    };
+    let base = run(1);
+    let degraded = base.degraded.as_ref().expect("chaos run reports degraded mode");
+    assert!(degraded.availability < 1.0, "crash outages must dent availability");
+    assert!(degraded.availability > 0.5, "the fleet is degraded, not dead");
+    assert!(degraded.retries > 0, "failover must redispatch orphans");
+    assert!(degraded.failover_latency.p50 > Time::ZERO, "failover percentiles populated");
+    for threads in [2, 8] {
+        assert_eq!(base, run(threads), "threads {threads} diverged under chaos");
+    }
+}
+
+#[test]
+fn zero_fault_schedule_reproduces_the_faultless_driver_exactly() {
+    let trace = fixed_trace(200.0, 17, 10.0, 16, 32);
+    let epoch = Time::from_secs_f64(0.05);
+    let base = FleetOptions::new(16).with_epoch(epoch);
+    let plain = simulate_fleet(&group_system(), &trace, 200.0, &mut JoinShortestQueue, &base);
+    let empty = base.clone().with_faults(FaultSchedule::empty());
+    assert_eq!(
+        plain,
+        simulate_fleet(&group_system(), &trace, 200.0, &mut JoinShortestQueue, &empty)
+    );
+    // Chaos with vanishing rates compiles to no events at all, and an
+    // event-free schedule is *exactly* the healthy driver — not merely a
+    // statistically similar one.
+    let rates = ChaosRates {
+        crash_rate: 1e-12,
+        degrade_rate: 1e-12,
+        straggler_probability: 0.0,
+        ..ChaosRates::default()
+    };
+    let chaos = FaultPlan::chaos(3, 16, Time::from_secs_f64(10.0), &rates);
+    assert!(chaos.is_empty());
+    let quiet = base.with_faults(chaos);
+    assert_eq!(
+        plain,
+        simulate_fleet(&group_system(), &trace, 200.0, &mut JoinShortestQueue, &quiet)
+    );
 }
