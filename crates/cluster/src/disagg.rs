@@ -1,0 +1,611 @@
+//! Disaggregated prefill/decode fleets over a shared CXL KV pool.
+//!
+//! The base driver ([`simulate_fleet`](crate::simulate_fleet)) treats
+//! every group as a colocated full-service deployment. This module breaks
+//! that "identical groups" assumption: groups take a [`GroupRole`] —
+//! *prefill-specialized* or *decode-specialized* — and a finished prompt's
+//! KV pages travel between them through the bounded, switch-attached
+//! [`SharedKvPool`] of `cent-cxl`, at a price set by a
+//! [`KvSwapCost`] carrying the extra switch-hop term
+//! ([`KvSwapCost::with_switch_hops`]).
+//!
+//! # Request lifecycle
+//!
+//! 1. The router dispatches every **arrival** onto a *prefill* group
+//!    (load-snapshot routing, exactly as in the base driver, restricted to
+//!    the prefill subset). The prefill group runs the prompt — chunked
+//!    ([`ServeOptions::with_prefill_chunk`]) so long prompts interleave —
+//!    and emits the request's *first token*, so TTFT is owned end to end
+//!    by the prefill tier.
+//! 2. On completion the driver **publishes** the context (prompt + first
+//!    token) into the shared pool over the group's egress link: capacity
+//!    is reserved up front, the transfer serializes per link, and a
+//!    publish that does not fit is *deferred* and retried once claims
+//!    free capacity (counted in [`DisaggLog::deferred`]). One-token
+//!    requests never touch the pool ([`DisaggLog::singles`]).
+//! 3. When the publish transfer completes, a *decode* group **claims** the
+//!    entry at the next epoch stop: the router picks the decode home from
+//!    a load snapshot, but a *drained* decode group (zero outstanding
+//!    work) **steals** the claim whenever the router's pick still has work
+//!    queued ([`DisaggLog::steals`]) — pool entries are fabric-visible, so
+//!    an idle group can take them without involving the publisher. The
+//!    claiming group pays the same transfer again (pool → device) through
+//!    [`GroupSim::push_handoff`], then streams the remaining tokens.
+//!
+//! All cross-group logic — harvest, publish, claim, steal, routing — runs
+//! single-threaded at epoch stops, so the result is bit-identical across
+//! worker-thread counts just like the base driver. An all-
+//! [`Colocated`](GroupRole::Colocated) configuration delegates to
+//! [`simulate_fleet_instrumented`](crate::simulate_fleet_instrumented) verbatim and reproduces its
+//! [`FleetReport`] exactly (enforced by `tests/cluster_props.rs`).
+
+use std::collections::BTreeMap;
+
+use cent_cost::KvSwapCost;
+use cent_cxl::SharedKvPool;
+use cent_serving::{GroupOutcome, GroupSim, RequestRecord, RequestSpec, ServingSystem};
+use cent_types::Time;
+
+use crate::fleet::{advance_groups, epoch_ceil, finish_groups, FleetOptions};
+use crate::report::FleetReport;
+use crate::router::{GroupLoad, RoutingPolicy};
+
+/// What one replica group does in a (possibly) disaggregated fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupRole {
+    /// Full-service: prefill and decode on the same group (the base
+    /// driver's only mode).
+    Colocated,
+    /// Prompt processing only: receives arrivals, emits the first token,
+    /// publishes the KV context into the shared pool.
+    Prefill,
+    /// Token streaming only: claims published contexts from the pool and
+    /// generates the remaining tokens.
+    Decode,
+}
+
+/// Configuration of the disaggregation layer: per-group roles, the shared
+/// pool bound, and the cost of moving a KV context through the switch.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Role of each group, in group order (length must equal
+    /// `FleetOptions::groups`). Either all `Colocated` or a mix of
+    /// `Prefill`/`Decode` with at least one of each.
+    pub roles: Vec<GroupRole>,
+    /// Capacity bound of the shared switch-attached pool, in KV tokens.
+    pub pool_tokens: u64,
+    /// Cost model of one context transfer (prefill group → pool, and pool
+    /// → decode group — each direction pays it once). Build it with
+    /// [`KvSwapCost::with_switch_hops`] to include the extra switch
+    /// traversals a pool-resident page takes versus a direct host link.
+    pub handoff_cost: KvSwapCost,
+    /// Prefill chunk size applied to prefill-role groups (`None` = serial
+    /// whole-prompt prefill). See `ServeOptions::with_prefill_chunk`.
+    pub prefill_chunk: Option<u64>,
+}
+
+impl DisaggConfig {
+    /// The degenerate colocated configuration: `groups` full-service
+    /// groups, no pool. [`simulate_fleet_disagg`] with this config
+    /// reproduces [`simulate_fleet_instrumented`](crate::simulate_fleet_instrumented) bit for bit.
+    pub fn colocated(groups: usize) -> Self {
+        assert!(groups > 0, "a fleet needs at least one group");
+        DisaggConfig {
+            roles: vec![GroupRole::Colocated; groups],
+            pool_tokens: 0,
+            handoff_cost: KvSwapCost::cent(cent_types::ByteSize::bytes(1)),
+            prefill_chunk: None,
+        }
+    }
+
+    /// A split fleet: the first `prefill` groups are prefill-specialized,
+    /// the next `decode` groups decode-specialized, handing off through a
+    /// `pool_tokens`-bounded shared pool at `handoff_cost` per direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tier is empty or the pool has no capacity.
+    pub fn split(
+        prefill: usize,
+        decode: usize,
+        pool_tokens: u64,
+        handoff_cost: KvSwapCost,
+    ) -> Self {
+        assert!(prefill > 0, "a split fleet needs a prefill tier");
+        assert!(decode > 0, "a split fleet needs a decode tier");
+        assert!(pool_tokens > 0, "a split fleet needs pool capacity");
+        let mut roles = vec![GroupRole::Prefill; prefill];
+        roles.resize(prefill + decode, GroupRole::Decode);
+        DisaggConfig { roles, pool_tokens, handoff_cost, prefill_chunk: None }
+    }
+
+    /// Sets the prefill chunk size for prefill-role groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn with_prefill_chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "prefill chunk must be positive");
+        self.prefill_chunk = Some(chunk);
+        self
+    }
+
+    /// True when every group is [`Colocated`](GroupRole::Colocated).
+    pub fn is_colocated(&self) -> bool {
+        self.roles.iter().all(|r| *r == GroupRole::Colocated)
+    }
+}
+
+/// What the disaggregation machinery did during one run — the raw
+/// material for the report's `disagg` section, exposed for property
+/// tests. All counters are zero for a colocated configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DisaggLog {
+    /// Contexts handed prefill → pool → decode (claims completed).
+    pub handoffs: u64,
+    /// Requests that finished entirely on their prefill group because
+    /// they decode a single token — nothing left to hand off.
+    pub singles: u64,
+    /// Claims diverted from the router's pick to a drained decode group.
+    pub steals: u64,
+    /// Publish attempts refused for pool capacity and deferred to a later
+    /// epoch stop (one per refused attempt).
+    pub deferred: u64,
+    /// Pool capacity bound, KV tokens.
+    pub pool_capacity_tokens: u64,
+    /// Largest pool reservation level observed, KV tokens.
+    pub pool_peak_tokens: u64,
+    /// Accumulated pool occupancy in token-seconds (entries charged over
+    /// `[visible, claim)`).
+    pub pool_occupancy_token_s: f64,
+}
+
+/// Everything one disaggregated fleet run produced.
+#[derive(Debug, Clone)]
+pub struct DisaggOutcome {
+    /// The merged fleet report; `report.disagg` is `Some` iff the
+    /// configuration was actually split.
+    pub report: FleetReport,
+    /// Per-group outcomes, indexed by group. Prefill-role groups hold the
+    /// prompt phase of each request (one decode token); decode-role
+    /// groups hold the remainder.
+    pub groups: Vec<GroupOutcome>,
+    /// Group index each trace entry's *prompt* was dispatched to, aligned
+    /// with the trace.
+    pub routed: Vec<usize>,
+    /// What the disaggregation machinery did.
+    pub log: DisaggLog,
+}
+
+/// Simulates `trace` over a role-split fleet (see the module docs). With
+/// an all-colocated `disagg` config this is exactly
+/// [`simulate_fleet_instrumented`](crate::simulate_fleet_instrumented); with a prefill/decode split, prompts
+/// are routed to the prefill tier, contexts hand off through the shared
+/// pool, and the report grows handoff/pool/steal rows
+/// ([`FleetReport::disagg`]).
+///
+/// # Panics
+///
+/// Panics if `disagg.roles` does not cover `fleet.groups` exactly, mixes
+/// `Colocated` with specialized roles, lacks a prefill or decode group in
+/// split mode, if `fleet.faults` is non-empty (fault injection is not
+/// supported for split fleets), or if a single context exceeds the pool
+/// bound (it could never publish).
+pub fn simulate_fleet_disagg(
+    system: &ServingSystem,
+    trace: &[RequestSpec],
+    offered_qps: f64,
+    router: &mut dyn RoutingPolicy,
+    fleet: &FleetOptions,
+    disagg: &DisaggConfig,
+) -> DisaggOutcome {
+    assert_eq!(disagg.roles.len(), fleet.groups, "roles must cover every group of the fleet");
+    if disagg.is_colocated() {
+        let base =
+            crate::fleet::simulate_fleet_instrumented(system, trace, offered_qps, router, fleet);
+        return DisaggOutcome {
+            report: base.report,
+            groups: base.groups,
+            routed: base.routed,
+            log: DisaggLog::default(),
+        };
+    }
+    assert!(
+        disagg.roles.iter().all(|r| *r != GroupRole::Colocated),
+        "a split fleet cannot mix colocated groups with specialized ones"
+    );
+    let prefill_ids: Vec<usize> =
+        (0..fleet.groups).filter(|&g| disagg.roles[g] == GroupRole::Prefill).collect();
+    let decode_ids: Vec<usize> =
+        (0..fleet.groups).filter(|&g| disagg.roles[g] == GroupRole::Decode).collect();
+    assert!(!prefill_ids.is_empty(), "a split fleet needs a prefill tier");
+    assert!(!decode_ids.is_empty(), "a split fleet needs a decode tier");
+    assert!(fleet.faults.is_empty(), "fault injection is not supported on a split fleet");
+    let epoch_ps = fleet.epoch.as_ps().max(1);
+
+    let mut sims: Vec<GroupSim> = disagg
+        .roles
+        .iter()
+        .map(|role| {
+            let serve = match (role, disagg.prefill_chunk) {
+                (GroupRole::Prefill, Some(chunk)) => fleet.serve.clone().with_prefill_chunk(chunk),
+                _ => fleet.serve.clone(),
+            };
+            GroupSim::new(system, serve)
+        })
+        .collect();
+
+    let mut pool = SharedKvPool::new(disagg.pool_tokens, prefill_ids.len());
+    // Egress link of each prefill group: its rank within the prefill tier.
+    let link_of: BTreeMap<usize, usize> =
+        prefill_ids.iter().enumerate().map(|(link, &g)| (g, link)).collect();
+    let mut log = DisaggLog { pool_capacity_tokens: disagg.pool_tokens, ..DisaggLog::default() };
+
+    // Original specs awaiting their decode phase, by raw id.
+    let mut pending_decode: BTreeMap<u64, RequestSpec> = BTreeMap::new();
+    // Publishes refused for capacity, retried in `(finished, id)` order.
+    let mut backlog: BTreeMap<(Time, u64), usize> = BTreeMap::new();
+    // Published entries awaiting a claim, in `(visible, id)` order; the
+    // value is the pool → device transfer the claiming group will pay.
+    let mut ready_claims: BTreeMap<(Time, u64), Time> = BTreeMap::new();
+    let mut cursors = vec![0usize; fleet.groups];
+    let mut routed = vec![usize::MAX; trace.len()];
+    let mut prefill_loads: Vec<GroupLoad> = Vec::with_capacity(prefill_ids.len());
+    let mut decode_loads: Vec<GroupLoad> = Vec::with_capacity(decode_ids.len());
+    let mut cursor = 0usize;
+    let mut now = Time::ZERO;
+    loop {
+        debug_assert!(
+            cursor == 0
+                || cursor >= trace.len()
+                || trace[cursor - 1].arrival <= trace[cursor].arrival,
+            "trace must be sorted by arrival"
+        );
+        // Candidate stops, all on the epoch grid: the epoch of the next
+        // arrival, the first claimable pool entry, and — while the
+        // prefill tier still owes completions or the backlog holds
+        // deferred publishes — the next grid instant, so harvest keeps
+        // polling.
+        let arrival_stop =
+            trace.get(cursor).map(|s| Time::from_ps((s.arrival.as_ps() / epoch_ps) * epoch_ps));
+        let claim_stop = ready_claims.keys().next().map(|&(vis, _)| epoch_ceil(vis, epoch_ps));
+        let busy = !backlog.is_empty() || prefill_ids.iter().any(|&g| sims[g].outstanding() > 0);
+        let busy_stop =
+            busy.then(|| Time::from_ps((now.as_ps() / epoch_ps + 1).saturating_mul(epoch_ps)));
+        let Some(stop) = [arrival_stop, claim_stop, busy_stop].into_iter().flatten().min() else {
+            break;
+        };
+        // A publish can land with `visible` already in the past (the
+        // prompt finished early in the epoch and the transfer is short),
+        // which would put `claim_stop` behind the fleet. The driver never
+        // rewinds: such claims are taken at the current stop instead.
+        let t = stop.max(now);
+        now = t;
+        advance_groups(&mut sims, t, fleet.threads);
+
+        // Harvest phase: newly completed prefill phases, merged across
+        // the tier in `(finished, group, id)` order. A single-token
+        // request is finished outright; everything else queues for
+        // publish.
+        let mut finished: Vec<(Time, usize, u64)> = Vec::new();
+        for &g in &prefill_ids {
+            let new = sims[g].completions_since(cursors[g]);
+            cursors[g] += new.len();
+            finished.extend(new.iter().map(|r| (r.finished, g, r.spec.id.0)));
+        }
+        finished.sort_unstable();
+
+        // Claim phase first: claims free pool capacity, so this stop's
+        // deferred publishes can retry into the space. The decode load
+        // snapshot is taken once, then bumped optimistically per claim.
+        decode_loads.clear();
+        for &g in &decode_ids {
+            decode_loads.push(GroupLoad {
+                group: g,
+                outstanding: sims[g].outstanding(),
+                kv_tokens: sims[g].kv_reserved(),
+            });
+        }
+        while let Some((&(visible, id), &transfer)) = ready_claims.iter().next() {
+            if epoch_ceil(visible, epoch_ps) > t {
+                break;
+            }
+            ready_claims.remove(&(visible, id));
+            pool.claim(id, t);
+            let spec = pending_decode.remove(&id).expect("claimed context was pending");
+            // The decode phase resumes from the published context: prompt
+            // + the first token, with the remaining tokens to stream.
+            let decode_spec =
+                RequestSpec { prompt: spec.prompt + 1, decode: spec.decode - 1, ..spec };
+            let mut pos = router.route(&decode_spec, &decode_loads);
+            assert!(
+                pos < decode_loads.len(),
+                "router chose position {pos} of {}",
+                decode_loads.len()
+            );
+            // Steal-from-pool: a drained decode group takes the claim
+            // whenever the router's pick still has work queued.
+            if decode_loads[pos].outstanding > 0 {
+                if let Some(idle) = decode_loads.iter().position(|l| l.outstanding == 0) {
+                    pos = idle;
+                    log.steals += 1;
+                }
+            }
+            let g = decode_loads[pos].group;
+            sims[g].push_handoff(decode_spec, t, visible, transfer);
+            decode_loads[pos].outstanding += 1;
+            decode_loads[pos].kv_tokens += decode_spec.kv_tokens();
+            log.handoffs += 1;
+        }
+
+        // Publish phase: deferred publishes retry first (oldest first),
+        // then this stop's fresh completions, all in deterministic order.
+        let publish = |id: u64,
+                       group: usize,
+                       ready: Time,
+                       pending: &BTreeMap<u64, RequestSpec>,
+                       pool: &mut SharedKvPool,
+                       ready_claims: &mut BTreeMap<(Time, u64), Time>|
+         -> bool {
+            let spec = pending.get(&id).expect("publishing context is pending");
+            let tokens = (spec.prompt + 1) as u64;
+            assert!(
+                tokens <= disagg.pool_tokens,
+                "context of {tokens} tokens can never fit a {}-token pool",
+                disagg.pool_tokens
+            );
+            let transfer = disagg.handoff_cost.transfer_time(tokens);
+            let link = link_of[&group];
+            match pool.try_publish(id, tokens, ready, link, transfer) {
+                Some(visible) => {
+                    ready_claims.insert((visible, id), transfer);
+                    true
+                }
+                None => false,
+            }
+        };
+        let retries: Vec<((Time, u64), usize)> = backlog.iter().map(|(&k, &g)| (k, g)).collect();
+        for ((first_finished, id), group) in retries {
+            if publish(id, group, t, &pending_decode, &mut pool, &mut ready_claims) {
+                backlog.remove(&(first_finished, id));
+            }
+        }
+        for (finish_t, group, id) in finished {
+            let spec = pending_decode.get(&id).expect("completed prompt was pending");
+            if spec.decode <= 1 {
+                log.singles += 1;
+                pending_decode.remove(&id);
+                continue;
+            }
+            if !publish(id, group, finish_t, &pending_decode, &mut pool, &mut ready_claims) {
+                log.deferred += 1;
+                backlog.insert((finish_t, id), group);
+            }
+        }
+
+        // Arrival phase: the epoch's arrivals route over the prefill
+        // tier's boundary snapshot, bumped optimistically. The prefill
+        // phase runs the prompt and emits the first token (`decode: 1`),
+        // so TTFT lands on the prefill group.
+        prefill_loads.clear();
+        for &g in &prefill_ids {
+            prefill_loads.push(GroupLoad {
+                group: g,
+                outstanding: sims[g].outstanding(),
+                kv_tokens: sims[g].kv_reserved(),
+            });
+        }
+        let epoch_end = Time::from_ps(t.as_ps().saturating_add(epoch_ps));
+        while cursor < trace.len() && trace[cursor].arrival < epoch_end {
+            let spec = trace[cursor];
+            let idx = cursor;
+            cursor += 1;
+            assert!(spec.decode >= 1, "a request generates at least its first token");
+            // A footprint no replica budget can hold is rejected with its
+            // *full* spec on the prefill group (as a colocated fleet
+            // would), so its truncated prompt phase never runs.
+            let fits = spec.kv_tokens() <= sims[prefill_ids[0]].kv_budget_tokens();
+            let prefill_spec = if fits { RequestSpec { decode: 1, ..spec } } else { spec };
+            let pos = router.route(&prefill_spec, &prefill_loads);
+            assert!(
+                pos < prefill_loads.len(),
+                "router chose position {pos} of {}",
+                prefill_loads.len()
+            );
+            let g = prefill_loads[pos].group;
+            sims[g].push_arrival(prefill_spec);
+            prefill_loads[pos].outstanding += 1;
+            prefill_loads[pos].kv_tokens += prefill_spec.kv_tokens();
+            routed[idx] = g;
+            if fits {
+                pending_decode.insert(spec.id.0, spec);
+            }
+        }
+    }
+    debug_assert!(ready_claims.is_empty(), "every published context was claimed");
+    log.pool_peak_tokens = pool.peak_tokens();
+    log.pool_occupancy_token_s = pool.occupancy_token_seconds();
+
+    debug_assert!(pending_decode.is_empty(), "every admitted prompt resolved its decode phase");
+
+    let per_group_qps = offered_qps / fleet.groups as f64;
+    let outcomes = finish_groups(sims, per_group_qps, fleet.threads);
+    let report = FleetReport::from_outcomes_disagg(
+        offered_qps,
+        &outcomes,
+        &disagg.roles,
+        &log,
+        fleet.serve.slo,
+    );
+    debug_assert_eq!(
+        report.completed + report.rejected,
+        trace.len(),
+        "conservation: every request completes or is rejected"
+    );
+    DisaggOutcome { report, groups: outcomes, routed, log }
+}
+
+/// Joins each handed-off request's prefill- and decode-phase records, by
+/// id (both slices sorted by id after `finish`).
+pub(crate) fn join_phases<'a>(
+    prefill: &'a [&'a RequestRecord],
+    decode: &'a [&'a RequestRecord],
+) -> Vec<(&'a RequestRecord, &'a RequestRecord)> {
+    let mut joined = Vec::with_capacity(decode.len());
+    for d in decode {
+        if let Ok(pos) = prefill.binary_search_by_key(&d.spec.id.0, |r| r.spec.id.0) {
+            joined.push((prefill[pos], *d));
+        }
+    }
+    joined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::JoinShortestQueue;
+    use cent_model::ModelConfig;
+    use cent_serving::{KvBudget, KvMode, SchedulerConfig, Workload};
+    use cent_types::ByteSize;
+
+    fn tiny_system() -> ServingSystem {
+        ServingSystem::from_parts(
+            &ModelConfig::llama2_7b(),
+            SchedulerConfig {
+                replicas: 1,
+                slots_per_replica: 4,
+                kv_budget: KvBudget::tokens(4000),
+                kv: KvMode::FullReservation,
+            },
+            Time::from_us(1000),
+            1000.0,
+            4000.0,
+        )
+    }
+
+    fn trace(qps: f64, seed: u64, horizon_s: f64) -> Vec<RequestSpec> {
+        let w = Workload {
+            lengths: cent_serving::LengthSampler::Fixed { prompt: 100, decode: 40 },
+            ..Workload::chatbot(qps, seed)
+        };
+        w.generate(Time::from_secs_f64(horizon_s), 4096)
+    }
+
+    fn handoff_cost() -> KvSwapCost {
+        KvSwapCost::cent(ByteSize::bytes(512))
+            .with_switch_hops(2, &cent_cxl::FabricConfig::cent(32))
+    }
+
+    #[test]
+    fn colocated_config_is_the_base_driver_bit_for_bit() {
+        let sys = tiny_system();
+        let trace = trace(60.0, 11, 2.0);
+        let opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+        let base = crate::fleet::simulate_fleet_instrumented(
+            &sys,
+            &trace,
+            60.0,
+            &mut JoinShortestQueue,
+            &opts,
+        );
+        let disagg = simulate_fleet_disagg(
+            &sys,
+            &trace,
+            60.0,
+            &mut JoinShortestQueue,
+            &opts,
+            &DisaggConfig::colocated(4),
+        );
+        assert_eq!(disagg.report, base.report);
+        assert_eq!(disagg.routed, base.routed);
+        assert_eq!(disagg.log, DisaggLog::default());
+        assert_eq!(disagg.report.disagg, None);
+    }
+
+    #[test]
+    fn split_fleet_serves_everything_through_the_pool() {
+        let sys = tiny_system();
+        let trace = trace(80.0, 7, 2.0);
+        let opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+        let cfg = DisaggConfig::split(2, 2, 64_000, handoff_cost()).with_prefill_chunk(32);
+        let out = simulate_fleet_disagg(&sys, &trace, 80.0, &mut JoinShortestQueue, &opts, &cfg);
+        assert_eq!(out.report.completed, trace.len());
+        assert_eq!(out.report.submitted, trace.len());
+        assert_eq!(out.log.handoffs, trace.len() as u64, "every 40-token decode hands off");
+        assert_eq!(out.log.singles, 0);
+        assert!(out.log.pool_peak_tokens <= cfg.pool_tokens);
+        assert!(out.log.pool_peak_tokens > 0);
+        // Arrivals only land on the prefill tier; decode groups only see
+        // handoffs.
+        assert!(out.routed.iter().all(|&g| g < 2));
+        assert_eq!(out.groups[0].report.submitted + out.groups[1].report.submitted, trace.len());
+        assert_eq!(
+            out.groups[2].report.submitted + out.groups[3].report.submitted,
+            out.log.handoffs as usize
+        );
+        let d = out.report.disagg.as_ref().expect("split run reports disagg");
+        assert_eq!(d.handoffs, out.log.handoffs);
+        assert_eq!((d.prefill_groups, d.decode_groups), (2, 2));
+        assert!(d.handoff_latency.mean > Time::ZERO);
+        assert!(d.pool_occupancy > 0.0);
+        // Decode-token conservation across the phase split.
+        assert_eq!(out.report.decode_tokens, trace.len() as u64 * 40);
+        assert_eq!(out.report.prefill_tokens, trace.len() as u64 * 100);
+    }
+
+    #[test]
+    fn split_fleet_is_thread_invariant() {
+        let sys = tiny_system();
+        let trace = trace(80.0, 19, 1.5);
+        let cfg = DisaggConfig::split(2, 2, 32_000, handoff_cost()).with_prefill_chunk(64);
+        let run = |threads: usize| {
+            let opts =
+                FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05)).with_threads(threads);
+            simulate_fleet_disagg(&sys, &trace, 80.0, &mut JoinShortestQueue, &opts, &cfg)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.log.handoffs > 0);
+        assert_eq!(one.report, four.report);
+        assert_eq!(one.routed, four.routed);
+        assert_eq!(one.log, four.log);
+    }
+
+    #[test]
+    fn tiny_pool_defers_publishes_but_loses_nothing() {
+        let sys = tiny_system();
+        let trace = trace(100.0, 3, 1.5);
+        let opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+        // Room for barely more than one context at a time.
+        let cfg = DisaggConfig::split(2, 2, 150, handoff_cost());
+        let out = simulate_fleet_disagg(&sys, &trace, 100.0, &mut JoinShortestQueue, &opts, &cfg);
+        assert_eq!(out.report.completed, trace.len());
+        assert!(out.log.deferred > 0, "a 150-token pool must backpressure");
+        assert!(out.log.pool_peak_tokens <= 150);
+    }
+
+    #[test]
+    fn drained_decode_groups_steal_claims() {
+        let sys = tiny_system();
+        // Long decodes under load-blind round-robin: claims pile onto a
+        // busy pick while another decode group sits drained.
+        let w = Workload {
+            lengths: cent_serving::LengthSampler::Fixed { prompt: 100, decode: 400 },
+            ..Workload::chatbot(30.0, 29)
+        };
+        let trace = w.generate(Time::from_secs_f64(2.0), 4096);
+        let opts = FleetOptions::new(5).with_epoch(Time::from_secs_f64(0.05));
+        let mut roles = vec![GroupRole::Prefill; 2];
+        roles.extend_from_slice(&[GroupRole::Decode; 3]);
+        let cfg = DisaggConfig {
+            roles,
+            pool_tokens: 64_000,
+            handoff_cost: handoff_cost(),
+            prefill_chunk: None,
+        };
+        let mut rr = crate::router::RoundRobin::default();
+        let out = simulate_fleet_disagg(&sys, &trace, 30.0, &mut rr, &opts, &cfg);
+        assert_eq!(out.report.completed, trace.len());
+        assert!(out.log.steals > 0, "round-robin decode routing must leave a drained group");
+    }
+}

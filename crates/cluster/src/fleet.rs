@@ -186,7 +186,7 @@ enum CompiledKind {
 }
 
 /// Aligns `t` up to the next epoch-grid instant.
-fn epoch_ceil(t: Time, epoch_ps: u64) -> Time {
+pub(crate) fn epoch_ceil(t: Time, epoch_ps: u64) -> Time {
     Time::from_ps(t.as_ps().div_ceil(epoch_ps).saturating_mul(epoch_ps))
 }
 
@@ -507,7 +507,7 @@ pub fn simulate_fleet_instrumented(
 /// Advances every group to `limit`, sharding contiguous chunks across
 /// worker threads. Groups are independent, so any sharding computes the
 /// same per-group state.
-fn advance_groups(sims: &mut [GroupSim], limit: Time, threads: usize) {
+pub(crate) fn advance_groups(sims: &mut [GroupSim], limit: Time, threads: usize) {
     if threads <= 1 || sims.len() <= 1 {
         for sim in sims.iter_mut() {
             sim.advance_to(limit);
@@ -527,7 +527,7 @@ fn advance_groups(sims: &mut [GroupSim], limit: Time, threads: usize) {
 }
 
 /// Drains every group to completion and collects outcomes in group order.
-fn finish_groups(sims: Vec<GroupSim>, qps: f64, threads: usize) -> Vec<GroupOutcome> {
+pub(crate) fn finish_groups(sims: Vec<GroupSim>, qps: f64, threads: usize) -> Vec<GroupOutcome> {
     let mut sims: Vec<Option<GroupSim>> = sims.into_iter().map(Some).collect();
     let mut out: Vec<Option<GroupOutcome>> = sims.iter().map(|_| None).collect();
     if threads <= 1 || sims.len() <= 1 {

@@ -26,7 +26,14 @@
 //!   redispatched under a bounded [`RetryPolicy`]), host-link degradation
 //!   windows that rescale spill costs mid-run, and per-group stragglers;
 //!   degraded-mode metrics (availability, failover latency, goodput in
-//!   and out of outage windows) land in [`DegradedReport`].
+//!   and out of outage windows) land in [`DegradedReport`];
+//! * [`simulate_fleet_disagg`] / [`GroupRole`] — disaggregated
+//!   prefill/decode serving: prompts route to prefill-specialized groups
+//!   (chunked prefill), finished contexts publish into the bounded
+//!   switch-attached `SharedKvPool` of `cent-cxl` at a costed switch-hop
+//!   price, and decode-specialized groups claim them (stealing from the
+//!   pool when drained); handoff latency percentiles, pool occupancy and
+//!   steal counts land in [`DisaggReport`].
 //!
 //! Pair with [`LoadCurve`](cent_serving::LoadCurve) diurnal modulation
 //! (`Workload::generate_modulated`) for multi-hour fleet traces; a
@@ -72,16 +79,20 @@
 
 #![forbid(unsafe_code)]
 
+mod disagg;
 mod fault;
 mod fleet;
 mod report;
 mod router;
 
+pub use disagg::{simulate_fleet_disagg, DisaggConfig, DisaggLog, DisaggOutcome, GroupRole};
 pub use fault::{ChaosRates, FaultPlan, FaultSchedule, FaultSpec, RetryPolicy};
 pub use fleet::{
     simulate_fleet, simulate_fleet_instrumented, FaultLog, FleetOptions, FleetOutcome,
 };
-pub use report::{DegradedReport, FleetReport, GroupRow, RouterImbalance, UtilizationSpread};
+pub use report::{
+    DegradedReport, DisaggReport, FleetReport, GroupRow, RouterImbalance, UtilizationSpread,
+};
 pub use router::{
     GroupLoad, JoinShortestQueue, PowerOfTwoChoices, RoundRobin, RoutingPolicy, SessionAffinity,
 };

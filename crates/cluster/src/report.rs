@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use cent_serving::{ClassReport, GroupOutcome, LatencyStats, PriorityClass};
+use cent_serving::{ClassReport, GroupOutcome, LatencyStats, PriorityClass, RequestRecord};
 use cent_types::{SortedSamples, Time, TimeHistogram};
 
+use crate::disagg::{join_phases, DisaggLog, GroupRole};
 use crate::fleet::FaultLog;
 
 /// Spread of a per-group utilization metric across the fleet.
@@ -109,6 +110,42 @@ pub struct DegradedReport {
     pub goodput_clean_qps: f64,
 }
 
+/// Disaggregation metrics of a role-split fleet run.
+///
+/// Present on [`FleetReport::disagg`] whenever the run used a
+/// prefill/decode split ([`DisaggConfig`](crate::DisaggConfig) with
+/// specialized roles); colocated runs leave it `None` so they compare
+/// equal to base-driver reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisaggReport {
+    /// Prefill-specialized groups in the fleet.
+    pub prefill_groups: usize,
+    /// Decode-specialized groups in the fleet.
+    pub decode_groups: usize,
+    /// Contexts handed prefill → pool → decode.
+    pub handoffs: u64,
+    /// Requests finished entirely on the prefill tier (single-token
+    /// decodes — nothing left to hand off).
+    pub singles: u64,
+    /// Claims diverted from the router's pick to a drained decode group.
+    pub steals: u64,
+    /// Publish attempts refused for pool capacity and deferred.
+    pub deferred_publishes: u64,
+    /// Handoff latency distribution: prompt completion on the prefill
+    /// group to first decode-tier token, per handed-off request (publish
+    /// serialization + both transfers + decode admission).
+    pub handoff_latency: LatencyStats,
+    /// Shared-pool capacity bound, KV tokens.
+    pub pool_capacity_tokens: u64,
+    /// Largest pool reservation level observed, KV tokens — never above
+    /// the capacity bound by construction.
+    pub pool_peak_tokens: u64,
+    /// Time-weighted mean pool occupancy as a fraction of capacity over
+    /// the run's makespan (the pool's occupancy integral normalised by
+    /// `capacity × makespan`).
+    pub pool_occupancy: f64,
+}
+
 /// The result of one fleet simulation: fleet-wide SLO metrics plus the
 /// per-group spread the router is judged by.
 ///
@@ -162,6 +199,9 @@ pub struct FleetReport {
     /// Degraded-mode section; `None` iff the run carried no fault
     /// schedule, so fault-free reports compare equal to pre-fault ones.
     pub degraded: Option<DegradedReport>,
+    /// Disaggregation section; `None` iff the run used no prefill/decode
+    /// split, so colocated reports compare equal to base-driver ones.
+    pub disagg: Option<DisaggReport>,
 }
 
 impl FleetReport {
@@ -280,6 +320,7 @@ impl FleetReport {
             imbalance,
             per_group,
             degraded: None,
+            disagg: None,
         }
     }
 
@@ -379,8 +420,178 @@ impl FleetReport {
         report
     }
 
-    /// Serialises the report as one JSON object (schema documented in the
-    /// README's "Cluster simulation" section). Times are seconds.
+    /// Folds the outcomes of a role-split fleet into the end-to-end view,
+    /// joining each handed-off request's prefill-phase record (prompt +
+    /// first token, on a [`GroupRole::Prefill`] group) with its
+    /// decode-phase record (the remaining tokens) by request id.
+    ///
+    /// The corrected metrics: `submitted` counts prefill-tier arrivals
+    /// (not decode-tier re-submissions), `completed` counts requests whose
+    /// *final* phase finished, `prefill_tokens` counts prompt tokens once,
+    /// latency runs from the original arrival to the decode-phase finish,
+    /// TTFT/queue-wait come from the prefill tier (which owns the first
+    /// token) and router imbalance is judged over the prefill tier (the
+    /// only tier the router spreads arrivals across). TBT merges the
+    /// per-group histograms, so the prefill→decode handoff gap itself is
+    /// not a TBT sample — it is reported separately as
+    /// [`DisaggReport::handoff_latency`].
+    pub fn from_outcomes_disagg(
+        offered_qps: f64,
+        outcomes: &[GroupOutcome],
+        roles: &[GroupRole],
+        log: &DisaggLog,
+        slo: Option<Time>,
+    ) -> Self {
+        assert_eq!(roles.len(), outcomes.len(), "one role per group");
+        let mut report = Self::from_outcomes(offered_qps, outcomes);
+        let of_role = |role: GroupRole| {
+            outcomes.iter().zip(roles).filter(move |(_, r)| **r == role).map(|(o, _)| o)
+        };
+        // Records of each tier, sorted by id for the phase join.
+        let mut prefill_records: Vec<&RequestRecord> =
+            of_role(GroupRole::Prefill).flat_map(|o| o.records.iter()).collect();
+        prefill_records.sort_unstable_by_key(|r| r.spec.id.0);
+        let mut decode_records: Vec<&RequestRecord> =
+            of_role(GroupRole::Decode).flat_map(|o| o.records.iter()).collect();
+        decode_records.sort_unstable_by_key(|r| r.spec.id.0);
+        let joined = join_phases(&prefill_records, &decode_records);
+        debug_assert_eq!(joined.len(), decode_records.len(), "every decode phase has a prompt");
+        // Prefill records without a decode phase finished outright on the
+        // prefill tier (single-token decodes).
+        let singles: Vec<&RequestRecord> = prefill_records
+            .iter()
+            .filter(|r| decode_records.binary_search_by_key(&r.spec.id.0, |d| d.spec.id.0).is_err())
+            .copied()
+            .collect();
+
+        report.submitted = of_role(GroupRole::Prefill).map(|o| o.report.submitted).sum();
+        report.completed = singles.len() + joined.len();
+        report.prefill_tokens = prefill_records.iter().map(|r| r.spec.prompt as u64).sum();
+        report.tokens_per_s = if report.makespan > Time::ZERO {
+            report.decode_tokens as f64 / report.makespan.as_secs()
+        } else {
+            0.0
+        };
+        // End-to-end latency: arrival to the *final* phase's completion.
+        let end_latency = |prefill: &RequestRecord, decode: Option<&RequestRecord>| {
+            decode.unwrap_or(prefill).finished.saturating_sub(prefill.spec.arrival)
+        };
+        let latencies = SortedSamples::new(
+            joined
+                .iter()
+                .map(|&(p, d)| end_latency(p, Some(d)))
+                .chain(singles.iter().map(|&p| end_latency(p, None)))
+                .collect(),
+        );
+        report.query_latency = LatencyStats::from_sorted(&latencies);
+        report.ttft = LatencyStats::from_sorted(&SortedSamples::new(
+            prefill_records.iter().map(|r| r.ttft()).collect(),
+        ));
+        report.queue_wait = LatencyStats::from_sorted(&SortedSamples::new(
+            prefill_records.iter().map(|r| r.queue_wait()).collect(),
+        ));
+        let handoff_latency = LatencyStats::from_sorted(&SortedSamples::new(
+            joined.iter().map(|&(p, d)| d.first_token.saturating_sub(p.finished)).collect(),
+        ));
+
+        // Per-class rows over the joined populations. Submissions come
+        // from the prefill tier (the only tier arrivals reach).
+        let mut class_keys: Vec<PriorityClass> = of_role(GroupRole::Prefill)
+            .flat_map(|o| o.submitted_by_class.iter().map(|&(c, _)| c))
+            .collect();
+        class_keys.sort_unstable();
+        class_keys.dedup();
+        let makespan_s = report.makespan.as_secs();
+        report.classes = class_keys
+            .iter()
+            .map(|&class| {
+                let submitted = of_role(GroupRole::Prefill)
+                    .flat_map(|o| &o.submitted_by_class)
+                    .filter(|(c, _)| *c == class)
+                    .map(|(_, n)| n)
+                    .sum();
+                let raw: Vec<Time> = joined
+                    .iter()
+                    .filter(|(p, _)| p.spec.class == class)
+                    .map(|&(p, d)| end_latency(p, Some(d)))
+                    .chain(
+                        singles
+                            .iter()
+                            .filter(|p| p.spec.class == class)
+                            .map(|&p| end_latency(p, None)),
+                    )
+                    .collect();
+                let deadline_hits = match slo {
+                    Some(slo) => raw.iter().filter(|&&l| l <= slo).count(),
+                    None => raw.len(),
+                };
+                let lats = SortedSamples::new(raw);
+                let ttfts = SortedSamples::new(
+                    prefill_records
+                        .iter()
+                        .filter(|r| r.spec.class == class)
+                        .map(|r| r.ttft())
+                        .collect(),
+                );
+                let mut class_tbt = TimeHistogram::new();
+                for o in outcomes {
+                    if let Some((_, h)) = o.tbt_by_class.iter().find(|(c, _)| *c == class) {
+                        class_tbt.merge(h);
+                    }
+                }
+                ClassReport {
+                    class,
+                    submitted,
+                    completed: lats.len(),
+                    ttft: LatencyStats::from_sorted(&ttfts),
+                    query_latency: LatencyStats::from_sorted(&lats),
+                    tbt: LatencyStats::from_histogram(&class_tbt),
+                    deadline_hits,
+                    goodput_qps: if makespan_s > 0.0 {
+                        deadline_hits as f64 / makespan_s
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        // The router only spreads arrivals over the prefill tier; judge
+        // its imbalance there.
+        let prefill_submitted: Vec<usize> =
+            of_role(GroupRole::Prefill).map(|o| o.report.submitted).collect();
+        let mean_share = report.submitted as f64 / prefill_submitted.len().max(1) as f64;
+        report.imbalance = if mean_share > 0.0 {
+            RouterImbalance {
+                min_share: prefill_submitted.iter().copied().min().unwrap_or(0) as f64 / mean_share,
+                max_share: prefill_submitted.iter().copied().max().unwrap_or(0) as f64 / mean_share,
+            }
+        } else {
+            RouterImbalance::default()
+        };
+
+        let pool_occupancy = if log.pool_capacity_tokens > 0 && makespan_s > 0.0 {
+            log.pool_occupancy_token_s / (log.pool_capacity_tokens as f64 * makespan_s)
+        } else {
+            0.0
+        };
+        report.disagg = Some(DisaggReport {
+            prefill_groups: roles.iter().filter(|r| **r == GroupRole::Prefill).count(),
+            decode_groups: roles.iter().filter(|r| **r == GroupRole::Decode).count(),
+            handoffs: log.handoffs,
+            singles: log.singles,
+            steals: log.steals,
+            deferred_publishes: log.deferred,
+            handoff_latency,
+            pool_capacity_tokens: log.pool_capacity_tokens,
+            pool_peak_tokens: log.pool_peak_tokens,
+            pool_occupancy,
+        });
+        report
+    }
+
+    /// Serialises the report as one JSON object (schema documented in
+    /// `docs/SCHEMAS.md`). Times are seconds.
     pub fn to_json(&self) -> String {
         fn stats(s: &LatencyStats) -> String {
             format!(
@@ -458,6 +669,24 @@ impl FleetReport {
                 )
             }
         };
+        let disagg = match &self.disagg {
+            None => String::new(),
+            Some(d) => format!(
+                ",\"disagg\":{{\"prefill_groups\":{},\"decode_groups\":{},\"handoffs\":{},\
+                 \"singles\":{},\"steals\":{},\"deferred_publishes\":{},\"handoff_s\":{},\
+                 \"pool_capacity_tokens\":{},\"pool_peak_tokens\":{},\"pool_occupancy\":{}}}",
+                d.prefill_groups,
+                d.decode_groups,
+                d.handoffs,
+                d.singles,
+                d.steals,
+                d.deferred_publishes,
+                stats(&d.handoff_latency),
+                d.pool_capacity_tokens,
+                d.pool_peak_tokens,
+                d.pool_occupancy
+            ),
+        };
         format!(
             "{{\"groups\":{},\"offered_qps\":{},\"submitted\":{},\"completed\":{},\
              \"rejected\":{},\"makespan_s\":{},\"decode_tokens\":{},\"prefill_tokens\":{},\
@@ -466,7 +695,7 @@ impl FleetReport {
              \"slot_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
              \"kv_utilization\":{{\"min\":{},\"mean\":{},\"max\":{}}},\
              \"imbalance\":{{\"min_share\":{},\"max_share\":{}}},\
-             \"classes\":[{}],\"per_group\":[{}]{}}}",
+             \"classes\":[{}],\"per_group\":[{}]{}{}}}",
             self.groups,
             self.offered_qps,
             self.submitted,
@@ -493,7 +722,8 @@ impl FleetReport {
             self.imbalance.max_share,
             classes.join(","),
             per_group.join(","),
-            degraded
+            degraded,
+            disagg
         )
     }
 }
@@ -542,6 +772,27 @@ impl std::fmt::Display for FleetReport {
                 f,
                 "failover: {} | goodput {:.2} q/s ({:.2} q/s outside outages)",
                 d.failover_latency, d.goodput_qps, d.goodput_clean_qps
+            )?;
+        }
+        if let Some(d) = &self.disagg {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "disagg: {}P/{}D groups | {} handoffs ({} singles, {} steals, {} deferred)",
+                d.prefill_groups,
+                d.decode_groups,
+                d.handoffs,
+                d.singles,
+                d.steals,
+                d.deferred_publishes,
+            )?;
+            write!(
+                f,
+                "handoff: {} | pool peak {}/{} tokens ({:.1}% mean occupancy)",
+                d.handoff_latency,
+                d.pool_peak_tokens,
+                d.pool_capacity_tokens,
+                100.0 * d.pool_occupancy,
             )?;
         }
         Ok(())

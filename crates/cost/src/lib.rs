@@ -268,6 +268,17 @@ impl KvSwapCost {
         KvSwapCost { bandwidth: self.bandwidth.scale(factor), ..*self }
     }
 
+    /// The same transfer model with `hops` extra switch traversals added to
+    /// the per-transfer latency term — the cost of reaching a
+    /// *switch-attached* resource (the shared KV pool of a disaggregated
+    /// fleet) instead of the replica's own host port. A device→pool
+    /// publish or pool→device claim crosses the PBR switch fabric once
+    /// per hop on top of the base host-link hop; bandwidth is unchanged
+    /// (the bulk path still runs at host-link rate).
+    pub fn with_switch_hops(&self, hops: u32, fabric: &FabricConfig) -> Self {
+        KvSwapCost { latency: self.latency + fabric.hop_latency().times(u64::from(hops)), ..*self }
+    }
+
     /// Bytes `tokens` KV tokens occupy on the wire.
     pub fn bytes_for(&self, tokens: u64) -> ByteSize {
         ByteSize::bytes(self.bytes_per_token.as_bytes() * tokens)
@@ -383,6 +394,24 @@ mod tests {
         let healthy = KvSwapCost::cent(per_token);
         assert!(healthy.swap_is_cheaper(4096, 40_000.0));
         assert!(!healthy.with_bandwidth_factor(0.25).swap_is_cheaper(4096, 40_000.0));
+    }
+
+    #[test]
+    fn switch_hops_add_pure_latency() {
+        let per_token = ByteSize::kib(320);
+        let fabric = FabricConfig::cent(32);
+        let base = KvSwapCost::from_host_link(per_token, &fabric);
+        let pooled = base.with_switch_hops(2, &fabric);
+        assert_eq!(pooled.bandwidth, base.bandwidth, "bulk rate is unchanged");
+        assert_eq!(pooled.latency, base.latency + fabric.hop_latency().times(2));
+        for tokens in [1u64, 600, 4096] {
+            assert_eq!(
+                pooled.transfer_time(tokens),
+                base.transfer_time(tokens) + fabric.hop_latency().times(2),
+                "{tokens} tokens"
+            );
+        }
+        assert_eq!(base.with_switch_hops(0, &fabric), base);
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //!   derating of §6 (half bandwidth, double latency);
 //! * [`CommunicationEngine`] — functional send/recv/broadcast/gather with
 //!   real Shared Buffer payloads, matching the blocking semantics of
-//!   `RECV_CXL` and the non-blocking `SEND_CXL`/`BCAST_CXL`.
+//!   `RECV_CXL` and the non-blocking `SEND_CXL`/`BCAST_CXL`;
+//! * [`SharedKvPool`] — the bounded, per-link-serialized switch-attached
+//!   KV tier a disaggregated prefill/decode fleet hands contexts through.
 
 #![forbid(unsafe_code)]
 
 mod fabric;
 mod flit;
+mod pool;
 mod primitives;
 
 pub use fabric::{CxlFabric, FabricConfig, LinkStats, Transfer};
 pub use flit::{flits_for, Flit, FlitOpcode, NodeId, FLIT_BYTES, FLIT_PAYLOAD, HEADER_BYTES};
+pub use pool::{PoolEntry, SharedKvPool};
 pub use primitives::{CommunicationEngine, Message};

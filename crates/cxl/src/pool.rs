@@ -1,0 +1,263 @@
+//! The shared switch-attached KV pool of a disaggregated fleet.
+//!
+//! In a prefill/decode-disaggregated deployment the KV pages of a finished
+//! prompt do not live in any replica group's private pool: the prefill
+//! group *publishes* them over its fabric link into a bounded pool hanging
+//! off the PBR switch, and a decode group later *claims* them and streams
+//! tokens. [`SharedKvPool`] is the deterministic bookkeeping core of that
+//! tier:
+//!
+//! * **bounded** — capacity is reserved when a publish is *scheduled*, so
+//!   the pool can never be overcommitted by transfers still in flight;
+//!   a publish that does not fit is refused (the caller defers it and
+//!   retries — fabric-level backpressure);
+//! * **per-link serialized** — each prefill group owns one egress link to
+//!   the switch, and its publishes stream through it back to back, like
+//!   the per-replica swap engines of the serving layer;
+//! * **exactly-once** — an entry is keyed by request id, becomes claimable
+//!   when its publish transfer completes, and leaves the pool on claim.
+//!
+//! Transfer *durations* are supplied by the caller (the cost model lives
+//! above this crate); the pool owns capacity, link serialization and the
+//! exact integer occupancy integral (token·ps) the fleet report turns into
+//! a time-weighted occupancy fraction.
+
+use cent_types::Time;
+use std::collections::BTreeMap;
+
+/// One published-but-unclaimed KV context resident in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolEntry {
+    /// KV tokens the entry holds (its capacity reservation).
+    pub tokens: u64,
+    /// Instant the publish transfer started on the egress link.
+    pub started: Time,
+    /// Instant the publish transfer completed — the entry is claimable
+    /// from here on.
+    pub visible: Time,
+}
+
+/// Bounded, per-link-serialized shared KV pool (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SharedKvPool {
+    capacity_tokens: u64,
+    /// Egress-link free instants, one per publishing group.
+    link_free: Vec<Time>,
+    /// Live entries by raw request id.
+    entries: BTreeMap<u64, PoolEntry>,
+    used_tokens: u64,
+    peak_tokens: u64,
+    /// Exact occupancy integral in token·ps, charged per entry over
+    /// `[visible, claim)` at claim time.
+    occupancy_token_ps: u128,
+    publishes: u64,
+    claims: u64,
+    refusals: u64,
+}
+
+impl SharedKvPool {
+    /// An empty pool of `capacity_tokens` KV tokens with `links` egress
+    /// links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_tokens` is zero or `links` is zero.
+    pub fn new(capacity_tokens: u64, links: usize) -> Self {
+        assert!(capacity_tokens > 0, "a shared pool needs capacity");
+        assert!(links > 0, "a shared pool needs at least one egress link");
+        SharedKvPool {
+            capacity_tokens,
+            link_free: vec![Time::ZERO; links],
+            entries: BTreeMap::new(),
+            used_tokens: 0,
+            peak_tokens: 0,
+            occupancy_token_ps: 0,
+            publishes: 0,
+            claims: 0,
+            refusals: 0,
+        }
+    }
+
+    /// The pool's capacity bound in KV tokens.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.capacity_tokens
+    }
+
+    /// KV tokens currently reserved (published or publish-in-flight).
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Largest reservation level ever observed — never exceeds
+    /// [`capacity_tokens`](Self::capacity_tokens) by construction.
+    pub fn peak_tokens(&self) -> u64 {
+        self.peak_tokens
+    }
+
+    /// Number of live (unclaimed) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Publishes completed so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes
+    }
+
+    /// Claims completed so far.
+    pub fn claims(&self) -> u64 {
+        self.claims
+    }
+
+    /// Publish attempts refused for capacity (each refused *attempt*
+    /// counts — a deferred publish retried and refused again counts
+    /// twice).
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Schedules a publish of `tokens` KV tokens onto egress `link`: the
+    /// transfer starts no earlier than `ready` (the prompt's completion
+    /// instant) and no earlier than the link frees, takes `transfer` on
+    /// the wire, and the entry becomes claimable when it completes.
+    /// Capacity is reserved immediately. Returns the completion instant,
+    /// or `None` — with no state change beyond the refusal counter — when
+    /// the reservation would exceed the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range, `tokens` is zero, or `id` is
+    /// already resident.
+    pub fn try_publish(
+        &mut self,
+        id: u64,
+        tokens: u64,
+        ready: Time,
+        link: usize,
+        transfer: Time,
+    ) -> Option<Time> {
+        assert!(link < self.link_free.len(), "pool has no egress link {link}");
+        assert!(tokens > 0, "a publish needs at least one KV token");
+        if self.used_tokens + tokens > self.capacity_tokens {
+            self.refusals += 1;
+            return None;
+        }
+        let started = ready.max(self.link_free[link]);
+        let visible = started + transfer;
+        self.link_free[link] = visible;
+        self.used_tokens += tokens;
+        self.peak_tokens = self.peak_tokens.max(self.used_tokens);
+        let prev = self.entries.insert(id, PoolEntry { tokens, started, visible });
+        assert!(prev.is_none(), "request {id} published twice");
+        self.publishes += 1;
+        Some(visible)
+    }
+
+    /// Claims entry `id` at instant `at`, releasing its reservation and
+    /// charging its occupancy (`tokens × (at − visible)`) to the
+    /// integral. Returns the released entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not resident or `at` precedes the entry's
+    /// visibility instant.
+    pub fn claim(&mut self, id: u64, at: Time) -> PoolEntry {
+        let entry = self.entries.remove(&id).expect("claimed entry is resident");
+        assert!(at >= entry.visible, "claim at {at} precedes publish completion {}", entry.visible);
+        self.occupancy_token_ps +=
+            u128::from(entry.tokens) * u128::from(at.saturating_sub(entry.visible).as_ps());
+        self.used_tokens = self
+            .used_tokens
+            .checked_sub(entry.tokens)
+            .expect("pool released more tokens than it held");
+        self.claims += 1;
+        entry
+    }
+
+    /// The pool-resident entry for `id`, if any.
+    pub fn entry(&self, id: u64) -> Option<&PoolEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Accumulated occupancy in token-seconds: each claimed entry
+    /// contributed `tokens × (claim − visible)`. Divide by
+    /// `capacity × makespan` for a time-weighted occupancy fraction.
+    pub fn occupancy_token_seconds(&self) -> f64 {
+        self.occupancy_token_ps as f64 * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::from_us(us)
+    }
+
+    #[test]
+    fn capacity_is_reserved_at_schedule_time() {
+        let mut pool = SharedKvPool::new(100, 1);
+        let done = pool.try_publish(1, 60, t(0), 0, t(10)).expect("fits");
+        assert_eq!(done, t(10));
+        assert_eq!(pool.used_tokens(), 60);
+        // A second publish that would overcommit is refused with no state
+        // change — even though the first transfer is still in flight.
+        assert_eq!(pool.try_publish(2, 50, t(0), 0, t(10)), None);
+        assert_eq!(pool.refusals(), 1);
+        assert_eq!(pool.used_tokens(), 60);
+        assert_eq!(pool.len(), 1);
+        // A fitting one is accepted and serialized behind the first.
+        let done2 = pool.try_publish(3, 40, t(0), 0, t(10)).expect("fits");
+        assert_eq!(done2, t(20), "same link serializes transfers");
+        assert_eq!(pool.peak_tokens(), 100);
+    }
+
+    #[test]
+    fn links_serialize_independently() {
+        let mut pool = SharedKvPool::new(1000, 2);
+        let a = pool.try_publish(1, 10, t(5), 0, t(10)).expect("fits");
+        let b = pool.try_publish(2, 10, t(5), 1, t(10)).expect("fits");
+        assert_eq!(a, t(15));
+        assert_eq!(b, t(15), "distinct links do not contend");
+        let c = pool.try_publish(3, 10, t(0), 0, t(10)).expect("fits");
+        assert_eq!(c, t(25), "link 0 backs up behind its first transfer");
+    }
+
+    #[test]
+    fn claim_releases_and_charges_occupancy() {
+        let mut pool = SharedKvPool::new(100, 1);
+        pool.try_publish(7, 40, t(0), 0, t(10)).expect("fits");
+        let entry = pool.claim(7, t(35));
+        assert_eq!(entry.tokens, 40);
+        assert_eq!(entry.visible, t(10));
+        assert_eq!(pool.used_tokens(), 0);
+        assert!(pool.is_empty());
+        // 40 tokens over 25 µs.
+        let expect = 40.0 * 25e-6;
+        assert!((pool.occupancy_token_seconds() - expect).abs() < 1e-12);
+        // Freed capacity is reusable.
+        assert!(pool.try_publish(8, 100, t(40), 0, t(10)).is_some());
+        assert_eq!(pool.peak_tokens(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "published twice")]
+    fn double_publish_panics() {
+        let mut pool = SharedKvPool::new(100, 1);
+        let _ = pool.try_publish(1, 10, t(0), 0, t(1));
+        let _ = pool.try_publish(1, 10, t(0), 0, t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed entry is resident")]
+    fn claiming_absent_entry_panics() {
+        let mut pool = SharedKvPool::new(100, 1);
+        pool.claim(1, t(0));
+    }
+}

@@ -1,0 +1,231 @@
+//! `check_links` — a zero-dependency checker for the workspace's own
+//! markdown: every intra-repo relative link and every `#anchor` must
+//! resolve, so README/ARCHITECTURE/docs pointers can't rot silently.
+//!
+//! Scans `README.md`, `ARCHITECTURE.md` and every `*.md` under `docs/`
+//! (run from the workspace root; CI's `docs` job does). For each inline
+//! link `[text](target)` and reference definition `[label]: target`
+//! outside fenced code blocks:
+//!
+//! * `http(s)://...` targets are skipped — the checker never touches the
+//!   network;
+//! * `#anchor` targets must match a heading slug of the same file;
+//! * relative-path targets must exist on disk, resolved from the linking
+//!   file's directory, and a `path#anchor` into another markdown file
+//!   must match one of *that* file's heading slugs.
+//!
+//! Heading slugs follow the GitHub convention: lowercase, markdown
+//! formatting stripped, punctuation removed, spaces to hyphens, `-1`/
+//! `-2`... suffixes for repeats. Violations print as
+//! `file:line: message` and the process exits 1.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let mut files: Vec<PathBuf> =
+        vec![PathBuf::from("README.md"), PathBuf::from("ARCHITECTURE.md")];
+    files.extend(markdown_under(Path::new("docs")));
+    let mut errors = 0usize;
+    let mut checked = 0usize;
+    // Slug tables are built lazily per target file and cached, so a file
+    // referenced many times is sluggified once.
+    let mut slug_cache: BTreeMap<PathBuf, Vec<String>> = BTreeMap::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", file.display());
+                errors += 1;
+                continue;
+            }
+        };
+        for link in links_in(&text) {
+            checked += 1;
+            if let Err(msg) = check(file, &link.target, &mut slug_cache) {
+                eprintln!("{}:{}: {msg} [{}]", file.display(), link.line, link.target);
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("check_links: {errors} broken link(s) across {} file(s)", files.len());
+        std::process::exit(1);
+    }
+    println!("check_links: {checked} links resolve across {} markdown file(s)", files.len());
+}
+
+/// Every `*.md` below `dir`, recursively, in sorted order.
+fn markdown_under(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return found };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            found.extend(markdown_under(&path));
+        } else if path.extension().is_some_and(|e| e == "md") {
+            found.push(path);
+        }
+    }
+    found
+}
+
+struct Link {
+    line: usize,
+    target: String,
+}
+
+/// Extracts link targets from markdown: inline `[text](target)` and
+/// reference definitions `[label]: target`, skipping fenced code blocks
+/// and inline code spans.
+fn links_in(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = strip_code_spans(raw);
+        // Reference definition: `[label]: target` at line start.
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(close) = rest.find("]:") {
+                let target = rest[close + 2..].trim();
+                if !target.is_empty() {
+                    links.push(Link { line: line_no, target: target.to_string() });
+                    continue;
+                }
+            }
+        }
+        // Inline links: every `](target)` occurrence.
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(at) = line[i..].find("](") {
+            let start = i + at + 2;
+            // Balance parentheses inside the target (rare, but slugs of
+            // headings with parens produce them).
+            let mut depth = 1usize;
+            let mut end = start;
+            while end < bytes.len() && depth > 0 {
+                match bytes[end] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                end += 1;
+            }
+            if depth == 0 {
+                links.push(Link { line: line_no, target: line[start..end - 1].to_string() });
+            }
+            i = end;
+        }
+    }
+    links
+}
+
+/// Replaces `` `code` `` spans with spaces so bracketed code (`[lints]`,
+/// array types) is never mistaken for a link.
+fn strip_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_code = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_code = !in_code;
+            out.push(' ');
+        } else {
+            out.push(if in_code { ' ' } else { c });
+        }
+    }
+    out
+}
+
+/// Checks one target from `from`'s directory. External schemes are
+/// skipped; everything else must resolve.
+fn check(
+    from: &Path,
+    target: &str,
+    slugs: &mut BTreeMap<PathBuf, Vec<String>>,
+) -> Result<(), String> {
+    if target.starts_with("http://") || target.starts_with("https://") || target.contains("://") {
+        return Ok(());
+    }
+    if let Some(anchor) = target.strip_prefix('#') {
+        return check_anchor(from, anchor, slugs);
+    }
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((p, a)) => (p, Some(a)),
+        None => (target, None),
+    };
+    let base = from.parent().unwrap_or_else(|| Path::new("."));
+    let resolved = base.join(path_part);
+    if !resolved.exists() {
+        return Err(format!("target does not exist: {}", resolved.display()));
+    }
+    if let Some(anchor) = anchor {
+        if resolved.extension().is_some_and(|e| e == "md") {
+            return check_anchor(&resolved, anchor, slugs);
+        }
+    }
+    Ok(())
+}
+
+fn check_anchor(
+    file: &Path,
+    anchor: &str,
+    slugs: &mut BTreeMap<PathBuf, Vec<String>>,
+) -> Result<(), String> {
+    if !slugs.contains_key(file) {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("anchor target unreadable {}: {e}", file.display()))?;
+        slugs.insert(file.to_path_buf(), heading_slugs(&text));
+    }
+    let table = &slugs[file];
+    if table.iter().any(|s| s == anchor) {
+        Ok(())
+    } else {
+        Err(format!("no heading slug {anchor:?} in {}", file.display()))
+    }
+}
+
+/// GitHub-style slugs of every ATX heading, with `-N` dedup suffixes.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let slug = slugify(title);
+        let n = counts.entry(slug.clone()).or_insert(0);
+        out.push(if *n == 0 { slug.clone() } else { format!("{slug}-{n}") });
+        *n += 1;
+    }
+    out
+}
+
+/// Lowercase, markdown formatting stripped, punctuation dropped, spaces
+/// to hyphens — the GitHub anchor convention.
+fn slugify(title: &str) -> String {
+    let mut out = String::with_capacity(title.len());
+    for c in title.chars() {
+        match c {
+            '`' | '*' => {} // formatting, not content
+            c if c.is_alphanumeric() => out.extend(c.to_lowercase()),
+            ' ' | '-' | '_' => out.push(if c == ' ' { '-' } else { c }),
+            _ => {}
+        }
+    }
+    out
+}

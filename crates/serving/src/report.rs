@@ -367,6 +367,83 @@ impl ServingReport {
             0.0
         }
     }
+
+    /// Renders the report as one hand-rolled JSON object (no serde in the
+    /// workspace) — the schema documented in `docs/SCHEMAS.md`. Latency
+    /// distributions serialize as `{mean, p50, p95, p99, max}` objects in
+    /// seconds; `slo_s` is `null` when no SLO was set.
+    pub fn to_json(&self) -> String {
+        fn stats(s: &LatencyStats) -> String {
+            format!(
+                "{{\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                s.mean.as_secs(),
+                s.p50.as_secs(),
+                s.p95.as_secs(),
+                s.p99.as_secs(),
+                s.max.as_secs()
+            )
+        }
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\":{},\"submitted\":{},\"completed\":{},\"ttft\":{},\
+                     \"latency\":{},\"tbt\":{},\"deadline_hits\":{},\"goodput_qps\":{}}}",
+                    c.class.0,
+                    c.submitted,
+                    c.completed,
+                    stats(&c.ttft),
+                    stats(&c.query_latency),
+                    stats(&c.tbt),
+                    c.deadline_hits,
+                    c.goodput_qps
+                )
+            })
+            .collect();
+        let slo = match self.slo {
+            Some(slo) => format!("{}", slo.as_secs()),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"offered_qps\":{},\"submitted\":{},\"completed\":{},\"rejected\":{},\
+             \"makespan_s\":{},\"decode_tokens\":{},\"prefill_tokens\":{},\"tokens_per_s\":{},\
+             \"steady_state_tokens_per_s\":{},\"ttft_s\":{},\"latency_s\":{},\"queue_wait_s\":{},\
+             \"tbt_s\":{},\"slot_utilization\":{},\"peak_kv_fraction\":{},\"kv_utilization\":{},\
+             \"peak_queue_depth\":{},\"preemptions\":{},\"swaps\":{},\"recompute_stall_s\":{},\
+             \"swap_stall_s\":{},\"host_pool_tokens\":{},\"host_kv_peak_tokens\":{},\
+             \"host_kv_utilization\":{},\"classes\":[{}],\"slo_s\":{},\"deadline_hits\":{},\
+             \"goodput_qps\":{}}}",
+            self.offered_qps,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.makespan.as_secs(),
+            self.decode_tokens,
+            self.prefill_tokens,
+            self.tokens_per_s,
+            self.steady_state_tokens_per_s,
+            stats(&self.ttft),
+            stats(&self.query_latency),
+            stats(&self.queue_wait),
+            stats(&self.tbt),
+            self.slot_utilization,
+            self.peak_kv_fraction,
+            self.kv_utilization,
+            self.peak_queue_depth,
+            self.preemptions,
+            self.swaps,
+            self.recompute_stall.as_secs(),
+            self.swap_stall.as_secs(),
+            self.host_pool_tokens,
+            self.host_kv_peak_tokens,
+            self.host_kv_utilization,
+            classes.join(","),
+            slo,
+            self.deadline_hits,
+            self.goodput_qps
+        )
+    }
 }
 
 impl std::fmt::Display for ServingReport {

@@ -218,6 +218,17 @@ pub struct ServeOptions {
     pub slo: Option<Time>,
     /// Event core driving token progress.
     pub engine: TickEngine,
+    /// Chunked-prefill granularity in prompt tokens. `None` (the default)
+    /// runs each prompt through the replica's prefill front-end in one
+    /// contiguous pass. `Some(chunk)` splits it into `ceil(context /
+    /// chunk)` chunks interleaved with resident decode at a 50% duty
+    /// cycle: the front-end gains a second interleave lane, so a short
+    /// prompt arriving behind a long one starts immediately on the other
+    /// lane (the TTFT win), while a lone long prompt finishes later by
+    /// one chunk-time per gap (the honest chunking cost). Prefill-role
+    /// groups of a disaggregated fleet run chunked so long prompts cannot
+    /// monopolize the front-end under tight TBT SLOs.
+    pub prefill_chunk: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -228,6 +239,7 @@ impl Default for ServeOptions {
             policy: Box::new(Fifo),
             slo: None,
             engine: TickEngine::default(),
+            prefill_chunk: None,
         }
     }
 }
@@ -259,6 +271,17 @@ impl ServeOptions {
     /// Configures the KV spill tier (swap-to-CXL vs recompute).
     pub fn with_spill(mut self, spill: KvSpillConfig) -> Self {
         self.spill = spill;
+        self
+    }
+
+    /// Enables chunked prefill with the given chunk size in tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn with_prefill_chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "prefill chunk must be positive");
+        self.prefill_chunk = Some(chunk);
         self
     }
 }
@@ -871,6 +894,12 @@ impl GroupSim {
         self.core.scheduler.total_kv_reserved()
     }
 
+    /// The per-replica KV budget in tokens — a request whose full
+    /// footprint exceeds it is rejected at enqueue.
+    pub fn kv_budget_tokens(&self) -> u64 {
+        self.core.scheduler.kv_budget_tokens()
+    }
+
     /// Requests pushed into the group so far.
     pub fn submitted(&self) -> usize {
         self.submitted
@@ -896,6 +925,46 @@ impl GroupSim {
         debug_assert!(at >= spec.arrival, "redispatch cannot precede arrival");
         self.submitted += 1;
         self.heap.push(at, Event::Arrive(spec));
+    }
+
+    /// Injects a request handed off from a prefill group, dispatching it at
+    /// `at`: its KV context sits in the shared switch-attached pool
+    /// (published there at `ready`), and on first admission the group pays
+    /// `transfer` — serialized on the admitting replica's swap engine and
+    /// starting no earlier than `ready` — instead of prefill. The spec's
+    /// `arrival` should be the original user-visible arrival so latency
+    /// accounting keeps running across the handoff. Counts as a fresh
+    /// submission on this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies behind the horizon already consumed by
+    /// [`advance_to`](Self::advance_to).
+    pub fn push_handoff(&mut self, spec: RequestSpec, at: Time, ready: Time, transfer: Time) {
+        assert!(
+            at >= self.advanced_to,
+            "handoff at {} behind the advanced horizon {}",
+            at,
+            self.advanced_to
+        );
+        debug_assert!(at >= spec.arrival, "handoff cannot precede arrival");
+        // A footprint the budget can never hold is rejected at enqueue and
+        // never admitted, so registering a claim for it would leak.
+        if spec.kv_tokens() <= self.core.scheduler.kv_budget_tokens() {
+            let prev = self.core.handoffs.insert(spec.id.0, HandoffClaim { ready, transfer });
+            assert!(prev.is_none(), "request {} handed off twice", spec.id.0);
+        }
+        self.submitted += 1;
+        self.heap.push(at, Event::Arrive(spec));
+    }
+
+    /// The completion records appended since `cursor` (a count previously
+    /// obtained as `cursor + returned.len()`, starting from zero). Records
+    /// are in completion order while the run is live — the fleet driver
+    /// polls this tail at epoch stops to detect finished prefills — and
+    /// only sorted by id when the group [`finish`](Self::finish)es.
+    pub fn completions_since(&self, cursor: usize) -> &[RequestRecord] {
+        &self.core.records[cursor..]
     }
 
     /// Rescales the swap-cost model for a host-link degradation window:
@@ -973,7 +1042,11 @@ impl GroupSim {
         }
         core.host_pending.clear();
         core.host_used = 0;
+        core.handoffs.clear();
         for free in core.prefill_free.iter_mut() {
+            *free = Time::ZERO;
+        }
+        for free in core.prefill_free_alt.iter_mut() {
             *free = Time::ZERO;
         }
         for free in core.swap_free.iter_mut() {
@@ -1161,9 +1234,20 @@ struct Core {
     /// Each replica has one prefill front-end: prompts of back-to-back
     /// admissions stream through it in series.
     prefill_free: Vec<Time>,
+    /// Second interleave lane of each replica's prefill front-end, used
+    /// only under chunked prefill ([`ServeOptions::prefill_chunk`]): a
+    /// chunked job's gaps leave room for another prompt's chunks, modeled
+    /// as two lanes each stretching its jobs to a 50% duty cycle.
+    prefill_free_alt: Vec<Time>,
+    /// Chunked-prefill granularity (`None` = contiguous prefill).
+    prefill_chunk: Option<u64>,
     /// Each replica has one swap DMA engine on its CXL port: page-out and
     /// page-in transfers serialize on it (but not with prefill compute).
     swap_free: Vec<Time>,
+    /// Pending shared-pool claims by raw request id: a request handed off
+    /// from a prefill group pays a pool→device transfer instead of
+    /// prefill on first admission ([`GroupSim::push_handoff`]).
+    handoffs: BTreeMap<u64, HandoffClaim>,
     /// Spill-tier configuration for this run.
     spill: KvSpillConfig,
     /// KV tokens currently parked in the CXL host pool — including pages
@@ -1209,6 +1293,17 @@ struct Core {
     tick_events: u64,
 }
 
+/// A pending shared-pool claim: the KV context of a handed-off request,
+/// published by a prefill group and claimable once `ready`.
+#[derive(Debug, Clone, Copy)]
+struct HandoffClaim {
+    /// Publish-completion instant — the claim transfer cannot start
+    /// earlier.
+    ready: Time,
+    /// Pool→device transfer duration over the claiming replica's link.
+    transfer: Time,
+}
+
 /// One admission placed by [`Core::admit`]: where the request landed and
 /// when its first token emerges.
 struct Placed {
@@ -1231,7 +1326,10 @@ impl Core {
             scheduler: ContinuousBatchScheduler::new(cfg).with_policy(options.policy),
             records: Vec::new(),
             prefill_free: vec![Time::ZERO; sys.scheduler_cfg.replicas],
+            prefill_free_alt: vec![Time::ZERO; sys.scheduler_cfg.replicas],
+            prefill_chunk: options.prefill_chunk,
             swap_free: vec![Time::ZERO; sys.scheduler_cfg.replicas],
+            handoffs: BTreeMap::new(),
             spill: options.spill,
             host_used: 0,
             host_pending: BinaryHeap::new(),
@@ -1310,7 +1408,17 @@ impl Core {
             if q.first_admitted.is_none() {
                 q.first_admitted = Some(t);
             }
-            let ready = if let Some(swap) = q.swapped.take() {
+            let ready = if let Some(claim) = self.handoffs.remove(&q.spec.id.0) {
+                // Shared-pool claim: the context a prefill group published
+                // into the switch-attached pool streams in over this
+                // replica's swap engine, no earlier than the publish
+                // completed. No prefill is paid here — that happened on
+                // the prefill group ([`GroupSim::push_handoff`]).
+                let start = t.max(self.swap_free[admission.replica]).max(claim.ready);
+                let done = start + claim.transfer;
+                self.swap_free[admission.replica] = done;
+                done
+            } else if let Some(swap) = q.swapped.take() {
                 // Swap-in: the pages stream back over the target replica's
                 // swap engine, no earlier than the page-out finished. They
                 // occupy the host pool until the page-in starts draining
@@ -1327,11 +1435,39 @@ impl Core {
                 // Prefill semantics: a fresh prompt — or, on the recompute
                 // path, the whole context (prompt + generated so far) —
                 // streams through the replica's serial prefill front-end.
+                // Chunked mode stretches the job to a 50% duty cycle (one
+                // idle chunk-slot after every chunk but the last, where
+                // resident decode interleaves) and picks the earlier-free
+                // of the front-end's two interleave lanes, so a short
+                // prompt behind a long one starts in the long job's gaps.
                 let context_tokens = q.spec.prompt + q.progress;
-                let prefill = Time::from_secs_f64(context_tokens as f64 / self.prefill_rate);
-                let start = t.max(self.prefill_free[admission.replica]);
-                let done = start + prefill;
-                self.prefill_free[admission.replica] = done;
+                let replica = admission.replica;
+                let done = match self.prefill_chunk {
+                    None => {
+                        let prefill =
+                            Time::from_secs_f64(context_tokens as f64 / self.prefill_rate);
+                        let start = t.max(self.prefill_free[replica]);
+                        let done = start + prefill;
+                        self.prefill_free[replica] = done;
+                        done
+                    }
+                    Some(chunk) => {
+                        let chunk = usize::try_from(chunk).expect("prefill chunk fits usize");
+                        let chunks = context_tokens.div_ceil(chunk).max(1);
+                        let stretched = Time::from_secs_f64(
+                            (context_tokens + (chunks - 1) * chunk) as f64 / self.prefill_rate,
+                        );
+                        let lane = if self.prefill_free[replica] <= self.prefill_free_alt[replica] {
+                            &mut self.prefill_free[replica]
+                        } else {
+                            &mut self.prefill_free_alt[replica]
+                        };
+                        let start = t.max(*lane);
+                        let done = start + stretched;
+                        *lane = done;
+                        done
+                    }
+                };
                 if let Some(evicted_at) = q.evicted_at.take() {
                     self.recompute_stall += done.saturating_sub(evicted_at);
                 }
@@ -1518,6 +1654,7 @@ impl Core {
                 self.host_used.checked_sub(tokens).expect("host pool released more than it held");
         }
         debug_assert_eq!(self.host_used, 0, "drained run left pages in the host pool");
+        debug_assert!(self.handoffs.is_empty(), "drained run left unclaimed handoffs");
         debug_assert_eq!(
             self.recomputes + self.swaps,
             self.scheduler.preemptions(),

@@ -1,0 +1,91 @@
+//! Dumps one worked example of every public JSON schema — the helper that
+//! regenerates the examples committed in `docs/SCHEMAS.md` (each one is
+//! checked against the live serialisers by `tests/schema_docs.rs`, which
+//! includes this file as a module so the docs and the test can never run
+//! different configurations).
+//!
+//! Run with `cargo run --release --example schema_dump`; the four JSON
+//! documents print to stdout separated by `--- <name>` markers. Paste
+//! them into `docs/SCHEMAS.md` pretty-printed (the committed blocks are
+//! the same values reformatted for readability).
+
+use cent::cluster::{
+    simulate_fleet, simulate_fleet_disagg, ChaosRates, DisaggConfig, FaultPlan, FleetOptions,
+    JoinShortestQueue, RetryPolicy,
+};
+use cent::cxl::FabricConfig;
+use cent::serving::{
+    ClassMix, KvBudget, KvMode, LengthSampler, SchedulerConfig, ServeOptions, ServingSystem,
+    Workload,
+};
+use cent::{ModelConfig, Time};
+
+fn system() -> ServingSystem {
+    ServingSystem::from_parts(
+        &ModelConfig::llama2_7b(),
+        SchedulerConfig {
+            replicas: 1,
+            slots_per_replica: 4,
+            kv_budget: KvBudget::tokens(4000),
+            kv: KvMode::FullReservation,
+        },
+        Time::from_us(1000),
+        1000.0,
+        4000.0,
+    )
+}
+
+/// One compact JSON document per public schema, keyed by the marker name
+/// used in `docs/SCHEMAS.md` (`serving_report`, `fleet_report`,
+/// `fleet_report_degraded`, `fleet_report_disagg`).
+pub fn dumps() -> Vec<(&'static str, String)> {
+    let sys = system();
+    let workload = Workload {
+        lengths: LengthSampler::Fixed { prompt: 16, decode: 32 },
+        classes: ClassMix::two_tier(0.5),
+        ..Workload::chatbot(60.0, 7)
+    };
+    let horizon = Time::from_secs_f64(5.0);
+    let trace = workload.generate(horizon, 4096);
+
+    let report = sys.serve_trace_with(
+        &trace,
+        60.0,
+        ServeOptions::default().with_slo(Time::from_secs_f64(0.5)),
+    );
+
+    let opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+    let fleet = simulate_fleet(&sys, &trace, 60.0, &mut JoinShortestQueue, &opts);
+
+    let faults = FaultPlan::chaos(
+        7,
+        4,
+        horizon,
+        &ChaosRates { crash_rate: 0.5, mean_outage_s: 0.5, ..ChaosRates::default() },
+    );
+    let faulted_opts = opts
+        .clone()
+        .with_faults(faults)
+        .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(10_000) });
+    let faulted = simulate_fleet(&sys, &trace, 60.0, &mut JoinShortestQueue, &faulted_opts);
+
+    let cost = sys.swap_cost().with_switch_hops(2, &FabricConfig::cent(32));
+    let disagg_cfg = DisaggConfig::split(2, 2, 64_000, cost).with_prefill_chunk(32);
+    let disagg =
+        simulate_fleet_disagg(&sys, &trace, 60.0, &mut JoinShortestQueue, &opts, &disagg_cfg);
+
+    vec![
+        ("serving_report", report.to_json()),
+        ("fleet_report", fleet.to_json()),
+        ("fleet_report_degraded", faulted.to_json()),
+        ("fleet_report_disagg", disagg.report.to_json()),
+    ]
+}
+
+#[allow(dead_code)]
+fn main() {
+    for (name, json) in dumps() {
+        println!("--- {name}");
+        println!("{json}");
+    }
+}

@@ -16,19 +16,32 @@
 //!    dropped after `max_attempts`, crash re-decode work never double
 //!    counts completions, a seeded chaos schedule stays bit-identical
 //!    across worker-thread counts, and a zero-fault schedule reproduces
-//!    the faultless driver exactly.
+//!    the faultless driver exactly;
+//! 6. for the disaggregated prefill/decode driver: every request's prompt
+//!    is served exactly once on the prefill tier and its continuation
+//!    exactly once on the decode tier, the shared-pool capacity bound is
+//!    never exceeded (publishes defer instead), the split fleet is
+//!    bit-identical across 1/2/8 worker threads with handoffs in flight,
+//!    and an all-`Colocated` configuration reproduces the base driver
+//!    bit for bit;
+//! 7. `FaultPlan::chaos` behaves at its rate extremes: `crash_rate = 0`
+//!    draws no crashes and conserves every request, `crash_rate = 1`
+//!    drives the whole fleet down at once and the driver defers the
+//!    arrivals that land in the outage instead of losing them.
 
 use cent_cluster::{
-    simulate_fleet, simulate_fleet_instrumented, ChaosRates, FaultPlan, FaultSchedule, FaultSpec,
-    FleetOptions, JoinShortestQueue, PowerOfTwoChoices, RetryPolicy, RoundRobin, RoutingPolicy,
-    SessionAffinity,
+    simulate_fleet, simulate_fleet_disagg, simulate_fleet_instrumented, ChaosRates, DisaggConfig,
+    FaultPlan, FaultSchedule, FaultSpec, FleetOptions, JoinShortestQueue, PowerOfTwoChoices,
+    RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
 };
+use cent_cost::KvSwapCost;
+use cent_cxl::FabricConfig;
 use cent_model::ModelConfig;
 use cent_serving::{
     KvBudget, KvMode, LatencyStats, LengthSampler, LoadCurve, RequestSpec, SchedulerConfig,
     ServingSystem, Workload,
 };
-use cent_types::{SortedSamples, Time, TimeHistogram};
+use cent_types::{ByteSize, SortedSamples, Time, TimeHistogram};
 
 /// One pipeline group: 4 decode slots, 1 ms token cadence, 1000 tok/s
 /// prefill — the serving crate's reference toy deployment.
@@ -353,5 +366,265 @@ fn zero_fault_schedule_reproduces_the_faultless_driver_exactly() {
     assert_eq!(
         plain,
         simulate_fleet(&group_system(), &trace, 200.0, &mut JoinShortestQueue, &quiet)
+    );
+}
+
+/// One context transfer over the switch fabric: CENT per-token page size,
+/// two extra switch hops versus a direct host link.
+fn handoff_cost() -> KvSwapCost {
+    KvSwapCost::cent(ByteSize::bytes(512)).with_switch_hops(2, &FabricConfig::cent(32))
+}
+
+#[test]
+fn disagg_handoff_is_exactly_once_per_request() {
+    // Mixed workload: most requests decode 40 tokens, every fifth decodes
+    // a single token and therefore finishes on its prefill group with
+    // nothing to hand off.
+    let mut trace = fixed_trace(80.0, 91, 10.0, 100, 40);
+    for spec in trace.iter_mut().step_by(5) {
+        spec.decode = 1;
+    }
+    let singles = trace.iter().filter(|s| s.decode == 1).count() as u64;
+    let multi = trace.len() as u64 - singles;
+    let cfg = DisaggConfig::split(2, 2, 64_000, handoff_cost()).with_prefill_chunk(32);
+    let mut router = JoinShortestQueue;
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        80.0,
+        &mut router,
+        &FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05)),
+        &cfg,
+    );
+    assert_eq!(out.report.completed, trace.len());
+    assert_eq!(out.log.handoffs, multi);
+    assert_eq!(out.log.singles, singles);
+    // Every request's prompt phase lands on the prefill tier exactly once.
+    let tier_ids = |groups: &[usize]| -> Vec<u64> {
+        let mut ids: Vec<u64> = groups
+            .iter()
+            .flat_map(|&g| out.groups[g].records.iter().map(|r| r.spec.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let prefill_ids = tier_ids(&[0, 1]);
+    let mut all_ids: Vec<u64> = trace.iter().map(|s| s.id.0).collect();
+    all_ids.sort_unstable();
+    assert_eq!(prefill_ids, all_ids, "prefill tier must serve every prompt exactly once");
+    // Every request with decode work left appears on the decode tier
+    // exactly once — and the single-token requests never do.
+    let decode_ids = tier_ids(&[2, 3]);
+    let mut multi_ids: Vec<u64> = trace.iter().filter(|s| s.decode > 1).map(|s| s.id.0).collect();
+    multi_ids.sort_unstable();
+    assert_eq!(decode_ids, multi_ids, "decode tier must claim each handoff exactly once");
+    // Token conservation across the phase split: the prefill tier decodes
+    // exactly one token per request, the decode tier the remainder.
+    let tier_tokens = |groups: &[usize]| -> u64 {
+        groups.iter().map(|&g| out.groups[g].report.decode_tokens).sum()
+    };
+    assert_eq!(tier_tokens(&[0, 1]), trace.len() as u64);
+    assert_eq!(
+        tier_tokens(&[2, 3]),
+        trace.iter().map(|s| s.decode as u64).sum::<u64>() - trace.len() as u64
+    );
+}
+
+#[test]
+fn disagg_pool_bound_defers_publishes_but_never_overflows() {
+    // A pool that holds a single 101-token context at a time: publishes
+    // must defer under concurrency, and nothing may slip past the bound.
+    let trace = fixed_trace(100.0, 47, 5.0, 100, 40);
+    let cfg = DisaggConfig::split(2, 2, 150, handoff_cost());
+    let mut router = RoundRobin::default();
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        100.0,
+        &mut router,
+        &FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05)),
+        &cfg,
+    );
+    assert!(out.log.deferred > 0, "a one-context pool under load must defer publishes");
+    assert_eq!(out.log.pool_capacity_tokens, 150);
+    assert!(
+        out.log.pool_peak_tokens <= out.log.pool_capacity_tokens,
+        "pool peak {} exceeded the {}-token bound",
+        out.log.pool_peak_tokens,
+        out.log.pool_capacity_tokens
+    );
+    // Deferral loses nothing: every request still completes.
+    assert_eq!(out.report.completed, trace.len());
+    assert_eq!(out.log.handoffs, trace.len() as u64);
+    let disagg = out.report.disagg.as_ref().expect("split run must report a disagg section");
+    assert_eq!(disagg.pool_peak_tokens, out.log.pool_peak_tokens);
+    assert_eq!(disagg.deferred_publishes, out.log.deferred);
+}
+
+#[test]
+fn disagg_fleet_is_bit_identical_across_worker_threads() {
+    let trace = fixed_trace(120.0, 29, 15.0, 64, 48);
+    let run = |threads: usize| {
+        let cfg = DisaggConfig::split(2, 2, 64_000, handoff_cost()).with_prefill_chunk(32);
+        let mut router = JoinShortestQueue;
+        simulate_fleet_disagg(
+            &group_system(),
+            &trace,
+            120.0,
+            &mut router,
+            &FleetOptions::new(4).with_threads(threads).with_epoch(Time::from_secs_f64(0.05)),
+            &cfg,
+        )
+    };
+    let base = run(1);
+    assert!(base.log.handoffs > 0, "the invariance run must have handoffs in flight");
+    assert_eq!(base.report.completed, trace.len());
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(base.report, other.report, "threads {threads} diverged from 1");
+        assert_eq!(base.routed, other.routed, "threads {threads} changed routing");
+        assert_eq!(base.log, other.log, "threads {threads} changed the disagg log");
+    }
+}
+
+#[test]
+fn colocated_disagg_config_is_the_base_driver_bit_for_bit() {
+    let trace = fixed_trace(150.0, 61, 10.0, 16, 32);
+    let opts = FleetOptions::new(8).with_epoch(Time::from_secs_f64(0.05));
+    let mut router = PowerOfTwoChoices::seeded(3);
+    let base = simulate_fleet_instrumented(&group_system(), &trace, 150.0, &mut router, &opts);
+    let mut router = PowerOfTwoChoices::seeded(3);
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        150.0,
+        &mut router,
+        &opts,
+        &DisaggConfig::colocated(8),
+    );
+    assert_eq!(out.report, base.report, "colocated disagg must not perturb the report");
+    assert_eq!(out.routed, base.routed, "colocated disagg must not perturb routing");
+    assert!(out.report.disagg.is_none(), "a colocated run reports no disagg section");
+    assert_eq!(out.log, cent_cluster::DisaggLog::default());
+}
+
+#[test]
+fn chaos_zero_crash_rate_draws_no_crashes_and_conserves_every_request() {
+    // The crash process switched off entirely: the schedule may still
+    // carry degrade windows and stragglers, but no request can be
+    // orphaned or dropped, so completed + rejected covers the trace.
+    let rates = ChaosRates { crash_rate: 0.0, ..ChaosRates::default() };
+    let faults = FaultPlan::chaos(99, 8, Time::from_secs_f64(60.0), &rates);
+    assert!(
+        faults.specs().iter().all(|s| !matches!(s, FaultSpec::GroupCrash { .. })),
+        "crash_rate 0 must draw no crash specs"
+    );
+    let trace = fixed_trace(100.0, 37, 10.0, 16, 32);
+    let opts = FleetOptions::new(8).with_epoch(Time::from_secs_f64(0.05)).with_faults(faults);
+    let mut router = JoinShortestQueue;
+    let fleet = simulate_fleet_instrumented(&group_system(), &trace, 100.0, &mut router, &opts);
+    assert_eq!(fleet.faults.crashes, 0);
+    assert!(fleet.faults.orphaned.is_empty(), "nothing can orphan without a crash");
+    assert!(fleet.faults.dropped.is_empty(), "nothing can drop without a crash");
+    assert_eq!(fleet.report.completed + fleet.report.rejected, trace.len());
+}
+
+#[test]
+fn chaos_saturated_crash_rate_defers_arrivals_through_whole_fleet_outages() {
+    // One crash per group-second with long outages over a two-group fleet:
+    // the schedule stays well-formed (every crash recovers, windows
+    // sequential per group), and both groups are down simultaneously at
+    // some point — arrivals landing in that window are deferred to the
+    // next recovery, not lost.
+    let rates = ChaosRates {
+        crash_rate: 1.0,
+        mean_outage_s: 4.0,
+        degrade_rate: 0.0,
+        straggler_probability: 0.0,
+        ..ChaosRates::default()
+    };
+    let faults = FaultPlan::chaos(11, 2, Time::from_secs_f64(10.0), &rates);
+    let crash_count = faults
+        .specs()
+        .iter()
+        .filter(|s| {
+            if let FaultSpec::GroupCrash { recover_after, .. } = s {
+                assert!(
+                    recover_after.expect("chaos always schedules recovery") > Time::ZERO,
+                    "saturated chaos must still recover each crash"
+                );
+                true
+            } else {
+                false
+            }
+        })
+        .count();
+    assert!(crash_count >= 2, "rate 1.0 over 10 s x 2 groups must crash repeatedly");
+    let trace = fixed_trace(50.0, 19, 10.0, 10, 40);
+    let opts = FleetOptions::new(2)
+        .with_epoch(Time::from_secs_f64(0.05))
+        .with_faults(faults)
+        .with_retry(RetryPolicy { max_attempts: 6, backoff: Time::from_us(10_000) });
+    let mut router = JoinShortestQueue;
+    let fleet = simulate_fleet_instrumented(&group_system(), &trace, 50.0, &mut router, &opts);
+    assert!(fleet.faults.crashes >= 2);
+    // Conservation under saturation: every request completes, is rejected
+    // or is accounted dropped — never silently lost.
+    assert_eq!(
+        fleet.report.completed + fleet.report.rejected + fleet.faults.dropped.len(),
+        trace.len()
+    );
+    // Reconstruct the applied outage windows and find an instant where the
+    // whole fleet was down (an open-ended window never ends).
+    let windows = |group: usize| -> Vec<(Time, Time)> {
+        fleet
+            .faults
+            .down_windows
+            .iter()
+            .filter(|(g, _, _)| *g == group)
+            .map(|&(_, from, up)| (from, up.unwrap_or(Time::from_ps(u64::MAX))))
+            .collect()
+    };
+    let mut all_down: Vec<(Time, Time)> = Vec::new();
+    for &(f0, u0) in &windows(0) {
+        for &(f1, u1) in &windows(1) {
+            let (start, end) = (f0.max(f1), u0.min(u1));
+            if start < end {
+                all_down.push((start, end));
+            }
+        }
+    }
+    assert!(!all_down.is_empty(), "saturated chaos must take the whole fleet down at once");
+    // Arrivals inside an all-down window cannot be served before a group
+    // recovers: the driver defers them, and every one that completed got
+    // its first token only after the outage broke.
+    let records: std::collections::BTreeMap<u64, Time> = fleet
+        .groups
+        .iter()
+        .flat_map(|o| o.records.iter().map(|r| (r.spec.id.0, r.first_token)))
+        .collect();
+    let mut deferred_and_served = 0usize;
+    for spec in &trace {
+        for &(start, end) in &all_down {
+            if spec.arrival >= start && spec.arrival < end {
+                if let Some(&first_token) = records.get(&spec.id.0) {
+                    assert!(
+                        first_token >= end,
+                        "request {} arrived during a whole-fleet outage ({} in [{}, {})) \
+                         but got a token at {} before any group recovered",
+                        spec.id.0,
+                        spec.arrival,
+                        start,
+                        end,
+                        first_token
+                    );
+                    deferred_and_served += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        deferred_and_served > 0,
+        "at least one arrival must be deferred through the outage and then served"
     );
 }

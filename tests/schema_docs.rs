@@ -1,0 +1,244 @@
+//! Keeps `docs/SCHEMAS.md` honest: every worked example committed in the
+//! schema book is parsed and compared — value for value — against a fresh
+//! run of the same configurations.
+//!
+//! The configurations live in `examples/schema_dump.rs`, which this test
+//! includes as a module, so the helper that regenerates the docs and the
+//! test that checks them can never drift apart. The comparison is exact
+//! (the simulator is deterministic down to its f64-derived statistics);
+//! the committed blocks are pretty-printed, so both sides go through the
+//! minimal JSON parser below and the parsed values are compared.
+
+#[path = "../examples/schema_dump.rs"]
+mod schema_dump;
+
+/// A parsed JSON value. Object keys keep document order: the serialisers
+/// emit a fixed order and the committed examples preserve it, so order is
+/// part of the schema under test.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent parser for the JSON subset the workspace emits (no
+/// escape sequences beyond `\"` and `\\` appear in any report).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value();
+        p.skip_ws();
+        assert!(p.pos == p.bytes.len(), "trailing garbage at byte {}", p.pos);
+        value
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert!(
+            self.bytes.get(self.pos) == Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of document")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Json {
+        assert!(
+            self.bytes[self.pos..].starts_with(text.as_bytes()),
+            "expected {text} at byte {}",
+            self.pos
+        );
+        self.pos += text.len();
+        value
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("expected ',' or '}}', found {:?}", other as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("expected ',' or ']', found {:?}", other as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.bytes[self.pos] as char);
+                    self.pos += 1;
+                }
+                b => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?} at byte {start}")))
+    }
+}
+
+/// Extracts the fenced JSON block tagged `<!-- schema: {name} -->` from
+/// the committed docs.
+fn committed_example(docs: &str, name: &str) -> Json {
+    let marker = format!("<!-- schema: {name} -->");
+    let at = docs.find(&marker).unwrap_or_else(|| panic!("docs/SCHEMAS.md lost marker {marker}"));
+    let fence_open = docs[at..].find("```json").expect("marker not followed by a json fence") + at;
+    let body_start = docs[fence_open..].find('\n').unwrap() + fence_open + 1;
+    let fence_close = docs[body_start..].find("```").expect("unterminated json fence") + body_start;
+    Parser::parse(&docs[body_start..fence_close])
+}
+
+/// Renders the path-to-mismatch so a drifted doc fails with the exact
+/// field, not a page-long debug dump.
+fn assert_same(path: &str, committed: &Json, live: &Json) {
+    match (committed, live) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            let a_keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let b_keys: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(a_keys, b_keys, "object keys drifted at {path}");
+            for ((k, va), (_, vb)) in a.iter().zip(b) {
+                assert_same(&format!("{path}.{k}"), va, vb);
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            assert_eq!(a.len(), b.len(), "array length drifted at {path}");
+            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+                assert_same(&format!("{path}[{i}]"), va, vb);
+            }
+        }
+        _ => assert_eq!(
+            committed, live,
+            "value drifted at {path} — regenerate with `cargo run --release --example \
+             schema_dump` and update docs/SCHEMAS.md"
+        ),
+    }
+}
+
+#[test]
+fn committed_schema_examples_match_the_live_serialisers() {
+    let docs = include_str!("../docs/SCHEMAS.md");
+    let live: std::collections::BTreeMap<&str, Json> =
+        schema_dump::dumps().into_iter().map(|(name, json)| (name, Parser::parse(&json))).collect();
+
+    assert_same(
+        "serving_report",
+        &committed_example(docs, "serving-report"),
+        &live["serving_report"],
+    );
+    assert_same("fleet_report", &committed_example(docs, "fleet-report"), &live["fleet_report"]);
+
+    // The optional sections are committed as their subobjects; the
+    // enclosing report is the fleet schema already checked above.
+    let degraded = live["fleet_report_degraded"]
+        .get("degraded")
+        .expect("faulted run must carry a degraded section");
+    assert_same("degraded", &committed_example(docs, "degraded-section"), degraded);
+    let disagg =
+        live["fleet_report_disagg"].get("disagg").expect("split run must carry a disagg section");
+    assert_same("disagg", &committed_example(docs, "disagg-section"), disagg);
+
+    // And the absences that keep old reports comparable: no fault
+    // schedule → no degraded key; colocated → no disagg key.
+    for (name, key) in [("fleet_report", "degraded"), ("fleet_report", "disagg")] {
+        assert!(
+            live[name].get(key).is_none(),
+            "{name} must omit {key:?}, not serialise it as null"
+        );
+    }
+}
