@@ -8,18 +8,29 @@
 //! face *identical* failures and the comparison isolates routing. Rate zero
 //! runs the empty schedule — the healthy driver, bit-for-bit.
 //!
+//! A final disaggregated shape — a 2-prefill/2-decode split of the same
+//! deployment with a decode-tier crash, warm recovery and a saturation
+//! admission policy — exercises the survivable-disaggregation path: the
+//! crashed tier's claimed contexts are rescued from the shared pool's
+//! parked copies instead of re-prefilled.
+//!
 //! Prints the degraded-operation table and writes
 //! `results/BENCH_faults.json`. Run with
 //! `cargo run --release -p cent-bench --bin fault_sweep`; pass `--smoke`
 //! for the CI mode (16 groups, two crash rates), which also asserts the
 //! conservation invariant (`completed + rejected + dropped = offered`) and
 //! that failover actually engaged (orphans retried, availability dented).
+//! The disagg shape always asserts the *extended* invariant
+//! (`completed + rejected + dropped + shed = offered`) and that pool
+//! rescues engaged.
 
 use cent_bench::Report;
 use cent_cluster::{
-    simulate_fleet, ChaosRates, FaultPlan, FaultSchedule, FleetOptions, FleetReport,
-    JoinShortestQueue, PowerOfTwoChoices, RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
+    simulate_fleet, simulate_fleet_disagg, AdmissionPolicy, ChaosRates, DisaggConfig, FaultPlan,
+    FaultSchedule, FaultSpec, FleetOptions, FleetReport, JoinShortestQueue, PowerOfTwoChoices,
+    RecoveryMode, RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
 };
+use cent_cxl::FabricConfig;
 use cent_model::ModelConfig;
 use cent_serving::{LengthSampler, LoadCurve, ServingSystem, Workload};
 use cent_types::Time;
@@ -121,6 +132,61 @@ fn main() {
         }
     }
 
+    // The survivable-disaggregation shape: a 2p/2d split of the same
+    // deployment over the shared switch-attached pool. One decode group
+    // crashes mid-run and rejoins warm; its claimed contexts must come
+    // back from the pool's parked copies (switch-hop transfer cost), not
+    // from re-prefill. A saturation admission policy is active so the
+    // extended conservation invariant — shed included — is what must hold.
+    let dhorizon_s = if smoke { 60.0 } else { 180.0 };
+    let drate = 0.55 * 2.0 * system.capacity_qps(mean_prompt, mean_decode);
+    let dworkload =
+        Workload { lengths: LengthSampler::ShareGpt, ..Workload::chatbot(drate, 0xFA115) };
+    let dtrace = dworkload.generate(Time::from_secs_f64(dhorizon_s), 4096);
+    let dcfg = DisaggConfig::split(
+        2,
+        2,
+        32 * 161,
+        system.swap_cost().with_switch_hops(2, &FabricConfig::cent(32)),
+    );
+    let dfaults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+        group: 2,
+        at: Time::from_secs_f64(0.4 * dhorizon_s),
+        recover_after: Some(Time::from_secs_f64(8.0)),
+    }]);
+    let mut drouter = JoinShortestQueue;
+    let dopts = FleetOptions::new(4)
+        .with_threads(threads)
+        .with_epoch(Time::from_secs_f64(0.25))
+        .with_faults(dfaults)
+        .with_retry(retry)
+        .with_recovery(RecoveryMode::Warm { retained_fraction: 0.5 })
+        .with_admission(AdmissionPolicy::shed_above(4.0));
+    let start = std::time::Instant::now();
+    let dout = simulate_fleet_disagg(&system, &dtrace, drate, &mut drouter, &dopts, &dcfg);
+    let degraded =
+        dout.report.degraded.as_ref().expect("a faulted disagg run reports degraded mode");
+    println!(
+        "\ndisagg 2p2d decode-crash: availability {:.4} | {} rescued ({} lost), {} shed | \
+         rescue p99 {} | {:.2?}",
+        degraded.availability,
+        degraded.pool_rescued,
+        degraded.pool_lost,
+        degraded.shed,
+        degraded.rescue_latency.p99,
+        start.elapsed(),
+    );
+    assert_eq!(
+        dout.report.completed + dout.report.rejected + degraded.drops + degraded.shed,
+        dtrace.len(),
+        "disagg: requests leaked from the extended conservation invariant"
+    );
+    assert!(
+        degraded.pool_rescued > 0,
+        "disagg: a loaded decode-tier crash must rescue parked pool copies"
+    );
+    assert_eq!(degraded.pool_lost, 0, "disagg: a roomy durable pool must not lose any parked copy");
+
     let mut report = Report::new(
         "BENCH_faults",
         if smoke {
@@ -173,5 +239,14 @@ fn main() {
         );
         report.push_series(&format!("{name} TTFT p99"), "s", &series(&|r| r.ttft.p99.as_secs()));
     }
+    let drow = |v: f64| vec![("2p2d-decode-crash".to_string(), v)];
+    report.push_series(
+        "disagg pool rescues",
+        "contexts revived from parked copies",
+        &drow(degraded.pool_rescued as f64),
+    );
+    report.push_series("disagg rescue p99", "s", &drow(degraded.rescue_latency.p99.as_secs()));
+    report.push_series("disagg shed", "requests", &drow(degraded.shed as f64));
+    report.push_series("disagg availability", "fraction", &drow(degraded.availability));
     report.emit();
 }

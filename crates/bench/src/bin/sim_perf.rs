@@ -24,10 +24,14 @@
 //! bit-identical across worker-thread counts. `--engines all` (the default) runs the
 //! full three-engine cross-check in one process; a comma list (e.g.
 //! `--engines bucketed,span`) restricts the measured set — the reference
-//! loop is always included as the ratio baseline. A final
+//! loop is always included as the ratio baseline. A
 //! `cluster-disagg-4p4d-sharegpt` row times the disaggregated
 //! prefill/decode driver (shared-pool handoffs, chunked prefill) against
-//! the colocated per-token replay of the same trace.
+//! the colocated per-token replay of the same trace, and a closing
+//! `cluster-disagg-chaos` row reruns the split fleet under a seeded
+//! disagg-aware chaos schedule — decode-weighted crashes, pool-link
+//! brownouts, warm recovery, bounded retries, admission shedding — to
+//! keep the survivable-disaggregation path on the perf gate.
 //!
 //! The process installs a counting global allocator: after each measured
 //! run the bin asserts the fast engines allocate (amortised) nothing on
@@ -54,8 +58,8 @@ use std::time::Instant;
 
 use cent_bench::results_dir;
 use cent_cluster::{
-    simulate_fleet_disagg, simulate_fleet_instrumented, ChaosRates, DisaggConfig, FaultPlan,
-    FleetOptions, PowerOfTwoChoices, RetryPolicy,
+    simulate_fleet_disagg, simulate_fleet_instrumented, AdmissionPolicy, ChaosRates, DisaggConfig,
+    FaultPlan, FleetOptions, PowerOfTwoChoices, RecoveryMode, RetryPolicy,
 };
 use cent_cost::KvSwapCost;
 use cent_cxl::FabricConfig;
@@ -537,7 +541,18 @@ fn measure_cluster(smoke: bool) -> (Vec<String>, Vec<GateRow>) {
 /// engaged, the pool bound held, and the split fleet is bit-identical
 /// across 1 vs 2 worker threads. Same 20x speedup clamp as the other
 /// cluster rows.
-fn measure_disagg(smoke: bool) -> (String, GateRow) {
+///
+/// A second row — `cluster-disagg-chaos` — reruns the same split fleet
+/// and trace under a seeded [`FaultPlan::chaos_disagg`] schedule
+/// (decode-tier-weighted crashes, pool-link brownouts) with warm
+/// recovery, bounded retries and an active saturation admission policy:
+/// the survivable-disaggregation path end to end. It asserts thread-count
+/// invariance under disagg faults, the *extended* conservation invariant
+/// (`completed + rejected + dropped + shed = offered`) and that crashed
+/// decode groups' claims came back from the pool's parked copies, and it
+/// rides the same `--check-against` gate with the healthy colocated
+/// replay as its ratio baseline.
+fn measure_disagg(smoke: bool) -> (Vec<String>, Vec<GateRow>) {
     const GROUPS: usize = 8;
     let name = "cluster-disagg-4p4d-sharegpt";
     let cfg = ModelConfig::llama2_7b();
@@ -685,7 +700,122 @@ fn measure_disagg(smoke: bool) -> (String, GateRow) {
         heap_events_per_token: span.stats.heap_events_per_token(),
         wall_speedup: speedup,
     };
-    (row, gate)
+
+    // The survivable-disaggregation shape: the identical split fleet and
+    // trace under a seeded disagg-aware chaos schedule — decode-tier-
+    // weighted crashes (claimed contexts stranded mid-decode), pool-link
+    // brownouts stretching every transfer in the window — with warm
+    // recovery, bounded retries and an active admission policy. The
+    // healthy colocated replay stays the ratio baseline, so a fault-path
+    // slowdown large enough to matter pulls the saturated speedup under
+    // the 20x clamp and trips the gate.
+    let fname = "cluster-disagg-chaos";
+    let rates = ChaosRates { decode_crash_mult: 1.5, ..ChaosRates::default() };
+    let fault_opts = opts
+        .clone()
+        .with_faults(FaultPlan::chaos_disagg(
+            0xFA02,
+            &dcfg.roles,
+            Time::from_secs_f64(horizon_s),
+            &rates,
+        ))
+        .with_retry(RetryPolicy { max_attempts: 4, backoff: Time::from_us(50_000) })
+        .with_recovery(RecoveryMode::Warm { retained_fraction: 0.5 })
+        .with_admission(AdmissionPolicy::shed_above(6.0));
+    let chaos_run = |threads: usize| {
+        let mut router = PowerOfTwoChoices::seeded(0xD1CE);
+        let opts = fault_opts.clone().with_threads(threads);
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let out = simulate_fleet_disagg(&system, &trace, rate, &mut router, &opts, &dcfg);
+        let wall_s = start.elapsed().as_secs_f64();
+        (out, wall_s, ALLOCATIONS.load(Ordering::Relaxed) - allocs_before)
+    };
+    let (chaos, chaos_wall, chaos_allocs) = chaos_run(1);
+    let (threaded, _, _) = chaos_run(2);
+    assert_eq!(
+        chaos.report, threaded.report,
+        "{fname}: chaotic disagg report must be bit-identical across worker-thread counts"
+    );
+    assert_eq!(
+        chaos.routed, threaded.routed,
+        "{fname}: chaotic disagg routing must be bit-identical across worker-thread counts"
+    );
+    let degraded = chaos.report.degraded.as_ref().expect("chaos run reports degraded mode");
+    assert!(degraded.crashes > 0, "{fname}: the chaos schedule must actually crash groups");
+    assert_eq!(
+        chaos.report.completed + chaos.report.rejected + degraded.drops + degraded.shed,
+        trace.len(),
+        "{fname}: requests leaked from the extended conservation invariant"
+    );
+    assert!(
+        degraded.pool_rescued > 0,
+        "{fname}: decode-tier crashes must rescue parked pool copies"
+    );
+    let mut chaos_stats = SimStats::default();
+    for o in &chaos.groups {
+        chaos_stats.heap_pushes += o.stats.heap_pushes;
+        chaos_stats.heap_pops += o.stats.heap_pops;
+        chaos_stats.tick_events += o.stats.tick_events;
+        chaos_stats.tokens += o.stats.tokens;
+        chaos_stats.admissions += o.stats.admissions;
+    }
+    let chaos_span =
+        Measurement { wall_s: chaos_wall, stats: chaos_stats, allocations: chaos_allocs };
+    let chaos_speedup = (reference.wall_s / chaos_span.wall_s.max(1e-9)).min(20.0);
+    let chaos_heap_ratio = reference.stats.heap_events_per_token()
+        / chaos_span.stats.heap_events_per_token().max(1e-9);
+    println!(
+        "{:>28} {:>9} {:>9.3}s {:>9.2}x {:>9.3} {:>10.2}x {:>9.4} {:>11}",
+        fname,
+        "span",
+        chaos_span.wall_s,
+        chaos_speedup,
+        chaos_span.stats.heap_events_per_token(),
+        chaos_heap_ratio,
+        chaos_span.allocations_per_token(),
+        chaos_span.stats.tokens,
+    );
+    // Crash retries and rescues re-admit work, so the churn floor applies;
+    // the fault path must still not reintroduce per-token heap traffic.
+    assert!(
+        chaos_heap_ratio >= 3.0,
+        "{fname}: chaotic disagg heap-event ratio {chaos_heap_ratio:.2} < 3x vs the reference loop"
+    );
+    if smoke {
+        assert!(
+            chaos_span.wall_s <= 1.25 * reference.wall_s,
+            "{fname}: chaotic disagg run slower than the per-group reference ({:.3}s vs {:.3}s)",
+            chaos_span.wall_s,
+            reference.wall_s
+        );
+    }
+    let chaos_row = format!(
+        "    {{\"name\": \"{fname}\", \"groups\": {GROUPS}, \"prefill_groups\": 4, \
+         \"decode_groups\": 4, \"sim_tokens\": {}, \"crashes\": {}, \"pool_rescued\": {}, \
+         \"pool_lost\": {}, \"warm_rejoins\": {}, \"shed\": {}, \"availability\": {:.4},\n     \
+         \"reference\": {},\n     \"span\": {},\n     \"span_wall_speedup\": {:.3}, \
+         \"span_heap_ratio\": {:.3}, \"reports_identical\": true, \"threads_invariant\": true, \
+         \"conservation\": true}}",
+        chaos_span.stats.tokens,
+        degraded.crashes,
+        degraded.pool_rescued,
+        degraded.pool_lost,
+        degraded.warm_rejoins,
+        degraded.shed,
+        degraded.availability,
+        json_engine(&reference),
+        json_engine(&chaos_span),
+        chaos_speedup,
+        chaos_heap_ratio,
+    );
+    let chaos_gate = GateRow {
+        name: fname.to_string(),
+        engine: "span",
+        heap_events_per_token: chaos_span.stats.heap_events_per_token(),
+        wall_speedup: chaos_speedup,
+    };
+    (vec![row, chaos_row], vec![gate, chaos_gate])
 }
 
 fn json_engine(m: &Measurement) -> String {
@@ -953,9 +1083,9 @@ fn main() {
     let (cluster_rows, cluster_gates) = measure_cluster(smoke);
     rows.extend(cluster_rows);
     gate_rows.extend(cluster_gates);
-    let (disagg_row, disagg_gate) = measure_disagg(smoke);
-    rows.push(disagg_row);
-    gate_rows.push(disagg_gate);
+    let (disagg_rows, disagg_gates) = measure_disagg(smoke);
+    rows.extend(disagg_rows);
+    gate_rows.extend(disagg_gates);
 
     let json = format!(
         "{{\n  \"id\": \"BENCH_serving_sim\",\n  \"mode\": \"{}\",\n  \"shapes\": [\n{}\n  ]\n}}\n",

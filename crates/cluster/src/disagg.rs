@@ -38,15 +38,53 @@
 //! [`Colocated`](GroupRole::Colocated) configuration delegates to
 //! [`simulate_fleet_instrumented`](crate::simulate_fleet_instrumented) verbatim and reproduces its
 //! [`FleetReport`] exactly (enforced by `tests/cluster_props.rs`).
+//!
+//! # Faults and recovery
+//!
+//! A [`FaultSchedule`](crate::FaultSchedule) on `fleet.faults` injects the
+//! base driver's crash/degrade/straggler events into the split fleet, plus
+//! [`PoolLinkDegrade`](FaultSpec::PoolLinkDegrade) windows that rescale
+//! the switch-hop handoff cost for publishes and rescues issued inside the
+//! window (the healthy cost is restored *exactly* when the window lifts).
+//! Tier crashes differ by role:
+//!
+//! * A **prefill** crash orphans incomplete prompts; completed publishes
+//!   are durable — the pool entry, its in-flight transfer and its visible
+//!   instant all survive the publisher, so downstream claims proceed
+//!   untouched. Orphans retry through the prefill tier under the
+//!   [`RetryPolicy`](crate::RetryPolicy).
+//! * A **decode** crash orphans claimed contexts. With a *durable pool*
+//!   (the default), every claim leaves a capacity-free *parked copy*
+//!   behind ([`SharedKvPool::park`]); an orphan whose copy survives is
+//!   **rescued** — redispatched onto an alive decode group at switch-hop
+//!   cost instead of re-prefilling ([`FaultLog::pool_rescued`]). A copy
+//!   that was evicted (or a [`DisaggConfig::with_volatile_pool`] fleet)
+//!   falls back to a bounded re-prefill through the prefill tier
+//!   ([`FaultLog::pool_lost`]).
+//!
+//! [`RecoveryMode`](crate::RecoveryMode) (warm retention, per-tier standby
+//! reserves with role-matched promotion) and the saturation
+//! [`AdmissionPolicy`](crate::AdmissionPolicy) — fed by both tiers' loads
+//! *and* pool occupancy — compose exactly as in the base driver, and the
+//! extended conservation invariant
+//! `completed + rejected + dropped + shed = offered` holds. A zero-fault
+//! schedule with an inactive admission policy reproduces the healthy
+//! split driver bit for bit (the pool never parks copies on that path).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cent_cost::KvSwapCost;
 use cent_cxl::SharedKvPool;
-use cent_serving::{GroupOutcome, GroupSim, RequestRecord, RequestSpec, ServingSystem};
+use cent_serving::{
+    GroupOutcome, GroupSim, PriorityClass, RequestRecord, RequestSpec, ServingSystem,
+};
 use cent_types::Time;
 
-use crate::fleet::{advance_groups, epoch_ceil, finish_groups, FleetOptions};
+use crate::admission::fleet_saturation;
+use crate::fault::{FaultSpec, RecoveryMode};
+use crate::fleet::{
+    advance_groups, compile_faults, epoch_ceil, finish_groups, CompiledKind, FaultLog, FleetOptions,
+};
 use crate::report::FleetReport;
 use crate::router::{GroupLoad, RoutingPolicy};
 
@@ -82,6 +120,10 @@ pub struct DisaggConfig {
     /// Prefill chunk size applied to prefill-role groups (`None` = serial
     /// whole-prompt prefill). See `ServeOptions::with_prefill_chunk`.
     pub prefill_chunk: Option<u64>,
+    /// Whether claims leave a capacity-free parked copy in the pool that a
+    /// decode-tier crash can rescue (see the module docs). Only read on
+    /// the faulted path; the default is `true`.
+    pub durable_pool: bool,
 }
 
 impl DisaggConfig {
@@ -95,6 +137,7 @@ impl DisaggConfig {
             pool_tokens: 0,
             handoff_cost: KvSwapCost::cent(cent_types::ByteSize::bytes(1)),
             prefill_chunk: None,
+            durable_pool: true,
         }
     }
 
@@ -116,7 +159,7 @@ impl DisaggConfig {
         assert!(pool_tokens > 0, "a split fleet needs pool capacity");
         let mut roles = vec![GroupRole::Prefill; prefill];
         roles.resize(prefill + decode, GroupRole::Decode);
-        DisaggConfig { roles, pool_tokens, handoff_cost, prefill_chunk: None }
+        DisaggConfig { roles, pool_tokens, handoff_cost, prefill_chunk: None, durable_pool: true }
     }
 
     /// Sets the prefill chunk size for prefill-role groups.
@@ -127,6 +170,14 @@ impl DisaggConfig {
     pub fn with_prefill_chunk(mut self, chunk: u64) -> Self {
         assert!(chunk > 0, "prefill chunk must be positive");
         self.prefill_chunk = Some(chunk);
+        self
+    }
+
+    /// Disables parked copies: a decode-tier crash always loses the pool
+    /// copy and falls back to re-prefill (the ablation baseline for the
+    /// durability study).
+    pub fn with_volatile_pool(mut self) -> Self {
+        self.durable_pool = false;
         self
     }
 
@@ -170,11 +221,14 @@ pub struct DisaggOutcome {
     /// prompt phase of each request (one decode token); decode-role
     /// groups hold the remainder.
     pub groups: Vec<GroupOutcome>,
-    /// Group index each trace entry's *prompt* was dispatched to, aligned
-    /// with the trace.
+    /// Group index each trace entry's *prompt* was *first* dispatched to,
+    /// aligned with the trace (`usize::MAX` for requests never dispatched:
+    /// shed by admission, or dropped with the prefill tier down for good).
     pub routed: Vec<usize>,
     /// What the disaggregation machinery did.
     pub log: DisaggLog,
+    /// What the fault machinery did (default for a fault-free schedule).
+    pub faults: FaultLog,
 }
 
 /// Simulates `trace` over a role-split fleet (see the module docs). With
@@ -182,15 +236,17 @@ pub struct DisaggOutcome {
 /// [`simulate_fleet_instrumented`](crate::simulate_fleet_instrumented); with a prefill/decode split, prompts
 /// are routed to the prefill tier, contexts hand off through the shared
 /// pool, and the report grows handoff/pool/steal rows
-/// ([`FleetReport::disagg`]).
+/// ([`FleetReport::disagg`]). A non-empty `fleet.faults` schedule (or an
+/// active admission policy) additionally produces the degraded-mode
+/// section with pool-rescue and shed accounting.
 ///
 /// # Panics
 ///
 /// Panics if `disagg.roles` does not cover `fleet.groups` exactly, mixes
 /// `Colocated` with specialized roles, lacks a prefill or decode group in
-/// split mode, if `fleet.faults` is non-empty (fault injection is not
-/// supported for split fleets), or if a single context exceeds the pool
-/// bound (it could never publish).
+/// split mode, if a standby reserve does not leave both tiers a serving
+/// group, or if a single context exceeds the pool bound (it could never
+/// publish).
 pub fn simulate_fleet_disagg(
     system: &ServingSystem,
     trace: &[RequestSpec],
@@ -208,6 +264,7 @@ pub fn simulate_fleet_disagg(
             groups: base.groups,
             routed: base.routed,
             log: DisaggLog::default(),
+            faults: base.faults,
         };
     }
     assert!(
@@ -220,18 +277,38 @@ pub fn simulate_fleet_disagg(
         (0..fleet.groups).filter(|&g| disagg.roles[g] == GroupRole::Decode).collect();
     assert!(!prefill_ids.is_empty(), "a split fleet needs a prefill tier");
     assert!(!decode_ids.is_empty(), "a split fleet needs a decode tier");
-    assert!(fleet.faults.is_empty(), "fault injection is not supported on a split fleet");
+    if let Some(g) = fleet.faults.max_group() {
+        assert!(
+            g < fleet.groups,
+            "fault schedule names group {g} of a {}-group fleet",
+            fleet.groups
+        );
+    }
+    assert!(fleet.retry.max_attempts > 0, "a request needs at least one attempt");
+    fleet.recovery.validate();
     let epoch_ps = fleet.epoch.as_ps().max(1);
 
+    // Stragglers are construction-time, exactly as in the base driver.
+    let mut slowdowns = vec![1.0f64; fleet.groups];
+    for spec in fleet.faults.specs() {
+        if let FaultSpec::Straggler { group, slowdown } = *spec {
+            slowdowns[group] = slowdowns[group].max(slowdown);
+        }
+    }
     let mut sims: Vec<GroupSim> = disagg
         .roles
         .iter()
-        .map(|role| {
+        .zip(slowdowns.iter())
+        .map(|(role, &s)| {
             let serve = match (role, disagg.prefill_chunk) {
                 (GroupRole::Prefill, Some(chunk)) => fleet.serve.clone().with_prefill_chunk(chunk),
                 _ => fleet.serve.clone(),
             };
-            GroupSim::new(system, serve)
+            if s > 1.0 {
+                GroupSim::new(&system.slowed(s), serve)
+            } else {
+                GroupSim::new(system, serve)
+            }
         })
         .collect();
 
@@ -240,6 +317,62 @@ pub fn simulate_fleet_disagg(
     let link_of: BTreeMap<usize, usize> =
         prefill_ids.iter().enumerate().map(|(link, &g)| (g, link)).collect();
     let mut log = DisaggLog { pool_capacity_tokens: disagg.pool_tokens, ..DisaggLog::default() };
+
+    // Fault machinery, mirroring the base driver (shared compiled events).
+    let events = compile_faults(&fleet.faults, epoch_ps);
+    let faulty = !fleet.faults.is_empty();
+    let shedding = fleet.admission.is_active();
+    let track = faulty || shedding;
+    // Parked copies engage only on the faulted durable path — the healthy
+    // driver never parks, keeping the zero-fault run bit-identical.
+    let park_copies = faulty && disagg.durable_pool;
+    let mut next_event = 0usize;
+    let mut alive = vec![true; fleet.groups];
+    let mut down_since: Vec<Option<Time>> = vec![None; fleet.groups];
+    let mut active_degrades: Vec<f64> = Vec::new();
+    let mut effective_factor = 1.0f64;
+    // Pool-link windows rescale the switch-hop handoff cost; the healthy
+    // cost is restored exactly (no float round trip) when none is active.
+    let mut pool_degrades: Vec<f64> = Vec::new();
+    let mut cur_handoff: KvSwapCost = disagg.handoff_cost;
+    let mut flog = FaultLog::default();
+    let mut retries_by_class: BTreeMap<PriorityClass, u64> = BTreeMap::new();
+    // Prefill-tier dispatch counts per raw id (arrivals + redispatches).
+    let mut attempts: BTreeMap<u64, u32> = BTreeMap::new();
+    // Re-prefill queue holding ORIGINAL specs, in `(ready, arrival, id)`
+    // order: crash orphans waiting out their backoff, and arrivals that
+    // found the prefill tier down.
+    let mut pending_prefill: BTreeMap<(Time, Time, u64), RequestSpec> = BTreeMap::new();
+    // Orphans of a decode crash whose parked pool copy survived, keyed
+    // `(crash instant, id)`: value is the decode-phase spec and the parked
+    // token count, redispatched at switch-hop cost at the next stop with a
+    // live decode group.
+    let mut rescue_queue: BTreeMap<(Time, u64), (RequestSpec, u64)> = BTreeMap::new();
+    // Warm retention, per crashed group (see the base driver).
+    let mut retained: BTreeMap<usize, Vec<RequestSpec>> = BTreeMap::new();
+    let id_to_index: BTreeMap<u64, usize> = if faulty {
+        trace.iter().enumerate().map(|(i, s)| (s.id.0, i)).collect()
+    } else {
+        BTreeMap::new()
+    };
+    // Standby reserves are per tier: the last `spares` groups of each role
+    // idle outside the serving set, and promotion is role-matched.
+    let mut in_service = vec![true; fleet.groups];
+    let mut spare_pool: BTreeSet<usize> = BTreeSet::new();
+    if let RecoveryMode::Standby { spares } = fleet.recovery {
+        assert!(
+            spares < prefill_ids.len() && spares < decode_ids.len(),
+            "a standby reserve of {spares} spares needs more than {spares} groups in each tier"
+        );
+        for tier in [&prefill_ids, &decode_ids] {
+            for &g in tier.iter().rev().take(spares) {
+                in_service[g] = false;
+                spare_pool.insert(g);
+            }
+        }
+    }
+    let slots_per_group = system.total_slots() as u64;
+    let kv_budget_per_group = system.kv_budget_tokens() * system.replicas() as u64;
 
     // Original specs awaiting their decode phase, by raw id.
     let mut pending_decode: BTreeMap<u64, RequestSpec> = BTreeMap::new();
@@ -262,17 +395,47 @@ pub fn simulate_fleet_disagg(
             "trace must be sorted by arrival"
         );
         // Candidate stops, all on the epoch grid: the epoch of the next
-        // arrival, the first claimable pool entry, and — while the
-        // prefill tier still owes completions or the backlog holds
-        // deferred publishes — the next grid instant, so harvest keeps
-        // polling.
+        // arrival, the next fault event, the first claimable pool entry or
+        // pending rescue (only while a decode group serves — while the
+        // whole tier is down, only a fault event can unblock them), the
+        // next re-prefill ready instant (likewise gated on the prefill
+        // tier), and — while the prefill tier still owes completions or
+        // the backlog holds deferred publishes — the next grid instant, so
+        // harvest keeps polling. A decode tier that is down with no fault
+        // event left can never drain the pipeline: the driver stops
+        // polling (`stalled`) and the leftovers are accounted as drops.
+        let decode_up = decode_ids.iter().any(|&g| alive[g] && in_service[g]);
+        let prefill_up = prefill_ids.iter().any(|&g| alive[g] && in_service[g]);
         let arrival_stop =
             trace.get(cursor).map(|s| Time::from_ps((s.arrival.as_ps() / epoch_ps) * epoch_ps));
-        let claim_stop = ready_claims.keys().next().map(|&(vis, _)| epoch_ceil(vis, epoch_ps));
-        let busy = !backlog.is_empty() || prefill_ids.iter().any(|&g| sims[g].outstanding() > 0);
-        let busy_stop =
-            busy.then(|| Time::from_ps((now.as_ps() / epoch_ps + 1).saturating_mul(epoch_ps)));
-        let Some(stop) = [arrival_stop, claim_stop, busy_stop].into_iter().flatten().min() else {
+        let fault_stop = events.get(next_event).map(|e| e.at);
+        let claim_stop = if decode_up {
+            let claim = ready_claims.keys().next().map(|&(vis, _)| epoch_ceil(vis, epoch_ps));
+            let rescue = rescue_queue.keys().next().map(|&(at, _)| epoch_ceil(at, epoch_ps));
+            [claim, rescue].into_iter().flatten().min()
+        } else {
+            None
+        };
+        let retry_stop = if prefill_up {
+            pending_prefill.keys().next().map(|&(ready, _, _)| epoch_ceil(ready, epoch_ps))
+        } else {
+            None
+        };
+        let stalled = !decode_up && next_event >= events.len();
+        let busy = !stalled
+            && (!backlog.is_empty() || prefill_ids.iter().any(|&g| sims[g].outstanding() > 0));
+        let busy_stop = busy.then(|| {
+            Time::from_ps(
+                (now.as_ps() / epoch_ps + 1)
+                    .checked_mul(epoch_ps)
+                    .expect("epoch grid instant overflows Time"),
+            )
+        });
+        let Some(stop) = [arrival_stop, fault_stop, claim_stop, retry_stop, busy_stop]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
             break;
         };
         // A publish can land with `visible` already in the past (the
@@ -283,10 +446,169 @@ pub fn simulate_fleet_disagg(
         now = t;
         advance_groups(&mut sims, t, fleet.threads);
 
+        // Fault phase: apply every event due at this stop, in compiled
+        // order, from this single thread (before any cross-group logic, so
+        // claims, publishes and routing at this stop see the new state).
+        while next_event < events.len() && events[next_event].at == t {
+            let e = events[next_event];
+            next_event += 1;
+            match e.kind {
+                CompiledKind::Crash { recovers } => {
+                    if !alive[e.group] {
+                        continue;
+                    }
+                    alive[e.group] = false;
+                    down_since[e.group] = Some(t);
+                    flog.crashes += 1;
+                    let was_serving = in_service[e.group];
+                    spare_pool.remove(&e.group);
+                    let role = disagg.roles[e.group];
+                    let orphans = sims[e.group].crash(t);
+                    let keep = match fleet.recovery {
+                        RecoveryMode::Warm { retained_fraction } if recovers => {
+                            (retained_fraction * orphans.len() as f64).floor() as usize
+                        }
+                        _ => 0,
+                    };
+                    for (i, spec) in orphans.into_iter().enumerate() {
+                        flog.orphaned.push((spec.id, t));
+                        if i < keep {
+                            // Warm retention: the KV survived on the group
+                            // and re-seeds at recovery (a decode orphan's
+                            // parked copy stays parked until completion).
+                            retained.entry(e.group).or_default().push(spec);
+                            continue;
+                        }
+                        let id = spec.id.0;
+                        if role == GroupRole::Decode {
+                            if park_copies {
+                                if let Some(tokens) = pool.rescue(id) {
+                                    rescue_queue.insert((t, id), (spec, tokens));
+                                    flog.pool_rescued.push((spec.id, t));
+                                    continue;
+                                }
+                            }
+                            // Copy evicted or pool volatile: the context
+                            // only survives as its prompt — re-prefill.
+                            flog.pool_lost += 1;
+                        }
+                        let orig = trace[*id_to_index.get(&id).expect("orphan is in the trace")];
+                        let n = *attempts.get(&id).expect("orphan was dispatched");
+                        if n >= fleet.retry.max_attempts {
+                            flog.dropped.push((spec.id, spec.class));
+                            pending_decode.remove(&id);
+                        } else {
+                            let ready = t + fleet.retry.backoff.times(u64::from(n));
+                            pending_prefill.insert((ready, orig.arrival, id), orig);
+                            // Re-inserted when the re-prefill dispatches.
+                            pending_decode.remove(&id);
+                        }
+                    }
+                    // Role-matched standby promotion.
+                    if was_serving {
+                        if let Some(&spare) = spare_pool.iter().find(|&&s| disagg.roles[s] == role)
+                        {
+                            spare_pool.remove(&spare);
+                            in_service[spare] = true;
+                            flog.promotions += 1;
+                        }
+                    }
+                }
+                CompiledKind::Recover => {
+                    if alive[e.group] {
+                        continue;
+                    }
+                    alive[e.group] = true;
+                    flog.recoveries += 1;
+                    let start = down_since[e.group].take().expect("recovering group was down");
+                    flog.down_windows.push((e.group, start, Some(t)));
+                    match fleet.recovery {
+                        RecoveryMode::Standby { .. } => {
+                            in_service[e.group] = false;
+                            spare_pool.insert(e.group);
+                            let role = disagg.roles[e.group];
+                            let serving = (0..fleet.groups)
+                                .any(|g| disagg.roles[g] == role && alive[g] && in_service[g]);
+                            if !serving {
+                                let &spare = spare_pool
+                                    .iter()
+                                    .find(|&&s| disagg.roles[s] == role)
+                                    .expect("just inserted a spare of this role");
+                                spare_pool.remove(&spare);
+                                in_service[spare] = true;
+                                flog.promotions += 1;
+                            }
+                        }
+                        RecoveryMode::Warm { .. } => match retained.remove(&e.group) {
+                            Some(kept) if !kept.is_empty() => {
+                                flog.warm_rejoins += 1;
+                                for spec in kept {
+                                    sims[e.group].push_warm(spec, t);
+                                }
+                            }
+                            _ => flog.cold_rejoins += 1,
+                        },
+                        RecoveryMode::Cold => flog.cold_rejoins += 1,
+                    }
+                }
+                CompiledKind::DegradeStart { factor } => {
+                    active_degrades.push(factor);
+                    let eff = active_degrades.iter().copied().fold(1.0, f64::min);
+                    if eff != effective_factor {
+                        effective_factor = eff;
+                        for sim in sims.iter_mut() {
+                            sim.set_host_link_factor(eff);
+                        }
+                    }
+                }
+                CompiledKind::DegradeEnd { factor } => {
+                    let pos = active_degrades
+                        .iter()
+                        .position(|&f| f == factor)
+                        .expect("degrade window was active");
+                    active_degrades.swap_remove(pos);
+                    let eff = active_degrades.iter().copied().fold(1.0, f64::min);
+                    if eff != effective_factor {
+                        effective_factor = eff;
+                        for sim in sims.iter_mut() {
+                            sim.set_host_link_factor(eff);
+                        }
+                    }
+                }
+                CompiledKind::PoolDegradeStart { factor } => {
+                    pool_degrades.push(factor);
+                    let eff = pool_degrades.iter().copied().fold(1.0, f64::min);
+                    cur_handoff = if eff == 1.0 {
+                        disagg.handoff_cost
+                    } else {
+                        disagg.handoff_cost.with_bandwidth_factor(eff)
+                    };
+                }
+                CompiledKind::PoolDegradeEnd { factor } => {
+                    let pos = pool_degrades
+                        .iter()
+                        .position(|&f| f == factor)
+                        .expect("pool degrade window was active");
+                    pool_degrades.swap_remove(pos);
+                    let eff = pool_degrades.iter().copied().fold(1.0, f64::min);
+                    cur_handoff = if eff == 1.0 {
+                        disagg.handoff_cost
+                    } else {
+                        disagg.handoff_cost.with_bandwidth_factor(eff)
+                    };
+                }
+            }
+        }
+
+        // Tier status after this stop's fault events.
+        let decode_up = decode_ids.iter().any(|&g| alive[g] && in_service[g]);
+        let prefill_up = prefill_ids.iter().any(|&g| alive[g] && in_service[g]);
+
         // Harvest phase: newly completed prefill phases, merged across
         // the tier in `(finished, group, id)` order. A single-token
         // request is finished outright; everything else queues for
-        // publish.
+        // publish. Crash-surviving records stay in a group's tail, so
+        // cursors keep working across outages.
         let mut finished: Vec<(Time, usize, u64)> = Vec::new();
         for &g in &prefill_ids {
             let new = sims[g].completions_since(cursors[g]);
@@ -294,58 +616,106 @@ pub fn simulate_fleet_disagg(
             finished.extend(new.iter().map(|r| (r.finished, g, r.spec.id.0)));
         }
         finished.sort_unstable();
+        // Decode-tier completions retire their parked pool copies.
+        if park_copies {
+            for &g in &decode_ids {
+                let new = sims[g].completions_since(cursors[g]);
+                cursors[g] += new.len();
+                for r in new {
+                    pool.discard_parked(r.spec.id.0);
+                }
+            }
+        }
 
         // Claim phase first: claims free pool capacity, so this stop's
         // deferred publishes can retry into the space. The decode load
-        // snapshot is taken once, then bumped optimistically per claim.
-        decode_loads.clear();
-        for &g in &decode_ids {
-            decode_loads.push(GroupLoad {
-                group: g,
-                outstanding: sims[g].outstanding(),
-                kv_tokens: sims[g].kv_reserved(),
-            });
-        }
-        while let Some((&(visible, id), &transfer)) = ready_claims.iter().next() {
-            if epoch_ceil(visible, epoch_ps) > t {
-                break;
-            }
-            ready_claims.remove(&(visible, id));
-            pool.claim(id, t);
-            let spec = pending_decode.remove(&id).expect("claimed context was pending");
-            // The decode phase resumes from the published context: prompt
-            // + the first token, with the remaining tokens to stream.
-            let decode_spec =
-                RequestSpec { prompt: spec.prompt + 1, decode: spec.decode - 1, ..spec };
-            let mut pos = router.route(&decode_spec, &decode_loads);
-            assert!(
-                pos < decode_loads.len(),
-                "router chose position {pos} of {}",
-                decode_loads.len()
-            );
-            // Steal-from-pool: a drained decode group takes the claim
-            // whenever the router's pick still has work queued.
-            if decode_loads[pos].outstanding > 0 {
-                if let Some(idle) = decode_loads.iter().position(|l| l.outstanding == 0) {
-                    pos = idle;
-                    log.steals += 1;
+        // snapshot is taken once over the serving subset, then bumped
+        // optimistically per claim; pool rescues dispatch after the
+        // regular claims, in `(crash instant, id)` order.
+        if decode_up {
+            decode_loads.clear();
+            for &g in &decode_ids {
+                if alive[g] && in_service[g] {
+                    decode_loads.push(GroupLoad {
+                        group: g,
+                        outstanding: sims[g].outstanding(),
+                        kv_tokens: sims[g].kv_reserved(),
+                    });
                 }
             }
-            let g = decode_loads[pos].group;
-            sims[g].push_handoff(decode_spec, t, visible, transfer);
-            decode_loads[pos].outstanding += 1;
-            decode_loads[pos].kv_tokens += decode_spec.kv_tokens();
-            log.handoffs += 1;
+            while let Some((&(visible, id), &transfer)) = ready_claims.iter().next() {
+                if epoch_ceil(visible, epoch_ps) > t {
+                    break;
+                }
+                ready_claims.remove(&(visible, id));
+                pool.claim(id, t);
+                let spec = pending_decode.remove(&id).expect("claimed context was pending");
+                if park_copies {
+                    // The claim freed the capacity; a capacity-free copy
+                    // stays behind for crash rescue.
+                    pool.park(id, (spec.prompt + 1) as u64, t);
+                }
+                // The decode phase resumes from the published context:
+                // prompt + the first token, remaining tokens to stream.
+                let decode_spec =
+                    RequestSpec { prompt: spec.prompt + 1, decode: spec.decode - 1, ..spec };
+                let mut pos = router.route(&decode_spec, &decode_loads);
+                assert!(
+                    pos < decode_loads.len(),
+                    "router chose position {pos} of {}",
+                    decode_loads.len()
+                );
+                // Steal-from-pool: a drained decode group takes the claim
+                // whenever the router's pick still has work queued.
+                if decode_loads[pos].outstanding > 0 {
+                    if let Some(idle) = decode_loads.iter().position(|l| l.outstanding == 0) {
+                        pos = idle;
+                        log.steals += 1;
+                    }
+                }
+                let g = decode_loads[pos].group;
+                sims[g].push_handoff(decode_spec, t, visible, transfer);
+                decode_loads[pos].outstanding += 1;
+                decode_loads[pos].kv_tokens += decode_spec.kv_tokens();
+                log.handoffs += 1;
+            }
+            while let Some((&(crashed, id), &(decode_spec, tokens))) = rescue_queue.iter().next() {
+                rescue_queue.remove(&(crashed, id));
+                // The copy streams out of the pool at the current
+                // (possibly degraded) switch-hop cost; it is re-parked so
+                // a repeated crash can rescue it again.
+                let transfer = cur_handoff.transfer_time(tokens);
+                pool.park(id, tokens, t);
+                let mut pos = router.route(&decode_spec, &decode_loads);
+                assert!(
+                    pos < decode_loads.len(),
+                    "router chose position {pos} of {}",
+                    decode_loads.len()
+                );
+                if decode_loads[pos].outstanding > 0 {
+                    if let Some(idle) = decode_loads.iter().position(|l| l.outstanding == 0) {
+                        pos = idle;
+                        log.steals += 1;
+                    }
+                }
+                let g = decode_loads[pos].group;
+                sims[g].push_handoff(decode_spec, t, t, transfer);
+                decode_loads[pos].outstanding += 1;
+                decode_loads[pos].kv_tokens += decode_spec.kv_tokens();
+                log.handoffs += 1;
+            }
         }
 
         // Publish phase: deferred publishes retry first (oldest first),
         // then this stop's fresh completions, all in deterministic order.
+        // Publishes inside a pool-degrade window pay the degraded cost.
         let publish = |id: u64,
                        group: usize,
                        ready: Time,
                        pending: &BTreeMap<u64, RequestSpec>,
                        pool: &mut SharedKvPool,
-                       ready_claims: &mut BTreeMap<(Time, u64), Time>|
+                       ready_claims: &mut BTreeMap<(Time, u64), Time>,
+                       cost: &KvSwapCost|
          -> bool {
             let spec = pending.get(&id).expect("publishing context is pending");
             let tokens = (spec.prompt + 1) as u64;
@@ -354,7 +724,7 @@ pub fn simulate_fleet_disagg(
                 "context of {tokens} tokens can never fit a {}-token pool",
                 disagg.pool_tokens
             );
-            let transfer = disagg.handoff_cost.transfer_time(tokens);
+            let transfer = cost.transfer_time(tokens);
             let link = link_of[&group];
             match pool.try_publish(id, tokens, ready, link, transfer) {
                 Some(visible) => {
@@ -366,7 +736,7 @@ pub fn simulate_fleet_disagg(
         };
         let retries: Vec<((Time, u64), usize)> = backlog.iter().map(|(&k, &g)| (k, g)).collect();
         for ((first_finished, id), group) in retries {
-            if publish(id, group, t, &pending_decode, &mut pool, &mut ready_claims) {
+            if publish(id, group, t, &pending_decode, &mut pool, &mut ready_claims, &cur_handoff) {
                 backlog.remove(&(first_finished, id));
             }
         }
@@ -377,30 +747,110 @@ pub fn simulate_fleet_disagg(
                 pending_decode.remove(&id);
                 continue;
             }
-            if !publish(id, group, finish_t, &pending_decode, &mut pool, &mut ready_claims) {
+            if !publish(
+                id,
+                group,
+                finish_t,
+                &pending_decode,
+                &mut pool,
+                &mut ready_claims,
+                &cur_handoff,
+            ) {
                 log.deferred += 1;
                 backlog.insert((finish_t, id), group);
+            }
+        }
+
+        // Prefill-tier load snapshot over the serving subset, shared by
+        // the redispatch and arrival phases (bumped continuously).
+        prefill_loads.clear();
+        for &g in &prefill_ids {
+            if alive[g] && in_service[g] {
+                prefill_loads.push(GroupLoad {
+                    group: g,
+                    outstanding: sims[g].outstanding(),
+                    kv_tokens: sims[g].kv_reserved(),
+                });
+            }
+        }
+
+        // Redispatch phase: pending re-prefills whose ready instant has
+        // aligned to this stop (or earlier), in `(ready, arrival, id)`
+        // order, routed over the serving prefill subset with their
+        // ORIGINAL specs — the whole pipeline reruns from the prompt.
+        if prefill_up && !prefill_loads.is_empty() {
+            while let Some((&key, _)) = pending_prefill.iter().next() {
+                if epoch_ceil(key.0, epoch_ps) > t {
+                    break;
+                }
+                let spec = pending_prefill.remove(&key).expect("peeked entry exists");
+                let fits = spec.kv_tokens() <= sims[prefill_ids[0]].kv_budget_tokens();
+                let prefill_spec = if fits { RequestSpec { decode: 1, ..spec } } else { spec };
+                let pos = router.route(&prefill_spec, &prefill_loads);
+                assert!(
+                    pos < prefill_loads.len(),
+                    "router chose position {pos} of {}",
+                    prefill_loads.len()
+                );
+                let g = prefill_loads[pos].group;
+                sims[g].push_redispatch(prefill_spec, t);
+                prefill_loads[pos].outstanding += 1;
+                prefill_loads[pos].kv_tokens += prefill_spec.kv_tokens();
+                let n = attempts.entry(spec.id.0).or_insert(0);
+                if *n > 0 {
+                    flog.retries += 1;
+                    *retries_by_class.entry(spec.class).or_insert(0) += 1;
+                }
+                *n += 1;
+                if fits {
+                    pending_decode.insert(spec.id.0, spec);
+                }
+                let idx = *id_to_index.get(&spec.id.0).expect("pending spec is in the trace");
+                if routed[idx] == usize::MAX {
+                    routed[idx] = g;
+                }
             }
         }
 
         // Arrival phase: the epoch's arrivals route over the prefill
         // tier's boundary snapshot, bumped optimistically. The prefill
         // phase runs the prompt and emits the first token (`decode: 1`),
-        // so TTFT lands on the prefill group.
-        prefill_loads.clear();
-        for &g in &prefill_ids {
-            prefill_loads.push(GroupLoad {
-                group: g,
-                outstanding: sims[g].outstanding(),
-                kv_tokens: sims[g].kv_reserved(),
-            });
-        }
-        let epoch_end = Time::from_ps(t.as_ps().saturating_add(epoch_ps));
+        // so TTFT lands on the prefill group. Admission sheds first —
+        // against both tiers' loads plus pool occupancy — then a down
+        // prefill tier defers what remains.
+        let epoch_end =
+            Time::from_ps(t.as_ps().checked_add(epoch_ps).expect("epoch end overflows Time"));
         while cursor < trace.len() && trace[cursor].arrival < epoch_end {
             let spec = trace[cursor];
             let idx = cursor;
             cursor += 1;
             assert!(spec.decode >= 1, "a request generates at least its first token");
+            if shedding {
+                let mut combined = prefill_loads.clone();
+                for &g in &decode_ids {
+                    if alive[g] && in_service[g] {
+                        combined.push(GroupLoad {
+                            group: g,
+                            outstanding: sims[g].outstanding(),
+                            kv_tokens: sims[g].kv_reserved(),
+                        });
+                    }
+                }
+                let sat = fleet_saturation(
+                    &combined,
+                    slots_per_group,
+                    kv_budget_per_group,
+                    Some((pool.used_tokens(), disagg.pool_tokens)),
+                );
+                if !fleet.admission.admits(spec.class, sat) {
+                    flog.shed.push((spec.id, spec.class));
+                    continue;
+                }
+            }
+            if prefill_loads.is_empty() {
+                pending_prefill.insert((spec.arrival, spec.arrival, spec.id.0), spec);
+                continue;
+            }
             // A footprint no replica budget can hold is rejected with its
             // *full* spec on the prefill group (as a colocated fleet
             // would), so its truncated prompt phase never runs.
@@ -417,16 +867,48 @@ pub fn simulate_fleet_disagg(
             prefill_loads[pos].outstanding += 1;
             prefill_loads[pos].kv_tokens += prefill_spec.kv_tokens();
             routed[idx] = g;
+            if faulty {
+                *attempts.entry(spec.id.0).or_insert(0) += 1;
+            }
             if fits {
                 pending_decode.insert(spec.id.0, spec);
             }
         }
     }
-    debug_assert!(ready_claims.is_empty(), "every published context was claimed");
+    debug_assert!(faulty || ready_claims.is_empty(), "every published context was claimed");
     log.pool_peak_tokens = pool.peak_tokens();
     log.pool_occupancy_token_s = pool.occupancy_token_seconds();
 
-    debug_assert!(pending_decode.is_empty(), "every admitted prompt resolved its decode phase");
+    // On the faulted path the pipeline can end with work stranded behind
+    // a tier that never came back: undispatchable re-prefills, rescues
+    // with no decode group left, and prompts whose context was never
+    // claimed. All of them are drops (a true single still completes
+    // entirely on its prefill group, so it is not one).
+    if faulty {
+        for (_, spec) in pending_prefill {
+            flog.dropped.push((spec.id, spec.class));
+        }
+        for (_, (spec, _)) in rescue_queue {
+            flog.dropped.push((spec.id, spec.class));
+        }
+        for (_, spec) in pending_decode.iter() {
+            if spec.decode > 1 {
+                flog.dropped.push((spec.id, spec.class));
+            }
+        }
+        debug_assert!(retained.is_empty(), "every warm retention rejoined");
+    } else {
+        debug_assert!(pending_decode.is_empty(), "every admitted prompt resolved its decode phase");
+    }
+    for (g, since) in down_since.iter().enumerate() {
+        if let Some(start) = *since {
+            flog.down_windows.push((g, start, None));
+        }
+    }
+    flog.retries_by_class = retries_by_class.into_iter().collect();
+    if track {
+        flog.horizon = trace.last().map(|s| s.arrival).unwrap_or(Time::ZERO);
+    }
 
     let per_group_qps = offered_qps / fleet.groups as f64;
     let outcomes = finish_groups(sims, per_group_qps, fleet.threads);
@@ -435,14 +917,19 @@ pub fn simulate_fleet_disagg(
         &outcomes,
         &disagg.roles,
         &log,
+        if track { Some(&flog) } else { None },
         fleet.serve.slo,
     );
-    debug_assert_eq!(
-        report.completed + report.rejected,
-        trace.len(),
-        "conservation: every request completes or is rejected"
+    debug_assert!(
+        report.completed + report.rejected + flog.dropped.len() + flog.shed.len() == trace.len(),
+        "conservation: {} completed + {} rejected + {} dropped + {} shed != {} offered",
+        report.completed,
+        report.rejected,
+        flog.dropped.len(),
+        flog.shed.len(),
+        trace.len()
     );
-    DisaggOutcome { report, groups: outcomes, routed, log }
+    DisaggOutcome { report, groups: outcomes, routed, log, faults: flog }
 }
 
 /// Joins each handed-off request's prefill- and decode-phase records, by
@@ -602,6 +1089,7 @@ mod tests {
             pool_tokens: 64_000,
             handoff_cost: handoff_cost(),
             prefill_chunk: None,
+            durable_pool: true,
         };
         let mut rr = crate::router::RoundRobin::default();
         let out = simulate_fleet_disagg(&sys, &trace, 30.0, &mut rr, &opts, &cfg);

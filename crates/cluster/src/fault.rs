@@ -10,6 +10,7 @@
 //! [`FaultPlan::chaos`] draws a schedule from the in-tree SplitMix64, so a
 //! `(seed, rates)` pair names one reproducible bad day.
 
+use crate::disagg::GroupRole;
 use cent_types::{Rng64, Time};
 
 /// One injected fault.
@@ -50,6 +51,22 @@ pub enum FaultSpec {
         /// Uniform slowdown factor, at least `1.0`.
         slowdown: f64,
     },
+    /// The switch-attached pool links degrade for `duration`:
+    /// `bandwidth_factor` multiplies the healthy handoff bandwidth (the
+    /// `KvSwapCost::with_switch_hops` cost of publishing and claiming
+    /// contexts), stretching every transfer scheduled inside the window.
+    /// Overlapping windows apply the most severe factor; the window ends
+    /// by restoring the healthy cost model exactly (no float round trip).
+    /// Only the disaggregated driver has a pool — the colocated driver
+    /// ignores these specs.
+    PoolLinkDegrade {
+        /// Window start (aligned up to the next epoch boundary).
+        at: Time,
+        /// Window length (at least one epoch once aligned).
+        duration: Time,
+        /// Multiplier on the healthy pool-link bandwidth, in `(0, 1]`.
+        bandwidth_factor: f64,
+    },
 }
 
 /// A validated list of [`FaultSpec`]s for one fleet run.
@@ -84,7 +101,8 @@ impl FaultSchedule {
                         assert!(d > Time::ZERO, "recovery delay must be positive");
                     }
                 }
-                FaultSpec::HostLinkDegrade { duration, bandwidth_factor, .. } => {
+                FaultSpec::HostLinkDegrade { duration, bandwidth_factor, .. }
+                | FaultSpec::PoolLinkDegrade { duration, bandwidth_factor, .. } => {
                     assert!(duration > Time::ZERO, "degrade window must be non-empty");
                     assert!(
                         bandwidth_factor.is_finite()
@@ -122,9 +140,65 @@ impl FaultSchedule {
                 FaultSpec::GroupCrash { group, .. } | FaultSpec::Straggler { group, .. } => {
                     Some(group)
                 }
-                FaultSpec::HostLinkDegrade { .. } => None,
+                FaultSpec::HostLinkDegrade { .. } | FaultSpec::PoolLinkDegrade { .. } => None,
             })
             .max()
+    }
+}
+
+/// How a crashed group comes back — and with how much of its state.
+///
+/// Applies per fleet run (a [`FleetOptions`](crate::FleetOptions) field),
+/// to every crash-with-recovery in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryMode {
+    /// The group rejoins empty: every orphan re-prefills (or is rescued
+    /// from the shared pool in a disaggregated fleet). The PR 8 behaviour
+    /// and the default.
+    #[default]
+    Cold,
+    /// Partial recovery: the group retained `retained_fraction` of the KV
+    /// contexts it was serving (device memory survived the control-plane
+    /// restart). The retained subset is deterministic — the first
+    /// `⌊fraction × orphans⌋` of the crash's `(arrival, id)`-sorted orphan
+    /// list — and is re-seeded warm (no re-prefill, no transfer) when the
+    /// group rejoins; the rest take the cold path.
+    Warm {
+        /// Fraction of each crash's orphans retained, in `[0, 1]`.
+        retained_fraction: f64,
+    },
+    /// Warm standby: the last `spares` groups of the fleet start outside
+    /// the load index as idle spares. A crash promotes the lowest-indexed
+    /// available spare (role-matched in a disaggregated fleet) at the
+    /// crash instant, and the crashed group — once recovered — joins the
+    /// spare reserve instead of the serving set. Orphans still take the
+    /// cold path (the spare has none of their state).
+    Standby {
+        /// Groups reserved as idle spares, at least 1.
+        spares: usize,
+    },
+}
+
+impl RecoveryMode {
+    /// Validates the mode's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a warm fraction is outside `[0, 1]` or a standby reserve
+    /// is empty.
+    pub fn validate(&self) {
+        match *self {
+            RecoveryMode::Cold => {}
+            RecoveryMode::Warm { retained_fraction } => {
+                assert!(
+                    retained_fraction.is_finite() && (0.0..=1.0).contains(&retained_fraction),
+                    "warm retained fraction must lie in [0, 1], got {retained_fraction}"
+                );
+            }
+            RecoveryMode::Standby { spares } => {
+                assert!(spares >= 1, "a standby reserve needs at least one spare");
+            }
+        }
     }
 }
 
@@ -169,13 +243,28 @@ pub struct ChaosRates {
     pub straggler_probability: f64,
     /// Slowdown applied to straggler groups, at least `1.0`.
     pub straggler_slowdown: f64,
+    /// Mean pool-link degradations per second (0 disables). Only
+    /// [`FaultPlan::chaos_disagg`] reads this — [`FaultPlan::chaos`]
+    /// ignores the disagg fields entirely, so schedules drawn by it are
+    /// byte-identical to those drawn before the fields existed.
+    pub pool_degrade_rate: f64,
+    /// Mean pool-link degradation-window length, seconds.
+    pub mean_pool_degrade_s: f64,
+    /// Bandwidth factor inside a pool-link window, in `(0, 1]`.
+    pub pool_degrade_factor: f64,
+    /// Multiplier on `crash_rate` for prefill-tier groups (disagg only).
+    pub prefill_crash_mult: f64,
+    /// Multiplier on `crash_rate` for decode-tier groups (disagg only).
+    pub decode_crash_mult: f64,
 }
 
 impl Default for ChaosRates {
     /// A plausible bad hour: a group crashes about every 200 s of
     /// group-time and stays down ~10 s, the host link loses 3/4 of its
     /// bandwidth about once a minute for ~5 s, and one group in sixteen
-    /// runs 30% slow.
+    /// runs 30% slow. In a disaggregated fleet the pool links additionally
+    /// lose half their bandwidth about every two minutes for ~5 s, with
+    /// both tiers crashing at the base rate.
     fn default() -> Self {
         ChaosRates {
             crash_rate: 1.0 / 200.0,
@@ -185,6 +274,11 @@ impl Default for ChaosRates {
             degrade_factor: 0.25,
             straggler_probability: 1.0 / 16.0,
             straggler_slowdown: 1.3,
+            pool_degrade_rate: 1.0 / 120.0,
+            mean_pool_degrade_s: 5.0,
+            pool_degrade_factor: 0.5,
+            prefill_crash_mult: 1.0,
+            decode_crash_mult: 1.0,
         }
     }
 }
@@ -212,29 +306,105 @@ impl FaultPlan {
     /// [`FaultSchedule::new`]) or `horizon` is zero.
     pub fn chaos(seed: u64, groups: usize, horizon: Time, rates: &ChaosRates) -> FaultSchedule {
         assert!(horizon > Time::ZERO, "chaos needs a positive horizon");
-        let horizon_s = horizon.as_secs();
         let mut specs = Vec::new();
         for group in 0..groups {
-            let mut rng = Rng64::seed(seed ^ (group as u64 + 1).wrapping_mul(STREAM_GAMMA));
-            if rates.crash_rate > 0.0 {
-                let mut t = rng.exponential(rates.crash_rate);
-                while t < horizon_s {
-                    let outage = rng.exponential(1.0 / rates.mean_outage_s).max(1e-6);
-                    specs.push(FaultSpec::GroupCrash {
-                        group,
-                        at: Time::from_secs_f64(t),
-                        recover_after: Some(Time::from_secs_f64(outage)),
-                    });
-                    t += outage + rng.exponential(rates.crash_rate);
-                }
-            }
-            if rates.straggler_probability > 0.0
-                && rng.next_f64() < rates.straggler_probability
-                && rates.straggler_slowdown > 1.0
-            {
-                specs.push(FaultSpec::Straggler { group, slowdown: rates.straggler_slowdown });
+            Self::group_stream(seed, group, rates.crash_rate, horizon, rates, &mut specs);
+        }
+        Self::host_degrade_stream(seed, horizon, rates, &mut specs);
+        FaultSchedule::new(specs)
+    }
+
+    /// Draws a chaos schedule for a disaggregated fleet whose group `g`
+    /// plays `roles[g]`: per-tier crash weighting (`crash_rate` scaled by
+    /// `prefill_crash_mult` / `decode_crash_mult`) plus a pool-link
+    /// degradation process alongside the host-link one. The per-group and
+    /// host-link streams draw exactly as [`chaos`](Self::chaos) does, so
+    /// with unit multipliers and a zero pool rate the two generators
+    /// produce the same schedule (modulo the added pool windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate, factor or multiplier is out of range or
+    /// `horizon` is zero.
+    pub fn chaos_disagg(
+        seed: u64,
+        roles: &[GroupRole],
+        horizon: Time,
+        rates: &ChaosRates,
+    ) -> FaultSchedule {
+        assert!(horizon > Time::ZERO, "chaos needs a positive horizon");
+        for mult in [rates.prefill_crash_mult, rates.decode_crash_mult] {
+            assert!(mult.is_finite() && mult >= 0.0, "crash multiplier must be >= 0, got {mult}");
+        }
+        let horizon_s = horizon.as_secs();
+        let mut specs = Vec::new();
+        for (group, role) in roles.iter().enumerate() {
+            let crash_rate = rates.crash_rate
+                * match role {
+                    GroupRole::Colocated => 1.0,
+                    GroupRole::Prefill => rates.prefill_crash_mult,
+                    GroupRole::Decode => rates.decode_crash_mult,
+                };
+            Self::group_stream(seed, group, crash_rate, horizon, rates, &mut specs);
+        }
+        Self::host_degrade_stream(seed, horizon, rates, &mut specs);
+        if rates.pool_degrade_rate > 0.0 {
+            let mut rng = Rng64::seed(seed.wrapping_add(STREAM_GAMMA.wrapping_mul(2)));
+            let mut t = rng.exponential(rates.pool_degrade_rate);
+            while t < horizon_s {
+                let duration = rng.exponential(1.0 / rates.mean_pool_degrade_s).max(1e-6);
+                specs.push(FaultSpec::PoolLinkDegrade {
+                    at: Time::from_secs_f64(t),
+                    duration: Time::from_secs_f64(duration),
+                    bandwidth_factor: rates.pool_degrade_factor,
+                });
+                t += duration + rng.exponential(rates.pool_degrade_rate);
             }
         }
+        FaultSchedule::new(specs)
+    }
+
+    /// One group's crash-and-straggler stream, appended to `specs`. The
+    /// stream derivation and draw order match the original `chaos`
+    /// generator exactly — `chaos_disagg` only varies `crash_rate`.
+    fn group_stream(
+        seed: u64,
+        group: usize,
+        crash_rate: f64,
+        horizon: Time,
+        rates: &ChaosRates,
+        specs: &mut Vec<FaultSpec>,
+    ) {
+        let horizon_s = horizon.as_secs();
+        let mut rng = Rng64::seed(seed ^ (group as u64 + 1).wrapping_mul(STREAM_GAMMA));
+        if crash_rate > 0.0 {
+            let mut t = rng.exponential(crash_rate);
+            while t < horizon_s {
+                let outage = rng.exponential(1.0 / rates.mean_outage_s).max(1e-6);
+                specs.push(FaultSpec::GroupCrash {
+                    group,
+                    at: Time::from_secs_f64(t),
+                    recover_after: Some(Time::from_secs_f64(outage)),
+                });
+                t += outage + rng.exponential(crash_rate);
+            }
+        }
+        if rates.straggler_probability > 0.0
+            && rng.next_f64() < rates.straggler_probability
+            && rates.straggler_slowdown > 1.0
+        {
+            specs.push(FaultSpec::Straggler { group, slowdown: rates.straggler_slowdown });
+        }
+    }
+
+    /// The fleet-wide host-link degradation stream, appended to `specs`.
+    fn host_degrade_stream(
+        seed: u64,
+        horizon: Time,
+        rates: &ChaosRates,
+        specs: &mut Vec<FaultSpec>,
+    ) {
+        let horizon_s = horizon.as_secs();
         if rates.degrade_rate > 0.0 {
             let mut rng = Rng64::seed(seed.wrapping_add(STREAM_GAMMA));
             let mut t = rng.exponential(rates.degrade_rate);
@@ -248,7 +418,6 @@ impl FaultPlan {
                 t += duration + rng.exponential(rates.degrade_rate);
             }
         }
-        FaultSchedule::new(specs)
     }
 }
 
@@ -274,7 +443,7 @@ mod tests {
                     FaultSpec::GroupCrash { group, .. } | FaultSpec::Straggler { group, .. } => {
                         group < 8
                     }
-                    FaultSpec::HostLinkDegrade { .. } => true,
+                    FaultSpec::HostLinkDegrade { .. } | FaultSpec::PoolLinkDegrade { .. } => true,
                 })
                 .copied()
                 .collect()
@@ -307,12 +476,76 @@ mod tests {
     }
 
     #[test]
+    fn chaos_disagg_extends_chaos_without_perturbing_it() {
+        let rates = ChaosRates::default();
+        let horizon = Time::from_secs_f64(600.0);
+        let base = FaultPlan::chaos(42, 6, horizon, &rates);
+        let roles = [
+            GroupRole::Prefill,
+            GroupRole::Prefill,
+            GroupRole::Prefill,
+            GroupRole::Decode,
+            GroupRole::Decode,
+            GroupRole::Decode,
+        ];
+        let disagg = FaultPlan::chaos_disagg(42, &roles, horizon, &rates);
+        // Unit tier multipliers: everything but the pool windows matches
+        // the colocated generator draw for draw.
+        let non_pool: Vec<FaultSpec> = disagg
+            .specs()
+            .iter()
+            .filter(|s| !matches!(s, FaultSpec::PoolLinkDegrade { .. }))
+            .copied()
+            .collect();
+        assert_eq!(non_pool, base.specs());
+        assert!(
+            disagg.specs().iter().any(|s| matches!(s, FaultSpec::PoolLinkDegrade { .. })),
+            "default pool-degrade rate over 10 min must fire"
+        );
+        // Disabling the pool process and immunising a tier changes only
+        // what it should: no pool windows, no prefill-tier crashes.
+        let quiet = ChaosRates { pool_degrade_rate: 0.0, prefill_crash_mult: 0.0, ..rates };
+        let immune = FaultPlan::chaos_disagg(42, &roles, horizon, &quiet);
+        assert!(!immune.specs().iter().any(|s| matches!(s, FaultSpec::PoolLinkDegrade { .. })));
+        assert!(!immune
+            .specs()
+            .iter()
+            .any(|s| matches!(s, FaultSpec::GroupCrash { group, .. } if *group < 3)));
+        assert!(immune
+            .specs()
+            .iter()
+            .any(|s| matches!(s, FaultSpec::GroupCrash { group, .. } if *group >= 3)));
+    }
+
+    #[test]
+    fn recovery_mode_validation() {
+        RecoveryMode::Cold.validate();
+        RecoveryMode::Warm { retained_fraction: 0.5 }.validate();
+        RecoveryMode::Standby { spares: 1 }.validate();
+        for bad in [
+            RecoveryMode::Warm { retained_fraction: -0.1 },
+            RecoveryMode::Warm { retained_fraction: 1.5 },
+            RecoveryMode::Standby { spares: 0 },
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| bad.validate()).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn schedule_validation_rejects_bad_specs() {
         let bad = [
             FaultSpec::HostLinkDegrade {
                 at: Time::ZERO,
                 duration: Time::from_secs_f64(1.0),
                 bandwidth_factor: 1.5,
+            },
+            FaultSpec::PoolLinkDegrade {
+                at: Time::ZERO,
+                duration: Time::ZERO,
+                bandwidth_factor: 0.5,
             },
             FaultSpec::Straggler { group: 0, slowdown: 0.5 },
             FaultSpec::GroupCrash { group: 0, at: Time::ZERO, recover_after: Some(Time::ZERO) },

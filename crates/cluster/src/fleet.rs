@@ -27,22 +27,31 @@
 //! pages are lost, so a redispatch re-prefills from scratch while TTFT
 //! keeps running from the original arrival), and the [`RetryPolicy`]
 //! decides whether each orphan is redispatched — onto the healthy subset,
-//! after its backoff — or dropped. Recovered groups rejoin empty and cold.
+//! after its backoff — or dropped. How a group *rejoins* is set by
+//! [`RecoveryMode`]: cold (empty, the default), warm (a deterministic
+//! fraction of each crash's orphans kept their KV and re-seed without
+//! re-prefilling when the group recovers) or standby (idle spare groups
+//! promoted at crash time, recovered groups joining the spare reserve).
 //! While *no* group is alive, arrivals are deferred and dispatched at the
-//! next recovery; if the fleet never recovers they are dropped.
+//! next recovery; if the fleet never recovers they are dropped. An
+//! [`AdmissionPolicy`] additionally sheds arrivals by class once fleet
+//! saturation crosses the class's threshold, extending conservation to
+//! `completed + rejected + dropped + shed = offered`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cent_serving::ServingSystem;
 use cent_serving::{GroupOutcome, GroupSim, PriorityClass, RequestId, RequestSpec, ServeOptions};
 use cent_types::Time;
 
-use crate::fault::{FaultSchedule, FaultSpec, RetryPolicy};
+use crate::admission::{fleet_saturation, AdmissionPolicy};
+use crate::fault::{FaultSchedule, FaultSpec, RecoveryMode, RetryPolicy};
 use crate::report::FleetReport;
 use crate::router::{GroupLoad, RoutingPolicy};
 
 /// Fleet-level knobs: group count, worker threads, epoch width, the
-/// per-group serving options, and the fault schedule and retry policy.
+/// per-group serving options, and the fault schedule, retry policy,
+/// recovery mode and admission policy.
 #[derive(Debug, Clone)]
 pub struct FleetOptions {
     /// Independent replica groups behind the router.
@@ -62,6 +71,11 @@ pub struct FleetOptions {
     pub faults: FaultSchedule,
     /// Redispatch policy for crash orphans.
     pub retry: RetryPolicy,
+    /// How crashed groups rejoin (cold, warm, or via a standby reserve).
+    pub recovery: RecoveryMode,
+    /// Saturation-based admission control
+    /// ([`AdmissionPolicy::admit_all`] = the no-shed path, bit for bit).
+    pub admission: AdmissionPolicy,
 }
 
 impl FleetOptions {
@@ -76,6 +90,8 @@ impl FleetOptions {
             serve: ServeOptions::default(),
             faults: FaultSchedule::empty(),
             retry: RetryPolicy::default(),
+            recovery: RecoveryMode::Cold,
+            admission: AdmissionPolicy::admit_all(),
         }
     }
 
@@ -118,6 +134,24 @@ impl FleetOptions {
         self.retry = retry;
         self
     }
+
+    /// Sets the recovery mode for crashed groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode's parameters are out of range (see
+    /// [`RecoveryMode::validate`]).
+    pub fn with_recovery(mut self, recovery: RecoveryMode) -> Self {
+        recovery.validate();
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the saturation admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
 }
 
 /// What the fault machinery did during one fleet run — the raw material
@@ -143,6 +177,26 @@ pub struct FaultLog {
     /// Requests dropped — out of attempts, or undispatchable because the
     /// fleet never recovered.
     pub dropped: Vec<(RequestId, PriorityClass)>,
+    /// Recoveries that re-seeded at least one warm-retained context
+    /// ([`RecoveryMode::Warm`]).
+    pub warm_rejoins: u64,
+    /// Recoveries that rejoined the serving set empty (every recovery
+    /// under [`RecoveryMode::Cold`]; a warm recovery whose crash orphaned
+    /// nothing). Standby recoveries join the spare reserve and count under
+    /// neither.
+    pub cold_rejoins: u64,
+    /// Spare groups promoted into the serving set at crash instants
+    /// ([`RecoveryMode::Standby`]).
+    pub promotions: u64,
+    /// Contexts a crashed decode group had claimed that were rescued from
+    /// the shared pool's parked copies instead of re-prefilled, with the
+    /// crash instant (disaggregated fleets only).
+    pub pool_rescued: Vec<(RequestId, Time)>,
+    /// Handed-off contexts whose pool copy was gone at crash time (evicted
+    /// or volatile pool) — they fell back to re-prefill.
+    pub pool_lost: u64,
+    /// Arrivals shed by the admission policy, never dispatched.
+    pub shed: Vec<(RequestId, PriorityClass)>,
     /// Last offered arrival — the availability horizon extends at least
     /// this far even if the fleet died long before serving it.
     pub horizon: Time,
@@ -158,8 +212,9 @@ pub struct FleetOutcome {
     /// Per-group outcomes, indexed by group.
     pub groups: Vec<GroupOutcome>,
     /// Group index each trace entry was *first* dispatched to, aligned
-    /// with the trace (`usize::MAX` for requests dropped before any
-    /// dispatch — only possible when the whole fleet is down on arrival).
+    /// with the trace (`usize::MAX` for requests never dispatched: shed by
+    /// admission, or dropped because the whole fleet was down on arrival
+    /// and never recovered).
     pub routed: Vec<usize>,
     /// What the fault machinery did (empty for a fault-free schedule).
     pub faults: FaultLog,
@@ -168,33 +223,41 @@ pub struct FleetOutcome {
 /// A fault event compiled onto the epoch grid. At one instant, recoveries
 /// apply before degrade-window edges before crashes (rank order), and
 /// within a kind events apply in compiled order — a fixed, thread-free
-/// total order.
+/// total order. Shared with the disaggregated driver.
 #[derive(Debug, Clone, Copy)]
-struct CompiledFault {
-    at: Time,
-    rank: u8,
-    group: usize,
-    kind: CompiledKind,
+pub(crate) struct CompiledFault {
+    pub(crate) at: Time,
+    pub(crate) rank: u8,
+    pub(crate) group: usize,
+    pub(crate) kind: CompiledKind,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum CompiledKind {
+pub(crate) enum CompiledKind {
     Recover,
     DegradeEnd { factor: f64 },
     DegradeStart { factor: f64 },
-    Crash,
+    PoolDegradeEnd { factor: f64 },
+    PoolDegradeStart { factor: f64 },
+    Crash { recovers: bool },
 }
 
 /// Aligns `t` up to the next epoch-grid instant.
 pub(crate) fn epoch_ceil(t: Time, epoch_ps: u64) -> Time {
-    Time::from_ps(t.as_ps().div_ceil(epoch_ps).saturating_mul(epoch_ps))
+    Time::from_ps(
+        t.as_ps()
+            .div_ceil(epoch_ps)
+            .checked_mul(epoch_ps)
+            .expect("epoch grid instant overflows Time"),
+    )
 }
 
 /// Compiles the schedule onto the epoch grid: every instant is aligned up,
 /// every window spans at least one epoch, and the result is sorted by
 /// `(instant, rank, group)` with compiled order breaking residual ties
-/// (stable sort).
-fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault> {
+/// (stable sort). Shared with the disaggregated driver; the colocated
+/// driver treats pool-degrade edges as no-ops.
+pub(crate) fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault> {
     let mut events = Vec::new();
     for spec in schedule.specs() {
         match *spec {
@@ -204,10 +267,12 @@ fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault>
                     at: crash_at,
                     rank: 3,
                     group,
-                    kind: CompiledKind::Crash,
+                    kind: CompiledKind::Crash { recovers: recover_after.is_some() },
                 });
                 if let Some(d) = recover_after {
-                    let floor = Time::from_ps(crash_at.as_ps().saturating_add(epoch_ps));
+                    let floor = Time::from_ps(
+                        crash_at.as_ps().checked_add(epoch_ps).expect("recovery floor overflows"),
+                    );
                     let recover_at = epoch_ceil(at + d, epoch_ps).max(floor);
                     events.push(CompiledFault {
                         at: recover_at,
@@ -219,7 +284,9 @@ fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault>
             }
             FaultSpec::HostLinkDegrade { at, duration, bandwidth_factor } => {
                 let start = epoch_ceil(at, epoch_ps);
-                let floor = Time::from_ps(start.as_ps().saturating_add(epoch_ps));
+                let floor = Time::from_ps(
+                    start.as_ps().checked_add(epoch_ps).expect("degrade window end overflows"),
+                );
                 let end = epoch_ceil(at + duration, epoch_ps).max(floor);
                 events.push(CompiledFault {
                     at: start,
@@ -232,6 +299,25 @@ fn compile_faults(schedule: &FaultSchedule, epoch_ps: u64) -> Vec<CompiledFault>
                     rank: 1,
                     group: 0,
                     kind: CompiledKind::DegradeEnd { factor: bandwidth_factor },
+                });
+            }
+            FaultSpec::PoolLinkDegrade { at, duration, bandwidth_factor } => {
+                let start = epoch_ceil(at, epoch_ps);
+                let floor = Time::from_ps(
+                    start.as_ps().checked_add(epoch_ps).expect("degrade window end overflows"),
+                );
+                let end = epoch_ceil(at + duration, epoch_ps).max(floor);
+                events.push(CompiledFault {
+                    at: start,
+                    rank: 2,
+                    group: 0,
+                    kind: CompiledKind::PoolDegradeStart { factor: bandwidth_factor },
+                });
+                events.push(CompiledFault {
+                    at: end,
+                    rank: 1,
+                    group: 0,
+                    kind: CompiledKind::PoolDegradeEnd { factor: bandwidth_factor },
                 });
             }
             // Stragglers are construction-time, not events.
@@ -275,6 +361,7 @@ pub fn simulate_fleet_instrumented(
         );
     }
     assert!(options.retry.max_attempts > 0, "a request needs at least one attempt");
+    options.recovery.validate();
 
     // Stragglers are a property of the group, not an event: build the
     // affected groups from a uniformly slowed system (worst slowdown wins
@@ -298,6 +385,11 @@ pub fn simulate_fleet_instrumented(
 
     let events = compile_faults(&options.faults, epoch_ps);
     let faulty = !options.faults.is_empty();
+    let shedding = options.admission.is_active();
+    // Tracking (attempt counts, horizon, the faulted report path) engages
+    // for a fault schedule OR an active admission policy — either breaks
+    // the everything-completes invariant of the healthy path.
+    let track = faulty || shedding;
     let mut next_event = 0usize;
     let mut alive = vec![true; options.groups];
     let mut down_since: Vec<Option<Time>> = vec![None; options.groups];
@@ -305,6 +397,26 @@ pub fn simulate_fleet_instrumented(
     let mut effective_factor = 1.0f64;
     let mut log = FaultLog::default();
     let mut retries_by_class: BTreeMap<PriorityClass, u64> = BTreeMap::new();
+
+    // Standby reserve: the last `spares` groups start outside the serving
+    // set and are promoted (lowest index first) when a serving group
+    // crashes; recovered groups refill the reserve. Under Cold/Warm every
+    // group serves from the start.
+    let mut in_service = vec![true; options.groups];
+    let mut spare_pool: BTreeSet<usize> = BTreeSet::new();
+    if let RecoveryMode::Standby { spares } = options.recovery {
+        assert!(
+            spares < options.groups,
+            "standby reserve of {spares} spares needs a fleet larger than {spares}"
+        );
+        for (g, serving) in in_service.iter_mut().enumerate().skip(options.groups - spares) {
+            *serving = false;
+            spare_pool.insert(g);
+        }
+    }
+    // Warm retention: per crashed group, the orphans that kept their KV
+    // and re-seed (skipping re-prefill) when the group rejoins.
+    let mut retained: BTreeMap<usize, Vec<RequestSpec>> = BTreeMap::new();
 
     // Dispatch bookkeeping, touched only on the faulty path: attempts per
     // request id, the pending set keyed by `(ready, arrival, id)` (the
@@ -334,7 +446,7 @@ pub fn simulate_fleet_instrumented(
         let arrival_stop =
             trace.get(cursor).map(|s| Time::from_ps((s.arrival.as_ps() / epoch_ps) * epoch_ps));
         let fault_stop = events.get(next_event).map(|e| e.at);
-        let retry_stop = if alive.iter().any(|&a| a) {
+        let retry_stop = if alive.iter().zip(in_service.iter()).any(|(&a, &s)| a && s) {
             pending.keys().next().map(|&(ready, _, _)| epoch_ceil(ready, epoch_ps))
         } else {
             None
@@ -350,7 +462,7 @@ pub fn simulate_fleet_instrumented(
             let e = events[next_event];
             next_event += 1;
             match e.kind {
-                CompiledKind::Crash => {
+                CompiledKind::Crash { recovers } => {
                     if !alive[e.group] {
                         // Grid alignment folded this crash into an outage
                         // already in progress.
@@ -359,14 +471,41 @@ pub fn simulate_fleet_instrumented(
                     alive[e.group] = false;
                     down_since[e.group] = Some(t);
                     log.crashes += 1;
-                    for spec in sims[e.group].crash(t) {
+                    let was_serving = in_service[e.group];
+                    spare_pool.remove(&e.group);
+                    let orphans = sims[e.group].crash(t);
+                    // Warm recovery deterministically retains the first
+                    // `retained_fraction` of the (arrival, id)-sorted
+                    // orphans on the crashed group: their KV survives and
+                    // re-seeds at recovery instead of re-prefilling. A
+                    // crash that never recovers retains nothing.
+                    let keep = match options.recovery {
+                        RecoveryMode::Warm { retained_fraction } if recovers => {
+                            (retained_fraction * orphans.len() as f64).floor() as usize
+                        }
+                        _ => 0,
+                    };
+                    for (i, spec) in orphans.into_iter().enumerate() {
                         log.orphaned.push((spec.id, t));
+                        if i < keep {
+                            retained.entry(e.group).or_default().push(spec);
+                            continue;
+                        }
                         let n = *attempts.get(&spec.id.0).expect("orphan was dispatched");
                         if n >= options.retry.max_attempts {
                             log.dropped.push((spec.id, spec.class));
                         } else {
                             let ready = t + options.retry.backoff.times(u64::from(n));
                             pending.insert((ready, spec.arrival, spec.id.0), spec);
+                        }
+                    }
+                    // Standby: backfill the serving set from the reserve,
+                    // lowest spare index first.
+                    if was_serving {
+                        if let Some(&spare) = spare_pool.iter().next() {
+                            spare_pool.remove(&spare);
+                            in_service[spare] = true;
+                            log.promotions += 1;
                         }
                     }
                 }
@@ -378,6 +517,35 @@ pub fn simulate_fleet_instrumented(
                     log.recoveries += 1;
                     let start = down_since[e.group].take().expect("recovering group was down");
                     log.down_windows.push((e.group, start, Some(t)));
+                    match options.recovery {
+                        RecoveryMode::Standby { .. } => {
+                            // Rejoin the spare reserve, not the serving
+                            // set (neither warm nor cold counted) — unless
+                            // the serving set is empty, in which case the
+                            // lowest spare is promoted immediately.
+                            in_service[e.group] = false;
+                            spare_pool.insert(e.group);
+                            let serving =
+                                alive.iter().zip(in_service.iter()).any(|(&a, &s)| a && s);
+                            if !serving {
+                                let &spare =
+                                    spare_pool.iter().next().expect("just inserted a spare");
+                                spare_pool.remove(&spare);
+                                in_service[spare] = true;
+                                log.promotions += 1;
+                            }
+                        }
+                        RecoveryMode::Warm { .. } => match retained.remove(&e.group) {
+                            Some(kept) if !kept.is_empty() => {
+                                log.warm_rejoins += 1;
+                                for spec in kept {
+                                    sims[e.group].push_warm(spec, t);
+                                }
+                            }
+                            _ => log.cold_rejoins += 1,
+                        },
+                        RecoveryMode::Cold => log.cold_rejoins += 1,
+                    }
                 }
                 CompiledKind::DegradeStart { factor } => {
                     active_degrades.push(factor);
@@ -403,13 +571,18 @@ pub fn simulate_fleet_instrumented(
                         }
                     }
                 }
+                // Pool-link windows only affect the shared-pool handoff
+                // path of the disaggregated driver; a colocated fleet has
+                // no pool to degrade.
+                CompiledKind::PoolDegradeStart { .. } | CompiledKind::PoolDegradeEnd { .. } => {}
             }
         }
 
-        // Load snapshot over the healthy subset, in group order.
+        // Load snapshot over the healthy, in-service subset, in group
+        // order (standby spares idle outside the serving set).
         loads.clear();
         for (g, sim) in sims.iter().enumerate() {
-            if alive[g] {
+            if alive[g] && in_service[g] {
                 loads.push(GroupLoad {
                     group: g,
                     outstanding: sim.outstanding(),
@@ -448,13 +621,27 @@ pub fn simulate_fleet_instrumented(
 
         // Arrival phase: route every arrival of the epoch starting at `t`
         // against the boundary snapshot, bumping the index optimistically
-        // so intra-epoch bursts still spread. With no live group the
-        // arrivals are deferred until the next recovery.
-        let epoch_end = Time::from_ps(t.as_ps().saturating_add(epoch_ps));
+        // so intra-epoch bursts still spread. Saturation-shed arrivals
+        // never dispatch; with no live group the rest are deferred until
+        // the next recovery.
+        let epoch_end =
+            Time::from_ps(t.as_ps().checked_add(epoch_ps).expect("epoch end overflows Time"));
         while cursor < trace.len() && trace[cursor].arrival < epoch_end {
             let spec = trace[cursor];
             let idx = cursor;
             cursor += 1;
+            if shedding {
+                let sat = fleet_saturation(
+                    &loads,
+                    system.total_slots() as u64,
+                    system.kv_budget_tokens() * system.replicas() as u64,
+                    None,
+                );
+                if !options.admission.admits(spec.class, sat) {
+                    log.shed.push((spec.id, spec.class));
+                    continue;
+                }
+            }
             if loads.is_empty() {
                 pending.insert((spec.arrival, spec.arrival, spec.id.0), spec);
                 continue;
@@ -482,23 +669,26 @@ pub fn simulate_fleet_instrumented(
         }
     }
     log.retries_by_class = retries_by_class.into_iter().collect();
-    if faulty {
+    if track {
         log.horizon = trace.last().map(|s| s.arrival).unwrap_or(Time::ZERO);
     }
 
     let per_group_qps = offered_qps / options.groups as f64;
     let outcomes = finish_groups(sims, per_group_qps, options.threads);
-    let report = if faulty {
+    let report = if track {
         FleetReport::from_outcomes_faulted(offered_qps, &outcomes, &log)
     } else {
         FleetReport::from_outcomes(offered_qps, &outcomes)
     };
     debug_assert!(
-        !faulty || report.completed + report.rejected + log.dropped.len() == trace.len(),
-        "conservation: {} completed + {} rejected + {} dropped != {} offered",
+        !track
+            || report.completed + report.rejected + log.dropped.len() + log.shed.len()
+                == trace.len(),
+        "conservation: {} completed + {} rejected + {} dropped + {} shed != {} offered",
         report.completed,
         report.rejected,
         log.dropped.len(),
+        log.shed.len(),
         trace.len()
     );
     FleetOutcome { report, groups: outcomes, routed, faults: log }

@@ -33,7 +33,17 @@
 //!   switch-attached `SharedKvPool` of `cent-cxl` at a costed switch-hop
 //!   price, and decode-specialized groups claim them (stealing from the
 //!   pool when drained); handoff latency percentiles, pool occupancy and
-//!   steal counts land in [`DisaggReport`].
+//!   steal counts land in [`DisaggReport`];
+//! * **survivable disaggregation** — the fault machinery composes with
+//!   the split fleet: the durable pool parks copies of claimed contexts
+//!   (capacity-free, evicted oldest-first) so a decode-tier crash
+//!   *rescues* orphans at switch-hop cost instead of re-prefilling them,
+//!   [`FaultSpec::PoolLinkDegrade`] / [`FaultPlan::chaos_disagg`] fault
+//!   the pool fabric itself, [`RecoveryMode`] picks how crashed groups
+//!   rejoin (cold, warm with retained contexts, or promoted standby
+//!   spares), and [`AdmissionPolicy`] sheds arrivals by priority class
+//!   against [`fleet_saturation`] — conservation stays exact:
+//!   `completed + rejected + dropped + shed = offered`.
 //!
 //! Pair with [`LoadCurve`](cent_serving::LoadCurve) diurnal modulation
 //! (`Workload::generate_modulated`) for multi-hour fleet traces; a
@@ -79,14 +89,16 @@
 
 #![forbid(unsafe_code)]
 
+mod admission;
 mod disagg;
 mod fault;
 mod fleet;
 mod report;
 mod router;
 
+pub use admission::{fleet_saturation, AdmissionPolicy};
 pub use disagg::{simulate_fleet_disagg, DisaggConfig, DisaggLog, DisaggOutcome, GroupRole};
-pub use fault::{ChaosRates, FaultPlan, FaultSchedule, FaultSpec, RetryPolicy};
+pub use fault::{ChaosRates, FaultPlan, FaultSchedule, FaultSpec, RecoveryMode, RetryPolicy};
 pub use fleet::{
     simulate_fleet, simulate_fleet_instrumented, FaultLog, FleetOptions, FleetOutcome,
 };

@@ -8,9 +8,11 @@
 //! function of the per-group outcomes alone, never of how many worker
 //! threads produced them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use cent_serving::{ClassReport, GroupOutcome, LatencyStats, PriorityClass, RequestRecord};
+use cent_serving::{
+    ClassReport, GroupOutcome, LatencyStats, PriorityClass, RequestId, RequestRecord,
+};
 use cent_types::{SortedSamples, Time, TimeHistogram};
 
 use crate::disagg::{join_phases, DisaggLog, GroupRole};
@@ -76,11 +78,12 @@ pub struct GroupRow {
 /// Present on [`FleetReport::degraded`] whenever the run carried a
 /// non-empty [`FaultSchedule`](crate::FaultSchedule) — even one whose
 /// faults never fired, in which case availability is `1.0` and every
-/// counter zero. Availability is measured in group-time over `[0,
-/// max(last completion, last offered arrival)]`; goodput is completions
-/// per second of makespan, with the
-/// `clean` variant excluding completions (and wall-clock) inside the union
-/// of the fleet's outage windows.
+/// counter zero — or an active [`AdmissionPolicy`](crate::AdmissionPolicy)
+/// (which breaks the everything-completes invariant the same way).
+/// Availability is measured in group-time over `[0, max(last completion,
+/// last offered arrival)]`; goodput is completions per second of makespan,
+/// with the `clean` variant excluding completions (and wall-clock) inside
+/// the union of the fleet's outage windows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradedReport {
     /// Crash events applied.
@@ -101,6 +104,26 @@ pub struct DegradedReport {
     pub retries_by_class: Vec<(PriorityClass, u64)>,
     /// Drop counts per priority class, sorted by class.
     pub drops_by_class: Vec<(PriorityClass, usize)>,
+    /// Recoveries that re-seeded warm-retained contexts
+    /// ([`RecoveryMode::Warm`](crate::RecoveryMode)).
+    pub warm_rejoins: u64,
+    /// Recoveries that rejoined the serving set empty.
+    pub cold_rejoins: u64,
+    /// Standby spares promoted into the serving set.
+    pub promotions: u64,
+    /// Decode-crash orphans rescued from the shared pool's parked copies
+    /// (disaggregated fleets only).
+    pub pool_rescued: usize,
+    /// Decode-crash orphans whose pool copy was gone — fell back to
+    /// re-prefill.
+    pub pool_lost: u64,
+    /// Rescue latency: decode-crash instant to the rescued context's first
+    /// token on its new decode group, over rescues that completed.
+    pub rescue_latency: LatencyStats,
+    /// Arrivals shed by the admission policy.
+    pub shed: usize,
+    /// Shed counts per priority class, sorted by class.
+    pub shed_by_class: Vec<(PriorityClass, usize)>,
     /// Failover latency: crash instant to the victim's first token on its
     /// new group, over orphaning events whose request completed.
     pub failover_latency: LatencyStats,
@@ -334,89 +357,15 @@ impl FleetReport {
     ) -> Self {
         let mut report = Self::from_outcomes(offered_qps, outcomes);
         let records = || outcomes.iter().flat_map(|o| o.records.iter());
-        // The run extends at least to the last offered arrival: a fleet
-        // that died early and served nothing afterwards was still *down*
-        // while requests kept arriving.
-        let last_finish =
-            records().map(|r| r.finished).max().unwrap_or(Time::ZERO).max(log.horizon);
-
-        // Outage windows, clipped to the run. Group-time accounting uses
-        // every window; wall-clock accounting uses their union.
-        let mut down_group_seconds = 0.0;
-        let mut clipped: Vec<(Time, Time)> = Vec::new();
-        for &(_, start, end) in &log.down_windows {
-            let end = end.unwrap_or(last_finish).min(last_finish);
-            let start = start.min(end);
-            down_group_seconds += end.saturating_sub(start).as_secs();
-            if end > start {
-                clipped.push((start, end));
-            }
-        }
-        let total_group_seconds = outcomes.len() as f64 * last_finish.as_secs();
-        let availability = if total_group_seconds > 0.0 {
-            (1.0 - down_group_seconds / total_group_seconds).max(0.0)
-        } else {
-            1.0
-        };
-        clipped.sort_unstable();
-        let mut union: Vec<(Time, Time)> = Vec::new();
-        for (start, end) in clipped {
-            match union.last_mut() {
-                Some(last) if start <= last.1 => last.1 = last.1.max(end),
-                _ => union.push((start, end)),
-            }
-        }
-        let mut union_seconds = 0.0;
-        for &(start, end) in &union {
-            union_seconds += end.saturating_sub(start).as_secs();
-        }
-
-        // Failover latency: for each orphaning event whose request later
-        // completed, the crash instant to the first token on the new home.
-        let mut first_tokens: Vec<(u64, Time)> =
-            records().map(|r| (r.spec.id.0, r.first_token)).collect();
-        first_tokens.sort_unstable_by_key(|&(id, _)| id);
-        let mut failover_samples = Vec::with_capacity(log.orphaned.len());
-        for &(id, crash_t) in &log.orphaned {
-            if let Ok(pos) = first_tokens.binary_search_by_key(&id.0, |&(i, _)| i) {
-                let first = first_tokens[pos].1;
-                if first >= crash_t {
-                    failover_samples.push(first.saturating_sub(crash_t));
-                }
-            }
-        }
-        let failover_latency = LatencyStats::from_sorted(&SortedSamples::new(failover_samples));
-
-        let makespan_s = report.makespan.as_secs();
-        let goodput_qps = if makespan_s > 0.0 { report.completed as f64 / makespan_s } else { 0.0 };
-        let in_outage = |t: Time| -> bool {
-            let pos = union.partition_point(|&(start, _)| start <= t);
-            pos > 0 && union[pos - 1].1 > t
-        };
-        let clean_completed = records().filter(|r| !in_outage(r.finished)).count();
-        let clean_seconds = (last_finish.as_secs() - union_seconds).max(0.0);
-        let goodput_clean_qps =
-            if clean_seconds > 0.0 { clean_completed as f64 / clean_seconds } else { 0.0 };
-
-        let mut drops_by_class: BTreeMap<PriorityClass, usize> = BTreeMap::new();
-        for &(_, class) in &log.dropped {
-            *drops_by_class.entry(class).or_insert(0) += 1;
-        }
-
-        report.degraded = Some(DegradedReport {
-            crashes: log.crashes,
-            recoveries: log.recoveries,
-            availability,
-            down_group_seconds,
-            orphaned: log.orphaned.len(),
-            retries: log.retries,
-            drops: log.dropped.len(),
-            retries_by_class: log.retries_by_class.clone(),
-            drops_by_class: drops_by_class.into_iter().collect(),
-            failover_latency,
-            goodput_qps,
-            goodput_clean_qps,
-        });
+        let first_tokens = records().map(|r| (r.spec.id.0, r.first_token)).collect();
+        let completions: Vec<Time> = records().map(|r| r.finished).collect();
+        report.degraded = Some(degraded_section(
+            log,
+            first_tokens,
+            &completions,
+            report.makespan,
+            outcomes.len(),
+        ));
         report
     }
 
@@ -427,7 +376,9 @@ impl FleetReport {
     ///
     /// The corrected metrics: `submitted` counts prefill-tier arrivals
     /// (not decode-tier re-submissions), `completed` counts requests whose
-    /// *final* phase finished, `prefill_tokens` counts prompt tokens once,
+    /// *final* phase finished (excluding fault-dropped requests),
+    /// `prefill_tokens` counts prompt tokens per prefill pass (a
+    /// crash-redispatched prompt is genuinely reprocessed by the tier),
     /// latency runs from the original arrival to the decode-phase finish,
     /// TTFT/queue-wait come from the prefill tier (which owns the first
     /// token) and router imbalance is judged over the prefill tier (the
@@ -435,11 +386,16 @@ impl FleetReport {
     /// per-group histograms, so the prefill→decode handoff gap itself is
     /// not a TBT sample — it is reported separately as
     /// [`DisaggReport::handoff_latency`].
+    ///
+    /// `faults` carries the driver's [`FaultLog`] whenever the run tracked
+    /// faults or admission shedding; it adds the degraded section (with
+    /// completions counted over joined requests, not phase records).
     pub fn from_outcomes_disagg(
         offered_qps: f64,
         outcomes: &[GroupOutcome],
         roles: &[GroupRole],
         log: &DisaggLog,
+        faults: Option<&FaultLog>,
         slo: Option<Time>,
     ) -> Self {
         assert_eq!(roles.len(), outcomes.len(), "one role per group");
@@ -450,17 +406,41 @@ impl FleetReport {
         // Records of each tier, sorted by id for the phase join.
         let mut prefill_records: Vec<&RequestRecord> =
             of_role(GroupRole::Prefill).flat_map(|o| o.records.iter()).collect();
-        prefill_records.sort_unstable_by_key(|r| r.spec.id.0);
+        prefill_records.sort_unstable_by_key(|r| (r.spec.id.0, r.finished));
         let mut decode_records: Vec<&RequestRecord> =
             of_role(GroupRole::Decode).flat_map(|o| o.records.iter()).collect();
         decode_records.sort_unstable_by_key(|r| r.spec.id.0);
-        let joined = join_phases(&prefill_records, &decode_records);
+        // A request redispatched through the prefill tier after a decode
+        // crash leaves several prefill records. The earliest-finished one
+        // carries the user-visible first token (TTFT, queue wait); the
+        // latest-finished one published the context the decode tier
+        // finally claimed, so it anchors the phase join.
+        let mut prefill_first: Vec<&RequestRecord> = Vec::with_capacity(prefill_records.len());
+        let mut prefill_last: Vec<&RequestRecord> = Vec::with_capacity(prefill_records.len());
+        for &r in &prefill_records {
+            match prefill_last.last_mut() {
+                Some(last) if last.spec.id == r.spec.id => *last = r,
+                _ => {
+                    prefill_first.push(r);
+                    prefill_last.push(r);
+                }
+            }
+        }
+        let joined = join_phases(&prefill_last, &decode_records);
         debug_assert_eq!(joined.len(), decode_records.len(), "every decode phase has a prompt");
         // Prefill records without a decode phase finished outright on the
-        // prefill tier (single-token decodes).
-        let singles: Vec<&RequestRecord> = prefill_records
+        // prefill tier (single-token decodes) — unless the fault path
+        // dropped the request after its prompt completed.
+        let dropped: BTreeSet<u64> = match faults {
+            Some(f) => f.dropped.iter().map(|&(id, _)| id.0).collect(),
+            None => BTreeSet::new(),
+        };
+        let singles: Vec<&RequestRecord> = prefill_first
             .iter()
-            .filter(|r| decode_records.binary_search_by_key(&r.spec.id.0, |d| d.spec.id.0).is_err())
+            .filter(|r| {
+                decode_records.binary_search_by_key(&r.spec.id.0, |d| d.spec.id.0).is_err()
+                    && !dropped.contains(&r.spec.id.0)
+            })
             .copied()
             .collect();
 
@@ -485,10 +465,10 @@ impl FleetReport {
         );
         report.query_latency = LatencyStats::from_sorted(&latencies);
         report.ttft = LatencyStats::from_sorted(&SortedSamples::new(
-            prefill_records.iter().map(|r| r.ttft()).collect(),
+            prefill_first.iter().map(|r| r.ttft()).collect(),
         ));
         report.queue_wait = LatencyStats::from_sorted(&SortedSamples::new(
-            prefill_records.iter().map(|r| r.queue_wait()).collect(),
+            prefill_first.iter().map(|r| r.queue_wait()).collect(),
         ));
         let handoff_latency = LatencyStats::from_sorted(&SortedSamples::new(
             joined.iter().map(|&(p, d)| d.first_token.saturating_sub(p.finished)).collect(),
@@ -527,7 +507,7 @@ impl FleetReport {
                 };
                 let lats = SortedSamples::new(raw);
                 let ttfts = SortedSamples::new(
-                    prefill_records
+                    prefill_first
                         .iter()
                         .filter(|r| r.spec.class == class)
                         .map(|r| r.ttft())
@@ -587,6 +567,28 @@ impl FleetReport {
             pool_peak_tokens: log.pool_peak_tokens,
             pool_occupancy,
         });
+
+        if let Some(flog) = faults {
+            let first_tokens = outcomes
+                .iter()
+                .flat_map(|o| o.records.iter())
+                .map(|r| (r.spec.id.0, r.first_token))
+                .collect();
+            // Completions are joined *requests* (plus singles), not phase
+            // records, so goodput matches the corrected `completed`.
+            let completions: Vec<Time> = joined
+                .iter()
+                .map(|&(_, d)| d.finished)
+                .chain(singles.iter().map(|&p| p.finished))
+                .collect();
+            report.degraded = Some(degraded_section(
+                flog,
+                first_tokens,
+                &completions,
+                report.makespan,
+                outcomes.len(),
+            ));
+        }
         report
     }
 
@@ -649,10 +651,17 @@ impl FleetReport {
                     .iter()
                     .map(|(c, n)| format!("{{\"class\":{},\"drops\":{}}}", c.0, n))
                     .collect();
+                let shed_by_class: Vec<String> = d
+                    .shed_by_class
+                    .iter()
+                    .map(|(c, n)| format!("{{\"class\":{},\"shed\":{}}}", c.0, n))
+                    .collect();
                 format!(
                     ",\"degraded\":{{\"crashes\":{},\"recoveries\":{},\"availability\":{},\
                      \"down_group_seconds\":{},\"orphaned\":{},\"retries\":{},\"drops\":{},\
-                     \"retries_by_class\":[{}],\"drops_by_class\":[{}],\"failover_s\":{},\
+                     \"retries_by_class\":[{}],\"drops_by_class\":[{}],\"warm_rejoins\":{},\
+                     \"cold_rejoins\":{},\"promotions\":{},\"pool_rescued\":{},\"pool_lost\":{},\
+                     \"rescue_s\":{},\"shed\":{},\"shed_by_class\":[{}],\"failover_s\":{},\
                      \"goodput_qps\":{},\"goodput_clean_qps\":{}}}",
                     d.crashes,
                     d.recoveries,
@@ -663,6 +672,14 @@ impl FleetReport {
                     d.drops,
                     retries_by_class.join(","),
                     drops_by_class.join(","),
+                    d.warm_rejoins,
+                    d.cold_rejoins,
+                    d.promotions,
+                    d.pool_rescued,
+                    d.pool_lost,
+                    stats(&d.rescue_latency),
+                    d.shed,
+                    shed_by_class.join(","),
                     stats(&d.failover_latency),
                     d.goodput_qps,
                     d.goodput_clean_qps
@@ -728,6 +745,122 @@ impl FleetReport {
     }
 }
 
+/// Builds the degraded-mode section shared by the colocated and
+/// disaggregated faulted paths.
+///
+/// `first_tokens` holds one `(id, first token)` entry per *record* — a
+/// request redispatched through the prefill tier leaves several — and the
+/// failover/rescue joins pick, per event, the earliest first token at or
+/// after the crash instant. `completions` holds the completion instant of
+/// each completed *request* (phase records already joined on the disagg
+/// path), so goodput counts requests, not phases.
+fn degraded_section(
+    log: &FaultLog,
+    mut first_tokens: Vec<(u64, Time)>,
+    completions: &[Time],
+    makespan: Time,
+    groups: usize,
+) -> DegradedReport {
+    // The run extends at least to the last offered arrival: a fleet that
+    // died early and served nothing afterwards was still *down* while
+    // requests kept arriving.
+    let last_finish = completions.iter().copied().max().unwrap_or(Time::ZERO).max(log.horizon);
+
+    // Outage windows, clipped to the run. Group-time accounting uses every
+    // window; wall-clock accounting uses their union.
+    let mut down_group_seconds = 0.0;
+    let mut clipped: Vec<(Time, Time)> = Vec::new();
+    for &(_, start, end) in &log.down_windows {
+        let end = end.unwrap_or(last_finish).min(last_finish);
+        let start = start.min(end);
+        down_group_seconds += end.saturating_sub(start).as_secs();
+        if end > start {
+            clipped.push((start, end));
+        }
+    }
+    let total_group_seconds = groups as f64 * last_finish.as_secs();
+    let availability = if total_group_seconds > 0.0 {
+        (1.0 - down_group_seconds / total_group_seconds).max(0.0)
+    } else {
+        1.0
+    };
+    clipped.sort_unstable();
+    let mut union: Vec<(Time, Time)> = Vec::new();
+    for (start, end) in clipped {
+        match union.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => union.push((start, end)),
+        }
+    }
+    let mut union_seconds = 0.0;
+    for &(start, end) in &union {
+        union_seconds += end.saturating_sub(start).as_secs();
+    }
+
+    // Recovery joins: for each event whose request later emitted a token,
+    // the crash instant to its first token at or after it. A request can
+    // leave several records (re-prefills), so pick the earliest qualifying
+    // token rather than assuming one record per id.
+    first_tokens.sort_unstable();
+    let join = |events: &[(RequestId, Time)]| -> LatencyStats {
+        let mut samples = Vec::with_capacity(events.len());
+        for &(id, crash_t) in events {
+            let pos = first_tokens.partition_point(|&(i, ft)| (i, ft) < (id.0, crash_t));
+            if let Some(&(i, ft)) = first_tokens.get(pos) {
+                if i == id.0 {
+                    samples.push(ft.saturating_sub(crash_t));
+                }
+            }
+        }
+        LatencyStats::from_sorted(&SortedSamples::new(samples))
+    };
+    let failover_latency = join(&log.orphaned);
+    let rescue_latency = join(&log.pool_rescued);
+
+    let makespan_s = makespan.as_secs();
+    let goodput_qps = if makespan_s > 0.0 { completions.len() as f64 / makespan_s } else { 0.0 };
+    let in_outage = |t: Time| -> bool {
+        let pos = union.partition_point(|&(start, _)| start <= t);
+        pos > 0 && union[pos - 1].1 > t
+    };
+    let clean_completed = completions.iter().filter(|&&t| !in_outage(t)).count();
+    let clean_seconds = (last_finish.as_secs() - union_seconds).max(0.0);
+    let goodput_clean_qps =
+        if clean_seconds > 0.0 { clean_completed as f64 / clean_seconds } else { 0.0 };
+
+    let mut drops_by_class: BTreeMap<PriorityClass, usize> = BTreeMap::new();
+    for &(_, class) in &log.dropped {
+        *drops_by_class.entry(class).or_insert(0) += 1;
+    }
+    let mut shed_by_class: BTreeMap<PriorityClass, usize> = BTreeMap::new();
+    for &(_, class) in &log.shed {
+        *shed_by_class.entry(class).or_insert(0) += 1;
+    }
+
+    DegradedReport {
+        crashes: log.crashes,
+        recoveries: log.recoveries,
+        availability,
+        down_group_seconds,
+        orphaned: log.orphaned.len(),
+        retries: log.retries,
+        drops: log.dropped.len(),
+        retries_by_class: log.retries_by_class.clone(),
+        drops_by_class: drops_by_class.into_iter().collect(),
+        warm_rejoins: log.warm_rejoins,
+        cold_rejoins: log.cold_rejoins,
+        promotions: log.promotions,
+        pool_rescued: log.pool_rescued.len(),
+        pool_lost: log.pool_lost,
+        rescue_latency,
+        shed: log.shed.len(),
+        shed_by_class: shed_by_class.into_iter().collect(),
+        failover_latency,
+        goodput_qps,
+        goodput_clean_qps,
+    }
+}
+
 impl std::fmt::Display for FleetReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -768,6 +901,13 @@ impl std::fmt::Display for FleetReport {
                 d.retries,
                 d.drops,
             )?;
+            writeln!(
+                f,
+                "recovery: {} warm / {} cold rejoins, {} promotions | pool rescued {} ({} \
+                 lost) | {} shed",
+                d.warm_rejoins, d.cold_rejoins, d.promotions, d.pool_rescued, d.pool_lost, d.shed,
+            )?;
+            writeln!(f, "rescue:  {}", d.rescue_latency)?;
             write!(
                 f,
                 "failover: {} | goodput {:.2} q/s ({:.2} q/s outside outages)",

@@ -21,6 +21,19 @@
 //! above this crate); the pool owns capacity, link serialization and the
 //! exact integer occupancy integral (token·ps) the fleet report turns into
 //! a time-weighted occupancy fraction.
+//!
+//! # Durability: parked copies
+//!
+//! A claim normally hands the KV pages to the decode group and the pool
+//! forgets them. A *durable* deployment instead **parks** a copy at claim
+//! time ([`park`](SharedKvPool::park)): the copy holds no capacity
+//! reservation — it can never refuse a publish, and it contributes nothing
+//! to the peak or the occupancy integral, so a fault-free run with
+//! durability on is bit-identical to one without — but it keeps the
+//! context [`rescue`](SharedKvPool::rescue)-able should the claiming group
+//! crash. Parked copies are a best-effort cache of the physical slack:
+//! when a publish needs the room they are evicted oldest-first, and an
+//! evicted context must fall back to re-prefill.
 
 use cent_types::Time;
 use std::collections::BTreeMap;
@@ -53,6 +66,11 @@ pub struct SharedKvPool {
     publishes: u64,
     claims: u64,
     refusals: u64,
+    /// Durable copies parked at claim time, by raw request id:
+    /// `(parked_at, tokens)`. Hold no capacity reservation.
+    parked: BTreeMap<u64, (Time, u64)>,
+    parked_tokens: u64,
+    evictions: u64,
 }
 
 impl SharedKvPool {
@@ -75,6 +93,9 @@ impl SharedKvPool {
             publishes: 0,
             claims: 0,
             refusals: 0,
+            parked: BTreeMap::new(),
+            parked_tokens: 0,
+            evictions: 0,
         }
     }
 
@@ -152,6 +173,19 @@ impl SharedKvPool {
         self.link_free[link] = visible;
         self.used_tokens += tokens;
         self.peak_tokens = self.peak_tokens.max(self.used_tokens);
+        // Parked copies only borrow the physical slack: evict the oldest
+        // ones until the live reservations fit alongside what remains.
+        while self.used_tokens + self.parked_tokens > self.capacity_tokens {
+            let oldest = self
+                .parked
+                .iter()
+                .min_by_key(|(id, (at, _))| (*at, **id))
+                .map(|(id, _)| *id)
+                .expect("parked copies cannot outgrow capacity without entries");
+            let (_, evicted) = self.parked.remove(&oldest).expect("oldest parked copy resident");
+            self.parked_tokens -= evicted;
+            self.evictions += 1;
+        }
         let prev = self.entries.insert(id, PoolEntry { tokens, started, visible });
         assert!(prev.is_none(), "request {id} published twice");
         self.publishes += 1;
@@ -177,6 +211,62 @@ impl SharedKvPool {
             .expect("pool released more tokens than it held");
         self.claims += 1;
         entry
+    }
+
+    /// Parks a durable copy of `tokens` KV tokens for request `id` at
+    /// instant `at` — called right after [`claim`](Self::claim) in a
+    /// durable deployment. The copy holds no capacity reservation (see the
+    /// module docs) and stays rescueable until evicted by a publish that
+    /// needs the room, [`rescue`](Self::rescue)d, or
+    /// [`discard_parked`](Self::discard_parked)ed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero or `id` already has a parked copy.
+    pub fn park(&mut self, id: u64, tokens: u64, at: Time) {
+        assert!(tokens > 0, "a parked copy needs at least one KV token");
+        let prev = self.parked.insert(id, (at, tokens));
+        assert!(prev.is_none(), "request {id} parked twice");
+        self.parked_tokens += tokens;
+    }
+
+    /// Takes the parked copy for `id` out of the pool, returning its token
+    /// count — the failover path when the claiming decode group crashed.
+    /// `None` means the copy was never parked or has been evicted, and the
+    /// context must re-prefill.
+    pub fn rescue(&mut self, id: u64) -> Option<u64> {
+        let (_, tokens) = self.parked.remove(&id)?;
+        self.parked_tokens -= tokens;
+        Some(tokens)
+    }
+
+    /// Discards the parked copy for `id` — the context completed normally
+    /// and no longer needs a recovery copy. Returns whether a copy was
+    /// still resident.
+    pub fn discard_parked(&mut self, id: u64) -> bool {
+        match self.parked.remove(&id) {
+            Some((_, tokens)) => {
+                self.parked_tokens -= tokens;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// KV tokens held by parked durable copies (outside the capacity
+    /// reservation — see the module docs).
+    pub fn parked_tokens(&self) -> u64 {
+        self.parked_tokens
+    }
+
+    /// Number of parked durable copies resident.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Parked copies evicted to make physical room for later publishes.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The pool-resident entry for `id`, if any.
@@ -244,6 +334,52 @@ mod tests {
         // Freed capacity is reusable.
         assert!(pool.try_publish(8, 100, t(40), 0, t(10)).is_some());
         assert_eq!(pool.peak_tokens(), 100);
+    }
+
+    #[test]
+    fn parked_copies_never_refuse_publishes_and_evict_oldest_first() {
+        let mut pool = SharedKvPool::new(100, 1);
+        pool.try_publish(1, 60, t(0), 0, t(10)).expect("fits");
+        pool.claim(1, t(20));
+        pool.park(1, 60, t(20));
+        pool.try_publish(2, 30, t(20), 0, t(10)).expect("fits");
+        pool.claim(2, t(40));
+        pool.park(2, 30, t(40));
+        assert_eq!(pool.parked_tokens(), 90);
+        // 90 parked + 40 live would overflow the 100-token physical pool;
+        // the publish is accepted (parked copies reserve nothing) and the
+        // oldest copy is evicted to make the room.
+        pool.try_publish(3, 40, t(50), 0, t(10)).expect("parked copies cannot refuse a publish");
+        assert_eq!(pool.evictions(), 1);
+        assert_eq!(pool.rescue(1), None, "evicted copy is gone");
+        assert_eq!(pool.rescue(2), Some(30), "younger copy survived");
+        assert_eq!(pool.parked_tokens(), 0);
+        // Parked copies never move the reservation-side statistics.
+        assert_eq!(pool.peak_tokens(), 60);
+        assert_eq!(pool.refusals(), 0);
+    }
+
+    #[test]
+    fn rescue_and_discard_are_exactly_once() {
+        let mut pool = SharedKvPool::new(100, 1);
+        pool.try_publish(9, 25, t(0), 0, t(5)).expect("fits");
+        pool.claim(9, t(10));
+        pool.park(9, 25, t(10));
+        assert_eq!(pool.parked_len(), 1);
+        assert_eq!(pool.rescue(9), Some(25));
+        assert_eq!(pool.rescue(9), None, "a rescued copy cannot be rescued again");
+        assert!(!pool.discard_parked(9));
+        pool.park(9, 25, t(30));
+        assert!(pool.discard_parked(9), "completing the context releases its copy");
+        assert_eq!(pool.parked_tokens(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parked twice")]
+    fn double_park_panics() {
+        let mut pool = SharedKvPool::new(100, 1);
+        pool.park(4, 10, t(0));
+        pool.park(4, 10, t(1));
     }
 
     #[test]

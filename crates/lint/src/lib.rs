@@ -6,7 +6,7 @@
 //! the differential suites in `tests/`. This crate makes the *preconditions*
 //! of that guarantee machine-checked: every Rust source in the workspace is
 //! tokenized with a hand-rolled lexer (the same in-tree-everything idiom as
-//! the SplitMix64 PRNG and the hand-rolled JSON) and matched against six
+//! the SplitMix64 PRNG and the hand-rolled JSON) and matched against seven
 //! named rules:
 //!
 //! | rule | slug | contract |
@@ -17,6 +17,7 @@
 //! | D4 | `unordered-float-reduction` | merge/report float reductions only via the approved helpers |
 //! | D5 | `no-unwrap` | no `unwrap()` / bare `expect("")` in library code |
 //! | D6 | `sort-non-total-comparator` | no `sort_by`/`min_by`/`max_by` through `partial_cmp` in library code |
+//! | D7 | `time-saturating-arithmetic` | no `saturating_add`/`saturating_mul` in library code (checked + invariant instead) |
 //!
 //! Justified exceptions carry a pragma with a mandatory reason:
 //!

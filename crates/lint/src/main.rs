@@ -93,7 +93,7 @@ fn main() -> ExitCode {
                 }
                 if report.is_clean() {
                     println!(
-                        "cent-lint: {} files clean (determinism contract D1-D6)",
+                        "cent-lint: {} files clean (determinism contract D1-D7)",
                         report.files.len()
                     );
                 }

@@ -43,6 +43,13 @@ pub enum Rule {
     /// order makes sort results input-order-dependent). Use `f64::total_cmp`
     /// or compare on an integral key.
     D6SortNonTotalComparator,
+    /// D7 `time-saturating-arithmetic`: no `saturating_add`/`saturating_mul`
+    /// in library code — a saturated `Time` or token counter silently pins
+    /// at the numeric ceiling and corrupts every downstream comparison far
+    /// from the overflow site. Use `checked_add`/`checked_mul` with an
+    /// invariant-documenting `expect`. `saturating_sub` stays sanctioned:
+    /// clamping a difference at zero is well-defined, not an overflow.
+    D7TimeSaturatingArithmetic,
     /// Meta-rule: a `cent-lint:` pragma that is malformed, names an unknown
     /// rule, or is missing its `-- reason` trailer.
     BadPragma,
@@ -58,11 +65,12 @@ impl Rule {
             Rule::D4UnorderedFloatReduction => "unordered-float-reduction",
             Rule::D5NoUnwrap => "no-unwrap",
             Rule::D6SortNonTotalComparator => "sort-non-total-comparator",
+            Rule::D7TimeSaturatingArithmetic => "time-saturating-arithmetic",
             Rule::BadPragma => "bad-pragma",
         }
     }
 
-    /// The short id (`d1`..`d6`) accepted by pragmas alongside the slug.
+    /// The short id (`d1`..`d7`) accepted by pragmas alongside the slug.
     pub fn id(self) -> &'static str {
         match self {
             Rule::D1NoHashCollections => "d1",
@@ -71,6 +79,7 @@ impl Rule {
             Rule::D4UnorderedFloatReduction => "d4",
             Rule::D5NoUnwrap => "d5",
             Rule::D6SortNonTotalComparator => "d6",
+            Rule::D7TimeSaturatingArithmetic => "d7",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -84,6 +93,7 @@ impl Rule {
             Rule::D4UnorderedFloatReduction,
             Rule::D5NoUnwrap,
             Rule::D6SortNonTotalComparator,
+            Rule::D7TimeSaturatingArithmetic,
         ];
         all.into_iter().find(|r| r.id() == name || r.slug() == name)
     }
@@ -356,6 +366,7 @@ pub fn lint_source_with(path: &str, src: &str, merge_crates: &[&str]) -> Vec<Dia
     let d4 = matches!(&class, FileClass::Library { crate_name } if merge_crates.contains(&crate_name.as_str()));
     let d5 = matches!(class, FileClass::Library { .. });
     let d6 = matches!(class, FileClass::Library { .. });
+    let d7 = matches!(class, FileClass::Library { .. });
 
     let push = |diags: &mut Vec<Diagnostic>, rule: Rule, line: u32, msg: String| {
         if !allowed(&pragmas, rule, line) {
@@ -442,6 +453,21 @@ pub fn lint_source_with(path: &str, src: &str, merge_crates: &[&str]) -> Vec<Dia
                     format!(
                         "{name} with a partial_cmp comparator is not a total order (NaN); \
                          use total_cmp or an integral sort key"
+                    ),
+                );
+            }
+            "saturating_add" | "saturating_mul"
+                if d7
+                    && is_method_call(toks, i)
+                    && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+            {
+                push(
+                    &mut diags,
+                    Rule::D7TimeSaturatingArithmetic,
+                    t.line,
+                    format!(
+                        "{name} silently pins at the numeric ceiling; use checked arithmetic \
+                         with an invariant message (saturating_sub's clamp at zero stays fine)"
                     ),
                 );
             }
@@ -692,6 +718,23 @@ mod tests {
             ["sort-non-total-comparator", "sort-non-total-comparator", "sort-non-total-comparator"]
         );
         // Tests/examples and bench keep their unwrap-happy idiom.
+        assert!(slugs("tests/x.rs", src).is_empty());
+        assert!(slugs("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d7_patterns() {
+        let src = "
+            fn f(a: u64, b: u64) -> u64 {
+                let x = a.saturating_add(b);
+                let y = a.saturating_mul(b);
+                let z = a.saturating_sub(b);
+                let w = a.checked_add(b).expect(\"token counter fits u64\");
+                x + y + z + w
+            }
+        ";
+        assert_eq!(slugs(LIB, src), ["time-saturating-arithmetic", "time-saturating-arithmetic"]);
+        // Tests/examples and bench keep the clamping shorthand.
         assert!(slugs("tests/x.rs", src).is_empty());
         assert!(slugs("crates/bench/src/lib.rs", src).is_empty());
     }

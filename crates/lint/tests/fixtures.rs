@@ -85,6 +85,17 @@ fn d6_positive_negative_allowed() {
 }
 
 #[test]
+fn d7_positive_negative_allowed() {
+    let fired = fire("d7_positive.rs", LIB);
+    assert_eq!(fired, [Rule::D7TimeSaturatingArithmetic, Rule::D7TimeSaturatingArithmetic]);
+    assert!(fire("d7_negative.rs", LIB).is_empty());
+    assert!(fire("d7_allowed.rs", LIB).is_empty());
+    // Clamping shorthand stays fine in tests and bench code.
+    assert!(fire("d7_positive.rs", "tests/fixture.rs").is_empty());
+    assert!(fire("d7_positive.rs", "crates/bench/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn diagnostics_carry_file_line_rule() {
     let diags = lint_source(LIB, &fixture("d5_positive.rs"));
     let rendered = diags[0].render();

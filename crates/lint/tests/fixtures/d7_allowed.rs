@@ -1,0 +1,5 @@
+//! D7 allow-pragma: a justified saturating accumulation.
+pub fn bounded_score(a: u64, b: u64) -> u64 {
+    // cent-lint: allow(d7) -- score is an unordered heuristic, clamping is the spec
+    a.saturating_add(b)
+}

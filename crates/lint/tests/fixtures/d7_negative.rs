@@ -1,0 +1,13 @@
+//! D7 negative: checked arithmetic with invariants, and the sanctioned
+//! clamp-at-zero subtraction.
+pub fn epoch_end(now: u64, epoch_ps: u64) -> u64 {
+    now.checked_add(epoch_ps).expect("epoch grid instant fits u64")
+}
+
+pub fn grid_instant(epochs: u64, epoch_ps: u64) -> u64 {
+    epochs.checked_mul(epoch_ps).expect("epoch grid instant fits u64")
+}
+
+pub fn backlog(offered: u64, served: u64) -> u64 {
+    offered.saturating_sub(served)
+}

@@ -1,0 +1,8 @@
+//! D7 positive: saturating add/mul silently pin time at the ceiling.
+pub fn epoch_end(now: u64, epoch_ps: u64) -> u64 {
+    now.saturating_add(epoch_ps)
+}
+
+pub fn grid_instant(epochs: u64, epoch_ps: u64) -> u64 {
+    epochs.saturating_mul(epoch_ps)
+}

@@ -958,6 +958,22 @@ impl GroupSim {
         self.heap.push(at, Event::Arrive(spec));
     }
 
+    /// Re-injects a request whose KV context survived the crash that
+    /// orphaned it — a warm rejoin: the group retained the pages, so the
+    /// request resumes decode at `at` without re-prefilling and without a
+    /// transfer. Equivalent to a handoff whose context is already resident
+    /// (`ready == at`, zero transfer); the spec's original `arrival` keeps
+    /// the user-visible latency clock running. Counts as a fresh submission
+    /// on this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies behind the horizon already consumed by
+    /// [`advance_to`](Self::advance_to).
+    pub fn push_warm(&mut self, spec: RequestSpec, at: Time) {
+        self.push_handoff(spec, at, at, Time::ZERO);
+    }
+
     /// The completion records appended since `cursor` (a count previously
     /// obtained as `cursor + returned.len()`, starting from zero). Records
     /// are in completion order while the run is live — the fleet driver

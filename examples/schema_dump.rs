@@ -4,14 +4,14 @@
 //! includes this file as a module so the docs and the test can never run
 //! different configurations).
 //!
-//! Run with `cargo run --release --example schema_dump`; the four JSON
+//! Run with `cargo run --release --example schema_dump`; the five JSON
 //! documents print to stdout separated by `--- <name>` markers. Paste
 //! them into `docs/SCHEMAS.md` pretty-printed (the committed blocks are
 //! the same values reformatted for readability).
 
 use cent::cluster::{
-    simulate_fleet, simulate_fleet_disagg, ChaosRates, DisaggConfig, FaultPlan, FleetOptions,
-    JoinShortestQueue, RetryPolicy,
+    simulate_fleet, simulate_fleet_disagg, AdmissionPolicy, ChaosRates, DisaggConfig, FaultPlan,
+    FaultSchedule, FaultSpec, FleetOptions, JoinShortestQueue, RecoveryMode, RetryPolicy,
 };
 use cent::cxl::FabricConfig;
 use cent::serving::{
@@ -37,7 +37,8 @@ fn system() -> ServingSystem {
 
 /// One compact JSON document per public schema, keyed by the marker name
 /// used in `docs/SCHEMAS.md` (`serving_report`, `fleet_report`,
-/// `fleet_report_degraded`, `fleet_report_disagg`).
+/// `fleet_report_degraded`, `fleet_report_disagg`,
+/// `fleet_report_disagg_faulted`).
 pub fn dumps() -> Vec<(&'static str, String)> {
     let sys = system();
     let workload = Workload {
@@ -66,7 +67,9 @@ pub fn dumps() -> Vec<(&'static str, String)> {
     let faulted_opts = opts
         .clone()
         .with_faults(faults)
-        .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(10_000) });
+        .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(10_000) })
+        .with_recovery(RecoveryMode::Warm { retained_fraction: 1.0 })
+        .with_admission(AdmissionPolicy::shed_above(2.0));
     let faulted = simulate_fleet(&sys, &trace, 60.0, &mut JoinShortestQueue, &faulted_opts);
 
     let cost = sys.swap_cost().with_switch_hops(2, &FabricConfig::cent(32));
@@ -74,11 +77,39 @@ pub fn dumps() -> Vec<(&'static str, String)> {
     let disagg =
         simulate_fleet_disagg(&sys, &trace, 60.0, &mut JoinShortestQueue, &opts, &disagg_cfg);
 
+    // A decode-tier crash against the same split fleet: the degraded
+    // section then carries live pool-rescue rows (parked copies revived
+    // at switch-hop cost instead of re-prefilled). Decodes long enough to
+    // span epoch stops, so the crash catches claimed contexts in flight.
+    let long_workload = Workload {
+        lengths: LengthSampler::Fixed { prompt: 16, decode: 400 },
+        classes: ClassMix::two_tier(0.5),
+        ..Workload::chatbot(12.0, 9)
+    };
+    let long_trace = long_workload.generate(horizon, 4096);
+    let disagg_faults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+        group: 2,
+        at: Time::from_secs_f64(1.5),
+        recover_after: Some(Time::from_secs_f64(0.5)),
+    }]);
+    let disagg_faulted_opts = opts
+        .with_faults(disagg_faults)
+        .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(10_000) });
+    let disagg_faulted = simulate_fleet_disagg(
+        &sys,
+        &long_trace,
+        12.0,
+        &mut JoinShortestQueue,
+        &disagg_faulted_opts,
+        &disagg_cfg,
+    );
+
     vec![
         ("serving_report", report.to_json()),
         ("fleet_report", fleet.to_json()),
         ("fleet_report_degraded", faulted.to_json()),
         ("fleet_report_disagg", disagg.report.to_json()),
+        ("fleet_report_disagg_faulted", disagg_faulted.report.to_json()),
     ]
 }
 

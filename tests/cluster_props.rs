@@ -27,19 +27,27 @@
 //! 7. `FaultPlan::chaos` behaves at its rate extremes: `crash_rate = 0`
 //!    draws no crashes and conserves every request, `crash_rate = 1`
 //!    drives the whole fleet down at once and the driver defers the
-//!    arrivals that land in the outage instead of losing them.
+//!    arrivals that land in the outage instead of losing them;
+//! 8. survivable disaggregation: a decode-tier crash rescues its claimed
+//!    contexts from the durable pool's parked copies exactly once (and
+//!    beats the volatile-pool re-prefill fallback on first-token floors),
+//!    warm rejoin is never worse than cold on the same schedule, a
+//!    combined disagg + chaos + recovery + admission run is bit-identical
+//!    across 1/2/8 workers under the extended conservation invariant
+//!    `completed + rejected + dropped + shed = offered`, and an
+//!    event-free schedule reproduces the fault-free split driver exactly.
 
 use cent_cluster::{
-    simulate_fleet, simulate_fleet_disagg, simulate_fleet_instrumented, ChaosRates, DisaggConfig,
-    FaultPlan, FaultSchedule, FaultSpec, FleetOptions, JoinShortestQueue, PowerOfTwoChoices,
-    RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
+    simulate_fleet, simulate_fleet_disagg, simulate_fleet_instrumented, AdmissionPolicy,
+    ChaosRates, DisaggConfig, FaultPlan, FaultSchedule, FaultSpec, FleetOptions, JoinShortestQueue,
+    PowerOfTwoChoices, RecoveryMode, RetryPolicy, RoundRobin, RoutingPolicy, SessionAffinity,
 };
 use cent_cost::KvSwapCost;
 use cent_cxl::FabricConfig;
 use cent_model::ModelConfig;
 use cent_serving::{
-    KvBudget, KvMode, LatencyStats, LengthSampler, LoadCurve, RequestSpec, SchedulerConfig,
-    ServingSystem, Workload,
+    KvBudget, KvMode, LatencyStats, LengthSampler, LoadCurve, PriorityClass, RequestSpec,
+    SchedulerConfig, ServingSystem, Workload,
 };
 use cent_types::{ByteSize, SortedSamples, Time, TimeHistogram};
 
@@ -627,4 +635,325 @@ fn chaos_saturated_crash_rate_defers_arrivals_through_whole_fleet_outages() {
         deferred_and_served > 0,
         "at least one arrival must be deferred through the outage and then served"
     );
+}
+
+/// Extended conservation: every offered request is completed, rejected,
+/// dropped or shed — never silently lost.
+fn assert_conserved(out: &cent_cluster::DisaggOutcome, offered: usize) {
+    assert_eq!(
+        out.report.completed
+            + out.report.rejected
+            + out.faults.dropped.len()
+            + out.faults.shed.len(),
+        offered,
+        "extended conservation violated"
+    );
+}
+
+#[test]
+fn pool_rescued_contexts_complete_exactly_once() {
+    // A decode-tier crash orphans its claimed contexts; with a durable
+    // pool their parked copies are rescued by the surviving decode group
+    // at switch-hop cost — never re-prefilled — and each rescued request
+    // still completes exactly once per tier.
+    let trace = fixed_trace(24.0, 101, 6.0, 100, 400);
+    let faults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+        group: 2,
+        at: Time::from_secs_f64(2.0),
+        recover_after: Some(Time::from_secs_f64(1.0)),
+    }]);
+    let cfg = DisaggConfig::split(2, 2, 256_000, handoff_cost());
+    let mut router = JoinShortestQueue;
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        24.0,
+        &mut router,
+        &FleetOptions::new(4)
+            .with_epoch(Time::from_secs_f64(0.05))
+            .with_faults(faults)
+            .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(50_000) }),
+        &cfg,
+    );
+    assert!(!out.faults.pool_rescued.is_empty(), "a loaded decode crash must strand claims");
+    assert_eq!(out.faults.pool_lost, 0, "a roomy durable pool never loses a copy");
+    // Exactly-once per tier: no id completes a phase twice — in
+    // particular no rescued request was re-prefilled.
+    let tier_ids = |groups: std::ops::Range<usize>| -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            groups.flat_map(|g| out.groups[g].records.iter().map(|r| r.spec.id.0)).collect();
+        ids.sort_unstable();
+        ids
+    };
+    for ids in [tier_ids(0..2), tier_ids(2..4)] {
+        let mut unique = ids.clone();
+        unique.dedup();
+        assert_eq!(ids, unique, "a phase completed twice");
+    }
+    // Every rescued id that was not dropped finished on the decode tier.
+    let decode_ids = tier_ids(2..4);
+    let dropped: Vec<u64> = out.faults.dropped.iter().map(|&(id, _)| id.0).collect();
+    for (id, _) in &out.faults.pool_rescued {
+        assert!(
+            decode_ids.binary_search(&id.0).is_ok() || dropped.contains(&id.0),
+            "rescued {id:?} neither completed nor dropped"
+        );
+    }
+    assert_conserved(&out, trace.len());
+    let degraded = out.report.degraded.as_ref().expect("faulted disagg reports degraded mode");
+    assert_eq!(degraded.pool_rescued, out.faults.pool_rescued.len());
+    assert!(degraded.rescue_latency.p50 > Time::ZERO, "rescue percentiles populated");
+}
+
+#[test]
+fn pool_rescue_beats_reprefill_on_first_token_floors() {
+    // Same trace, same decode-tier crash: the durable pool rescues parked
+    // copies at transfer cost, the volatile ablation re-runs the whole
+    // prompt behind the retry backoff. The failover join (crash instant to
+    // the victim's next token) must therefore sit strictly lower for the
+    // durable run: a rescue's floor is one pool transfer, a re-prefill's
+    // floor is the backoff plus the full prompt pass.
+    let backoff = Time::from_secs_f64(0.5);
+    let trace = fixed_trace(16.0, 103, 6.0, 400, 400);
+    let faults = || {
+        FaultSchedule::new(vec![FaultSpec::GroupCrash {
+            group: 2,
+            at: Time::from_secs_f64(2.0),
+            recover_after: Some(Time::from_secs_f64(1.0)),
+        }])
+    };
+    let run = |cfg: DisaggConfig| {
+        let mut router = JoinShortestQueue;
+        simulate_fleet_disagg(
+            &group_system(),
+            &trace,
+            16.0,
+            &mut router,
+            &FleetOptions::new(4)
+                .with_epoch(Time::from_secs_f64(0.05))
+                .with_faults(faults())
+                .with_retry(RetryPolicy { max_attempts: 4, backoff }),
+            &cfg,
+        )
+    };
+    let durable = run(DisaggConfig::split(2, 2, 256_000, handoff_cost()));
+    let volatile = run(DisaggConfig::split(2, 2, 256_000, handoff_cost()).with_volatile_pool());
+    assert!(!durable.faults.pool_rescued.is_empty(), "durable pool must rescue");
+    assert_eq!(durable.faults.pool_lost, 0);
+    assert!(durable.faults.retries == 0, "nothing re-enters the prefill tier on a rescue");
+    assert!(volatile.faults.pool_rescued.is_empty(), "volatile pool cannot rescue");
+    assert!(volatile.faults.pool_lost > 0, "volatile pool loses every orphaned copy");
+    assert!(volatile.faults.retries > 0, "lost copies re-prefill under the retry policy");
+    let d = durable.report.degraded.as_ref().expect("degraded section");
+    let v = volatile.report.degraded.as_ref().expect("degraded section");
+    // Re-prefill cannot beat its floor: the backoff alone keeps every
+    // volatile failover sample at or above it.
+    assert!(v.failover_latency.p50 >= backoff, "re-prefill sits behind the retry backoff");
+    assert!(
+        d.failover_latency.mean < v.failover_latency.mean,
+        "rescue must beat re-prefill: {} vs {}",
+        d.failover_latency.mean,
+        v.failover_latency.mean
+    );
+    assert_conserved(&durable, trace.len());
+    assert_conserved(&volatile, trace.len());
+}
+
+#[test]
+fn warm_rejoin_is_never_worse_than_cold_on_the_same_schedule() {
+    // With a retry backoff at least as long as the outage, a cold
+    // redispatch is never ready before the crashed group recovers — while
+    // warm recovery re-seeds the retained contexts at the recovery instant
+    // with their KV intact. The failover join can therefore only improve.
+    let trace = fixed_trace(45.0, 201, 4.0, 16, 200);
+    let faults = || {
+        FaultSchedule::new(vec![FaultSpec::GroupCrash {
+            group: 0,
+            at: Time::from_secs_f64(1.0),
+            recover_after: Some(Time::from_secs_f64(1.0)),
+        }])
+    };
+    let run = |recovery: RecoveryMode| {
+        let mut router = JoinShortestQueue;
+        simulate_fleet_instrumented(
+            &group_system(),
+            &trace,
+            45.0,
+            &mut router,
+            &FleetOptions::new(3)
+                .with_epoch(Time::from_secs_f64(0.05))
+                .with_faults(faults())
+                .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_secs_f64(1.5) })
+                .with_recovery(recovery),
+        )
+    };
+    let cold = run(RecoveryMode::Cold);
+    let warm = run(RecoveryMode::Warm { retained_fraction: 1.0 });
+    assert!(!cold.faults.orphaned.is_empty(), "a loaded group must strand work");
+    assert_eq!(cold.faults.cold_rejoins, 1);
+    assert!(warm.faults.warm_rejoins > 0, "full retention must warm-rejoin");
+    assert_eq!(warm.faults.retries, 0, "fully retained orphans never redispatch");
+    let cd = cold.report.degraded.as_ref().expect("degraded section");
+    let wd = warm.report.degraded.as_ref().expect("degraded section");
+    assert_eq!(cd.orphaned, wd.orphaned, "same schedule orphans the same work");
+    assert!(
+        wd.failover_latency.mean <= cd.failover_latency.mean,
+        "warm mean failover regressed: {} vs {}",
+        wd.failover_latency.mean,
+        cd.failover_latency.mean
+    );
+    assert!(
+        wd.failover_latency.max <= cd.failover_latency.max,
+        "warm tail failover regressed: {} vs {}",
+        wd.failover_latency.max,
+        cd.failover_latency.max
+    );
+    for fleet in [&cold, &warm] {
+        assert_eq!(
+            fleet.report.completed + fleet.report.rejected + fleet.faults.dropped.len(),
+            trace.len()
+        );
+    }
+}
+
+#[test]
+fn disagg_chaos_with_recovery_and_admission_is_thread_count_invariant() {
+    // The full survivability stack at once: disagg chaos (tier-weighted
+    // crashes + pool-link degrades), warm recovery, bounded retries and a
+    // class-aware admission policy — bit-identical across 1/2/8 workers.
+    let trace = fixed_trace(100.0, 303, 20.0, 64, 48);
+    let cfg = DisaggConfig::split(2, 2, 64_000, handoff_cost()).with_prefill_chunk(32);
+    let rates = ChaosRates {
+        crash_rate: 1.0 / 8.0,
+        mean_outage_s: 2.0,
+        pool_degrade_rate: 1.0 / 10.0,
+        mean_pool_degrade_s: 2.0,
+        ..ChaosRates::default()
+    };
+    let faults = FaultPlan::chaos_disagg(0xFA7, &cfg.roles, Time::from_secs_f64(20.0), &rates);
+    assert!(!faults.is_empty(), "elevated rates must inject within 20 s");
+    let run = |threads: usize| {
+        let mut router = JoinShortestQueue;
+        simulate_fleet_disagg(
+            &group_system(),
+            &trace,
+            100.0,
+            &mut router,
+            &FleetOptions::new(4)
+                .with_threads(threads)
+                .with_epoch(Time::from_secs_f64(0.05))
+                .with_faults(faults.clone())
+                .with_retry(RetryPolicy { max_attempts: 4, backoff: Time::from_us(100_000) })
+                .with_recovery(RecoveryMode::Warm { retained_fraction: 0.5 })
+                .with_admission(
+                    AdmissionPolicy::shed_above(4.0).with_class(PriorityClass::BATCH, 2.0),
+                ),
+            &cfg,
+        )
+    };
+    let base = run(1);
+    assert!(base.faults.crashes > 0, "chaos must crash within the horizon");
+    assert_conserved(&base, trace.len());
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(base.report, other.report, "threads {threads} diverged from 1");
+        assert_eq!(base.routed, other.routed, "threads {threads} changed routing");
+        assert_eq!(base.log, other.log, "threads {threads} changed the disagg log");
+        assert_eq!(base.faults, other.faults, "threads {threads} changed the fault log");
+    }
+}
+
+#[test]
+fn event_free_schedule_reproduces_the_fault_free_split_driver() {
+    // The fault machinery must be pay-for-what-you-use: an empty schedule
+    // (and the inert default recovery/admission knobs) keeps the split
+    // driver on the exact fault-free path, bit for bit.
+    let trace = fixed_trace(120.0, 29, 15.0, 64, 48);
+    let cfg = DisaggConfig::split(2, 2, 64_000, handoff_cost()).with_prefill_chunk(32);
+    let run = |opts: FleetOptions| {
+        let mut router = JoinShortestQueue;
+        simulate_fleet_disagg(&group_system(), &trace, 120.0, &mut router, &opts, &cfg)
+    };
+    let base_opts = FleetOptions::new(4).with_epoch(Time::from_secs_f64(0.05));
+    let plain = run(base_opts.clone());
+    let quiet = run(base_opts
+        .with_faults(FaultSchedule::empty())
+        .with_recovery(RecoveryMode::Warm { retained_fraction: 1.0 })
+        .with_admission(AdmissionPolicy::admit_all()));
+    assert_eq!(plain.report, quiet.report, "inert knobs perturbed the report");
+    assert_eq!(plain.routed, quiet.routed, "inert knobs perturbed routing");
+    assert_eq!(plain.log, quiet.log, "inert knobs perturbed the disagg log");
+    assert!(plain.report.degraded.is_none(), "no schedule, no degraded section");
+    assert!(quiet.report.degraded.is_none(), "an event-free run reports no degraded section");
+}
+
+#[test]
+fn admission_sheds_lower_classes_first_and_conserves_accounting() {
+    // A fleet driven past saturation with a class-aware policy: batch
+    // sheds at a lower threshold than interactive, every shed is counted
+    // by class, and the extended conservation invariant still closes.
+    let mut trace = fixed_trace(400.0, 71, 10.0, 64, 64);
+    for spec in trace.iter_mut().skip(1).step_by(2) {
+        spec.class = PriorityClass::BATCH;
+    }
+    let cfg = DisaggConfig::split(2, 2, 32_000, handoff_cost());
+    let mut router = JoinShortestQueue;
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        400.0,
+        &mut router,
+        &FleetOptions::new(4)
+            .with_epoch(Time::from_secs_f64(0.05))
+            .with_admission(AdmissionPolicy::shed_above(3.0).with_class(PriorityClass::BATCH, 1.0)),
+        &cfg,
+    );
+    assert!(!out.faults.shed.is_empty(), "saturation must shed");
+    let by_class = |class: PriorityClass| -> usize {
+        out.faults.shed.iter().filter(|&&(_, c)| c == class).count()
+    };
+    assert!(by_class(PriorityClass::BATCH) > 0, "batch sheds first");
+    assert!(
+        by_class(PriorityClass::BATCH) >= by_class(PriorityClass::INTERACTIVE),
+        "the lower threshold cannot shed less on an even class mix"
+    );
+    assert_conserved(&out, trace.len());
+    let degraded = out.report.degraded.as_ref().expect("shedding reports degraded mode");
+    assert_eq!(degraded.shed, out.faults.shed.len());
+    assert_eq!(
+        degraded.shed_by_class.iter().map(|&(_, n)| n).sum::<usize>(),
+        degraded.shed,
+        "per-class shed counts cover every shed"
+    );
+}
+
+#[test]
+fn standby_spares_promote_to_cover_crashes() {
+    // A two-spare standby reserve on the decode tier: the crash of a
+    // serving decode group promotes a spare, so the tier keeps serving and
+    // the promotion is counted.
+    let trace = fixed_trace(20.0, 401, 6.0, 64, 200);
+    let faults = FaultSchedule::new(vec![FaultSpec::GroupCrash {
+        group: 3,
+        at: Time::from_secs_f64(1.0),
+        recover_after: Some(Time::from_secs_f64(2.0)),
+    }]);
+    let cfg = DisaggConfig::split(2, 3, 128_000, handoff_cost());
+    let mut router = JoinShortestQueue;
+    let out = simulate_fleet_disagg(
+        &group_system(),
+        &trace,
+        20.0,
+        &mut router,
+        &FleetOptions::new(5)
+            .with_epoch(Time::from_secs_f64(0.05))
+            .with_faults(faults)
+            .with_retry(RetryPolicy { max_attempts: 3, backoff: Time::from_us(100_000) })
+            .with_recovery(RecoveryMode::Standby { spares: 1 }),
+        &cfg,
+    );
+    assert_eq!(out.faults.promotions, 1, "the decode spare must promote on the crash");
+    assert_conserved(&out, trace.len());
+    // The promoted spare (the last decode group) actually served.
+    assert!(out.groups[4].report.completed > 0, "the promoted spare never served");
 }

@@ -232,6 +232,16 @@ fn committed_schema_examples_match_the_live_serialisers() {
     let disagg =
         live["fleet_report_disagg"].get("disagg").expect("split run must carry a disagg section");
     assert_same("disagg", &committed_example(docs, "disagg-section"), disagg);
+    // The degraded section of a *faulted split* run additionally carries
+    // live pool-rescue rows; the committed example pins them too.
+    let disagg_degraded = live["fleet_report_disagg_faulted"]
+        .get("degraded")
+        .expect("faulted split run must carry a degraded section");
+    assert_same(
+        "disagg_degraded",
+        &committed_example(docs, "disagg-degraded-section"),
+        disagg_degraded,
+    );
 
     // And the absences that keep old reports comparable: no fault
     // schedule → no degraded key; colocated → no disagg key.
